@@ -1,0 +1,140 @@
+// E10 (paper §2.1, §3.2): adaptation at scale.
+//
+// A proactive environment must adapt whole communities of devices. We
+// measure, in virtual time:
+//
+//   (a) time-to-adapt vs number of nodes entering the hall simultaneously
+//   (b) time-to-adapt one node vs number of policy extensions
+//   (c) install latency vs extension package size (the radio is the
+//       bottleneck: bigger scripts take longer to ship)
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "midas/node.h"
+#include "robot/devices.h"
+
+namespace {
+
+using namespace pmp;
+using midas::BaseConfig;
+using midas::BaseStation;
+using midas::ExtensionPackage;
+using midas::MobileNode;
+
+ExtensionPackage noop_package(const std::string& name, std::size_t script_padding = 0) {
+    ExtensionPackage pkg;
+    pkg.name = name;
+    pkg.script = "fun onEntry() { }\n";
+    if (script_padding > 0) {
+        // Realistic padding: helper functions the extension never calls.
+        std::string chunk = "fun helper_X() { let a = 1; let b = 2; return a + b; }\n";
+        std::string padded;
+        int i = 0;
+        while (padded.size() < script_padding) {
+            std::string fn = chunk;
+            fn.replace(fn.find('X'), 1, std::to_string(i++));
+            padded += fn;
+        }
+        pkg.script += padded;
+    }
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    return pkg;
+}
+
+struct World {
+    sim::Simulator sim;
+    net::Network net{sim, net::NetworkConfig{}, 4242};
+    std::unique_ptr<BaseStation> hall;
+    std::vector<std::unique_ptr<MobileNode>> nodes;
+
+    World() {
+        BaseConfig bc;
+        bc.issuer = "hall";
+        hall = std::make_unique<BaseStation>(net, "hall", net::Position{0, 0}, 200.0, bc);
+        hall->keys().add_key("hall", to_bytes("k"));
+    }
+
+    MobileNode& add_node(int i) {
+        auto node = std::make_unique<MobileNode>(
+            net, "node:" + std::to_string(i),
+            net::Position{10.0 + static_cast<double>(i % 10), static_cast<double>(i / 10)},
+            200.0);
+        node->trust().trust("hall", to_bytes("k"));
+        node->receiver().allow_capabilities("hall", {});
+        robot::make_motor(node->runtime(), "motor:" + std::to_string(i));
+        nodes.push_back(std::move(node));
+        return *nodes.back();
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(120)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(1));
+        }
+        return pred();
+    }
+};
+
+}  // namespace
+
+int main() {
+    printf("=== E10: adaptation at scale (virtual time) ===\n\n");
+
+    printf("(a) time to adapt N nodes entering simultaneously (1 extension):\n");
+    printf("%8s %16s %16s\n", "nodes", "all adapted", "per node");
+    for (int n : {1, 2, 5, 10, 20, 50}) {
+        World w;
+        w.hall->base().add_extension(noop_package("hall/noop"));
+        for (int i = 0; i < n; ++i) w.add_node(i);
+        SimTime start = w.sim.now();
+        bool ok = w.run_until([&] {
+            for (const auto& node : w.nodes) {
+                if (node->receiver().installed_count() != 1) return false;
+            }
+            return true;
+        });
+        double total_ms = static_cast<double>((w.sim.now() - start).count()) / 1e6;
+        printf("%8d %13.1f ms %13.2f ms\n", n, ok ? total_ms : -1.0,
+               ok ? total_ms / n : -1.0);
+    }
+
+    printf("\n(b) time to adapt one node vs number of policy extensions:\n");
+    printf("%12s %16s %16s\n", "extensions", "fully adapted", "per extension");
+    for (int k : {1, 2, 5, 10, 20}) {
+        World w;
+        for (int i = 0; i < k; ++i) {
+            w.hall->base().add_extension(noop_package("hall/ext" + std::to_string(i)));
+        }
+        w.add_node(0);
+        SimTime start = w.sim.now();
+        bool ok = w.run_until([&] {
+            return w.nodes[0]->receiver().installed_count() == static_cast<std::size_t>(k);
+        });
+        double total_ms = static_cast<double>((w.sim.now() - start).count()) / 1e6;
+        printf("%12d %13.1f ms %13.2f ms\n", k, ok ? total_ms : -1.0,
+               ok ? total_ms / k : -1.0);
+    }
+
+    printf("\n(c) install latency vs package size (1 node, 1 extension):\n");
+    printf("%14s %14s %16s\n", "script bytes", "wire bytes", "adapt latency");
+    for (std::size_t padding : {0u, 1'000u, 10'000u, 100'000u}) {
+        World w;
+        ExtensionPackage pkg = noop_package("hall/sized", padding);
+        std::size_t wire = pkg.wire_size();
+        w.hall->base().add_extension(pkg);
+        w.add_node(0);
+        SimTime start = w.sim.now();
+        bool ok =
+            w.run_until([&] { return w.nodes[0]->receiver().installed_count() == 1; });
+        printf("%14zu %14zu %13.1f ms\n", pkg.script.size(), wire,
+               ok ? static_cast<double>((w.sim.now() - start).count()) / 1e6 : -1.0);
+    }
+
+    printf("\nshape to check: (a) per-node cost stays roughly flat (the base\n"
+           "pipelines installs); (b) per-extension cost is roughly constant;\n"
+           "(c) latency grows with package size once serialization dominates\n"
+           "the fixed discovery+rpc cost.\n");
+    return 0;
+}

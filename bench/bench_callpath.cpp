@@ -1,0 +1,219 @@
+// E5 / Fig 2: the adapted remote call path, step by step.
+//
+// Reconstructs Fig 2c on the simulated radio: a client invokes m_R on the
+// robot; MIDAS has installed session management, access control and
+// quality control (state logging to the hall database). We report the
+// virtual-time stamp of every step of one adapted call:
+//
+//   1. client issues the remote call
+//   2. first interception: session information extracted
+//   3. second interception: access control decides
+//   4. state change intercepted and propagated to the hall database
+//   5. result returned to the caller
+//
+// plus the end-to-end comparison adapted vs unadapted, and the wall-clock
+// dispatch cost on the robot with and without the woven extensions.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "midas/node.h"
+
+namespace {
+
+using namespace pmp;
+using midas::BaseConfig;
+using midas::BaseStation;
+using midas::ExtensionPackage;
+using midas::MobileNode;
+using midas::PackageBinding;
+using rt::Dict;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+struct StepTrace {
+    SimTime issued, session, access, state_logged, returned;
+};
+
+struct World {
+    sim::Simulator sim;
+    net::Network net{sim, net::NetworkConfig{}, 1234};
+    std::unique_ptr<BaseStation> hall;
+    std::unique_ptr<MobileNode> robot;
+    std::unique_ptr<midas::NodeStack> client;
+    std::shared_ptr<rt::ServiceObject> service;
+    StepTrace trace;
+
+    World() {
+        BaseConfig bc;
+        bc.issuer = "hall";
+        hall = std::make_unique<BaseStation>(net, "hall", net::Position{0, 0}, 100.0, bc);
+        hall->keys().add_key("hall", to_bytes("k"));
+
+        robot = std::make_unique<MobileNode>(net, "robot:1:1", net::Position{10, 0}, 100.0);
+        robot->trust().trust("hall", to_bytes("k"));
+        robot->receiver().allow_capabilities("hall", {"net"});
+
+        robot->runtime().register_type(
+            rt::TypeInfo::Builder("RobotSvc")
+                .field("state", TypeKind::kInt, Value{std::int64_t{0}})
+                .method("work", TypeKind::kInt, {{"amount", TypeKind::kInt}},
+                        [](rt::ServiceObject& self, List& args) -> Value {
+                            std::int64_t next =
+                                self.peek("state").as_int() + args[0].as_int();
+                            self.set("state", Value{next});
+                            return Value{next};
+                        })
+                .build());
+        service = robot->runtime().create("RobotSvc", "m_R");
+        robot->rpc().export_object("m_R");
+
+        client = std::make_unique<midas::NodeStack>(net, "client", net::Position{5, 5},
+                                                    100.0);
+    }
+
+    void install_policy() {
+        ExtensionPackage session;
+        session.name = "hall/session";
+        session.script = "fun onEntry() { ctx.set_note(\"caller\", sys.caller()); }";
+        session.bindings = {{prose::AdviceKind::kBefore, "call(* RobotSvc.*(..))",
+                             "onEntry", -10}};
+        hall->base().add_extension(session);
+
+        ExtensionPackage access;
+        access.name = "hall/access";
+        access.script = R"(
+            fun onEntry() {
+                if (ctx.note("caller") == "") { ctx.deny("anonymous"); }
+            })";
+        access.bindings = {{prose::AdviceKind::kBefore, "call(* RobotSvc.*(..))",
+                            "onEntry", 0}};
+        access.implies = {"hall/session"};
+        hall->base().add_extension(access);
+
+        ExtensionPackage quality;
+        quality.name = "hall/quality";
+        quality.script = R"(
+            fun onSet() {
+                owner.post("collector", "post",
+                           [sys.node(), {"field": ctx.field(), "new": ctx.newval()}]);
+            })";
+        quality.bindings = {{prose::AdviceKind::kFieldSet, "fieldset(RobotSvc.state)",
+                             "onSet", 0}};
+        quality.capabilities = {"net"};
+        hall->base().add_extension(quality);
+    }
+
+    /// Step probes: native trace hooks around the installed policy.
+    void arm_probes() {
+        auto probe = std::make_shared<prose::Aspect>("probe");
+        probe->before(
+            "call(* RobotSvc.*(..))",
+            [this](rt::CallFrame&) { trace.session = sim.now(); },
+            /*priority=*/-5);  // after session (-10), before access (0)
+        probe->before(
+            "call(* RobotSvc.*(..))",
+            [this](rt::CallFrame&) { trace.access = sim.now(); },
+            /*priority=*/5);  // after access
+        probe->on_field_set("fieldset(RobotSvc.state)",
+                            [this](rt::ServiceObject&, const rt::FieldDecl&, const Value&,
+                                   Value&) { trace.state_logged = sim.now(); },
+                            /*priority=*/5);
+        robot->weaver().weave(probe);
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(20)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(50));
+        }
+        return pred();
+    }
+
+    /// One remote call, returning end-to-end virtual latency.
+    Duration remote_call() {
+        trace = StepTrace{};
+        trace.issued = sim.now();
+        Value r = client->rpc().call_sync(robot->id(), "m_R", "work", {Value{1}});
+        benchmark::DoNotOptimize(r);
+        trace.returned = sim.now();
+        return trace.returned - trace.issued;
+    }
+};
+
+double ms(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+
+}  // namespace
+
+int main() {
+    printf("=== E5 / Fig 2: adapted remote call path ===\n\n");
+
+    // Unadapted baseline.
+    World plain;
+    plain.sim.run_for(seconds(1));
+    Duration unadapted{0};
+    for (int i = 0; i < 10; ++i) unadapted += plain.remote_call();
+    unadapted /= 10;
+
+    // Adapted world.
+    World adapted;
+    adapted.install_policy();
+    if (!adapted.run_until(
+            [&] { return adapted.robot->receiver().installed_count() == 3; })) {
+        printf("FATAL: adaptation did not complete\n");
+        return 1;
+    }
+    adapted.arm_probes();
+
+    Duration adapted_latency{0};
+    for (int i = 0; i < 10; ++i) adapted_latency += adapted.remote_call();
+    adapted_latency /= 10;
+
+    // One traced call for the step table.
+    adapted.remote_call();
+    const StepTrace& t = adapted.trace;
+    adapted.run_until([&] { return adapted.hall->store().size() > 0; });
+
+    printf("step table for one adapted call (virtual time from issue):\n");
+    printf("  1. call issued                 %8.3f ms\n", 0.0);
+    printf("  2. session info extracted      %8.3f ms\n", ms(t.session - t.issued));
+    printf("  3. access control decided      %8.3f ms\n", ms(t.access - t.issued));
+    printf("  4. state change intercepted    %8.3f ms\n", ms(t.state_logged - t.issued));
+    printf("  5. result returned to caller   %8.3f ms\n", ms(t.returned - t.issued));
+    printf("  (async) change in hall DB: %zu record(s) stored\n\n",
+           adapted.hall->store().size());
+
+    printf("end-to-end remote call latency (virtual, mean of 10):\n");
+    printf("  unadapted m_R:  %8.3f ms\n", ms(unadapted));
+    printf("  adapted m_R:    %8.3f ms   (+%.1f%%)\n", ms(adapted_latency),
+           (ms(adapted_latency) / ms(unadapted) - 1.0) * 100.0);
+    printf("\nshape to check: steps 2-4 add only dispatch-local work; the radio\n"
+           "round-trip dominates end-to-end latency, so adaptation is nearly free\n"
+           "at call granularity (paper: interception cost << functionality cost).\n");
+
+    // Wall-clock dispatch cost on the robot, adapted vs not.
+    auto measure_dispatch = [](World& w, const char* label) {
+        constexpr int kCalls = 200'000;
+        w.robot->rpc();  // touch
+        auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kCalls; ++i) {
+            try {
+                w.service->call("work", {Value{1}});
+            } catch (const Error&) {
+                // access control denies anonymous local calls in the
+                // adapted world; the cost of deciding is what we measure.
+            }
+        }
+        auto stop = std::chrono::steady_clock::now();
+        double ns_per =
+            std::chrono::duration<double, std::nano>(stop - start).count() / kCalls;
+        printf("  %-22s %8.1f ns/call (wall clock, %d calls)\n", label, ns_per, kCalls);
+    };
+    printf("\nrobot-side dispatch cost:\n");
+    measure_dispatch(plain, "unadapted dispatch:");
+    measure_dispatch(adapted, "adapted dispatch:");
+    return 0;
+}

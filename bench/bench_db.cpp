@@ -1,0 +1,103 @@
+// E8 / Fig 6: the hall database behind the monitoring tool.
+//
+// Measures the store operations the Fig 6 applications lean on: appending
+// intercepted actions, querying a robot's action list, filtering by time
+// range, listing sources, and replay-cursor iteration.
+#include <benchmark/benchmark.h>
+
+#include "db/store.h"
+
+namespace {
+
+using namespace pmp;
+using rt::Dict;
+using rt::Value;
+
+Value motor_action(int i) {
+    return Value{Dict{{"device", Value{"motor:x"}},
+                      {"action", Value{"rotate"}},
+                      {"degrees", Value{static_cast<double>(i % 360)}}}};
+}
+
+db::EventStore populated(int records, int robots) {
+    db::EventStore store;
+    for (int i = 0; i < records; ++i) {
+        store.append("robot:" + std::to_string(i % robots), SimTime{i * 1'000'000},
+                     motor_action(i));
+    }
+    return store;
+}
+
+void BM_Append(benchmark::State& state) {
+    db::EventStore store;
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store.append("robot:1:1", SimTime{++i * 1'000'000}, motor_action(i)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Append);
+
+void BM_QueryBySource(benchmark::State& state) {
+    auto store = populated(static_cast<int>(state.range(0)), 8);
+    db::Query q;
+    q.source = "robot:3";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.query(q));
+    }
+    state.counters["records"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_QueryBySource)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_QueryTimeRange(benchmark::State& state) {
+    auto store = populated(static_cast<int>(state.range(0)), 8);
+    db::Query q;
+    q.from = SimTime{state.range(0) * 250'000};
+    q.until = SimTime{state.range(0) * 750'000};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.query(q));
+    }
+}
+BENCHMARK(BM_QueryTimeRange)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_QueryWithLimit(benchmark::State& state) {
+    auto store = populated(100'000, 8);
+    db::Query q;
+    q.source = "robot:1";
+    q.limit = 20;  // the Fig 6 list panel shows a page at a time
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.query(q));
+    }
+}
+BENCHMARK(BM_QueryWithLimit);
+
+void BM_Sources(benchmark::State& state) {
+    auto store = populated(static_cast<int>(state.range(0)), 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.sources());
+    }
+}
+BENCHMARK(BM_Sources)->Arg(1'000)->Arg(100'000);
+
+void BM_ReplayCursor(benchmark::State& state) {
+    auto store = populated(static_cast<int>(state.range(0)), 4);
+    db::Query q;
+    q.source = "robot:1";
+    auto records = store.query(q);
+    for (auto _ : state) {
+        db::ReplayCursor cursor(records);
+        std::int64_t acc = 0;
+        while (!cursor.done()) {
+            acc += cursor.gap_before_next().count();
+            cursor.next();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ReplayCursor)->Arg(4'000)->Arg(40'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,203 @@
+// E4 (paper §4.6): interception cost vs the cost of real extensions.
+//
+// "We measured the overhead of extensions implementing security,
+// transactions and orthogonal persistence. In all cases the cost of the
+// interceptions was much less than the cost of executing the additional
+// functionality, indicating that the platform overhead is negligible."
+//
+// We weave three realistic extensions over a small account service and
+// compare, per call: bare dispatch, interception-only (do-nothing advice),
+// and the full extension body.
+//
+//   security    — session note + allow-list check (the Fig 2 shape)
+//   transaction — around advice: snapshot state, commit/rollback on error
+//   persistence — after advice: append the state change to an event store
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "core/script_aspect.h"
+#include "core/weaver.h"
+#include "db/store.h"
+
+namespace {
+
+using namespace pmp;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+struct Fixture {
+    rt::Runtime runtime{"bench"};
+    std::unique_ptr<prose::Weaver> weaver;
+    std::shared_ptr<rt::ServiceObject> account;
+    rt::Method* deposit = nullptr;
+    db::EventStore store;
+
+    Fixture() {
+        weaver = std::make_unique<prose::Weaver>(runtime);
+        runtime.register_type(
+            rt::TypeInfo::Builder("Account")
+                .field("balance", TypeKind::kInt, Value{std::int64_t{0}})
+                .method("deposit", TypeKind::kInt, {{"amount", TypeKind::kInt}},
+                        [](rt::ServiceObject& self, List& args) -> Value {
+                            std::int64_t next =
+                                self.peek("balance").as_int() + args[0].as_int();
+                            self.poke("balance", Value{next});
+                            return Value{next};
+                        })
+                .build());
+        account = runtime.create("Account", "account");
+        deposit = account->type().method("deposit");
+    }
+};
+
+void BM_BareDispatch(benchmark::State& state) {
+    Fixture f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.deposit->invoke(*f.account, {Value{1}}));
+    }
+}
+BENCHMARK(BM_BareDispatch);
+
+void BM_InterceptionOnly(benchmark::State& state) {
+    Fixture f;
+    auto aspect = std::make_shared<prose::Aspect>("noop");
+    aspect->before("call(* Account.*(..))", [](rt::CallFrame&) {});
+    f.weaver->weave(aspect);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.deposit->invoke(*f.account, {Value{1}}));
+    }
+}
+BENCHMARK(BM_InterceptionOnly);
+
+void BM_SecurityExtension(benchmark::State& state) {
+    Fixture f;
+    // Session + access control, as MIDAS installs them (script advice).
+    auto session = std::make_shared<prose::ScriptAspect>(
+        "session", "fun onEntry() { ctx.set_note(\"caller\", \"alice\"); }",
+        std::vector<prose::ScriptBinding>{
+            {prose::AdviceKind::kBefore, "call(* Account.*(..))", "onEntry", -10}},
+        script::Sandbox{}, script::BuiltinRegistry::with_core());
+    auto access = std::make_shared<prose::ScriptAspect>(
+        "access",
+        R"(fun onEntry() {
+               if (!contains(config.allowed, ctx.note("caller"))) {
+                   ctx.deny("unauthorized");
+               }
+           })",
+        std::vector<prose::ScriptBinding>{
+            {prose::AdviceKind::kBefore, "call(* Account.*(..))", "onEntry", 0}},
+        script::Sandbox{}, script::BuiltinRegistry::with_core(),
+        Value{rt::Dict{{"allowed", Value{List{Value{"alice"}, Value{"bob"}}}}}});
+    f.weaver->weave(session->aspect());
+    f.weaver->weave(access->aspect());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.deposit->invoke(*f.account, {Value{1}}));
+    }
+}
+BENCHMARK(BM_SecurityExtension);
+
+void BM_TransactionExtension(benchmark::State& state) {
+    Fixture f;
+    // Around advice: snapshot the balance, roll back on failure. Native
+    // advice here — transactions are infrastructure the host provides.
+    auto aspect = std::make_shared<prose::Aspect>("txn");
+    aspect->around("call(* Account.*(..))",
+                   [](rt::CallFrame& frame, const std::function<Value()>& proceed) -> Value {
+                       Value snapshot = frame.self.peek("balance");
+                       try {
+                           return proceed();
+                       } catch (...) {
+                           frame.self.poke("balance", snapshot);
+                           throw;
+                       }
+                   });
+    f.weaver->weave(aspect);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.deposit->invoke(*f.account, {Value{1}}));
+    }
+}
+BENCHMARK(BM_TransactionExtension);
+
+void BM_PersistenceExtension(benchmark::State& state) {
+    Fixture f;
+    // Orthogonal persistence: every completed call appends the resulting
+    // state to the store (the local half of the paper's logging extension;
+    // the radio hop is measured in E6).
+    auto aspect = std::make_shared<prose::Aspect>("persist");
+    db::EventStore* store = &f.store;
+    std::int64_t tick = 0;
+    aspect->after("call(* Account.*(..))", [store, &tick](rt::CallFrame& frame) {
+        store->append(frame.self.name(), SimTime{++tick},
+                      Value{rt::Dict{{"method", Value{frame.method.decl().name}},
+                                     {"result", frame.result}}});
+    });
+    f.weaver->weave(aspect);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.deposit->invoke(*f.account, {Value{1}}));
+    }
+}
+BENCHMARK(BM_PersistenceExtension);
+
+class PaperReport : public benchmark::BenchmarkReporter {
+public:
+    bool ReportContext(const Context&) override { return true; }
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const auto& run : runs) times_[run.benchmark_name()] = run.GetAdjustedRealTime();
+    }
+    void Finalize() override {
+        double bare = times_["BM_BareDispatch"];
+        double hook = times_["BM_InterceptionOnly"];
+        double interception = hook - bare;
+        printf("\n=== E4: interception vs extension body "
+               "(paper: body cost >> interception cost) ===\n");
+        printf("%-24s %10.1f ns\n", "bare dispatch:", bare);
+        printf("%-24s %10.1f ns  (interception alone: %.1f ns)\n",
+               "interception only:", hook, interception);
+        auto row = [&](const char* label, const char* key) {
+            double total = times_[key];
+            double body = total - hook;
+            printf("%-24s %10.1f ns  body %.1f ns  body/interception %.1fx\n", label, total,
+                   body, interception > 0 ? body / interception : 0.0);
+        };
+        row("security extension:", "BM_SecurityExtension");
+        row("transaction extension:", "BM_TransactionExtension");
+        row("persistence extension:", "BM_PersistenceExtension");
+    }
+
+private:
+    std::map<std::string, double> times_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::ConsoleReporter console;
+    PaperReport paper;
+    class Tee : public benchmark::BenchmarkReporter {
+    public:
+        Tee(benchmark::BenchmarkReporter& a, benchmark::BenchmarkReporter& b)
+            : a_(a), b_(b) {}
+        bool ReportContext(const Context& ctx) override {
+            return a_.ReportContext(ctx) && b_.ReportContext(ctx);
+        }
+        void ReportRuns(const std::vector<Run>& runs) override {
+            a_.ReportRuns(runs);
+            b_.ReportRuns(runs);
+        }
+        void Finalize() override {
+            a_.Finalize();
+            b_.Finalize();
+        }
+
+    private:
+        benchmark::BenchmarkReporter& a_;
+        benchmark::BenchmarkReporter& b_;
+    } tee(console, paper);
+    benchmark::RunSpecifiedBenchmarks(&tee);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,210 @@
+// E2 (paper §4.6): per-call interception cost.
+//
+// Paper numbers (Pentium II, 500 MHz): a void non-intercepted interface
+// call costs ~700 ns; an intercepted method entry with a do-nothing
+// extension costs ~900 ns — a small constant per interception — and methods
+// not affected by interceptions are not slowed at all.
+//
+// We measure the same ladder on our dispatch path:
+//   native          — plain C++ virtual call (floor, for context)
+//   unhooked        — metaobject dispatch as if PROSE were absent
+//   hooked_unwoven  — dispatch with the minimal hook, nothing woven
+//                     ("methods not affected are not slowed")
+//   woven_noop      — do-nothing native before-advice (the 900 ns analog)
+//   woven_script    — do-nothing *script* before-advice (shipped-code cost)
+//   woven_around    — do-nothing around advice (proceed() chain)
+#include <benchmark/benchmark.h>
+
+#include "core/script_aspect.h"
+#include "core/weaver.h"
+
+namespace {
+
+using namespace pmp;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+/// The native-call floor: what a C++ interface call costs.
+struct Iface {
+    virtual ~Iface() = default;
+    virtual std::int64_t poke(std::int64_t x) = 0;
+};
+struct Impl final : Iface {
+    std::int64_t acc = 0;
+    std::int64_t poke(std::int64_t x) override {
+        acc += x;
+        return acc;
+    }
+};
+
+struct Fixture {
+    rt::Runtime runtime{"bench"};
+    std::unique_ptr<prose::Weaver> weaver;
+    std::shared_ptr<rt::ServiceObject> obj;
+    rt::Method* method = nullptr;
+
+    Fixture() {
+        weaver = std::make_unique<prose::Weaver>(runtime);
+        runtime.register_type(
+            rt::TypeInfo::Builder("Target")
+                .method("poke", TypeKind::kInt, {{"x", TypeKind::kInt}},
+                        [](rt::ServiceObject&, List& args) -> Value {
+                            benchmark::DoNotOptimize(args[0]);
+                            return args[0];
+                        })
+                .build());
+        obj = runtime.create("Target", "target");
+        method = obj->type().method("poke");
+    }
+};
+
+void BM_NativeInterfaceCall(benchmark::State& state) {
+    Impl impl;
+    Iface* iface = &impl;
+    benchmark::DoNotOptimize(iface);
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(iface->poke(++i));
+    }
+}
+BENCHMARK(BM_NativeInterfaceCall);
+
+void BM_DispatchUnhooked(benchmark::State& state) {
+    Fixture f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke_unhooked(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_DispatchUnhooked);
+
+void BM_DispatchHookedUnwoven(benchmark::State& state) {
+    Fixture f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_DispatchHookedUnwoven);
+
+void BM_DispatchDebuggerStyle(benchmark::State& state) {
+    // PROSE v1 (JVMDI-based) ablation: every call enters the interception
+    // machinery even with nothing woven.
+    Fixture f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke_debugger_style(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_DispatchDebuggerStyle);
+
+void BM_DispatchWovenNoopBefore(benchmark::State& state) {
+    Fixture f;
+    auto aspect = std::make_shared<prose::Aspect>("noop");
+    aspect->before("call(* Target.poke(..))", [](rt::CallFrame&) {});
+    f.weaver->weave(aspect);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_DispatchWovenNoopBefore);
+
+void BM_DispatchWovenScriptBefore(benchmark::State& state) {
+    Fixture f;
+    auto sa = std::make_shared<prose::ScriptAspect>(
+        "noop-script", "fun onEntry() { }",
+        std::vector<prose::ScriptBinding>{
+            {prose::AdviceKind::kBefore, "call(* Target.poke(..))", "onEntry", 0}},
+        script::Sandbox{}, script::BuiltinRegistry::with_core());
+    f.weaver->weave(sa->aspect());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_DispatchWovenScriptBefore);
+
+void BM_DispatchWovenNoopAround(benchmark::State& state) {
+    Fixture f;
+    auto aspect = std::make_shared<prose::Aspect>("around");
+    aspect->around("call(* Target.poke(..))",
+                   [](rt::CallFrame&, const std::function<Value()>& proceed) -> Value {
+                       return proceed();
+                   });
+    f.weaver->weave(aspect);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_DispatchWovenNoopAround);
+
+/// Print the paper-style comparison rows after the raw benchmark output.
+class PaperReport : public benchmark::BenchmarkReporter {
+public:
+    bool ReportContext(const Context&) override { return true; }
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const auto& run : runs) {
+            times_[run.benchmark_name()] = run.GetAdjustedRealTime();
+        }
+    }
+    void Finalize() override {
+        auto t = [&](const char* name) -> double {
+            auto it = times_.find(name);
+            return it == times_.end() ? 0.0 : it->second;
+        };
+        double plain = t("BM_DispatchHookedUnwoven");
+        double woven = t("BM_DispatchWovenNoopBefore");
+        printf("\n=== E2: interception cost (paper: 700 ns plain vs ~900 ns intercepted, "
+               "ratio ~1.29) ===\n");
+        printf("%-34s %10.1f ns\n", "non-intercepted call (paper 700ns):", plain);
+        printf("%-34s %10.1f ns\n", "do-nothing interception (paper 900ns):", woven);
+        printf("%-34s %10.1f ns\n", "per-interception overhead (paper ~200ns):",
+               woven - plain);
+        printf("%-34s %10.2fx\n", "ratio (paper ~1.29x):", plain > 0 ? woven / plain : 0);
+        printf("%-34s %10.1f ns (vs unhooked %.1f ns)\n",
+               "dormant minimal hook cost:",
+               t("BM_DispatchHookedUnwoven") - t("BM_DispatchUnhooked"),
+               t("BM_DispatchUnhooked"));
+        printf("%-34s %10.1f ns\n", "script advice interception:",
+               t("BM_DispatchWovenScriptBefore"));
+        printf("%-34s %10.1f ns\n", "around advice interception:",
+               t("BM_DispatchWovenNoopAround"));
+        printf("%-34s %10.1f ns (vs %.1f ns with minimal hooks — the PROSE\n"
+               "%-34s             v1(JVMDI) vs v2(JIT) gap [PAG03])\n",
+               "debugger-style dormant dispatch:", t("BM_DispatchDebuggerStyle"), plain,
+               "");
+    }
+
+private:
+    std::map<std::string, double> times_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::ConsoleReporter console;
+    PaperReport paper;
+    // Run everything through the console reporter first, then re-run the
+    // collected numbers through the paper-style summary.
+    class Tee : public benchmark::BenchmarkReporter {
+    public:
+        Tee(benchmark::BenchmarkReporter& a, benchmark::BenchmarkReporter& b)
+            : a_(a), b_(b) {}
+        bool ReportContext(const Context& ctx) override {
+            return a_.ReportContext(ctx) && b_.ReportContext(ctx);
+        }
+        void ReportRuns(const std::vector<Run>& runs) override {
+            a_.ReportRuns(runs);
+            b_.ReportRuns(runs);
+        }
+        void Finalize() override {
+            a_.Finalize();
+            b_.Finalize();
+        }
+
+    private:
+        benchmark::BenchmarkReporter& a_;
+        benchmark::BenchmarkReporter& b_;
+    } tee(console, paper);
+    benchmark::RunSpecifiedBenchmarks(&tee);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,197 @@
+// E6 / Fig 3b + Fig 5: the hardware-monitoring and logging extension.
+//
+// Every Motor.* invocation on the plotter is intercepted, logged with its
+// timestamp and robot identity, and sent asynchronously to the base
+// station's database. We compare three configurations while the plotter
+// draws a fixed workload:
+//
+//   unmonitored     — no extension
+//   per-action post — the Fig 5 extension: one radio message per action
+//   batched post    — a local buffer flushed every k actions ("data is
+//                     first locally stored and then asynchronously sent")
+//
+// reporting records stored, radio messages, bytes on air, and virtual
+// drawing time.
+#include <cstdio>
+#include <cstring>
+
+#include "midas/node.h"
+#include "robot/plotter.h"
+
+namespace {
+
+using namespace pmp;
+using midas::BaseConfig;
+using midas::BaseStation;
+using midas::ExtensionPackage;
+using midas::MobileNode;
+using rt::Value;
+
+constexpr const char* kPerActionScript = R"(
+    fun onEntry() {
+        owner.post("collector", "post",
+                   [sys.node(), {"device": ctx.target(), "action": ctx.method(),
+                                 "at_ms": sys.now_ms()}]);
+    }
+)";
+
+constexpr const char* kBatchedScript = R"(
+    let buffer = [];
+    fun onEntry() {
+        buffer[len(buffer)] = {"device": ctx.target(), "action": ctx.method(),
+                               "at_ms": sys.now_ms()};
+        if (len(buffer) >= config.batch) { flush(); }
+    }
+    fun flush() {
+        if (len(buffer) > 0) {
+            owner.post("collector", "post_batch", [sys.node(), buffer]);
+            buffer = [];
+        }
+    }
+    fun onShutdown(reason) { flush(); }   // consistent state before leaving
+)";
+
+struct Scenario {
+    sim::Simulator sim;
+    net::Network net{sim, net::NetworkConfig{}, 99};
+    std::unique_ptr<BaseStation> hall;
+    std::unique_ptr<MobileNode> robot_node;
+    std::unique_ptr<robot::RobotController> controller;
+    std::unique_ptr<robot::Plotter> plotter;
+
+    Scenario() {
+        BaseConfig bc;
+        bc.issuer = "hall";
+        hall = std::make_unique<BaseStation>(net, "hall", net::Position{0, 0}, 100.0, bc);
+        hall->keys().add_key("hall", to_bytes("k"));
+
+        // Batch posts land via a dedicated sink service (the collector's
+        // post() takes single entries; batches get their own endpoint).
+        auto& store = hall->store();
+        auto* sim_ptr = &sim;
+        auto batch_type =
+            rt::TypeInfo::Builder("BatchSink")
+                .method("post_batch", rt::TypeKind::kInt,
+                        {{"source", rt::TypeKind::kStr},
+                         {"entries", rt::TypeKind::kList}},
+                        [&store, sim_ptr](rt::ServiceObject&, rt::List& args) -> Value {
+                            for (const Value& entry : args[1].as_list()) {
+                                store.append(args[0].as_str(), sim_ptr->now(), entry);
+                            }
+                            return Value{
+                                static_cast<std::int64_t>(args[1].as_list().size())};
+                        })
+                .build();
+        hall->runtime().register_type(batch_type);
+        hall->runtime().create("BatchSink", "batchsink");
+        hall->rpc().export_object("batchsink");
+
+        robot_node =
+            std::make_unique<MobileNode>(net, "robot:1:1", net::Position{10, 0}, 100.0);
+        robot_node->trust().trust("hall", to_bytes("k"));
+        robot_node->receiver().allow_capabilities("hall", {"net"});
+
+        controller = std::make_unique<robot::RobotController>(sim, robot_node->runtime(),
+                                                              "robot:1:1");
+        plotter = std::make_unique<robot::Plotter>(*controller);
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(20)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(50));
+        }
+        return pred();
+    }
+
+    /// Draw a zig-zag of `strokes` segments; returns virtual time taken.
+    Duration draw(int strokes) {
+        SimTime start = sim.now();
+        auto drawing = plotter->drawing();
+        drawing->call("move_to", {Value{0.0}, Value{0.0}});
+        for (int i = 1; i <= strokes; ++i) {
+            double x = static_cast<double>(i);
+            double y = (i % 2) ? 1.0 : 0.0;
+            drawing->call("line_to", {Value{x}, Value{y}});
+        }
+        drawing->call("pen_up", {});
+        sim.run_for(seconds(5));  // drain async posts
+        return sim.now() - start;
+    }
+};
+
+void report(const char* label, Scenario& s, Duration took) {
+    printf("%-18s %8zu records %10llu msgs %12llu bytes %10.2f s virtual\n", label,
+           s.hall->store().size(),
+           static_cast<unsigned long long>(s.net.stats().delivered),
+           static_cast<unsigned long long>(s.net.stats().bytes_delivered),
+           static_cast<double>(took.count()) / 1e9);
+}
+
+}  // namespace
+
+int main() {
+    constexpr int kStrokes = 100;
+    printf("=== E6 / Fig 3b: hardware monitoring extension "
+           "(%d plotter strokes; ~3 motor actions each) ===\n\n",
+           kStrokes);
+
+    {
+        Scenario s;
+        s.sim.run_for(seconds(3));
+        s.net.reset_stats();
+        Duration took = s.draw(kStrokes);
+        report("unmonitored", s, took);
+    }
+    {
+        Scenario s;
+        ExtensionPackage pkg;
+        pkg.name = "hall/monitoring";
+        pkg.script = kPerActionScript;
+        pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+        pkg.capabilities = {"net"};
+        s.hall->base().add_extension(pkg);
+        if (!s.run_until([&] { return s.robot_node->receiver().installed_count() == 1; })) {
+            printf("FATAL: monitoring extension failed to install\n");
+            return 1;
+        }
+        s.net.reset_stats();
+        Duration took = s.draw(kStrokes);
+        report("per-action post", s, took);
+    }
+    for (int batch : {10, 50}) {
+        Scenario s;
+        ExtensionPackage pkg;
+        pkg.name = "hall/monitoring";
+        pkg.script = kBatchedScript;
+        pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+        pkg.capabilities = {"net"};
+        pkg.config = Value{rt::Dict{{"batch", Value{batch}}}};
+        // Batched variant posts to the batch sink.
+        pkg.script = std::string(kBatchedScript);
+        // Replace collector target: post_batch lives on "batchsink".
+        auto pos = pkg.script.find("\"collector\", \"post_batch\"");
+        if (pos != std::string::npos) {
+            pkg.script.replace(pos, strlen("\"collector\", \"post_batch\""),
+                               "\"batchsink\", \"post_batch\"");
+        }
+        s.hall->base().add_extension(pkg);
+        if (!s.run_until([&] { return s.robot_node->receiver().installed_count() == 1; })) {
+            printf("FATAL: batched extension failed to install\n");
+            return 1;
+        }
+        s.net.reset_stats();
+        Duration took = s.draw(kStrokes);
+        char label[32];
+        snprintf(label, sizeof(label), "batched post(%d)", batch);
+        report(label, s, took);
+    }
+
+    printf("\nshape to check: monitoring multiplies radio messages by ~1 per motor\n"
+           "action; batching collapses messages (and bytes) by ~the batch factor\n"
+           "without losing records; virtual drawing time is unchanged because the\n"
+           "posts are asynchronous (paper: 'first locally stored and then\n"
+           "asynchronously sent').\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+// E11 (paper §3.2, security): cost of the trust layer.
+//
+// "The verification of the originator of an extension is done before
+// insertion of the extension in PROSE." We measure signing and verifying
+// extension packages as a function of package size, plus the raw SHA-256 /
+// HMAC building blocks and the negative paths (tampered package, untrusted
+// issuer) that must stay cheap under attack.
+#include <benchmark/benchmark.h>
+
+#include "crypto/sha256.h"
+#include "midas/package.h"
+
+namespace {
+
+using namespace pmp;
+using midas::ExtensionPackage;
+
+ExtensionPackage sized_package(std::size_t script_bytes) {
+    ExtensionPackage pkg;
+    pkg.name = "bench/sized";
+    pkg.script = "fun onEntry() { }\n" + std::string(script_bytes, ' ');
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    pkg.capabilities = {"net"};
+    return pkg;
+}
+
+crypto::KeyStore keys() {
+    crypto::KeyStore ks;
+    ks.add_key("hall", to_bytes("hall-signing-key"));
+    return ks;
+}
+
+crypto::TrustStore trust() {
+    crypto::TrustStore ts;
+    ts.trust("hall", to_bytes("hall-signing-key"));
+    return ts;
+}
+
+void BM_Sha256(benchmark::State& state) {
+    Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::hash(std::span<const std::uint8_t>(data)));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+    Bytes key = to_bytes("hall-signing-key");
+    Bytes data(static_cast<std::size_t>(state.range(0)), 0xCD);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(std::span<const std::uint8_t>(key),
+                                                     std::span<const std::uint8_t>(data)));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSign)->Arg(1024)->Arg(65536);
+
+void BM_PackageSeal(benchmark::State& state) {
+    auto ks = keys();
+    ExtensionPackage pkg = sized_package(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pkg.seal(ks, "hall"));
+    }
+    state.counters["wire_bytes"] = static_cast<double>(pkg.wire_size());
+}
+BENCHMARK(BM_PackageSeal)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_PackageOpenAndVerify(benchmark::State& state) {
+    auto ks = keys();
+    auto ts = trust();
+    Bytes sealed = sized_package(static_cast<std::size_t>(state.range(0))).seal(ks, "hall");
+    for (auto _ : state) {
+        auto [pkg, sig] = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
+        Bytes payload = pkg.signed_payload();
+        ts.verify(std::span<const std::uint8_t>(payload), sig);
+        benchmark::DoNotOptimize(pkg);
+    }
+    state.counters["wire_bytes"] = static_cast<double>(sealed.size());
+}
+BENCHMARK(BM_PackageOpenAndVerify)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_RejectTampered(benchmark::State& state) {
+    auto ks = keys();
+    auto ts = trust();
+    Bytes sealed = sized_package(10'000).seal(ks, "hall");
+    sealed[sealed.size() / 2] ^= 0x01;
+    for (auto _ : state) {
+        bool rejected = false;
+        try {
+            auto [pkg, sig] = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
+            Bytes payload = pkg.signed_payload();
+            ts.verify(std::span<const std::uint8_t>(payload), sig);
+        } catch (const Error&) {
+            rejected = true;
+        }
+        benchmark::DoNotOptimize(rejected);
+    }
+}
+BENCHMARK(BM_RejectTampered);
+
+void BM_RejectUntrustedIssuer(benchmark::State& state) {
+    crypto::KeyStore mallory;
+    mallory.add_key("mallory", to_bytes("mk"));
+    auto ts = trust();  // trusts only "hall"
+    Bytes sealed = sized_package(10'000).seal(mallory, "mallory");
+    for (auto _ : state) {
+        bool rejected = false;
+        try {
+            auto [pkg, sig] = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
+            Bytes payload = pkg.signed_payload();
+            ts.verify(std::span<const std::uint8_t>(payload), sig);
+        } catch (const TrustError&) {
+            rejected = true;
+        }
+        benchmark::DoNotOptimize(rejected);
+    }
+}
+BENCHMARK(BM_RejectUntrustedIssuer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// E1 / Fig 1: the run-time adaptation process itself.
+//
+// Measures what PROSE's weaver does when an extension arrives or leaves:
+// resolving pointcuts against every registered class, arming the minimal
+// hooks, and restoring baseline dispatch on withdrawal — as a function of
+// how many join points the runtime exposes.
+#include <benchmark/benchmark.h>
+
+#include "core/script_aspect.h"
+#include "core/weaver.h"
+
+namespace {
+
+using namespace pmp;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+/// Build a runtime with `types` classes of `methods` methods each.
+std::unique_ptr<rt::Runtime> make_runtime(int types, int methods) {
+    auto runtime = std::make_unique<rt::Runtime>("bench");
+    for (int t = 0; t < types; ++t) {
+        rt::TypeInfo::Builder builder("Class" + std::to_string(t));
+        for (int m = 0; m < methods; ++m) {
+            builder.method("method" + std::to_string(m), TypeKind::kInt,
+                           {{"x", TypeKind::kInt}},
+                           [](rt::ServiceObject&, List& args) -> Value { return args[0]; });
+        }
+        builder.field("state", TypeKind::kInt, Value{std::int64_t{0}});
+        runtime->register_type(builder.build());
+    }
+    return runtime;
+}
+
+std::shared_ptr<prose::Aspect> wildcard_aspect() {
+    auto aspect = std::make_shared<prose::Aspect>("wild");
+    aspect->before("call(* Class*.*(..))", [](rt::CallFrame&) {});
+    return aspect;
+}
+
+/// Weave + withdraw across a runtime with state.range(0) classes x
+/// state.range(1) methods (join points = product).
+void BM_WeaveWithdraw(benchmark::State& state) {
+    auto runtime = make_runtime(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)));
+    prose::Weaver weaver(*runtime);
+    auto aspect = wildcard_aspect();
+    for (auto _ : state) {
+        AspectId id = weaver.weave(aspect);
+        benchmark::DoNotOptimize(id);
+        weaver.withdraw(id);
+    }
+    state.counters["join_points"] =
+        static_cast<double>(state.range(0) * state.range(1));
+}
+BENCHMARK(BM_WeaveWithdraw)
+    ->Args({1, 10})
+    ->Args({10, 10})
+    ->Args({50, 10})
+    ->Args({10, 100})
+    ->Args({100, 100});
+
+/// A narrow pointcut must not pay for unrelated classes beyond the match
+/// test: weaving cost is dominated by candidate enumeration.
+void BM_WeaveNarrowPointcut(benchmark::State& state) {
+    auto runtime = make_runtime(static_cast<int>(state.range(0)), 10);
+    prose::Weaver weaver(*runtime);
+    auto aspect = std::make_shared<prose::Aspect>("narrow");
+    aspect->before("call(* Class0.method0(..))", [](rt::CallFrame&) {});
+    for (auto _ : state) {
+        AspectId id = weaver.weave(aspect);
+        weaver.withdraw(id);
+    }
+}
+BENCHMARK(BM_WeaveNarrowPointcut)->Arg(1)->Arg(10)->Arg(100);
+
+/// Script extension arrival: parse + compile + top-level + weave — the full
+/// install path minus networking/crypto (those are E10/E11).
+void BM_ScriptExtensionCompileAndWeave(benchmark::State& state) {
+    auto runtime = make_runtime(10, 10);
+    prose::Weaver weaver(*runtime);
+    const std::string source = R"(
+        let count = 0;
+        fun onEntry() { count = count + 1; }
+        fun onShutdown(reason) { }
+    )";
+    for (auto _ : state) {
+        prose::ScriptAspect sa("ext", source,
+                               {{prose::AdviceKind::kBefore, "call(* Class*.*(..))",
+                                 "onEntry", 0}},
+                               script::Sandbox{}, script::BuiltinRegistry::with_core());
+        AspectId id = weaver.weave(sa.aspect());
+        weaver.withdraw(id);
+    }
+}
+BENCHMARK(BM_ScriptExtensionCompileAndWeave);
+
+/// Pointcut matching alone (the per-candidate cost inside weaving).
+void BM_PointcutMatch(benchmark::State& state) {
+    prose::Pointcut pc = prose::Pointcut::parse("call(void *.send*(blob, ..))");
+    rt::MethodDecl hit{"sendPacket", TypeKind::kVoid,
+                       {{"data", TypeKind::kBlob}, {"len", TypeKind::kInt}}, false};
+    rt::MethodDecl miss{"receive", TypeKind::kInt, {{"timeout", TypeKind::kInt}}, false};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pc.matches_method("Radio", hit));
+        benchmark::DoNotOptimize(pc.matches_method("Radio", miss));
+    }
+}
+BENCHMARK(BM_PointcutMatch);
+
+/// Pointcut parsing (done once per extension arrival).
+void BM_PointcutParse(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prose::Pointcut::parse(
+            "call(void *.send*(blob, ..)) && within(Radio*) || fieldset(Motor.pos*)"));
+    }
+}
+BENCHMARK(BM_PointcutParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Symmetric / ad-hoc mode (paper §2.1, §3.2): "if a mobile device is
+// capable of receiving extensions, it should also be able to provide
+// extensions to other nodes."
+//
+// Three PDAs meet spontaneously. Each one is simultaneously extension base
+// and extension receiver: on contact, each shares its own extension with
+// the others — a tiny information-system infrastructure built with no base
+// station at all. When one peer wanders off, everything it provided
+// evaporates from the others, and everything it received evaporates from it.
+#include <cstdio>
+
+#include "midas/node.h"
+
+using namespace pmp;
+using midas::BaseConfig;
+using midas::ExtensionPackage;
+using midas::Peer;
+using rt::Dict;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+namespace {
+
+/// Every PDA runs a little note-keeping service other peers can call.
+void add_notes_service(Peer& peer) {
+    peer.runtime().register_type(
+        rt::TypeInfo::Builder("Notes")
+            .field("count", TypeKind::kInt, Value{std::int64_t{0}})
+            .method("add", TypeKind::kInt, {{"text", TypeKind::kStr}},
+                    [](rt::ServiceObject& self, List& args) -> Value {
+                        (void)args;
+                        std::int64_t n = self.peek("count").as_int() + 1;
+                        self.set("count", Value{n});
+                        return Value{n};
+                    })
+            .build());
+    peer.runtime().create("Notes", "notes");
+    peer.rpc().export_object("notes");
+}
+
+/// The extension each peer offers: stamps incoming notes with the peer's
+/// identity ("age of the device" flavour from §4.6 — context added by
+/// whoever is around).
+ExtensionPackage stamp_pkg(const std::string& owner) {
+    ExtensionPackage pkg;
+    pkg.name = owner + "/stamp";
+    pkg.script = R"(
+        let stamped = 0;
+        fun onEntry() {
+            ctx.set_arg(0, ctx.arg(0) + " [seen-by:" + config.owner + "]");
+            stamped = stamped + 1;
+        }
+        fun onShutdown(reason) { }
+    )";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Notes.add(..))", "onEntry", 0}};
+    pkg.config = Value{Dict{{"owner", Value{owner}}}};
+    return pkg;
+}
+
+void print_installed(sim::Simulator& sim, Peer& peer) {
+    printf("[%6.2fs] %s runs %zu foreign extension(s):", sim.now().seconds_since_zero(),
+           peer.label().c_str(), peer.receiver().installed_count());
+    for (const auto& inst : peer.receiver().installed()) {
+        printf(" %s", inst.name.c_str());
+    }
+    printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, 777);
+
+    std::vector<std::unique_ptr<Peer>> peers;
+    const char* names[] = {"pda-ann", "pda-bob", "pda-cli"};
+    for (int i = 0; i < 3; ++i) {
+        BaseConfig bc;
+        bc.issuer = names[i];
+        peers.push_back(std::make_unique<Peer>(net, names[i],
+                                               net::Position{static_cast<double>(i * 8), 0},
+                                               30.0, bc));
+        peers[i]->keys().add_key(names[i], to_bytes(std::string("key-") + names[i]));
+        add_notes_service(*peers[i]);
+    }
+    // Everyone trusts everyone here (a community of colleagues).
+    for (auto& receiver : peers) {
+        for (int i = 0; i < 3; ++i) {
+            if (receiver->label() == names[i]) continue;
+            receiver->trust().trust(names[i], to_bytes(std::string("key-") + names[i]));
+            receiver->receiver().allow_capabilities(names[i], {});
+        }
+    }
+    for (int i = 0; i < 3; ++i) peers[i]->base().add_extension(stamp_pkg(names[i]));
+
+    printf("=== three PDAs meet; each shares its extension with the others ===\n");
+    sim.run_for(seconds(5));
+    for (auto& peer : peers) print_installed(sim, *peer);
+
+    // Ann calls Bob's notes service: Bob's copy of *Ann's and Cli's*
+    // extensions stamps the note as it arrives.
+    printf("\nann adds a note on bob's PDA (stamped by the extensions bob "
+           "acquired):\n");
+    Value n = peers[0]->rpc().call_sync(peers[1]->id(), "notes", "add", {Value{"milk"}});
+    printf("  note stored, count=%lld\n", static_cast<long long>(n.as_int()));
+
+    printf("\n=== pda-cli wanders out of range ===\n");
+    net.move_node(peers[2]->id(), {500, 500});
+    sim.run_for(seconds(15));
+    for (auto& peer : peers) print_installed(sim, *peer);
+    printf("\ncli's extension evaporated from ann and bob; cli lost theirs —\n"
+           "locality in time and space, with no infrastructure anywhere.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+#include "common/bytes.h"
+
+#include "common/error.h"
+
+namespace pmp {
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+Bytes to_bytes(std::string_view s) {
+    auto view = as_bytes(s);
+    return Bytes(view.begin(), view.end());
+}
+
+std::string to_string(std::span<const std::uint8_t> b) {
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::string hex_encode(std::span<const std::uint8_t> b) {
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (std::uint8_t byte : b) {
+        out.push_back(kHexDigits[byte >> 4]);
+        out.push_back(kHexDigits[byte & 0xF]);
+    }
+    return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+    if (hex.size() % 2 != 0) {
+        throw ParseError("hex string has odd length", 1, static_cast<int>(hex.size()));
+    }
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hex_value(hex[i]);
+        int lo = hex_value(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            throw ParseError("invalid hex digit", 1, static_cast<int>(i));
+        }
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+void append(Bytes& out, std::span<const std::uint8_t> data) {
+    out.insert(out.end(), data.begin(), data.end());
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+}
+
+void append_u64(Bytes& out, std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+}
+
+void ByteReader::require(std::size_t n) const {
+    if (remaining() < n) {
+        throw ParseError("byte buffer exhausted", 0, static_cast<int>(pos_));
+    }
+}
+
+std::uint32_t ByteReader::read_u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+    return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+    return v;
+}
+
+std::span<const std::uint8_t> ByteReader::read(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+std::string ByteReader::read_string(std::size_t n) {
+    return pmp::to_string(read(n));
+}
+
+}  // namespace pmp

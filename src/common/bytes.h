@@ -1,0 +1,55 @@
+// Raw byte buffers and encoding helpers used by crypto, marshaling and the
+// network layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmp {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// View of the raw bytes of a string (no copy).
+std::span<const std::uint8_t> as_bytes(std::string_view s);
+
+/// Copy a string's bytes into a Bytes buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interpret a byte buffer as text (copies).
+std::string to_string(std::span<const std::uint8_t> b);
+
+/// Lower-case hex encoding, two characters per byte.
+std::string hex_encode(std::span<const std::uint8_t> b);
+
+/// Inverse of hex_encode; throws ParseError on odd length or non-hex digits.
+Bytes hex_decode(std::string_view hex);
+
+/// Append helpers for building wire encodings.
+void append(Bytes& out, std::span<const std::uint8_t> data);
+void append_u32(Bytes& out, std::uint32_t v);  // big-endian
+void append_u64(Bytes& out, std::uint64_t v);  // big-endian
+
+/// Cursor for decoding wire encodings; throws ParseError past the end.
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint32_t read_u32();
+    std::uint64_t read_u64();
+    std::span<const std::uint8_t> read(std::size_t n);
+    std::string read_string(std::size_t n);
+
+    bool exhausted() const { return pos_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+    void require(std::size_t n) const;
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace pmp

@@ -1,0 +1,5 @@
+#include "common/error.h"
+
+// Exception types are header-only today; this translation unit anchors the
+// library so that vtables/typeinfo have a single home if virtuals are added.
+namespace pmp {}

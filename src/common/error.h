@@ -1,0 +1,78 @@
+// Error types for the platform.
+//
+// Errors that a correct caller can trigger at run time (bad pointcut syntax,
+// signature verification failure, access denied by a policy extension, ...)
+// are reported with exceptions drawn from the hierarchy below (Core
+// Guidelines E.14: purpose-designed user-defined exception types). Lookup
+// misses and similar expected outcomes use std::optional instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pmp {
+
+/// Root of all platform exceptions.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input to one of the platform's little languages
+/// (pointcut expressions, AdviceScript source, package encodings).
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line, int column)
+        : Error(what + " at " + std::to_string(line) + ":" + std::to_string(column)),
+          line_(line),
+          column_(column) {}
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+/// Raised by the metaobject runtime: unknown method/field, arity or type
+/// mismatch in an invocation.
+class TypeError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Raised by the AdviceScript interpreter for run-time faults in extension
+/// code (undefined variable, wrong operand types, explicit `throw`).
+class ScriptError : public Error {
+public:
+    using Error::Error;
+};
+
+/// An extension attempted an operation its sandbox capabilities do not
+/// allow, or a policy extension (e.g. access control) vetoed a call.
+class AccessDenied : public Error {
+public:
+    using Error::Error;
+};
+
+/// Signature verification failed or the signer is not in the trust store.
+class TrustError : public Error {
+public:
+    using Error::Error;
+};
+
+/// A remote operation could not complete (peer out of range, lease lapsed,
+/// registrar unreachable).
+class RemoteError : public Error {
+public:
+    using Error::Error;
+};
+
+/// The script sandbox exceeded a resource budget (step count, recursion).
+class ResourceExhausted : public Error {
+public:
+    using Error::Error;
+};
+
+}  // namespace pmp

@@ -1,0 +1,73 @@
+// Strongly typed identifiers.
+//
+// Every entity that crosses a module boundary (nodes, services, leases,
+// extensions, aspects) is addressed by its own id type so that, e.g., a
+// LeaseId can never be passed where an ExtensionId is expected
+// (Core Guidelines I.4: make interfaces precisely and strongly typed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pmp {
+
+/// CRTP base for numeric id types. Distinct Tag types produce distinct,
+/// non-convertible id types that still share comparison/hash machinery.
+template <typename Tag>
+struct Id {
+    std::uint64_t value = 0;
+
+    constexpr Id() = default;
+    constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+    constexpr bool valid() const { return value != 0; }
+    constexpr auto operator<=>(const Id&) const = default;
+
+    std::string str() const { return std::to_string(value); }
+};
+
+struct NodeTag {};
+struct ServiceTag {};
+struct LeaseTag {};
+struct ExtensionTag {};
+struct AspectTag {};
+struct EventTag {};
+struct CellTag {};
+struct CallTag {};
+
+/// Identifies a device (mobile node or base station) on the network.
+using NodeId = Id<NodeTag>;
+/// Identifies a registered service instance in the lookup service.
+using ServiceId = Id<ServiceTag>;
+/// Identifies a granted lease.
+using LeaseId = Id<LeaseTag>;
+/// Identifies an extension package (the unit MIDAS distributes).
+using ExtensionId = Id<ExtensionTag>;
+/// Identifies a woven aspect instance inside one PROSE runtime.
+using AspectId = Id<AspectTag>;
+/// Identifies a remote-event registration.
+using EventRegId = Id<EventTag>;
+/// Identifies a radio cell / physical location ("production hall").
+using CellId = Id<CellTag>;
+/// Identifies one in-flight remote invocation.
+using CallId = Id<CallTag>;
+
+/// Monotonic id generator; one instance per id space.
+template <typename IdType>
+class IdGenerator {
+public:
+    IdType next() { return IdType{++last_}; }
+
+private:
+    std::uint64_t last_ = 0;
+};
+
+}  // namespace pmp
+
+template <typename Tag>
+struct std::hash<pmp::Id<Tag>> {
+    std::size_t operator()(const pmp::Id<Tag>& id) const noexcept {
+        return std::hash<std::uint64_t>{}(id.value);
+    }
+};

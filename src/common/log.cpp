@@ -1,0 +1,27 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace pmp {
+
+Log& Log::instance() {
+    static Log log;
+    return log;
+}
+
+void Log::set_sink(Sink sink) { instance().sink_ = std::move(sink); }
+
+void Log::write(LogLevel level, SimTime when, const std::string& component,
+                const std::string& message) {
+    static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    auto& log = instance();
+    std::string line = "[" + to_string(when) + "] " + kNames[static_cast<int>(level)] + " " +
+                       component + ": " + message;
+    if (log.sink_) {
+        log.sink_(level, line);
+    } else {
+        std::cerr << line << '\n';
+    }
+}
+
+}  // namespace pmp

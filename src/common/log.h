@@ -1,0 +1,78 @@
+// Minimal leveled logger.
+//
+// The platform logs through a process-global sink that tests can silence or
+// capture. Log lines carry the virtual timestamp supplied by the caller so
+// traces line up with the simulation timeline.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/time.h"
+
+namespace pmp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logging configuration. Not thread-safe by design: the
+/// simulation is single-threaded and tests configure logging up front.
+class Log {
+public:
+    using Sink = std::function<void(LogLevel, const std::string&)>;
+
+    static LogLevel level() { return instance().level_; }
+    static void set_level(LogLevel level) { instance().level_ = level; }
+
+    /// Replace the output sink (default writes to stderr). Pass nullptr to
+    /// restore the default.
+    static void set_sink(Sink sink);
+
+    static void write(LogLevel level, SimTime when, const std::string& component,
+                      const std::string& message);
+
+private:
+    static Log& instance();
+
+    LogLevel level_ = LogLevel::kWarn;
+    Sink sink_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(SimTime when, const std::string& component, Args&&... args) {
+    if (Log::level() <= LogLevel::kDebug) {
+        Log::write(LogLevel::kDebug, when, component, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+template <typename... Args>
+void log_info(SimTime when, const std::string& component, Args&&... args) {
+    if (Log::level() <= LogLevel::kInfo) {
+        Log::write(LogLevel::kInfo, when, component, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+template <typename... Args>
+void log_warn(SimTime when, const std::string& component, Args&&... args) {
+    if (Log::level() <= LogLevel::kWarn) {
+        Log::write(LogLevel::kWarn, when, component, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+template <typename... Args>
+void log_error(SimTime when, const std::string& component, Args&&... args) {
+    if (Log::level() <= LogLevel::kError) {
+        Log::write(LogLevel::kError, when, component, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+}  // namespace pmp

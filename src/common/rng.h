@@ -1,0 +1,63 @@
+// Deterministic random numbers.
+//
+// Everything stochastic in the platform (link jitter, message loss, mobility
+// paths, workload generators) draws from an explicitly seeded Rng so that
+// tests and benchmarks are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace pmp {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, and good enough for
+/// simulation purposes (not for cryptography; see pmp::crypto for that).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound); bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform in [0, 1).
+    double next_double() { return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+    /// True with probability p.
+    bool chance(double p) { return next_double() < p; }
+
+    /// Spawn an independent child stream (for per-entity randomness).
+    Rng split() { return Rng(next_u64()); }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace pmp

@@ -1,0 +1,56 @@
+// Virtual time primitives shared by the whole platform.
+//
+// The platform runs on a discrete-event simulated clock (see pmp::sim), so
+// time is never read from the OS. SimTime is a point on that virtual
+// timeline; Duration is a span between two points. Both are nanosecond
+// resolution, which comfortably covers the paper's measurement range
+// (hundreds of nanoseconds per interception) as well as hours of simulated
+// roaming.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pmp {
+
+/// Span of virtual time, nanosecond resolution.
+using Duration = std::chrono::nanoseconds;
+
+using std::chrono::hours;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::minutes;
+using std::chrono::nanoseconds;
+using std::chrono::seconds;
+
+/// A point on the simulated timeline. Time zero is the start of the
+/// simulation run.
+struct SimTime {
+    std::int64_t ns = 0;
+
+    static constexpr SimTime zero() { return SimTime{0}; }
+    /// Sentinel used to mean "never" (e.g. a lease that cannot expire).
+    static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+    constexpr SimTime operator+(Duration d) const { return SimTime{ns + d.count()}; }
+    constexpr SimTime operator-(Duration d) const { return SimTime{ns - d.count()}; }
+    constexpr Duration operator-(SimTime other) const { return Duration{ns - other.ns}; }
+
+    constexpr SimTime& operator+=(Duration d) {
+        ns += d.count();
+        return *this;
+    }
+
+    double seconds_since_zero() const { return static_cast<double>(ns) / 1e9; }
+};
+
+/// Render a time point as "12.345s" for logs and reports.
+inline std::string to_string(SimTime t) {
+    return std::to_string(t.seconds_since_zero()) + "s";
+}
+
+}  // namespace pmp

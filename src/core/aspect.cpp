@@ -1,0 +1,77 @@
+#include "core/aspect.h"
+
+namespace pmp::prose {
+
+const char* advice_kind_name(AdviceKind kind) {
+    switch (kind) {
+        case AdviceKind::kBefore: return "before";
+        case AdviceKind::kAfter: return "after";
+        case AdviceKind::kAfterThrowing: return "after-throwing";
+        case AdviceKind::kAround: return "around";
+        case AdviceKind::kFieldSet: return "field-set";
+        case AdviceKind::kFieldGet: return "field-get";
+    }
+    return "?";
+}
+
+const char* withdraw_reason_name(WithdrawReason reason) {
+    switch (reason) {
+        case WithdrawReason::kExplicit: return "explicit";
+        case WithdrawReason::kLeaseExpired: return "lease-expired";
+        case WithdrawReason::kReplaced: return "replaced";
+    }
+    return "?";
+}
+
+Aspect& Aspect::before(const std::string& pointcut, rt::EntryHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kBefore, Pointcut::parse(pointcut), priority,
+                    std::move(fn), {}, {}, {}, {}, {}};
+    bindings_.push_back(std::move(b));
+    return *this;
+}
+
+Aspect& Aspect::after(const std::string& pointcut, rt::ExitHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kAfter, Pointcut::parse(pointcut), priority,
+                    {}, std::move(fn), {}, {}, {}, {}};
+    bindings_.push_back(std::move(b));
+    return *this;
+}
+
+Aspect& Aspect::after_throwing(const std::string& pointcut, rt::ErrorHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kAfterThrowing, Pointcut::parse(pointcut), priority,
+                    {}, {}, std::move(fn), {}, {}, {}};
+    bindings_.push_back(std::move(b));
+    return *this;
+}
+
+Aspect& Aspect::around(const std::string& pointcut, rt::AroundHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kAround, Pointcut::parse(pointcut), priority,
+                    {}, {}, {}, std::move(fn), {}, {}};
+    bindings_.push_back(std::move(b));
+    return *this;
+}
+
+Aspect& Aspect::on_field_set(const std::string& pointcut, rt::FieldSetHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kFieldSet, Pointcut::parse(pointcut), priority,
+                    {}, {}, {}, {}, std::move(fn), {}};
+    bindings_.push_back(std::move(b));
+    return *this;
+}
+
+Aspect& Aspect::on_field_get(const std::string& pointcut, rt::FieldGetHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kFieldGet, Pointcut::parse(pointcut), priority,
+                    {}, {}, {}, {}, {}, std::move(fn)};
+    bindings_.push_back(std::move(b));
+    return *this;
+}
+
+Aspect& Aspect::on_withdraw(std::function<void(WithdrawReason)> fn) {
+    withdraw_fn_ = std::move(fn);
+    return *this;
+}
+
+void Aspect::notify_withdraw(WithdrawReason reason) {
+    if (withdraw_fn_) withdraw_fn_(reason);
+}
+
+}  // namespace pmp::prose

@@ -1,0 +1,364 @@
+#include "core/pointcut.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace pmp::prose {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+    // Iterative wildcard matching with backtracking over the last '*'.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string_view::npos, star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() && (pattern[p] == text[t] || pattern[p] == '?')) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string_view::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
+}
+
+namespace {
+
+/// What a primitive matches against.
+enum class JoinKind { kMethod, kFieldSet, kFieldGet };
+
+struct SignaturePattern {
+    std::string ret;                  // pattern over type-kind names
+    std::string cls;                  // pattern over class name
+    bool cls_subtypes = false;        // trailing '+': match through ancestors
+    std::string member;               // pattern over method/field name
+    std::vector<std::string> params;  // patterns over param type-kind names
+    bool ellipsis = false;            // trailing '..'
+    bool any_params = false;          // parameter list was exactly '..' or SIG is a field
+
+    bool match_params(const rt::MethodDecl& m) const {
+        if (any_params) return true;
+        if (ellipsis) {
+            if (m.params.size() < params.size()) return false;
+        } else {
+            if (m.params.size() != params.size() && !m.varargs) return false;
+            if (m.varargs && m.params.size() < params.size()) return false;
+        }
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            if (i >= m.params.size()) return false;
+            if (!glob_match(params[i], rt::type_kind_name(m.params[i].type))) return false;
+        }
+        return true;
+    }
+};
+
+/// The inheritance chain of the candidate class, most-derived first.
+using TypeChain = std::vector<std::string_view>;
+
+/// Class pattern match over a chain: plain patterns bind to the concrete
+/// class, '+' patterns to any ancestor.
+bool class_match(const std::string& pattern, bool subtypes, const TypeChain& chain) {
+    if (!subtypes) return glob_match(pattern, chain.front());
+    for (std::string_view name : chain) {
+        if (glob_match(pattern, name)) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+struct Pointcut::Node {
+    enum class Op { kOr, kAnd, kNot, kPrim, kWithin };
+
+    Op op;
+    // kOr / kAnd / kNot children:
+    std::shared_ptr<const Node> lhs, rhs;
+    // kPrim:
+    JoinKind join_kind = JoinKind::kMethod;
+    SignaturePattern sig;
+    // kWithin:
+    std::string type_pattern;
+    bool within_subtypes = false;
+
+    bool eval_method(const TypeChain& chain, const rt::MethodDecl& m) const {
+        switch (op) {
+            case Op::kOr: return lhs->eval_method(chain, m) || rhs->eval_method(chain, m);
+            case Op::kAnd: return lhs->eval_method(chain, m) && rhs->eval_method(chain, m);
+            case Op::kNot: return !lhs->eval_method(chain, m);
+            case Op::kWithin: return class_match(type_pattern, within_subtypes, chain);
+            case Op::kPrim:
+                return join_kind == JoinKind::kMethod &&
+                       class_match(sig.cls, sig.cls_subtypes, chain) &&
+                       glob_match(sig.member, m.name) &&
+                       glob_match(sig.ret, rt::type_kind_name(m.returns)) &&
+                       sig.match_params(m);
+        }
+        return false;
+    }
+
+    bool eval_field(const TypeChain& chain, const rt::FieldDecl& f, JoinKind want) const {
+        switch (op) {
+            case Op::kOr: return lhs->eval_field(chain, f, want) || rhs->eval_field(chain, f, want);
+            case Op::kAnd:
+                return lhs->eval_field(chain, f, want) && rhs->eval_field(chain, f, want);
+            case Op::kNot: return !lhs->eval_field(chain, f, want);
+            case Op::kWithin: return class_match(type_pattern, within_subtypes, chain);
+            case Op::kPrim:
+                return join_kind == want && class_match(sig.cls, sig.cls_subtypes, chain) &&
+                       glob_match(sig.member, f.name);
+        }
+        return false;
+    }
+};
+
+namespace {
+TypeChain chain_of(const rt::TypeInfo& type) {
+    TypeChain chain;
+    for (const rt::TypeInfo* t = &type; t != nullptr; t = t->parent().get()) {
+        chain.push_back(t->name());
+    }
+    return chain;
+}
+}  // namespace
+
+namespace {
+
+/// Tiny tokenizer for pointcut expressions. Pattern atoms are runs of
+/// identifier characters plus the wildcards '*' and '?'.
+class PcParser {
+public:
+    explicit PcParser(const std::string& src) : src_(src) {}
+
+    std::shared_ptr<const Pointcut::Node> parse() {
+        auto node = or_expr();
+        skip_ws();
+        if (pos_ != src_.size()) fail("trailing input after pointcut");
+        return node;
+    }
+
+private:
+    using Node = Pointcut::Node;
+    using NodePtr = std::shared_ptr<const Node>;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ParseError("pointcut: " + what, 1, static_cast<int>(pos_) + 1);
+    }
+
+    void skip_ws() {
+        while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+    }
+
+    bool eat(char c) {
+        skip_ws();
+        if (pos_ < src_.size() && src_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool eat2(const char* two) {
+        skip_ws();
+        if (pos_ + 1 < src_.size() && src_[pos_] == two[0] && src_[pos_ + 1] == two[1]) {
+            pos_ += 2;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c, const char* what) {
+        if (!eat(c)) fail(std::string("expected ") + what);
+    }
+
+    static bool atom_char(char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '*' ||
+               c == '?' || c == '+';
+    }
+
+    std::string atom(const char* what) {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < src_.size() && atom_char(src_[pos_])) ++pos_;
+        if (pos_ == start) fail(std::string("expected ") + what);
+        return src_.substr(start, pos_ - start);
+    }
+
+    NodePtr make(Node&& node) { return std::make_shared<const Node>(std::move(node)); }
+
+    NodePtr or_expr() {
+        NodePtr lhs = and_expr();
+        while (eat2("||")) {
+            Node n;
+            n.op = Node::Op::kOr;
+            n.lhs = lhs;
+            n.rhs = and_expr();
+            lhs = make(std::move(n));
+        }
+        return lhs;
+    }
+
+    NodePtr and_expr() {
+        NodePtr lhs = unary_expr();
+        while (eat2("&&")) {
+            Node n;
+            n.op = Node::Op::kAnd;
+            n.lhs = lhs;
+            n.rhs = unary_expr();
+            lhs = make(std::move(n));
+        }
+        return lhs;
+    }
+
+    NodePtr unary_expr() {
+        if (eat('!')) {
+            Node n;
+            n.op = Node::Op::kNot;
+            n.lhs = unary_expr();
+            return make(std::move(n));
+        }
+        if (eat('(')) {
+            NodePtr inner = or_expr();
+            expect(')', "')'");
+            return inner;
+        }
+        return primitive();
+    }
+
+    NodePtr primitive() {
+        std::string kw = atom("pointcut primitive");
+        if (kw == "call" || kw == "execution") return signature_prim();
+        if (kw == "fieldset") return field_prim(JoinKind::kFieldSet);
+        if (kw == "fieldget") return field_prim(JoinKind::kFieldGet);
+        if (kw == "within") {
+            expect('(', "'('");
+            Node n;
+            n.op = Node::Op::kWithin;
+            n.type_pattern = atom("type pattern");
+            if (!n.type_pattern.empty() && n.type_pattern.back() == '+') {
+                n.within_subtypes = true;
+                n.type_pattern.pop_back();
+                if (n.type_pattern.empty()) fail("type pattern missing before '+'");
+            }
+            expect(')', "')'");
+            return make(std::move(n));
+        }
+        fail("unknown primitive '" + kw + "'");
+    }
+
+    /// CLASSPAT '.' MEMBERPAT — the final '.' splits class from member.
+    void split_qualified(SignaturePattern& sig, const char* what) {
+        std::string first = atom(what);
+        std::vector<std::string> parts{std::move(first)};
+        while (eat('.')) {
+            // A '.' may be the start of a '..' ellipsis inside params; the
+            // caller never invokes us in that state, so here a '.' always
+            // separates name segments.
+            parts.push_back(atom(what));
+        }
+        if (parts.size() < 2) fail(std::string(what) + " must be Class.member");
+        sig.member = std::move(parts.back());
+        parts.pop_back();
+        std::string cls;
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (i) cls += '.';
+            cls += parts[i];
+        }
+        if (!cls.empty() && cls.back() == '+') {
+            sig.cls_subtypes = true;
+            cls.pop_back();
+            if (cls.empty()) fail("class pattern missing before '+'");
+        }
+        sig.cls = std::move(cls);
+    }
+
+    NodePtr signature_prim() {
+        expect('(', "'('");
+        Node n;
+        n.op = Node::Op::kPrim;
+        n.join_kind = JoinKind::kMethod;
+        n.sig.ret = atom("return type pattern");
+        split_qualified(n.sig, "method signature");
+        expect('(', "'(' of parameter list");
+        skip_ws();
+        if (eat(')')) {
+            // empty list: matches methods with zero parameters
+        } else if (eat2("..")) {
+            n.sig.any_params = true;
+            expect(')', "')'");
+        } else {
+            for (;;) {
+                n.sig.params.push_back(atom("parameter type pattern"));
+                if (eat(',')) {
+                    skip_ws();
+                    if (eat2("..")) {
+                        n.sig.ellipsis = true;
+                        expect(')', "')'");
+                        break;
+                    }
+                    continue;
+                }
+                expect(')', "')'");
+                break;
+            }
+        }
+        expect(')', "')' closing the primitive");
+        return make(std::move(n));
+    }
+
+    NodePtr field_prim(JoinKind kind) {
+        expect('(', "'('");
+        Node n;
+        n.op = Node::Op::kPrim;
+        n.join_kind = kind;
+        split_qualified(n.sig, "field pattern");
+        n.sig.any_params = true;
+        expect(')', "')'");
+        return make(std::move(n));
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Pointcut::Pointcut(std::shared_ptr<const Node> root, std::string source)
+    : root_(std::move(root)), source_(std::make_shared<const std::string>(std::move(source))) {}
+
+Pointcut Pointcut::parse(const std::string& source) {
+    return Pointcut(PcParser(source).parse(), source);
+}
+
+bool Pointcut::matches_method(std::string_view type_name, const rt::MethodDecl& method) const {
+    return root_->eval_method(TypeChain{type_name}, method);
+}
+
+bool Pointcut::matches_field_set(std::string_view type_name, const rt::FieldDecl& field) const {
+    return root_->eval_field(TypeChain{type_name}, field, JoinKind::kFieldSet);
+}
+
+bool Pointcut::matches_field_get(std::string_view type_name, const rt::FieldDecl& field) const {
+    return root_->eval_field(TypeChain{type_name}, field, JoinKind::kFieldGet);
+}
+
+bool Pointcut::matches_method(const rt::TypeInfo& type, const rt::MethodDecl& method) const {
+    return root_->eval_method(chain_of(type), method);
+}
+
+bool Pointcut::matches_field_set(const rt::TypeInfo& type, const rt::FieldDecl& field) const {
+    return root_->eval_field(chain_of(type), field, JoinKind::kFieldSet);
+}
+
+bool Pointcut::matches_field_get(const rt::TypeInfo& type, const rt::FieldDecl& field) const {
+    return root_->eval_field(chain_of(type), field, JoinKind::kFieldGet);
+}
+
+const std::string& Pointcut::source() const { return *source_; }
+
+}  // namespace pmp::prose

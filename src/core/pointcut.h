@@ -1,0 +1,72 @@
+// Pointcut expression language (the paper's "crosscut" specifications).
+//
+// A pointcut describes *where* an extension applies, e.g. the paper's
+//
+//     before methods-with-signature 'void *.send*(byte[] x, ..)'
+//
+// is written here as the pointcut   call(void *.send*(blob, ..))   bound to
+// before-advice. Grammar (AspectJ-lite):
+//
+//   pointcut  := and_or                        -- '&&' binds tighter than '||'
+//   primitive := call(SIG) | execution(SIG)    -- synonyms in this system
+//              | fieldset(FIELD) | fieldget(FIELD)
+//              | within(TYPEPAT)
+//              | '!' pointcut | '(' pointcut ')'
+//   SIG       := RETPAT CLASSPAT.METHODPAT(PARAMS)
+//   PARAMS    := empty | '..' | TYPEPAT (',' TYPEPAT)* (',' '..')?
+//   FIELD     := CLASSPAT.FIELDPAT
+//
+// Patterns use '*' (any run of characters) and '?' (one character).
+// RETPAT/TYPEPAT match against rt type-kind names ("void", "int", "blob",
+// ...); CLASSPAT against the service class name; METHODPAT/FIELDPAT against
+// member names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/type.h"
+
+namespace pmp::prose {
+
+/// Glob match with '*' and '?'.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Parsed, matchable pointcut. Value type (cheap to copy via shared nodes).
+class Pointcut {
+public:
+    /// Parse an expression; throws ParseError on bad syntax.
+    static Pointcut parse(const std::string& source);
+
+    /// Does this pointcut select execution of `method` on class `type_name`?
+    /// (Chain-of-one: subtype patterns like "Device+" only match the name
+    /// itself. Use the TypeInfo overloads to honour inheritance.)
+    bool matches_method(std::string_view type_name, const rt::MethodDecl& method) const;
+
+    /// Does it select writes (resp. reads) of `field` on `type_name`?
+    bool matches_field_set(std::string_view type_name, const rt::FieldDecl& field) const;
+    bool matches_field_get(std::string_view type_name, const rt::FieldDecl& field) const;
+
+    /// Inheritance-aware overloads: a class pattern "Device+" selects the
+    /// type if any ancestor (or the type itself) matches "Device"; a plain
+    /// pattern selects the concrete class only.
+    bool matches_method(const rt::TypeInfo& type, const rt::MethodDecl& method) const;
+    bool matches_field_set(const rt::TypeInfo& type, const rt::FieldDecl& field) const;
+    bool matches_field_get(const rt::TypeInfo& type, const rt::FieldDecl& field) const;
+
+    /// Original source text (for packages, logs and round-trips).
+    const std::string& source() const;
+
+    /// Parsed representation; public so the parser (an implementation
+    /// detail in pointcut.cpp) can build it, opaque to everyone else.
+    struct Node;
+
+private:
+    explicit Pointcut(std::shared_ptr<const Node> root, std::string source);
+
+    std::shared_ptr<const Node> root_;
+    std::shared_ptr<const std::string> source_;
+};
+
+}  // namespace pmp::prose

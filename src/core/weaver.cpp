@@ -1,0 +1,104 @@
+#include "core/weaver.h"
+
+namespace pmp::prose {
+
+Weaver::Weaver(rt::Runtime& runtime) : runtime_(runtime) {
+    observer_ = runtime_.add_type_observer([this](rt::TypeInfo& t) { on_type_registered(t); });
+}
+
+Weaver::~Weaver() {
+    withdraw_all(WithdrawReason::kExplicit);
+    runtime_.remove_type_observer(observer_);
+}
+
+void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
+    for (const AdviceBinding& binding : woven.aspect->bindings()) {
+        switch (binding.kind) {
+            case AdviceKind::kBefore:
+            case AdviceKind::kAfter:
+            case AdviceKind::kAfterThrowing:
+            case AdviceKind::kAround:
+                for (rt::Method* method : type.methods()) {
+                    if (!binding.pointcut.matches_method(type, method->decl())) continue;
+                    ++woven.report.methods_matched;
+                    switch (binding.kind) {
+                        case AdviceKind::kBefore:
+                            method->add_entry_hook(id.value, binding.priority, binding.before);
+                            break;
+                        case AdviceKind::kAfter:
+                            method->add_exit_hook(id.value, binding.priority, binding.after);
+                            break;
+                        case AdviceKind::kAfterThrowing:
+                            method->add_error_hook(id.value, binding.priority,
+                                                   binding.after_throwing);
+                            break;
+                        default:
+                            method->add_around_hook(id.value, binding.priority, binding.around);
+                            break;
+                    }
+                }
+                break;
+            case AdviceKind::kFieldSet:
+                for (rt::Field& field : type.fields()) {
+                    if (!binding.pointcut.matches_field_set(type, field.decl())) continue;
+                    ++woven.report.fields_matched;
+                    field.add_set_hook(id.value, binding.priority, binding.field_set);
+                }
+                break;
+            case AdviceKind::kFieldGet:
+                for (rt::Field& field : type.fields()) {
+                    if (!binding.pointcut.matches_field_get(type, field.decl())) continue;
+                    ++woven.report.fields_matched;
+                    field.add_get_hook(id.value, binding.priority, binding.field_get);
+                }
+                break;
+        }
+    }
+}
+
+AspectId Weaver::weave(std::shared_ptr<Aspect> aspect) {
+    AspectId id = ids_.next();
+    auto [it, _] = woven_.emplace(id, Woven{std::move(aspect), WeaveReport{}});
+    for (const auto& type : runtime_.types()) {
+        weave_into_type(*type, id, it->second);
+    }
+    return id;
+}
+
+bool Weaver::withdraw(AspectId id, WithdrawReason reason) {
+    auto it = woven_.find(id);
+    if (it == woven_.end()) return false;
+    // Shutdown procedure first (paper: the extension is notified before
+    // leaving so it can reach a consistent state), then unhook.
+    it->second.aspect->notify_withdraw(reason);
+    for (const auto& type : runtime_.types()) {
+        for (rt::Method* method : type->methods()) method->remove_hooks(id.value);
+        for (rt::Field& field : type->fields()) field.remove_hooks(id.value);
+    }
+    woven_.erase(it);
+    return true;
+}
+
+void Weaver::withdraw_all(WithdrawReason reason) {
+    while (!woven_.empty()) {
+        withdraw(woven_.begin()->first, reason);
+    }
+}
+
+std::shared_ptr<Aspect> Weaver::find(AspectId id) const {
+    auto it = woven_.find(id);
+    return it == woven_.end() ? nullptr : it->second.aspect;
+}
+
+const WeaveReport* Weaver::report(AspectId id) const {
+    auto it = woven_.find(id);
+    return it == woven_.end() ? nullptr : &it->second.report;
+}
+
+void Weaver::on_type_registered(rt::TypeInfo& type) {
+    for (auto& [id, woven] : woven_) {
+        weave_into_type(type, id, woven);
+    }
+}
+
+}  // namespace pmp::prose

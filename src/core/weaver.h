@@ -1,0 +1,66 @@
+// The run-time weaver (paper Fig 1).
+//
+// Weaving attaches an aspect's advice to every join point its pointcuts
+// select, across every class registered in the node's Runtime — without
+// stopping the application. Classes registered *after* weaving are
+// instrumented on arrival (the JIT analogy: code compiled later still gets
+// the hooks). Withdrawing restores the original dispatch exactly.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/ids.h"
+#include "core/aspect.h"
+#include "rt/runtime.h"
+
+namespace pmp::prose {
+
+/// How many join points a weave touched — used by tests, the weaving bench
+/// (DESIGN.md E1) and MIDAS logging.
+struct WeaveReport {
+    std::size_t methods_matched = 0;
+    std::size_t fields_matched = 0;
+};
+
+class Weaver {
+public:
+    explicit Weaver(rt::Runtime& runtime);
+    ~Weaver();
+
+    Weaver(const Weaver&) = delete;
+    Weaver& operator=(const Weaver&) = delete;
+
+    /// Weave an aspect into the runtime. The weaver keeps the aspect alive
+    /// until withdrawal.
+    AspectId weave(std::shared_ptr<Aspect> aspect);
+
+    /// Run the aspect's shutdown procedure, then detach all of its advice.
+    /// Returns false if the id is unknown (already withdrawn).
+    bool withdraw(AspectId id, WithdrawReason reason = WithdrawReason::kExplicit);
+
+    /// Withdraw everything (also runs from the destructor with kExplicit).
+    void withdraw_all(WithdrawReason reason = WithdrawReason::kExplicit);
+
+    std::shared_ptr<Aspect> find(AspectId id) const;
+    const WeaveReport* report(AspectId id) const;
+    std::size_t woven_count() const { return woven_.size(); }
+
+    rt::Runtime& runtime() { return runtime_; }
+
+private:
+    struct Woven {
+        std::shared_ptr<Aspect> aspect;
+        WeaveReport report;
+    };
+
+    void weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven);
+    void on_type_registered(rt::TypeInfo& type);
+
+    rt::Runtime& runtime_;
+    rt::Runtime::ObserverId observer_;
+    IdGenerator<AspectId> ids_;
+    std::map<AspectId, Woven> woven_;
+};
+
+}  // namespace pmp::prose

@@ -1,0 +1,41 @@
+#include "crypto/hmac.h"
+
+#include <array>
+
+namespace pmp::crypto {
+
+Mac hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+    constexpr std::size_t kBlock = 64;
+    std::array<std::uint8_t, kBlock> key_block{};
+    if (key.size() > kBlock) {
+        Digest hashed = Sha256::hash(key);
+        std::copy(hashed.begin(), hashed.end(), key_block.begin());
+    } else {
+        std::copy(key.begin(), key.end(), key_block.begin());
+    }
+
+    std::array<std::uint8_t, kBlock> ipad;
+    std::array<std::uint8_t, kBlock> opad;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(std::span<const std::uint8_t>(ipad));
+    inner.update(message);
+    Digest inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(std::span<const std::uint8_t>(opad));
+    outer.update(std::span<const std::uint8_t>(inner_digest));
+    return outer.finalize();
+}
+
+bool mac_equal(const Mac& a, const Mac& b) {
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+    return diff == 0;
+}
+
+}  // namespace pmp::crypto

@@ -1,0 +1,27 @@
+// HMAC-SHA-256 (RFC 2104), implemented from scratch on top of Sha256.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace pmp::crypto {
+
+/// MAC tag produced by hmac_sha256 (same width as a SHA-256 digest).
+using Mac = Digest;
+
+/// Compute HMAC-SHA-256 of `message` under `key`. Keys longer than the
+/// 64-byte block are hashed first, per RFC 2104.
+Mac hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message);
+
+inline Mac hmac_sha256(std::string_view key, std::string_view message) {
+    return hmac_sha256(as_bytes(key), as_bytes(message));
+}
+
+/// Constant-time comparison of two MACs (avoids the classic timing leak on
+/// the verification path).
+bool mac_equal(const Mac& a, const Mac& b);
+
+}  // namespace pmp::crypto

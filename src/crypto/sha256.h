@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// MIDAS signs extension packages before distribution and receivers verify
+// them before weaving; this is the digest underneath that trust decision.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace pmp::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. Usage: update(...) any number of times, then
+/// finalize() exactly once.
+class Sha256 {
+public:
+    Sha256();
+
+    void update(std::span<const std::uint8_t> data);
+    void update(std::string_view text) { update(as_bytes(text)); }
+
+    /// Completes the hash. The object must not be reused afterwards.
+    Digest finalize();
+
+    /// One-shot convenience.
+    static Digest hash(std::span<const std::uint8_t> data);
+    static Digest hash(std::string_view text) { return hash(as_bytes(text)); }
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t total_bytes_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    bool finalized_ = false;
+};
+
+/// Hex rendering of a digest (64 lower-case hex chars).
+std::string to_hex(const Digest& d);
+
+}  // namespace pmp::crypto

@@ -1,0 +1,52 @@
+#include "crypto/trust.h"
+
+namespace pmp::crypto {
+
+Bytes Signature::encode() const {
+    Bytes out;
+    append_u32(out, static_cast<std::uint32_t>(issuer.size()));
+    append(out, as_bytes(issuer));
+    append(out, std::span<const std::uint8_t>(mac));
+    return out;
+}
+
+Signature Signature::decode(ByteReader& reader) {
+    Signature sig;
+    std::uint32_t issuer_len = reader.read_u32();
+    sig.issuer = reader.read_string(issuer_len);
+    auto mac_bytes = reader.read(sig.mac.size());
+    std::copy(mac_bytes.begin(), mac_bytes.end(), sig.mac.begin());
+    return sig;
+}
+
+void KeyStore::add_key(const std::string& issuer, Bytes key) {
+    keys_[issuer] = std::move(key);
+}
+
+Signature KeyStore::sign(const std::string& issuer,
+                         std::span<const std::uint8_t> payload) const {
+    auto it = keys_.find(issuer);
+    if (it == keys_.end()) {
+        throw TrustError("no signing key for issuer '" + issuer + "'");
+    }
+    return Signature{issuer, hmac_sha256(std::span<const std::uint8_t>(it->second), payload)};
+}
+
+void TrustStore::trust(const std::string& issuer, Bytes key) {
+    keys_[issuer] = std::move(key);
+}
+
+void TrustStore::revoke(const std::string& issuer) { keys_.erase(issuer); }
+
+void TrustStore::verify(std::span<const std::uint8_t> payload, const Signature& sig) const {
+    auto it = keys_.find(sig.issuer);
+    if (it == keys_.end()) {
+        throw TrustError("issuer '" + sig.issuer + "' is not trusted");
+    }
+    Mac expected = hmac_sha256(std::span<const std::uint8_t>(it->second), payload);
+    if (!mac_equal(expected, sig.mac)) {
+        throw TrustError("signature verification failed for issuer '" + sig.issuer + "'");
+    }
+}
+
+}  // namespace pmp::crypto

@@ -1,0 +1,66 @@
+// Trust model for extension packages (paper §3.2, "Addressing security").
+//
+// Every extension instance is signed by the entity that instantiated and
+// configured it (typically a base station authority). A receiver accepts an
+// extension only if the signer is in its local trust store and the signature
+// verifies. We use HMAC-SHA-256 with per-issuer shared keys; DESIGN.md
+// documents this substitution for the paper's Java code-signing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace pmp::crypto {
+
+/// A detached signature: who claims to have signed, and the MAC over the
+/// signed payload.
+struct Signature {
+    std::string issuer;
+    Mac mac{};
+
+    /// Wire encoding (issuer length + issuer + mac), used inside packages.
+    Bytes encode() const;
+    static Signature decode(ByteReader& reader);
+};
+
+/// Holds the signing keys an authority owns. Used on the signing side
+/// (extension bases / hall authorities).
+class KeyStore {
+public:
+    /// Register (or replace) the key for `issuer`.
+    void add_key(const std::string& issuer, Bytes key);
+
+    /// Sign `payload` as `issuer`. Throws TrustError if the issuer has no
+    /// key here.
+    Signature sign(const std::string& issuer, std::span<const std::uint8_t> payload) const;
+
+    bool has_key(const std::string& issuer) const { return keys_.contains(issuer); }
+
+private:
+    std::unordered_map<std::string, Bytes> keys_;
+};
+
+/// Holds the verification keys of the entities a receiver trusts. Each
+/// mobile device configures its own preferences (paper: "each extension
+/// receiver node may define its preferences and trusted entities").
+class TrustStore {
+public:
+    void trust(const std::string& issuer, Bytes key);
+    void revoke(const std::string& issuer);
+    bool trusts(const std::string& issuer) const { return keys_.contains(issuer); }
+
+    /// Verify that `sig` is a valid signature over `payload` by a trusted
+    /// issuer. Throws TrustError (with a reason) on any failure; returns
+    /// normally on success.
+    void verify(std::span<const std::uint8_t> payload, const Signature& sig) const;
+
+private:
+    std::unordered_map<std::string, Bytes> keys_;
+};
+
+}  // namespace pmp::crypto

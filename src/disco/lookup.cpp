@@ -1,0 +1,216 @@
+#include "disco/lookup.h"
+
+#include "common/log.h"
+
+namespace pmp::disco {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+// ------------------------------------------------------ LeasedResource ----
+
+LeasedResource::LeasedResource(rt::RpcEndpoint& rpc, NodeId registrar, LeaseId lease,
+                               Duration duration, LostFn on_lost)
+    : rpc_(rpc),
+      registrar_(registrar),
+      lease_(lease),
+      duration_(duration),
+      on_lost_(std::move(on_lost)) {
+    schedule_renewal(duration_ / 2);
+}
+
+LeasedResource::~LeasedResource() {
+    if (alive_) cancel();
+}
+
+void LeasedResource::cancel() {
+    if (!alive_) return;
+    alive_ = false;
+    rpc_.router().simulator().cancel(timer_);
+    rpc_.call_async(registrar_, "registrar", "cancel",
+                    {Value{static_cast<std::int64_t>(lease_.value)}},
+                    [](Value, std::exception_ptr) {});
+}
+
+void LeasedResource::schedule_renewal(Duration delay) {
+    timer_ = rpc_.router().simulator().schedule_after(delay, [this]() { renew(false); });
+}
+
+void LeasedResource::renew(bool is_retry) {
+    if (!alive_) return;
+    std::int64_t want_ms = duration_.count() / 1'000'000;
+    rpc_.call_async(
+        registrar_, "registrar", "renew",
+        {Value{static_cast<std::int64_t>(lease_.value)}, Value{want_ms}},
+        [this, is_retry](Value result, std::exception_ptr error) {
+            if (!alive_) return;
+            bool ok = !error && result.as_dict().at("ok").as_bool();
+            if (ok) {
+                schedule_renewal(duration_ / 2);
+            } else if (!is_retry) {
+                // One quick retry before giving up: a single lost message
+                // should not tear the adaptation down.
+                timer_ = rpc_.router().simulator().schedule_after(duration_ / 4,
+                                                                  [this]() { renew(true); });
+            } else {
+                mark_lost();
+            }
+        },
+        /*timeout=*/duration_ / 4);
+}
+
+void LeasedResource::mark_lost() {
+    if (!alive_) return;
+    alive_ = false;
+    rpc_.router().simulator().cancel(timer_);
+    if (on_lost_) on_lost_();
+}
+
+// ----------------------------------------------------- DiscoveryClient ----
+
+DiscoveryClient::DiscoveryClient(net::MessageRouter& router, rt::RpcEndpoint& rpc,
+                                 DiscoveryConfig config)
+    : router_(router), rpc_(rpc), config_(config) {
+    router_.route("disco.here", [this](const net::Message& msg) { note_registrar(msg.from); });
+    probe_timer_ =
+        router_.simulator().schedule_every(config_.probe_period, [this]() { probe(); });
+    timeout_timer_ = router_.simulator().schedule_every(config_.probe_period,
+                                                        [this]() { check_timeouts(); });
+    probe();
+}
+
+DiscoveryClient::~DiscoveryClient() {
+    router_.simulator().cancel(probe_timer_);
+    router_.simulator().cancel(timeout_timer_);
+    router_.unroute("disco.here");
+}
+
+void DiscoveryClient::probe() { router_.broadcast("disco.probe", {}); }
+
+void DiscoveryClient::note_registrar(NodeId node) {
+    bool fresh = !last_seen_.contains(node);
+    last_seen_[node] = router_.simulator().now();
+    if (fresh) {
+        log_debug(router_.simulator().now(), "disco",
+                  router_.network().name_of(router_.self()), " found registrar on ",
+                  router_.network().name_of(node));
+        auto watchers = registrar_watchers_;
+        for (auto& [_, fn] : watchers) fn(node, true);
+    }
+}
+
+void DiscoveryClient::check_timeouts() {
+    SimTime now = router_.simulator().now();
+    std::vector<NodeId> lost;
+    for (const auto& [node, seen] : last_seen_) {
+        if (now - seen > config_.registrar_timeout) lost.push_back(node);
+    }
+    for (NodeId node : lost) {
+        last_seen_.erase(node);
+        log_debug(now, "disco", router_.network().name_of(router_.self()),
+                  " lost registrar on ", router_.network().name_of(node));
+        auto watchers = registrar_watchers_;
+        for (auto& [_, fn] : watchers) fn(node, false);
+    }
+}
+
+std::vector<NodeId> DiscoveryClient::registrars() const {
+    std::vector<NodeId> out;
+    out.reserve(last_seen_.size());
+    for (const auto& [node, _] : last_seen_) out.push_back(node);
+    return out;
+}
+
+std::uint64_t DiscoveryClient::on_registrar(RegistrarFn fn) {
+    std::uint64_t token = ++next_token_;
+    // Catch up on registrars already known.
+    for (const auto& [node, _] : last_seen_) fn(node, true);
+    registrar_watchers_.emplace(token, std::move(fn));
+    return token;
+}
+
+void DiscoveryClient::off_registrar(std::uint64_t token) { registrar_watchers_.erase(token); }
+
+void DiscoveryClient::register_service(NodeId registrar, const std::string& type,
+                                       Dict attributes, LeasedResource::LostFn on_lost,
+                                       RegisterDone on_done) {
+    std::int64_t want_ms = config_.lease_duration.count() / 1'000'000;
+    rpc_.call_async(
+        registrar, "registrar", "register",
+        {Value{type}, Value{std::move(attributes)}, Value{want_ms}},
+        [this, registrar, on_lost = std::move(on_lost),
+         on_done = std::move(on_done)](Value result, std::exception_ptr error) {
+            if (error) {
+                on_done(nullptr, error);
+                return;
+            }
+            const Dict& grant = result.as_dict();
+            LeaseId lease{static_cast<std::uint64_t>(grant.at("lease").as_int())};
+            Duration granted = milliseconds(grant.at("duration_ms").as_int());
+            auto handle = std::shared_ptr<LeasedResource>(
+                new LeasedResource(rpc_, registrar, lease, granted, std::move(on_lost)));
+            on_done(std::move(handle), nullptr);
+        });
+}
+
+void DiscoveryClient::lookup(NodeId registrar, const std::string& type, LookupDone on_done) {
+    rpc_.call_async(registrar, "registrar", "lookup", {Value{type}},
+                    [on_done = std::move(on_done)](Value result, std::exception_ptr error) {
+                        if (error) {
+                            on_done({}, error);
+                            return;
+                        }
+                        std::vector<ServiceItem> items;
+                        for (const Value& v : result.as_list()) {
+                            items.push_back(ServiceItem::from_value(v));
+                        }
+                        on_done(std::move(items), nullptr);
+                    });
+}
+
+std::string DiscoveryClient::make_listener(EventFn on_event) {
+    auto& runtime = rpc_.runtime();
+    if (!runtime.find_type("EventListener")) {
+        auto type = rt::TypeInfo::Builder("EventListener")
+                        .method("notify", rt::TypeKind::kVoid,
+                                {{"event", rt::TypeKind::kDict}},
+                                [](rt::ServiceObject& self, List& args) -> Value {
+                                    auto& fn = self.state<EventFn>();
+                                    const Dict& event = args[0].as_dict();
+                                    fn(ServiceItem::from_value(event.at("item")),
+                                       event.at("appeared").as_bool());
+                                    return Value{};
+                                })
+                        .build();
+        runtime.register_type(type);
+    }
+    std::string name = "disco.listener:" + std::to_string(++next_listener_);
+    auto listener = runtime.create("EventListener", name);
+    listener->emplace_state<EventFn>(std::move(on_event));
+    rpc_.export_object(name);
+    return name;
+}
+
+void DiscoveryClient::watch(NodeId registrar, const std::string& type, EventFn on_event,
+                            LeasedResource::LostFn on_lost, RegisterDone on_done) {
+    std::string listener = make_listener(std::move(on_event));
+    std::int64_t want_ms = config_.lease_duration.count() / 1'000'000;
+    rpc_.call_async(
+        registrar, "registrar", "watch", {Value{type}, Value{listener}, Value{want_ms}},
+        [this, registrar, on_lost = std::move(on_lost),
+         on_done = std::move(on_done)](Value result, std::exception_ptr error) {
+            if (error) {
+                on_done(nullptr, error);
+                return;
+            }
+            const Dict& grant = result.as_dict();
+            LeaseId lease{static_cast<std::uint64_t>(grant.at("lease").as_int())};
+            Duration granted = milliseconds(grant.at("duration_ms").as_int());
+            auto handle = std::shared_ptr<LeasedResource>(
+                new LeasedResource(rpc_, registrar, lease, granted, std::move(on_lost)));
+            on_done(std::move(handle), nullptr);
+        });
+}
+
+}  // namespace pmp::disco

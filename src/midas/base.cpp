@@ -1,0 +1,208 @@
+#include "midas/base.h"
+
+#include "common/log.h"
+
+namespace pmp::midas {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
+                             const crypto::KeyStore& keys, BaseConfig config)
+    : rpc_(rpc), registrar_(registrar), keys_(keys), config_(std::move(config)) {
+    watch_token_ = registrar_.watch_local(
+        "midas.adaptation",
+        [this](const disco::ServiceItem& item, bool appeared) { on_service(item, appeared); });
+    keepalive_timer_ = rpc_.router().simulator().schedule_every(
+        config_.keepalive_period, [this]() { keepalive_tick(); });
+}
+
+ExtensionBase::~ExtensionBase() {
+    registrar_.unwatch_local(watch_token_);
+    rpc_.router().simulator().cancel(keepalive_timer_);
+}
+
+void ExtensionBase::record(const std::string& event, const std::string& node_label,
+                           const std::string& extension) {
+    activity_.push_back(
+        Activity{rpc_.router().simulator().now(), event, node_label, extension});
+}
+
+void ExtensionBase::add_extension(ExtensionPackage pkg) {
+    // Bump past any version receivers may already hold so the push is a
+    // replacement, not a refresh.
+    auto& last = last_version_[pkg.name];
+    if (pkg.version <= last) pkg.version = last + 1;
+    last = pkg.version;
+
+    Policy policy{pkg, pkg.seal(keys_, config_.issuer)};
+    policy_[pkg.name] = std::move(policy);
+    record("policy-add", "", pkg.name);
+
+    for (auto& [node, adapted] : adapted_) {
+        std::set<std::string> visiting;
+        install_on(node, pkg.name, visiting);
+    }
+}
+
+void ExtensionBase::remove_extension(const std::string& name) {
+    auto it = policy_.find(name);
+    if (it == policy_.end()) return;
+    policy_.erase(it);
+    record("policy-remove", "", name);
+
+    for (auto& [node, adapted] : adapted_) {
+        auto ext_it = adapted.installed.find(name);
+        if (ext_it == adapted.installed.end()) continue;
+        std::uint64_t ext = ext_it->second;
+        adapted.installed.erase(ext_it);
+        record("revoke", adapted.label, name);
+        rpc_.call_async(node, "adaptation", "revoke",
+                        {Value{static_cast<std::int64_t>(ext)}},
+                        [](Value, std::exception_ptr) {});
+    }
+}
+
+std::vector<std::string> ExtensionBase::policy_names() const {
+    std::vector<std::string> out;
+    for (const auto& [name, _] : policy_) out.push_back(name);
+    return out;
+}
+
+std::vector<ExtensionBase::AdaptedNode> ExtensionBase::adapted() const {
+    std::vector<AdaptedNode> out;
+    for (const auto& [_, node] : adapted_) out.push_back(node);
+    return out;
+}
+
+void ExtensionBase::on_service(const disco::ServiceItem& item, bool appeared) {
+    const Value* label_v = item.attributes.find("node");
+    std::string label = label_v && label_v->is_str() ? label_v->as_str() : item.id.str();
+    if (appeared) {
+        adapt_node(item.provider, label);
+    }
+    // Disappearance needs no action: keep-alives to the node will start
+    // failing and drop_node() takes over — the same path as a crash.
+}
+
+void ExtensionBase::adapt_node(NodeId node, const std::string& label) {
+    auto [it, fresh] = adapted_.emplace(
+        node, AdaptedNode{node, label, {}, 0, rpc_.router().simulator().now()});
+    it->second.failures = 0;
+    if (fresh) {
+        record("adapt", label, "");
+        log_info(rpc_.router().simulator().now(), "base@" + config_.issuer,
+                 "adapting node ", label);
+    }
+    for (const auto& [name, _] : policy_) {
+        std::set<std::string> visiting;
+        install_on(node, name, visiting);
+    }
+    if (on_adapt_) on_adapt_(it->second);
+}
+
+bool ExtensionBase::release_node(const std::string& label) {
+    for (auto it = adapted_.begin(); it != adapted_.end(); ++it) {
+        if (it->second.label != label) continue;
+        ++stats_.nodes_handed_off;
+        record("handoff", label, "");
+        log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
+                 label, " handed off to a neighbouring base");
+        adapted_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+void ExtensionBase::install_on(NodeId node, const std::string& name,
+                               std::set<std::string>& visiting) {
+    auto policy_it = policy_.find(name);
+    if (policy_it == policy_.end()) {
+        log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
+                 "policy references unknown extension '", name, "'");
+        return;
+    }
+    if (!visiting.insert(name).second) return;  // dependency cycle guard
+
+    // Implicit prerequisites first (paper: adding access control
+    // automatically adds session management).
+    for (const std::string& implied : policy_it->second.pkg.implies) {
+        install_on(node, implied, visiting);
+    }
+
+    ++stats_.installs_sent;
+    std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
+    rpc_.call_async(
+        node, "adaptation", "install",
+        {Value{policy_it->second.sealed}, Value{lease_ms}},
+        [this, node, name](Value result, std::exception_ptr error) {
+            auto adapted_it = adapted_.find(node);
+            if (adapted_it == adapted_.end()) return;
+            if (error) {
+                ++stats_.install_failures;
+                try {
+                    std::rethrow_exception(error);
+                } catch (const Error& e) {
+                    log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
+                             "install of '", name, "' on ", adapted_it->second.label,
+                             " failed: ", e.what());
+                }
+                return;
+            }
+            adapted_it->second.installed[name] =
+                static_cast<std::uint64_t>(result.as_dict().at("ext").as_int());
+            record("install", adapted_it->second.label, name);
+        });
+}
+
+void ExtensionBase::keepalive_tick() {
+    std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
+    for (auto& [node, adapted] : adapted_) {
+        // Retry policy extensions whose install never succeeded (the radio
+        // may have eaten the package or the reply).
+        for (const auto& [name, _] : policy_) {
+            if (!adapted.installed.contains(name)) {
+                std::set<std::string> visiting;
+                install_on(node, name, visiting);
+            }
+        }
+        for (const auto& [name, ext] : adapted.installed) {
+            ++stats_.keepalives_sent;
+            NodeId node_id = node;
+            rpc_.call_async(
+                node, "adaptation", "keepalive",
+                {Value{static_cast<std::int64_t>(ext)}, Value{lease_ms}},
+                [this, node_id, name](Value result, std::exception_ptr error) {
+                    auto it = adapted_.find(node_id);
+                    if (it == adapted_.end()) return;
+                    if (error) {
+                        if (++it->second.failures > config_.max_keepalive_failures) {
+                            drop_node(node_id);
+                        }
+                        return;
+                    }
+                    it->second.failures = 0;
+                    if (!result.as_bool()) {
+                        // Receiver no longer knows the extension (expired
+                        // there, or restarted): re-install.
+                        std::set<std::string> visiting;
+                        install_on(node_id, name, visiting);
+                    }
+                },
+                /*timeout=*/config_.keepalive_period);
+        }
+    }
+}
+
+void ExtensionBase::drop_node(NodeId node) {
+    auto it = adapted_.find(node);
+    if (it == adapted_.end()) return;
+    ++stats_.nodes_dropped;
+    record("node-gone", it->second.label, "");
+    log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
+             it->second.label, " left; stopping keep-alives");
+    adapted_.erase(it);
+}
+
+}  // namespace pmp::midas

@@ -1,0 +1,121 @@
+// Extension base: the proactive side of MIDAS (paper §3.2).
+//
+// An ExtensionBase embodies a location's policy. It holds a set of signed
+// extension packages, watches its registrar for adaptation services coming
+// into range, and pushes the policy onto every newcomer. While a node stays
+// in the space the base keeps the node's extensions alive with periodic
+// keep-alives; when the node leaves, keep-alives stop reaching it and the
+// receiver's leases lapse. Changing the policy (add / replace / remove an
+// extension) immediately propagates to all adapted nodes. The base records
+// its extension activity — which nodes were adapted with what, when — the
+// paper's "simple roaming algorithm" bookkeeping.
+//
+// The same class serves both deployment extremes: one base per hall
+// (infrastructure mode) or one base inside every device (ad-hoc /
+// symmetric mode).
+#pragma once
+
+#include "crypto/trust.h"
+#include "disco/registrar.h"
+#include "midas/package.h"
+
+namespace pmp::midas {
+
+struct BaseConfig {
+    std::string issuer;                       ///< signing identity, e.g. "hall-a"
+    Duration extension_lease = seconds(2);    ///< lease requested per install
+    Duration keepalive_period = milliseconds(800);
+    int max_keepalive_failures = 2;           ///< consecutive failures before
+                                              ///< the node is considered gone
+};
+
+class ExtensionBase {
+public:
+    /// `registrar` is the lookup service this base watches (usually running
+    /// on the same node). `keys` must hold a signing key for config.issuer.
+    ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
+                  const crypto::KeyStore& keys, BaseConfig config);
+    ~ExtensionBase();
+
+    ExtensionBase(const ExtensionBase&) = delete;
+    ExtensionBase& operator=(const ExtensionBase&) = delete;
+
+    /// Add or replace a policy extension. If a package with the same name
+    /// exists, the version is bumped past it automatically so receivers
+    /// treat the push as a replacement. Newly arrived and already-adapted
+    /// nodes both get the (new) package.
+    void add_extension(ExtensionPackage pkg);
+
+    /// Drop a policy extension and revoke it from all adapted nodes.
+    void remove_extension(const std::string& name);
+
+    std::vector<std::string> policy_names() const;
+
+    struct AdaptedNode {
+        NodeId node;
+        std::string label;
+        std::map<std::string, std::uint64_t> installed;  // pkg name -> remote ext id
+        int failures = 0;
+        SimTime since;
+    };
+    std::size_t adapted_count() const { return adapted_.size(); }
+    std::vector<AdaptedNode> adapted() const;
+
+    /// The base's activity log ("what nodes were adapted, at what point in
+    /// time").
+    struct Activity {
+        SimTime at;
+        std::string event;  // "adapt" / "install" / "revoke" / "node-gone"
+        std::string node_label;
+        std::string extension;
+    };
+    const std::vector<Activity>& activity() const { return activity_; }
+
+    struct Stats {
+        std::uint64_t installs_sent = 0;
+        std::uint64_t install_failures = 0;
+        std::uint64_t keepalives_sent = 0;
+        std::uint64_t nodes_dropped = 0;    ///< via keep-alive failure
+        std::uint64_t nodes_handed_off = 0; ///< via federation claim
+    };
+    const Stats& stats() const { return stats_; }
+
+    /// Roaming support (see midas::Federation). `on_adapt` fires whenever a
+    /// node is (re-)adapted; `release_node` drops a node another base has
+    /// claimed, without waiting for keep-alives to fail.
+    void on_adapt(std::function<void(const AdaptedNode&)> fn) { on_adapt_ = std::move(fn); }
+    bool release_node(const std::string& label);
+
+private:
+    struct Policy {
+        ExtensionPackage pkg;
+        Bytes sealed;  // cached signed bytes
+    };
+
+    void on_service(const disco::ServiceItem& item, bool appeared);
+    void adapt_node(NodeId node, const std::string& label);
+    /// Install `name` (prerequisites first) on an adapted node.
+    void install_on(NodeId node, const std::string& name,
+                    std::set<std::string>& visiting);
+    void keepalive_tick();
+    void drop_node(NodeId node);
+    void record(const std::string& event, const std::string& node_label,
+                const std::string& extension);
+
+    rt::RpcEndpoint& rpc_;
+    disco::Registrar& registrar_;
+    const crypto::KeyStore& keys_;
+    BaseConfig config_;
+
+    std::map<std::string, Policy> policy_;
+    std::map<std::string, std::uint32_t> last_version_;
+    std::map<NodeId, AdaptedNode> adapted_;
+    std::vector<Activity> activity_;
+    Stats stats_;
+
+    std::uint64_t watch_token_ = 0;
+    sim::TimerId keepalive_timer_;
+    std::function<void(const AdaptedNode&)> on_adapt_;
+};
+
+}  // namespace pmp::midas

@@ -1,0 +1,43 @@
+#include "midas/channel.h"
+
+#include "common/error.h"
+
+namespace pmp::midas {
+
+namespace {
+const Bytes kMagic = {0x53, 0x43, 0x30, 0x31};  // "SC01"
+
+Bytes crypt(const Bytes& key, std::span<const std::uint8_t> data) {
+    Bytes out(data.begin(), data.end());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= key[i % key.size()];
+    return out;
+}
+}  // namespace
+
+std::pair<rt::RpcEndpoint::WireFilter, rt::RpcEndpoint::WireFilter> make_channel_filters(
+    const std::string& key_text) {
+    if (key_text.empty()) throw Error("channel key must be non-empty");
+    Bytes key = to_bytes(key_text);
+
+    rt::RpcEndpoint::WireFilter outbound = [key](Bytes plain) {
+        Bytes wire = kMagic;
+        append(wire, std::span<const std::uint8_t>(
+                         crypt(key, std::span<const std::uint8_t>(plain))));
+        return wire;
+    };
+    rt::RpcEndpoint::WireFilter inbound = [key](Bytes wire) {
+        if (wire.size() < kMagic.size() ||
+            !std::equal(kMagic.begin(), kMagic.end(), wire.begin())) {
+            throw ParseError("rpc payload is not channel-encrypted", 0, 0);
+        }
+        return crypt(key, std::span<const std::uint8_t>(wire).subspan(kMagic.size()));
+    };
+    return {std::move(outbound), std::move(inbound)};
+}
+
+void key_channel(rt::RpcEndpoint& rpc, rt::HookOwner owner, const std::string& key) {
+    auto [outbound, inbound] = make_channel_filters(key);
+    rpc.add_wire_filter(owner, /*priority=*/0, std::move(outbound), std::move(inbound));
+}
+
+}  // namespace pmp::midas

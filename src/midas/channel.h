@@ -1,0 +1,30 @@
+// Secure-channel wire filters (paper §3.3: "an extension that will encrypt
+// every outgoing call from an application and decrypt every incoming call").
+//
+// The same filter pair is used by the receiver-side `rpc.set_channel`
+// builtin and by any infrastructure node that keys its own channel (a base
+// station distributing a secure-channel extension must speak the channel
+// itself, or its keep-alives would be dropped as plaintext).
+//
+// The cipher is a toy (magic tag + repeating-key XOR): the reproduction's
+// point is the join point on the marshaling path and the extension
+// lifecycle, not cryptographic strength — see DESIGN.md §2.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "rt/rpc.h"
+
+namespace pmp::midas {
+
+/// Build the (outbound, inbound) filter pair for `key`. Inbound throws
+/// ParseError on payloads that do not carry the channel tag, so plaintext
+/// from unadapted peers is dropped by the rpc layer.
+std::pair<rt::RpcEndpoint::WireFilter, rt::RpcEndpoint::WireFilter> make_channel_filters(
+    const std::string& key);
+
+/// Convenience: key a node's rpc channel under `owner`.
+void key_channel(rt::RpcEndpoint& rpc, rt::HookOwner owner, const std::string& key);
+
+}  // namespace pmp::midas

@@ -1,0 +1,63 @@
+#include "midas/collector.h"
+
+namespace pmp::midas {
+
+using rt::Dict;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+Collector::Collector(rt::RpcEndpoint& rpc, db::EventStore& store)
+    : rpc_(rpc), store_(store) {
+    auto& runtime = rpc_.runtime();
+    if (!runtime.find_type("Collector")) {
+        auto type =
+            rt::TypeInfo::Builder("Collector")
+                .method("post", TypeKind::kInt,
+                        {{"source", TypeKind::kStr}, {"data", TypeKind::kAny}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            ++posts_;
+                            auto seq = store_.append(args[0].as_str(),
+                                                     rpc_.router().simulator().now(),
+                                                     args[1]);
+                            return Value{static_cast<std::int64_t>(seq)};
+                        })
+                .method("query", TypeKind::kList,
+                        {{"source", TypeKind::kStr},
+                         {"from_ms", TypeKind::kInt},
+                         {"until_ms", TypeKind::kInt}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            db::Query q;
+                            if (!args[0].as_str().empty()) q.source = args[0].as_str();
+                            if (args[1].as_int() >= 0) {
+                                q.from = SimTime{args[1].as_int() * 1'000'000};
+                            }
+                            if (args[2].as_int() >= 0) {
+                                q.until = SimTime{args[2].as_int() * 1'000'000};
+                            }
+                            List out;
+                            for (const db::Record& rec : store_.query(q)) {
+                                Dict d{{"seq", Value{static_cast<std::int64_t>(rec.seq)}},
+                                       {"source", Value{rec.source}},
+                                       {"at_ms", Value{rec.at.ns / 1'000'000}},
+                                       {"data", rec.data}};
+                                out.push_back(Value{std::move(d)});
+                            }
+                            return Value{std::move(out)};
+                        })
+                .method("sources", TypeKind::kList, {},
+                        [this](rt::ServiceObject&, List&) -> Value {
+                            List out;
+                            for (const std::string& s : store_.sources()) {
+                                out.push_back(Value{s});
+                            }
+                            return Value{std::move(out)};
+                        })
+                .build();
+        runtime.register_type(type);
+    }
+    self_object_ = runtime.create("Collector", "collector");
+    rpc_.export_object("collector");
+}
+
+}  // namespace pmp::midas

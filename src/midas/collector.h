@@ -1,0 +1,36 @@
+// Collector: the base-station endpoint extensions post monitoring data to.
+//
+// In Fig 3b the hardware-monitoring extension sends intercepted motor
+// actions asynchronously to the base station (2), which stores them in a
+// database (3). The Collector is that endpoint: a service object named
+// "collector" whose post() appends to the hall's EventStore. Extensions
+// reach it through the `owner.post("collector", "post", [...])` builtin.
+//
+// Remote interface (object "collector"):
+//   post(source str, data any) -> int   (sequence number)
+//   query(source str, from_ms int, until_ms int) -> [ {seq, source, at_ms, data} ]
+//   sources() -> [str]
+#pragma once
+
+#include "db/store.h"
+#include "rt/rpc.h"
+
+namespace pmp::midas {
+
+class Collector {
+public:
+    Collector(rt::RpcEndpoint& rpc, db::EventStore& store);
+
+    db::EventStore& store() { return store_; }
+
+    /// Number of posts accepted so far.
+    std::uint64_t posts() const { return posts_; }
+
+private:
+    rt::RpcEndpoint& rpc_;
+    db::EventStore& store_;
+    std::shared_ptr<rt::ServiceObject> self_object_;
+    std::uint64_t posts_ = 0;
+};
+
+}  // namespace pmp::midas

@@ -1,0 +1,41 @@
+#include "midas/federation.h"
+
+namespace pmp::midas {
+
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+Federation::Federation(rt::RpcEndpoint& rpc, ExtensionBase& base, std::string name)
+    : rpc_(rpc), base_(base), name_(std::move(name)) {
+    auto& runtime = rpc_.runtime();
+    if (!runtime.find_type("Roaming")) {
+        runtime.register_type(
+            rt::TypeInfo::Builder("Roaming")
+                .method("claimed", TypeKind::kBool,
+                        {{"node_label", TypeKind::kStr}, {"by", TypeKind::kStr}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            ++stats_.claims_received;
+                            bool released = base_.release_node(args[0].as_str());
+                            if (released) ++stats_.releases;
+                            return Value{released};
+                        })
+                .build());
+    }
+    self_object_ = runtime.create("Roaming", "roaming");
+    rpc_.export_object("roaming");
+    rpc_.exempt_from_filters("roaming");  // backbone control plane
+
+    base_.on_adapt([this](const ExtensionBase::AdaptedNode& node) {
+        for (NodeId neighbor : neighbors_) {
+            ++stats_.claims_sent;
+            rpc_.call_async(neighbor, "roaming", "claimed",
+                            {Value{node.label}, Value{name_}},
+                            [](Value, std::exception_ptr) {});
+        }
+    });
+}
+
+void Federation::add_neighbor(NodeId base_node) { neighbors_.push_back(base_node); }
+
+}  // namespace pmp::midas

@@ -1,0 +1,46 @@
+// Roaming federation between base stations (paper §3.2: each extension
+// base "optionally implements a simple roaming algorithm to deal with
+// nodes migrating between areas").
+//
+// Bases of adjacent halls are connected by a backbone (a wired link in the
+// simulated network). Whenever a base adapts a node, it *claims* it to its
+// neighbours; a neighbour still keeping keep-alives flowing to that node
+// releases it immediately instead of burning keep-alive timeouts. The
+// activity log records the handoff, so an operator can follow a robot
+// across halls.
+//
+// Remote interface (object "roaming"):
+//   claimed(node_label str, by str) -> bool
+#pragma once
+
+#include "midas/base.h"
+
+namespace pmp::midas {
+
+class Federation {
+public:
+    /// Attaches to the base's adapt events and exports the "roaming"
+    /// endpoint on the same node.
+    Federation(rt::RpcEndpoint& rpc, ExtensionBase& base, std::string name);
+
+    /// Declare a neighbouring base (call add_wire on the network first so
+    /// the claim can actually travel).
+    void add_neighbor(NodeId base_node);
+
+    struct Stats {
+        std::uint64_t claims_sent = 0;
+        std::uint64_t claims_received = 0;
+        std::uint64_t releases = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    rt::RpcEndpoint& rpc_;
+    ExtensionBase& base_;
+    std::string name_;
+    std::vector<NodeId> neighbors_;
+    std::shared_ptr<rt::ServiceObject> self_object_;
+    Stats stats_;
+};
+
+}  // namespace pmp::midas

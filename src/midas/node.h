@@ -1,0 +1,111 @@
+// Whole-node assemblies.
+//
+// A participating device runs a fixed stack: router -> runtime -> RPC ->
+// weaver -> discovery -> (receiver and/or base + registrar + collector).
+// These classes wire the stack up in the right order so scenarios, tests
+// and benchmarks can say "one base station, three robots" in a few lines.
+//
+//   MobileNode  — extension receiver only (a robot, a PDA entering a hall)
+//   BaseStation — registrar + extension base + collector/database
+//   Peer        — both roles (the paper's symmetric / ad-hoc mode: "if a
+//                 mobile device is capable of receiving extensions, it
+//                 should also be able to provide extensions to other nodes")
+#pragma once
+
+#include "midas/base.h"
+#include "midas/collector.h"
+#include "midas/receiver.h"
+
+namespace pmp::midas {
+
+/// The stack every node shares.
+class NodeStack {
+public:
+    NodeStack(net::Network& network, const std::string& label, net::Position pos,
+              double range);
+
+    NodeId id() const { return id_; }
+    const std::string& label() const { return label_; }
+    net::Network& network() { return network_; }
+    net::MessageRouter& router() { return *router_; }
+    rt::Runtime& runtime() { return *runtime_; }
+    rt::RpcEndpoint& rpc() { return *rpc_; }
+    prose::Weaver& weaver() { return *weaver_; }
+    disco::DiscoveryClient& discovery() { return *discovery_; }
+    sim::Simulator& simulator() { return network_.simulator(); }
+
+    /// Teleport the node (scenarios usually use net::PathMover instead).
+    void move_to(net::Position pos) { network_.move_node(id_, pos); }
+    net::Position position() const { return network_.position_of(id_); }
+
+private:
+    net::Network& network_;
+    std::string label_;
+    NodeId id_;
+    std::unique_ptr<net::MessageRouter> router_;
+    std::unique_ptr<rt::Runtime> runtime_;
+    std::unique_ptr<rt::RpcEndpoint> rpc_;
+    std::unique_ptr<prose::Weaver> weaver_;
+    std::unique_ptr<disco::DiscoveryClient> discovery_;
+};
+
+/// A mobile device that can be adapted by proactive environments.
+class MobileNode : public NodeStack {
+public:
+    MobileNode(net::Network& network, const std::string& label, net::Position pos,
+               double range, ReceiverConfig receiver_config = {});
+
+    crypto::TrustStore& trust() { return trust_; }
+    AdaptationService& receiver() { return *receiver_; }
+
+private:
+    crypto::TrustStore trust_;
+    std::unique_ptr<AdaptationService> receiver_;
+};
+
+/// A base station: the proactive environment of one physical space.
+class BaseStation : public NodeStack {
+public:
+    BaseStation(net::Network& network, const std::string& label, net::Position pos,
+                double range, BaseConfig base_config,
+                disco::RegistrarConfig registrar_config = {});
+
+    crypto::KeyStore& keys() { return keys_; }
+    disco::Registrar& registrar() { return *registrar_; }
+    ExtensionBase& base() { return *base_; }
+    Collector& collector() { return *collector_; }
+    db::EventStore& store() { return store_; }
+
+private:
+    crypto::KeyStore keys_;
+    db::EventStore store_;
+    std::unique_ptr<disco::Registrar> registrar_;
+    std::unique_ptr<Collector> collector_;
+    std::unique_ptr<ExtensionBase> base_;
+};
+
+/// A symmetric peer: receives extensions from others and provides its own.
+class Peer : public NodeStack {
+public:
+    Peer(net::Network& network, const std::string& label, net::Position pos, double range,
+         BaseConfig base_config, ReceiverConfig receiver_config = {});
+
+    crypto::TrustStore& trust() { return trust_; }
+    crypto::KeyStore& keys() { return keys_; }
+    AdaptationService& receiver() { return *receiver_; }
+    disco::Registrar& registrar() { return *registrar_; }
+    ExtensionBase& base() { return *base_; }
+    Collector& collector() { return *collector_; }
+    db::EventStore& store() { return store_; }
+
+private:
+    crypto::TrustStore trust_;
+    crypto::KeyStore keys_;
+    db::EventStore store_;
+    std::unique_ptr<disco::Registrar> registrar_;
+    std::unique_ptr<Collector> collector_;
+    std::unique_ptr<AdaptationService> receiver_;
+    std::unique_ptr<ExtensionBase> base_;
+};
+
+}  // namespace pmp::midas

@@ -1,0 +1,96 @@
+#include "midas/package.h"
+
+#include "common/error.h"
+
+namespace pmp::midas {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+namespace {
+
+std::int64_t kind_code(prose::AdviceKind kind) { return static_cast<std::int64_t>(kind); }
+
+prose::AdviceKind kind_from_code(std::int64_t code) {
+    if (code < 0 || code > static_cast<std::int64_t>(prose::AdviceKind::kFieldGet)) {
+        throw ParseError("bad advice kind code " + std::to_string(code), 0, 0);
+    }
+    return static_cast<prose::AdviceKind>(code);
+}
+
+}  // namespace
+
+Bytes ExtensionPackage::signed_payload() const {
+    // The payload is the canonical Value encoding of the package contents;
+    // Dict keys encode sorted, so equal packages produce equal bytes.
+    List bindings_v;
+    for (const PackageBinding& b : bindings) {
+        Dict bd{{"kind", Value{kind_code(b.kind)}},
+                {"pointcut", Value{b.pointcut}},
+                {"function", Value{b.function}},
+                {"priority", Value{static_cast<std::int64_t>(b.priority)}}};
+        bindings_v.push_back(Value{std::move(bd)});
+    }
+    List caps_v;
+    for (const std::string& c : capabilities) caps_v.push_back(Value{c});
+    List implies_v;
+    for (const std::string& i : implies) implies_v.push_back(Value{i});
+
+    Dict d{{"name", Value{name}},
+           {"version", Value{static_cast<std::int64_t>(version)}},
+           {"script", Value{script}},
+           {"bindings", Value{std::move(bindings_v)}},
+           {"config", config},
+           {"capabilities", Value{std::move(caps_v)}},
+           {"implies", Value{std::move(implies_v)}}};
+    return Value{std::move(d)}.encode();
+}
+
+Bytes ExtensionPackage::seal(const crypto::KeyStore& keys, const std::string& issuer) const {
+    Bytes payload = signed_payload();
+    crypto::Signature sig = keys.sign(issuer, std::span<const std::uint8_t>(payload));
+    Bytes sig_bytes = sig.encode();
+
+    Bytes out;
+    append_u32(out, static_cast<std::uint32_t>(payload.size()));
+    append(out, std::span<const std::uint8_t>(payload));
+    append(out, std::span<const std::uint8_t>(sig_bytes));
+    return out;
+}
+
+std::pair<ExtensionPackage, crypto::Signature> ExtensionPackage::open(
+    std::span<const std::uint8_t> sealed) {
+    ByteReader reader(sealed);
+    std::uint32_t payload_len = reader.read_u32();
+    auto payload = reader.read(payload_len);
+    crypto::Signature sig = crypto::Signature::decode(reader);
+
+    Value v = Value::decode(payload);
+    const Dict& d = v.as_dict();
+
+    ExtensionPackage pkg;
+    pkg.name = d.at("name").as_str();
+    pkg.version = static_cast<std::uint32_t>(d.at("version").as_int());
+    pkg.script = d.at("script").as_str();
+    for (const Value& bv : d.at("bindings").as_list()) {
+        const Dict& bd = bv.as_dict();
+        pkg.bindings.push_back(PackageBinding{
+            kind_from_code(bd.at("kind").as_int()), bd.at("pointcut").as_str(),
+            bd.at("function").as_str(), static_cast<int>(bd.at("priority").as_int())});
+    }
+    pkg.config = d.at("config");
+    for (const Value& cv : d.at("capabilities").as_list()) {
+        pkg.capabilities.push_back(cv.as_str());
+    }
+    for (const Value& iv : d.at("implies").as_list()) {
+        pkg.implies.push_back(iv.as_str());
+    }
+    return {std::move(pkg), std::move(sig)};
+}
+
+std::size_t ExtensionPackage::wire_size() const {
+    return signed_payload().size() + 40;  // + signature overhead
+}
+
+}  // namespace pmp::midas

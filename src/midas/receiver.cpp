@@ -1,0 +1,355 @@
+#include "midas/receiver.h"
+#include "midas/channel.h"
+#include "script/check.h"
+
+#include "common/log.h"
+
+namespace pmp::midas {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver,
+                                     crypto::TrustStore& trust,
+                                     disco::DiscoveryClient& discovery, ReceiverConfig config)
+    : rpc_(rpc),
+      weaver_(weaver),
+      trust_(trust),
+      discovery_(discovery),
+      config_(std::move(config)),
+      host_builtins_(script::BuiltinRegistry::with_core()) {
+    // Node facilities every extension may request.
+    host_builtins_.add("sys.now_ms", "", [this](List&) -> Value {
+        return Value{rpc_.router().simulator().now().ns / 1'000'000};
+    });
+    host_builtins_.add("sys.node", "", [this](List&) -> Value {
+        return Value{config_.node_label};
+    });
+    host_builtins_.add("sys.caller", "", [this](List&) -> Value {
+        NodeId caller = rpc_.current_caller();
+        return caller.valid() ? Value{rpc_.router().network().name_of(caller)} : Value{};
+    });
+    host_builtins_.add("log.info", "log", [this](List& args) -> Value {
+        std::string line;
+        for (const Value& v : args) line += v.is_str() ? v.as_str() : v.to_string();
+        log_info(rpc_.router().simulator().now(), "ext@" + config_.node_label, line);
+        return Value{};
+    });
+
+    build_service_object();
+
+    // Advertise the adaptation service at every registrar in range; the
+    // advertisement itself is leased, so it evaporates when we leave.
+    registrar_token_ = discovery_.on_registrar([this](NodeId registrar, bool reachable) {
+        if (reachable) {
+            register_at(registrar);
+        } else {
+            advertisements_.erase(registrar);
+        }
+    });
+}
+
+AdaptationService::~AdaptationService() {
+    discovery_.off_registrar(registrar_token_);
+    withdraw_all(prose::WithdrawReason::kExplicit);
+}
+
+void AdaptationService::register_at(NodeId registrar) {
+    Dict attrs{{"node", Value{config_.node_label}}};
+    // If the advertisement is lost (renewals eaten by a lossy radio) or the
+    // registration attempt itself fails while the registrar is still
+    // around, try again shortly — otherwise the node would silently stop
+    // being adaptable until it left and re-entered the cell.
+    auto retry_if_still_there = [this, registrar]() {
+        advertisements_.erase(registrar);
+        rpc_.router().simulator().schedule_after(milliseconds(500), [this, registrar]() {
+            if (advertisements_.contains(registrar)) return;  // re-registered already
+            for (NodeId known : discovery_.registrars()) {
+                if (known == registrar) {
+                    register_at(registrar);
+                    return;
+                }
+            }
+        });
+    };
+    discovery_.register_service(
+        registrar, "midas.adaptation", std::move(attrs),
+        /*on_lost=*/retry_if_still_there,
+        /*on_done=*/
+        [this, registrar, retry_if_still_there](
+            std::shared_ptr<disco::LeasedResource> handle, std::exception_ptr error) {
+            if (!error && handle) {
+                advertisements_[registrar] = std::move(handle);
+            } else {
+                retry_if_still_there();
+            }
+        });
+}
+
+void AdaptationService::allow_capabilities(const std::string& issuer,
+                                           std::set<std::string> caps) {
+    issuer_caps_[issuer] = std::move(caps);
+}
+
+void AdaptationService::add_host_builtin(const std::string& name,
+                                         const std::string& capability,
+                                         script::BuiltinRegistry::Fn fn) {
+    host_builtins_.add(name, capability, std::move(fn));
+}
+
+void AdaptationService::build_service_object() {
+    using rt::TypeKind;
+    auto& runtime = rpc_.runtime();
+    if (!runtime.find_type("AdaptationService")) {
+        auto type =
+            rt::TypeInfo::Builder("AdaptationService")
+                .method("install", TypeKind::kDict,
+                        {{"pkg", TypeKind::kBlob}, {"lease_ms", TypeKind::kInt}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            return do_install(rpc_.current_caller(), args[0].as_blob(),
+                                              args[1].as_int());
+                        })
+                .method("keepalive", TypeKind::kBool,
+                        {{"ext", TypeKind::kInt}, {"lease_ms", TypeKind::kInt}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            return Value{do_keepalive(
+                                static_cast<std::uint64_t>(args[0].as_int()),
+                                args[1].as_int())};
+                        })
+                .method("revoke", TypeKind::kBool, {{"ext", TypeKind::kInt}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            return Value{
+                                do_revoke(static_cast<std::uint64_t>(args[0].as_int()))};
+                        })
+                .method("list", TypeKind::kList, {},
+                        [this](rt::ServiceObject&, List&) -> Value { return do_list(); })
+                .build();
+        runtime.register_type(type);
+    }
+    self_object_ = runtime.create("AdaptationService", "adaptation");
+    rpc_.export_object("adaptation");
+}
+
+Duration AdaptationService::clamp(std::int64_t lease_ms) const {
+    if (lease_ms <= 0) return config_.max_extension_lease;
+    Duration want = milliseconds(lease_ms);
+    return want > config_.max_extension_lease ? config_.max_extension_lease : want;
+}
+
+void AdaptationService::emit(const std::string& event, const Installed& entry) {
+    if (event_fn_) event_fn_(event, entry);
+}
+
+rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
+                                        std::int64_t lease_ms) {
+    SimTime now = rpc_.router().simulator().now();
+    ExtensionPackage pkg;
+    crypto::Signature sig;
+    try {
+        std::tie(pkg, sig) = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
+        // Trust first: nothing from an untrusted or tampered package is
+        // even parsed as code.
+        trust_.verify(std::span<const std::uint8_t>(pkg.signed_payload()), sig);
+    } catch (const Error& e) {
+        ++stats_.rejections;
+        log_warn(now, "midas@" + config_.node_label, "rejected package: ", e.what());
+        throw;
+    }
+
+    // Capability policy: every requested capability must be grantable for
+    // this issuer.
+    const auto caps_it = issuer_caps_.find(sig.issuer);
+    for (const std::string& cap : pkg.capabilities) {
+        if (caps_it == issuer_caps_.end() || !caps_it->second.contains(cap)) {
+            ++stats_.rejections;
+            throw TrustError("issuer '" + sig.issuer + "' may not grant capability '" +
+                             cap + "' on this node");
+        }
+    }
+
+    Duration lease = clamp(lease_ms);
+
+    // Same name already installed?
+    if (auto it = by_name_.find(pkg.name); it != by_name_.end()) {
+        Entry& existing = installed_.at(it->second);
+        if (pkg.version <= existing.info.version) {
+            // Idempotent re-install: refresh the lease only.
+            ++stats_.refreshes;
+            existing.info.base = base;
+            arm_expiry(existing.info.id, lease);
+            emit("refresh", existing.info);
+            Dict out{{"ext", Value{static_cast<std::int64_t>(existing.info.id.value)}},
+                     {"lease_ms", Value{lease.count() / 1'000'000}}};
+            return Value{std::move(out)};
+        }
+        // Newer version: withdraw the old one first (shutdown runs).
+        ++stats_.replacements;
+        withdraw(it->second, prose::WithdrawReason::kReplaced);
+    }
+
+    // Compile and weave. Compilation failures (bad script, missing bound
+    // functions) propagate to the installing base.
+    script::Sandbox sandbox;
+    sandbox.capabilities.insert(pkg.capabilities.begin(), pkg.capabilities.end());
+    sandbox.step_budget = config_.script_step_budget;
+    sandbox.max_recursion = config_.script_max_recursion;
+
+    // Per-extension builtins: owner.post reaches back to whatever node
+    // installed this extension (the base station or a peer).
+    script::BuiltinRegistry builtins = host_builtins_;
+    rt::RpcEndpoint* rpc = &rpc_;
+    NodeId owner = base;
+
+    // rpc.set_channel(key): the paper's application-blind encryption
+    // extension — "encrypt every outgoing call from an application and
+    // decrypt every incoming call". Installs keyed wire filters on this
+    // node's rpc path; they are withdrawn with the extension. The toy
+    // stream cipher (magic + repeating-key XOR) stands in for a real one;
+    // what matters is the join point and the lifecycle.
+    ExtensionId id = ids_.next();
+    rt::HookOwner wire_owner = 0x8000000000000000ull | id.value;
+    builtins.add("rpc.set_channel", "rpc", [rpc, wire_owner](List& args) -> Value {
+        if (args.size() != 1 || !args[0].is_str()) {
+            throw ScriptError("rpc.set_channel expects (key)");
+        }
+        try {
+            key_channel(*rpc, wire_owner, args[0].as_str());
+        } catch (const Error& e) {
+            throw ScriptError(e.what());
+        }
+        return Value{};
+    });
+    builtins.add("owner.post", "net", [rpc, owner](List& args) -> Value {
+        if (args.size() != 3 || !args[0].is_str() || !args[1].is_str() || !args[2].is_list()) {
+            throw ScriptError("owner.post expects (object, method, args)");
+        }
+        rpc->call_async(owner, args[0].as_str(), args[1].as_str(), args[2].as_list(),
+                        [](Value, std::exception_ptr) {});
+        return Value{};
+    });
+
+    std::vector<prose::ScriptBinding> bindings;
+    for (const PackageBinding& b : pkg.bindings) {
+        bindings.push_back(prose::ScriptBinding{b.kind, b.pointcut, b.function, b.priority});
+    }
+
+    AspectId aspect;
+    try {
+        if (config_.static_check) {
+            script::Program parsed = script::parse(pkg.script);
+            // The checker sees the same world the script will: host and
+            // per-extension builtins plus the ctx.* join-point builtins
+            // that ScriptAspect adds during compilation.
+            script::BuiltinRegistry checkable = builtins;
+            for (const auto& [name, capability] : prose::ctx_builtin_names()) {
+                checkable.add(name, capability,
+                              [](List&) -> Value { return Value{}; });
+            }
+            auto diagnostics = script::check(parsed, checkable);
+            if (!diagnostics.empty()) {
+                throw ScriptError("extension '" + pkg.name + "' rejected by static check: " +
+                                  script::format_diagnostics(diagnostics));
+            }
+        }
+        prose::ScriptAspect compiled(pkg.name, pkg.script, std::move(bindings),
+                                     std::move(sandbox), builtins, pkg.config);
+        aspect = weaver_.weave(compiled.aspect());
+    } catch (...) {
+        // The top level may have installed wire filters before compilation
+        // failed; do not leave them orphaned.
+        rpc_.remove_wire_filters(wire_owner);
+        ++stats_.rejections;
+        throw;
+    }
+
+    Entry entry;
+    entry.info = Installed{id, pkg.name, pkg.version, sig.issuer, base, aspect,
+                           now + lease};
+    entry.wire_owner = wire_owner;
+    installed_.emplace(id, std::move(entry));
+    by_name_[pkg.name] = id;
+    arm_expiry(id, lease);
+    ++stats_.installs;
+    emit("install", installed_.at(id).info);
+    log_info(now, "midas@" + config_.node_label, "installed '", pkg.name, "' v",
+             pkg.version, " from ", sig.issuer);
+
+    Dict out{{"ext", Value{static_cast<std::int64_t>(id.value)}},
+             {"lease_ms", Value{lease.count() / 1'000'000}}};
+    return Value{std::move(out)};
+}
+
+void AdaptationService::arm_expiry(ExtensionId id, Duration lease) {
+    auto& entry = installed_.at(id);
+    rpc_.router().simulator().cancel(entry.expiry_timer);
+    entry.info.expires = rpc_.router().simulator().now() + lease;
+    entry.expiry_timer = rpc_.router().simulator().schedule_after(lease, [this, id]() {
+        auto it = installed_.find(id);
+        if (it == installed_.end()) return;
+        ++stats_.expirations;
+        Installed info = it->second.info;
+        log_info(rpc_.router().simulator().now(), "midas@" + config_.node_label,
+                 "lease expired, withdrawing '", info.name, "'");
+        withdraw(id, prose::WithdrawReason::kLeaseExpired);
+        emit("expire", info);
+    });
+}
+
+bool AdaptationService::do_keepalive(std::uint64_t ext, std::int64_t lease_ms) {
+    ExtensionId id{ext};
+    auto it = installed_.find(id);
+    if (it == installed_.end()) return false;
+    arm_expiry(id, clamp(lease_ms));
+    return true;
+}
+
+bool AdaptationService::do_revoke(std::uint64_t ext) {
+    ExtensionId id{ext};
+    auto it = installed_.find(id);
+    if (it == installed_.end()) return false;
+    ++stats_.revocations;
+    Installed info = it->second.info;
+    withdraw(id, prose::WithdrawReason::kExplicit);
+    emit("revoke", info);
+    return true;
+}
+
+rt::Value AdaptationService::do_list() const {
+    List out;
+    for (const auto& [id, entry] : installed_) {
+        Dict d{{"ext", Value{static_cast<std::int64_t>(id.value)}},
+               {"name", Value{entry.info.name}},
+               {"version", Value{static_cast<std::int64_t>(entry.info.version)}},
+               {"issuer", Value{entry.info.issuer}}};
+        out.push_back(Value{std::move(d)});
+    }
+    return Value{std::move(out)};
+}
+
+void AdaptationService::withdraw(ExtensionId id, prose::WithdrawReason reason) {
+    auto it = installed_.find(id);
+    if (it == installed_.end()) return;
+    rpc_.router().simulator().cancel(it->second.expiry_timer);
+    weaver_.withdraw(it->second.info.aspect, reason);
+    if (it->second.wire_owner != 0) {
+        rpc_.remove_wire_filters(it->second.wire_owner);
+    }
+    by_name_.erase(it->second.info.name);
+    installed_.erase(it);
+}
+
+void AdaptationService::withdraw_all(prose::WithdrawReason reason) {
+    while (!installed_.empty()) {
+        withdraw(installed_.begin()->first, reason);
+    }
+}
+
+std::vector<AdaptationService::Installed> AdaptationService::installed() const {
+    std::vector<Installed> out;
+    out.reserve(installed_.size());
+    for (const auto& [_, entry] : installed_) out.push_back(entry.info);
+    return out;
+}
+
+}  // namespace pmp::midas

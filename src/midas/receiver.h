@@ -1,0 +1,149 @@
+// The adaptation service each mobile node carries (paper §3.2-3.3).
+//
+// "All R needs is a PROSE enabled JVM and the adaptation service. The rest
+// is provided by the context." — this class is that adaptation service. It
+//
+//   * advertises itself as a service of type "midas.adaptation" at every
+//     registrar that comes into radio range, so proactive environments can
+//     find and adapt the node;
+//   * accepts signed extension packages over RPC (install), verifies the
+//     issuer against the node's trust store, enforces the node's capability
+//     policy, compiles the script, and weaves the resulting aspect;
+//   * leases every installed extension: if the installing base stops
+//     sending keep-alives (the node left the space, the base died), the
+//     extension is autonomously withdrawn — after its shutdown procedure
+//     has run;
+//   * replaces an installed extension when a newer version of the same
+//     name arrives, and revokes on explicit request.
+//
+// Remote interface (object "adaptation"):
+//   install(pkg blob, lease_ms int) -> {ext int, lease_ms int}
+//   keepalive(ext int, lease_ms int) -> bool
+//   revoke(ext int) -> bool
+//   list() -> [ {ext, name, version, issuer} ]
+#pragma once
+
+#include <set>
+
+#include "core/script_aspect.h"
+#include "core/weaver.h"
+#include "crypto/trust.h"
+#include "disco/lookup.h"
+#include "midas/package.h"
+
+namespace pmp::midas {
+
+struct ReceiverConfig {
+    std::string node_label;                  ///< e.g. "robot:1:1"
+    Duration max_extension_lease = seconds(5);  ///< grants clamped to this
+    std::uint64_t script_step_budget = 1'000'000;
+    int script_max_recursion = 64;
+    /// Run the static checker over incoming scripts and reject packages
+    /// with diagnostics (undefined names, unknown builtins, bad arity...)
+    /// before anything is compiled or woven.
+    bool static_check = true;
+};
+
+class AdaptationService {
+public:
+    AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver,
+                      crypto::TrustStore& trust, disco::DiscoveryClient& discovery,
+                      ReceiverConfig config);
+    ~AdaptationService();
+
+    AdaptationService(const AdaptationService&) = delete;
+    AdaptationService& operator=(const AdaptationService&) = delete;
+
+    /// Capability policy: extensions signed by `issuer` may be granted at
+    /// most `caps`. Issuers without an entry get nothing beyond the core
+    /// library. (The trust store decides *whether* to accept; this decides
+    /// *how much* the accepted code may touch.)
+    void allow_capabilities(const std::string& issuer, std::set<std::string> caps);
+
+    /// Expose a node facility to extension scripts (e.g. "robot.freeze").
+    void add_host_builtin(const std::string& name, const std::string& capability,
+                          script::BuiltinRegistry::Fn fn);
+
+    struct Installed {
+        ExtensionId id;
+        std::string name;
+        std::uint32_t version = 0;
+        std::string issuer;
+        NodeId base;
+        AspectId aspect;
+        SimTime expires;
+    };
+
+    std::vector<Installed> installed() const;
+    std::size_t installed_count() const { return installed_.size(); }
+
+    /// Local entry points for alternative distribution transports (e.g.
+    /// the tuple-space puller, which fetches packages itself and installs
+    /// them in-process). `origin` is where owner.post will reach back to.
+    rt::Value install_from(NodeId origin, const Bytes& sealed, std::int64_t lease_ms) {
+        return do_install(origin, sealed, lease_ms);
+    }
+    bool keepalive_local(std::uint64_t ext, std::int64_t lease_ms) {
+        return do_keepalive(ext, lease_ms);
+    }
+    bool revoke_local(std::uint64_t ext) { return do_revoke(ext); }
+
+    /// Withdraw everything from a given base (or all) locally.
+    void withdraw_all(prose::WithdrawReason reason = prose::WithdrawReason::kExplicit);
+
+    struct Stats {
+        std::uint64_t installs = 0;
+        std::uint64_t replacements = 0;
+        std::uint64_t refreshes = 0;   ///< re-install of same name+version
+        std::uint64_t rejections = 0;  ///< trust / capability / parse failures
+        std::uint64_t expirations = 0;
+        std::uint64_t revocations = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+    /// Observation hook for examples/tests: event is one of "install",
+    /// "replace", "refresh", "expire", "revoke".
+    using EventFn = std::function<void(const std::string& event, const Installed&)>;
+    void on_event(EventFn fn) { event_fn_ = std::move(fn); }
+
+    const ReceiverConfig& config() const { return config_; }
+
+private:
+    void build_service_object();
+    void register_at(NodeId registrar);
+    Duration clamp(std::int64_t lease_ms) const;
+    void arm_expiry(ExtensionId id, Duration lease);
+    void withdraw(ExtensionId id, prose::WithdrawReason reason);
+    void emit(const std::string& event, const Installed& entry);
+
+    rt::Value do_install(NodeId base, const Bytes& sealed, std::int64_t lease_ms);
+    bool do_keepalive(std::uint64_t ext, std::int64_t lease_ms);
+    bool do_revoke(std::uint64_t ext);
+    rt::Value do_list() const;
+
+    rt::RpcEndpoint& rpc_;
+    prose::Weaver& weaver_;
+    crypto::TrustStore& trust_;
+    disco::DiscoveryClient& discovery_;
+    ReceiverConfig config_;
+
+    script::BuiltinRegistry host_builtins_;
+    std::map<std::string, std::set<std::string>> issuer_caps_;
+
+    struct Entry {
+        Installed info;
+        sim::TimerId expiry_timer;
+        rt::HookOwner wire_owner = 0;  ///< owner of any wire filters installed
+    };
+    IdGenerator<ExtensionId> ids_;
+    std::map<ExtensionId, Entry> installed_;
+    std::map<std::string, ExtensionId> by_name_;
+
+    std::map<NodeId, std::shared_ptr<disco::LeasedResource>> advertisements_;
+    std::uint64_t registrar_token_ = 0;
+    std::shared_ptr<rt::ServiceObject> self_object_;
+    Stats stats_;
+    EventFn event_fn_;
+};
+
+}  // namespace pmp::midas

@@ -1,0 +1,50 @@
+#include "net/mobility.h"
+
+namespace pmp::net {
+
+PathMover::PathMover(Network& network, NodeId node, std::vector<Waypoint> waypoints,
+                     Duration tick)
+    : network_(network),
+      node_(node),
+      waypoints_(std::move(waypoints)),
+      origin_(network.position_of(node)),
+      start_(network.simulator().now()) {
+    if (waypoints_.empty()) {
+        finished_ = true;
+        return;
+    }
+    timer_ = network_.simulator().schedule_every(tick, [this]() { on_tick(); });
+}
+
+PathMover::~PathMover() {
+    if (!finished_) network_.simulator().cancel(timer_);
+}
+
+Position PathMover::position_at(SimTime t) const {
+    Position prev_pos = origin_;
+    SimTime prev_time = start_;
+    for (const auto& wp : waypoints_) {
+        if (t <= wp.arrival) {
+            auto leg = wp.arrival - prev_time;
+            if (leg.count() <= 0) return wp.target;
+            double f = static_cast<double>((t - prev_time).count()) /
+                       static_cast<double>(leg.count());
+            return Position{prev_pos.x + (wp.target.x - prev_pos.x) * f,
+                            prev_pos.y + (wp.target.y - prev_pos.y) * f};
+        }
+        prev_pos = wp.target;
+        prev_time = wp.arrival;
+    }
+    return waypoints_.back().target;
+}
+
+void PathMover::on_tick() {
+    SimTime now = network_.simulator().now();
+    network_.move_node(node_, position_at(now));
+    if (now >= waypoints_.back().arrival) {
+        finished_ = true;
+        network_.simulator().cancel(timer_);
+    }
+}
+
+}  // namespace pmp::net

@@ -1,0 +1,50 @@
+// Mobility model: moves nodes along waypoint paths on the virtual clock.
+//
+// This is how scenarios express "the robot enters hall A, works there for
+// two minutes, then rolls over to hall B": a sequence of timed waypoints.
+// Positions are interpolated linearly and pushed into the Network on a
+// fixed tick, so range checks (and therefore discovery and lease behaviour)
+// track the motion.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace pmp::net {
+
+/// One stop on a path: be at `target` at time `arrival`.
+struct Waypoint {
+    Position target;
+    SimTime arrival;
+};
+
+/// Drives one node along a waypoint schedule.
+class PathMover {
+public:
+    /// Ticks every `tick` of virtual time; waypoints must be sorted by
+    /// arrival time. The node stays at the last waypoint afterwards.
+    PathMover(Network& network, NodeId node, std::vector<Waypoint> waypoints,
+              Duration tick = milliseconds(100));
+    ~PathMover();
+
+    PathMover(const PathMover&) = delete;
+    PathMover& operator=(const PathMover&) = delete;
+
+    /// True once the final waypoint has been reached.
+    bool finished() const { return finished_; }
+
+private:
+    void on_tick();
+    Position position_at(SimTime t) const;
+
+    Network& network_;
+    NodeId node_;
+    std::vector<Waypoint> waypoints_;
+    Position origin_;
+    SimTime start_;
+    sim::TimerId timer_;
+    bool finished_ = false;
+};
+
+}  // namespace pmp::net

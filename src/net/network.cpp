@@ -1,0 +1,160 @@
+#include "net/network.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace pmp::net {
+
+double Position::distance_to(const Position& other) const {
+    double dx = x - other.x;
+    double dy = y - other.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+Network::Network(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {}
+
+NodeId Network::add_node(const std::string& name, Position pos, double range) {
+    NodeId id = node_ids_.next();
+    nodes_.emplace(id, NodeState{name, pos, range, nullptr, nullptr, /*epoch=*/1});
+    return id;
+}
+
+void Network::remove_node(NodeId id) {
+    if (auto* node = find(id)) {
+        // Bumping the epoch invalidates in-flight deliveries without having
+        // to chase down their timers.
+        ++node->epoch;
+        node->handler = nullptr;
+        node->range = 0;
+    }
+}
+
+void Network::set_handler(NodeId id, Handler handler) {
+    if (auto* node = find(id)) {
+        node->handler = std::move(handler);
+    } else {
+        throw RemoteError("set_handler: unknown node " + id.str());
+    }
+}
+
+void Network::set_tap(NodeId id, Handler tap) {
+    if (auto* node = find(id)) {
+        node->tap = std::move(tap);
+    } else {
+        throw RemoteError("set_tap: unknown node " + id.str());
+    }
+}
+
+void Network::move_node(NodeId id, Position pos) {
+    if (auto* node = find(id)) {
+        node->pos = pos;
+    } else {
+        throw RemoteError("move_node: unknown node " + id.str());
+    }
+}
+
+Position Network::position_of(NodeId id) const {
+    const auto* node = find(id);
+    if (!node) throw RemoteError("position_of: unknown node " + id.str());
+    return node->pos;
+}
+
+std::string Network::name_of(NodeId id) const {
+    const auto* node = find(id);
+    return node ? node->name : "<gone>";
+}
+
+void Network::add_wire(NodeId a, NodeId b) {
+    if (a == b) return;
+    wires_.insert(a < b ? std::pair{a, b} : std::pair{b, a});
+}
+
+bool Network::in_contact(NodeId a, NodeId b) const {
+    const auto* na = find(a);
+    const auto* nb = find(b);
+    if (!na || !nb || a == b) return false;
+    if (wires_.contains(a < b ? std::pair{a, b} : std::pair{b, a})) return true;
+    double dist = na->pos.distance_to(nb->pos);
+    return dist <= na->range && dist <= nb->range;
+}
+
+std::vector<NodeId> Network::neighbors(NodeId id) const {
+    std::vector<NodeId> out;
+    for (const auto& [other_id, _] : nodes_) {
+        if (other_id != id && in_contact(id, other_id)) out.push_back(other_id);
+    }
+    return out;
+}
+
+Duration Network::transit_time(const Message& msg) {
+    auto size_cost = Duration{config_.per_kilobyte.count() *
+                              static_cast<std::int64_t>(msg.wire_size()) / 1024};
+    auto jitter = config_.jitter.count() > 0
+                      ? Duration{static_cast<std::int64_t>(
+                            rng_.next_below(static_cast<std::uint64_t>(config_.jitter.count())))}
+                      : Duration{0};
+    return config_.base_latency + size_cost + jitter;
+}
+
+void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch) {
+    sim_.schedule_after(transit_time(msg), [this, msg, to_epoch]() {
+        auto* receiver = find(msg.to);
+        if (!receiver || receiver->epoch != to_epoch || !receiver->handler) {
+            ++stats_.dropped_out_of_range;
+            return;
+        }
+        // Radio check at delivery time: the receiver may have roamed out of
+        // range while the message was in flight.
+        if (!in_contact(msg.from, msg.to)) {
+            ++stats_.dropped_out_of_range;
+            return;
+        }
+        ++stats_.delivered;
+        stats_.bytes_delivered += msg.wire_size();
+        if (receiver->tap) receiver->tap(msg);
+        receiver->handler(msg);
+    });
+}
+
+bool Network::send(const Message& msg) {
+    ++stats_.sent;
+    const auto* receiver = find(msg.to);
+    if (!receiver || !in_contact(msg.from, msg.to)) {
+        ++stats_.dropped_out_of_range;
+        return false;
+    }
+    if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+        ++stats_.dropped_loss;
+        return false;
+    }
+    schedule_delivery(msg, receiver->epoch);
+    if (config_.duplicate_probability > 0 && rng_.chance(config_.duplicate_probability)) {
+        ++stats_.duplicated;
+        schedule_delivery(msg, receiver->epoch);
+    }
+    return true;
+}
+
+std::size_t Network::broadcast(NodeId from, const std::string& kind, Bytes payload) {
+    std::size_t scheduled = 0;
+    for (NodeId neighbor : neighbors(from)) {
+        Message copy{from, neighbor, kind, payload};
+        if (send(copy)) ++scheduled;
+    }
+    return scheduled;
+}
+
+const Network::NodeState* Network::find(NodeId id) const {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Network::NodeState* Network::find(NodeId id) {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pmp::net

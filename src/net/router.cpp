@@ -1,0 +1,36 @@
+#include "net/router.h"
+
+#include "common/log.h"
+
+namespace pmp::net {
+
+MessageRouter::MessageRouter(Network& network, NodeId self)
+    : network_(network), self_(self) {
+    network_.set_handler(self_, [this](const Message& msg) { dispatch(msg); });
+}
+
+void MessageRouter::route(const std::string& kind, Handler handler) {
+    handlers_[kind] = std::move(handler);
+}
+
+void MessageRouter::unroute(const std::string& kind) { handlers_.erase(kind); }
+
+bool MessageRouter::send(NodeId to, const std::string& kind, Bytes payload) {
+    return network_.send(Message{self_, to, kind, std::move(payload)});
+}
+
+std::size_t MessageRouter::broadcast(const std::string& kind, Bytes payload) {
+    return network_.broadcast(self_, kind, std::move(payload));
+}
+
+void MessageRouter::dispatch(const Message& msg) {
+    auto it = handlers_.find(msg.kind);
+    if (it == handlers_.end()) {
+        log_debug(network_.simulator().now(), "router",
+                  network_.name_of(self_), " dropped unrouted kind '", msg.kind, "'");
+        return;
+    }
+    it->second(msg);
+}
+
+}  // namespace pmp::net

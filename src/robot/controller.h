@@ -1,0 +1,124 @@
+// Robot application layer (paper §4.1, second layer + Fig 3a).
+//
+// Tasks are "basic programs that decide what the robot is going to do",
+// broken into *activity requests* (hardware macros) sent to the device
+// layer. When a sensor detects an event of interest the hardware freezes
+// and the task is notified; the task decides whether to continue the
+// interrupted sequence or abort. The *direct mode* layer bypasses tasks and
+// drives the hardware directly (for human control); the *overriding layer*
+// suspends the current task, runs another one, and resumes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "robot/devices.h"
+
+namespace pmp::robot {
+
+/// One activity request: invoke `action(args)` on a named device. The
+/// invocation goes through the metaobject dispatch, so woven extensions
+/// intercept every macro.
+struct MacroStep {
+    std::string device;  // instance name, e.g. "motor:x"
+    std::string action;  // method, e.g. "rotate"
+    rt::List args;
+};
+
+/// What a task wants after a sensor event interrupted it.
+enum class TaskDecision { kContinue, kAbort };
+
+/// A small program for the robot.
+struct Task {
+    std::string name;
+    std::vector<MacroStep> steps;
+    /// Called when a sensor fires while this task runs. Default: abort
+    /// (obstacle => stop what you were doing).
+    std::function<TaskDecision(const std::string& sensor, std::int64_t reading)> on_event;
+    /// Called when the task ends; `completed` is false on abort.
+    std::function<void(bool completed)> on_done;
+};
+
+class RobotController {
+public:
+    /// `sim` paces macro execution; devices are created in `runtime` under
+    /// this controller's management.
+    RobotController(sim::Simulator& sim, rt::Runtime& runtime, std::string label);
+    ~RobotController();
+
+    RobotController(const RobotController&) = delete;
+    RobotController& operator=(const RobotController&) = delete;
+
+    const std::string& label() const { return label_; }
+    rt::Runtime& runtime() { return runtime_; }
+    sim::Simulator& simulator() { return sim_; }
+
+    /// Device construction. Motors/sensors are ServiceObjects; extensions
+    /// can intercept them the moment they exist.
+    std::shared_ptr<rt::ServiceObject> add_motor(const std::string& name,
+                                                 double deg_per_sec_full = 90.0);
+    std::shared_ptr<rt::ServiceObject> add_sensor(const std::string& name,
+                                                  const std::string& kind);
+    std::shared_ptr<rt::ServiceObject> device(const std::string& name) const;
+
+    // ----- task layer -----
+
+    /// Start a task; fails (returns false) if one is already running and
+    /// no override is requested.
+    bool start_task(Task task);
+    bool busy() const { return current_.has_value(); }
+    void abort_task();
+
+    // ----- overriding layer -----
+
+    /// Suspend the running task, run `task`, then resume the suspended one
+    /// ("a way to override an existing task without using the direct mode").
+    void push_override(Task task);
+
+    // ----- direct mode -----
+
+    /// Drive a device immediately, bypassing the task machinery ("an
+    /// interface that allows direct connection to the robot hardware").
+    rt::Value direct(const std::string& device, const std::string& action, rt::List args);
+
+    /// Environment hook: a sensor observed `reading`. Freezes the hardware,
+    /// notifies the current task, applies its decision.
+    void sensor_event(const std::string& sensor, std::int64_t reading);
+
+    struct Stats {
+        std::uint64_t macros_executed = 0;
+        std::uint64_t tasks_completed = 0;
+        std::uint64_t tasks_aborted = 0;
+        std::uint64_t events_handled = 0;
+        std::uint64_t overrides_run = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    struct Running {
+        Task task;
+        std::size_t next_step = 0;
+    };
+
+    void schedule_next_step(Duration delay);
+    void run_step();
+    void finish_task(bool completed);
+    void freeze_hardware(bool frozen);
+
+    sim::Simulator& sim_;
+    rt::Runtime& runtime_;
+    std::string label_;
+    std::map<std::string, std::shared_ptr<rt::ServiceObject>> devices_;
+
+    std::optional<Running> current_;
+    std::deque<Running> suspended_;  // overriding stack
+    sim::TimerId step_timer_;
+    bool frozen_ = false;
+    Stats stats_;
+};
+
+}  // namespace pmp::robot

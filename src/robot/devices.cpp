@@ -1,0 +1,134 @@
+#include "robot/devices.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmp::robot {
+
+using rt::Dict;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+Duration MotorImpl::rotation_time(double degrees, std::int64_t power) const {
+    if (power < 1) power = 1;
+    if (power > 7) power = 7;
+    double speed = deg_per_sec_full * static_cast<double>(power) / 7.0;
+    double secs = std::fabs(degrees) / speed;
+    return Duration{static_cast<std::int64_t>(secs * 1e9)};
+}
+
+void register_device_types(rt::Runtime& runtime) {
+    // "The hardware entities have been encapsulated in a Device class with
+    // Sensor and Motor as sub-classes." Device carries what every hardware
+    // entity shares; pointcuts can select the whole family with "Device+".
+    std::shared_ptr<rt::TypeInfo> device = runtime.find_type("Device");
+    if (!device) {
+        device = rt::TypeInfo::Builder("Device")
+                     .field("enabled", TypeKind::kBool, Value{true})
+                     .method("id", TypeKind::kStr, {},
+                             [](rt::ServiceObject& self, List&) -> Value {
+                                 return Value{self.name()};
+                             })
+                     .method("set_enabled", TypeKind::kVoid,
+                             {{"enabled", TypeKind::kBool}},
+                             [](rt::ServiceObject& self, List& args) -> Value {
+                                 self.set("enabled", args[0]);
+                                 return Value{};
+                             })
+                     .build();
+        runtime.register_type(device);
+    }
+    if (!runtime.find_type("Motor")) {
+        auto motor =
+            rt::TypeInfo::Builder("Motor")
+                .extends(device)
+                .field("position", TypeKind::kReal, Value{0.0})
+                .field("power", TypeKind::kInt, Value{std::int64_t{7}})
+                .method("rotate", TypeKind::kInt, {{"degrees", TypeKind::kReal}},
+                        [](rt::ServiceObject& self, List& args) -> Value {
+                            auto& impl = self.state<MotorImpl>();
+                            if (impl.frozen) {
+                                throw Error("motor '" + self.name() + "' is frozen");
+                            }
+                            if (!self.peek("enabled").as_bool()) {
+                                throw Error("motor '" + self.name() + "' is disabled");
+                            }
+                            double degrees = args[0].as_real();
+                            std::int64_t power = self.peek("power").as_int();
+                            Duration took = impl.rotation_time(degrees, power);
+                            ++impl.actions;
+                            // Position updates flow through set() so the
+                            // field-set join point fires (state change *).
+                            self.set("position", Value{self.peek("position").as_real() +
+                                                        degrees});
+                            return Value{took.count() / 1'000'000};
+                        })
+                .method("set_power", TypeKind::kVoid, {{"power", TypeKind::kInt}},
+                        [](rt::ServiceObject& self, List& args) -> Value {
+                            std::int64_t p = args[0].as_int();
+                            if (p < 1 || p > 7) {
+                                throw TypeError("motor power must be 1..7");
+                            }
+                            self.set("power", Value{p});
+                            return Value{};
+                        })
+                .method("stop", TypeKind::kVoid, {},
+                        [](rt::ServiceObject& self, List&) -> Value {
+                            ++self.state<MotorImpl>().actions;
+                            return Value{};
+                        })
+                .method("status", TypeKind::kDict, {},
+                        [](rt::ServiceObject& self, List&) -> Value {
+                            auto& impl = self.state<MotorImpl>();
+                            Dict d{{"position", self.peek("position")},
+                                   {"power", self.peek("power")},
+                                   {"actions", Value{static_cast<std::int64_t>(impl.actions)}}};
+                            return Value{std::move(d)};
+                        })
+                .build();
+        runtime.register_type(motor);
+    }
+    if (!runtime.find_type("Sensor")) {
+        auto sensor =
+            rt::TypeInfo::Builder("Sensor")
+                .extends(device)
+                .field("reading", TypeKind::kInt, Value{std::int64_t{0}})
+                .method("read", TypeKind::kInt, {},
+                        [](rt::ServiceObject& self, List&) -> Value {
+                            return self.get("reading");
+                        })
+                .method("kind", TypeKind::kStr, {},
+                        [](rt::ServiceObject& self, List&) -> Value {
+                            return Value{self.state<SensorImpl>().kind};
+                        })
+                .build();
+        runtime.register_type(sensor);
+    }
+}
+
+std::shared_ptr<rt::ServiceObject> make_motor(rt::Runtime& runtime, const std::string& name,
+                                              double deg_per_sec_full) {
+    register_device_types(runtime);
+    auto motor = runtime.create("Motor", name);
+    auto& impl = motor->emplace_state<MotorImpl>();
+    impl.deg_per_sec_full = deg_per_sec_full;
+    return motor;
+}
+
+std::shared_ptr<rt::ServiceObject> make_sensor(rt::Runtime& runtime, const std::string& name,
+                                               const std::string& kind) {
+    register_device_types(runtime);
+    auto sensor = runtime.create("Sensor", name);
+    sensor->emplace_state<SensorImpl>().kind = kind;
+    return sensor;
+}
+
+void inject_reading(rt::ServiceObject& sensor, std::int64_t reading) {
+    sensor.set("reading", Value{reading});
+    auto& impl = sensor.state<SensorImpl>();
+    if (impl.on_event) impl.on_event(reading);
+}
+
+}  // namespace pmp::robot

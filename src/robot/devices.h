@@ -1,0 +1,71 @@
+// Device layer: the LeJOS/RCX analog (paper §4.1, third layer).
+//
+// "The hardware entities have been encapsulated in a Device class with
+// Sensor and Motor as sub-classes." Motors and sensors are ordinary
+// ServiceObjects in the node's Runtime, so every actuation is a join point:
+// the hardware-monitoring extension intercepts Motor.* calls exactly as in
+// Fig 3b, and state changes go through field-set join points.
+//
+// Motor service class ("Motor"):
+//   methods: rotate(degrees int) -> int      relative move; returns the
+//                                            physical duration in ms
+//            set_power(power int) -> void    RCX-style power 1..7
+//            stop() -> void
+//            status() -> dict                {position, power, actions}
+//   fields:  position (real, degrees)        updated through set() => the
+//                                            quality-control extension sees
+//                                            every state change
+//            power (int)
+//
+// Sensor service class ("Sensor"):
+//   methods: read() -> int
+//            kind() -> str                   "touch" / "light"
+//   fields:  reading (int)
+//
+// The physical environment drives sensors via SensorImpl::inject (tests and
+// scenarios), which also raises the robot-level event that freezes the
+// hardware and notifies the running task (paper: "the hardware completely
+// freezes its activity and notifies the robot application layer").
+#pragma once
+
+#include <functional>
+
+#include "rt/runtime.h"
+#include "sim/simulator.h"
+
+namespace pmp::robot {
+
+/// Physics/bookkeeping behind one Motor service object.
+struct MotorImpl {
+    double deg_per_sec_full = 90.0;  ///< speed at power 7
+    std::uint64_t actions = 0;       ///< number of actuations performed
+    bool frozen = false;             ///< set while the hardware is frozen
+
+    /// Duration of rotating |degrees| at `power`.
+    Duration rotation_time(double degrees, std::int64_t power) const;
+};
+
+/// Bookkeeping behind one Sensor service object.
+struct SensorImpl {
+    std::string kind;  // "touch" or "light"
+    /// Raised on inject(); wired to the robot controller.
+    std::function<void(std::int64_t reading)> on_event;
+};
+
+/// Register the Motor/Sensor service classes in `runtime` (idempotent).
+void register_device_types(rt::Runtime& runtime);
+
+/// Create a motor instance (e.g. "motor:x"). `deg_per_sec_full` is the
+/// rotation speed at maximum power.
+std::shared_ptr<rt::ServiceObject> make_motor(rt::Runtime& runtime, const std::string& name,
+                                              double deg_per_sec_full = 90.0);
+
+/// Create a sensor instance (e.g. "sensor:touch").
+std::shared_ptr<rt::ServiceObject> make_sensor(rt::Runtime& runtime, const std::string& name,
+                                               const std::string& kind);
+
+/// Drive a sensor from the environment: updates the reading field (through
+/// hooks) and raises the sensor event.
+void inject_reading(rt::ServiceObject& sensor, std::int64_t reading);
+
+}  // namespace pmp::robot

@@ -1,0 +1,141 @@
+#include "robot/plotter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmp::robot {
+
+using rt::Dict;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+struct Plotter::Impl {
+    RobotController* controller = nullptr;
+    double deg_per_unit = 10.0;
+    std::string motor_x, motor_y, motor_z;
+    std::vector<Segment> trace;
+
+    /// Rotate one axis motor by the degrees covering `delta` units.
+    /// Returns the physical duration in ms.
+    std::int64_t turn(const std::string& motor, double delta_units) {
+        if (delta_units == 0.0) return 0;
+        Value took = controller->direct(motor, "rotate", {Value{delta_units * deg_per_unit}});
+        return took.as_int();
+    }
+
+    std::int64_t travel(rt::ServiceObject& self, double x, double y) {
+        double x0 = self.peek("pos_x").as_real();
+        double y0 = self.peek("pos_y").as_real();
+        // Both axes run concurrently; the move takes as long as the slower
+        // axis.
+        std::int64_t tx = turn(motor_x, x - x0);
+        std::int64_t ty = turn(motor_y, y - y0);
+        if (self.peek("pen").as_bool() && (x != x0 || y != y0)) {
+            trace.push_back(Segment{x0, y0, x, y});
+        }
+        self.set("pos_x", Value{x});
+        self.set("pos_y", Value{y});
+        return std::max(tx, ty);
+    }
+
+    std::int64_t set_pen(rt::ServiceObject& self, bool down) {
+        if (self.peek("pen").as_bool() == down) return 0;
+        std::int64_t t = turn(motor_z, down ? 1.0 : -1.0);
+        self.set("pen", Value{down});
+        return t;
+    }
+};
+
+namespace {
+
+void register_drawing_type(rt::Runtime& runtime) {
+    if (runtime.find_type("Drawing")) return;
+    auto type =
+        rt::TypeInfo::Builder("Drawing")
+            .field("pos_x", TypeKind::kReal, Value{0.0})
+            .field("pos_y", TypeKind::kReal, Value{0.0})
+            .field("pen", TypeKind::kBool, Value{false})
+            .method("move_to", TypeKind::kInt,
+                    {{"x", TypeKind::kReal}, {"y", TypeKind::kReal}},
+                    [](rt::ServiceObject& self, List& args) -> Value {
+                        auto& impl = self.state<Plotter::Impl>();
+                        return Value{impl.travel(self, args[0].as_real(), args[1].as_real())};
+                    })
+            .method("line_to", TypeKind::kInt,
+                    {{"x", TypeKind::kReal}, {"y", TypeKind::kReal}},
+                    [](rt::ServiceObject& self, List& args) -> Value {
+                        auto& impl = self.state<Plotter::Impl>();
+                        std::int64_t t = impl.set_pen(self, true);
+                        t += impl.travel(self, args[0].as_real(), args[1].as_real());
+                        return Value{t};
+                    })
+            .method("pen_up", TypeKind::kInt, {},
+                    [](rt::ServiceObject& self, List&) -> Value {
+                        return Value{self.state<Plotter::Impl>().set_pen(self, false)};
+                    })
+            .method("pen_down", TypeKind::kInt, {},
+                    [](rt::ServiceObject& self, List&) -> Value {
+                        return Value{self.state<Plotter::Impl>().set_pen(self, true)};
+                    })
+            .method("draw_polyline", TypeKind::kInt, {{"points", TypeKind::kList}},
+                    [](rt::ServiceObject& self, List& args) -> Value {
+                        auto& impl = self.state<Plotter::Impl>();
+                        const List& points = args[0].as_list();
+                        if (points.empty()) return Value{std::int64_t{0}};
+                        auto xy = [](const Value& p) {
+                            const List& pair = p.as_list();
+                            if (pair.size() != 2) {
+                                throw TypeError("polyline points must be [x, y]");
+                            }
+                            return std::pair<double, double>{pair[0].as_real(),
+                                                             pair[1].as_real()};
+                        };
+                        std::int64_t total = impl.set_pen(self, false);
+                        auto [x0, y0] = xy(points[0]);
+                        // Route the decomposed strokes through self.call so
+                        // extensions woven on Drawing.* see each stroke too.
+                        total += self.call("move_to", {Value{x0}, Value{y0}}).as_int();
+                        for (std::size_t i = 1; i < points.size(); ++i) {
+                            auto [x, y] = xy(points[i]);
+                            total += self.call("line_to", {Value{x}, Value{y}}).as_int();
+                        }
+                        total += impl.set_pen(self, false);
+                        return Value{total};
+                    })
+            .method("position", TypeKind::kDict, {},
+                    [](rt::ServiceObject& self, List&) -> Value {
+                        Dict d{{"x", self.peek("pos_x")},
+                               {"y", self.peek("pos_y")},
+                               {"pen", self.peek("pen")}};
+                        return Value{std::move(d)};
+                    })
+            .build();
+    runtime.register_type(type);
+}
+
+}  // namespace
+
+Plotter::Plotter(RobotController& controller, double deg_per_unit,
+                 const std::string& object_name)
+    : controller_(controller), impl_(std::make_shared<Impl>()) {
+    impl_->controller = &controller_;
+    impl_->deg_per_unit = deg_per_unit;
+    impl_->motor_x = object_name + ".motor:x";
+    impl_->motor_y = object_name + ".motor:y";
+    impl_->motor_z = object_name + ".motor:z";
+    controller_.add_motor(impl_->motor_x);
+    controller_.add_motor(impl_->motor_y);
+    controller_.add_motor(impl_->motor_z, /*deg_per_sec_full=*/180.0);
+
+    rt::Runtime& runtime = controller_.runtime();
+    register_drawing_type(runtime);
+    drawing_ = runtime.create("Drawing", object_name);
+    // The Impl is shared between this Plotter and the service object.
+    drawing_->adopt_state(impl_);
+}
+
+const std::vector<Segment>& Plotter::trace() const { return impl_->trace; }
+
+}  // namespace pmp::robot

@@ -1,0 +1,58 @@
+// The plotter prototype (paper §4.3, Fig 4).
+//
+// "This robot acts as the head of a printer as it moves a marking pen
+// across three dimensions. Movement across each dimension is controlled by
+// a motor. The overall movement is determined by a drawing program that
+// exports a drawing interface as a Jini service."
+//
+// The Plotter owns three motors (x, y, z/pen) on the robot controller and
+// exports a service object of class "Drawing" named "drawing":
+//
+//   methods: move_to(x real, y real) -> int    travel with pen as-is; ms
+//            line_to(x real, y real) -> int    lower pen, draw segment; ms
+//            pen_up() -> int / pen_down() -> int
+//            draw_polyline(points list) -> int  [[x,y], ...]: move to the
+//                                               first point pen-up, draw the
+//                                               rest pen-down
+//            position() -> dict                {x, y, pen}
+//   fields:  pos_x (real), pos_y (real), pen (bool)
+//
+// Every movement decomposes into Motor.rotate calls and Drawing field
+// updates, so both the Motor.* monitoring extension and the state-change
+// quality-control extension observe the plotter without it knowing.
+#pragma once
+
+#include "robot/controller.h"
+
+namespace pmp::robot {
+
+/// A drawn segment, recorded for tests and the replication example.
+struct Segment {
+    double x0, y0, x1, y1;
+};
+
+class Plotter {
+public:
+    /// Creates motors "<prefix>motor:x|y|z" and the "drawing" service
+    /// object. `deg_per_unit` converts drawing units to motor degrees.
+    Plotter(RobotController& controller, double deg_per_unit = 10.0,
+            const std::string& object_name = "drawing");
+
+    const std::shared_ptr<rt::ServiceObject>& drawing() { return drawing_; }
+    RobotController& controller() { return controller_; }
+
+    /// Ink on paper so far.
+    const std::vector<Segment>& trace() const;
+
+    /// Shared device model behind the "drawing" service object; public so
+    /// the type's method handlers (implementation detail in plotter.cpp)
+    /// can reach it through ServiceObject::state<Impl>().
+    struct Impl;
+
+private:
+    RobotController& controller_;
+    std::shared_ptr<rt::ServiceObject> drawing_;
+    std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace pmp::robot

@@ -1,0 +1,234 @@
+#include "rt/rpc.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace pmp::rt {
+
+namespace {
+constexpr const char* kCallKind = "rpc.call";
+constexpr const char* kReplyKind = "rpc.reply";
+// Control-plane variants bypass wire filters (see exempt_from_filters).
+constexpr const char* kCtlCallKind = "rpc.call.ctl";
+constexpr const char* kCtlReplyKind = "rpc.reply.ctl";
+}  // namespace
+
+RpcEndpoint::RpcEndpoint(net::MessageRouter& router, Runtime& runtime)
+    : router_(router), runtime_(runtime) {
+    router_.route(kCallKind, [this](const net::Message& m) { on_call(m, false); });
+    router_.route(kReplyKind, [this](const net::Message& m) { on_reply(m, false); });
+    router_.route(kCtlCallKind, [this](const net::Message& m) { on_call(m, true); });
+    router_.route(kCtlReplyKind, [this](const net::Message& m) { on_reply(m, true); });
+}
+
+void RpcEndpoint::exempt_from_filters(const std::string& prefix) {
+    exempt_prefixes_.push_back(prefix);
+}
+
+bool RpcEndpoint::is_exempt(const std::string& object) const {
+    for (const std::string& prefix : exempt_prefixes_) {
+        if (object.size() >= prefix.size() &&
+            object.compare(0, prefix.size(), prefix) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void RpcEndpoint::add_wire_filter(HookOwner owner, int priority, WireFilter outbound,
+                                  WireFilter inbound) {
+    FilterSlot slot{owner, priority, std::move(outbound), std::move(inbound)};
+    auto it = wire_filters_.begin();
+    while (it != wire_filters_.end() && it->priority <= slot.priority) ++it;
+    wire_filters_.insert(it, std::move(slot));
+}
+
+bool RpcEndpoint::remove_wire_filters(HookOwner owner) {
+    auto before = wire_filters_.size();
+    std::erase_if(wire_filters_, [owner](const FilterSlot& s) { return s.owner == owner; });
+    return wire_filters_.size() != before;
+}
+
+Bytes RpcEndpoint::apply_outbound(Bytes payload) const {
+    for (const FilterSlot& slot : wire_filters_) {
+        payload = slot.outbound(std::move(payload));
+    }
+    return payload;
+}
+
+Bytes RpcEndpoint::apply_inbound(Bytes payload) const {
+    for (auto it = wire_filters_.rbegin(); it != wire_filters_.rend(); ++it) {
+        payload = it->inbound(std::move(payload));
+    }
+    return payload;
+}
+
+void RpcEndpoint::export_object(const std::string& instance_name) {
+    exported_.insert(instance_name);
+}
+
+void RpcEndpoint::unexport_object(const std::string& instance_name) {
+    exported_.erase(instance_name);
+}
+
+bool RpcEndpoint::exported(const std::string& instance_name) const {
+    return exported_.contains(instance_name);
+}
+
+void RpcEndpoint::call_async(NodeId target, const std::string& object,
+                             const std::string& method, List args, ReplyHandler on_reply,
+                             Duration timeout) {
+    std::uint64_t call_id = ++next_call_;
+    Dict request{{"id", Value{static_cast<std::int64_t>(call_id)}},
+                 {"obj", Value{object}},
+                 {"method", Value{method}},
+                 {"args", Value{std::move(args)}}};
+    bool control = is_exempt(object);
+    Bytes payload = Value{std::move(request)}.encode();
+    if (!control) payload = apply_outbound(std::move(payload));
+    bool sent = router_.send(target, control ? kCtlCallKind : kCallKind, std::move(payload));
+
+    auto timer = router_.simulator().schedule_after(timeout, [this, call_id]() {
+        auto it = pending_.find(call_id);
+        if (it == pending_.end()) return;
+        auto handler = std::move(it->second.handler);
+        pending_.erase(it);
+        handler(Value{}, std::make_exception_ptr(RemoteError("rpc call timed out")));
+    });
+    pending_.emplace(call_id, Pending{std::move(on_reply), timer});
+
+    if (!sent) {
+        // Out of radio range at send time: fail fast instead of waiting out
+        // the timeout.
+        router_.simulator().schedule_after(Duration{0}, [this, call_id]() {
+            auto it = pending_.find(call_id);
+            if (it == pending_.end()) return;
+            auto pending = std::move(it->second);
+            pending_.erase(it);
+            router_.simulator().cancel(pending.timeout_timer);
+            pending.handler(Value{},
+                            std::make_exception_ptr(RemoteError("rpc target unreachable")));
+        });
+    }
+}
+
+Value RpcEndpoint::call_sync(NodeId target, const std::string& object,
+                             const std::string& method, List args, Duration timeout) {
+    bool done = false;
+    Value out;
+    std::exception_ptr error;
+    call_async(
+        target, object, method, std::move(args),
+        [&](Value result, std::exception_ptr err) {
+            done = true;
+            out = std::move(result);
+            error = err;
+        },
+        timeout);
+    while (!done && router_.simulator().step()) {
+    }
+    if (!done) throw RemoteError("rpc call never completed (simulation drained)");
+    if (error) std::rethrow_exception(error);
+    return out;
+}
+
+Bytes RpcEndpoint::encode_error(std::uint64_t call_id, const std::string& etype,
+                                const std::string& message) {
+    Dict reply{{"id", Value{static_cast<std::int64_t>(call_id)}},
+               {"ok", Value{false}},
+               {"etype", Value{etype}},
+               {"emsg", Value{message}}};
+    return Value{std::move(reply)}.encode();
+}
+
+void RpcEndpoint::on_call(const net::Message& msg, bool control) {
+    Value request;
+    try {
+        Bytes plain = control ? msg.payload : apply_inbound(msg.payload);
+        request = Value::decode(std::span<const std::uint8_t>(plain));
+    } catch (const Error& e) {
+        // Unintelligible request — e.g. the peer encrypts and we do not
+        // (only one end adapted). Drop it; the caller times out.
+        log_warn(router_.simulator().now(), "rpc", "dropped garbled call: ", e.what());
+        return;
+    }
+    const Dict& req = request.as_dict();
+    auto call_id = static_cast<std::uint64_t>(req.at("id").as_int());
+    const std::string& object_name = req.at("obj").as_str();
+    const std::string& method = req.at("method").as_str();
+
+    Bytes reply;
+    if (control && !is_exempt(object_name)) {
+        reply = encode_error(call_id, "AccessDenied",
+                             "object '" + object_name + "' requires the data channel");
+    } else if (!exported_.contains(object_name)) {
+        reply = encode_error(call_id, "RemoteError",
+                             "object '" + object_name + "' is not exported");
+    } else {
+        auto object = runtime_.find_object(object_name);
+        if (!object) {
+            reply = encode_error(call_id, "RemoteError", "object '" + object_name + "' is gone");
+        } else {
+            current_caller_ = msg.from;
+            struct CallerGuard {
+                NodeId& slot;
+                ~CallerGuard() { slot = NodeId{}; }
+            } guard{current_caller_};
+            try {
+                Value result = object->call(method, req.at("args").as_list());
+                Dict ok{{"id", Value{static_cast<std::int64_t>(call_id)}},
+                        {"ok", Value{true}},
+                        {"result", std::move(result)}};
+                reply = Value{std::move(ok)}.encode();
+            } catch (const AccessDenied& e) {
+                reply = encode_error(call_id, "AccessDenied", e.what());
+            } catch (const TypeError& e) {
+                reply = encode_error(call_id, "TypeError", e.what());
+            } catch (const ScriptError& e) {
+                reply = encode_error(call_id, "ScriptError", e.what());
+            } catch (const Error& e) {
+                reply = encode_error(call_id, "Error", e.what());
+            }
+        }
+    }
+    if (!control) reply = apply_outbound(std::move(reply));
+    router_.send(msg.from, control ? kCtlReplyKind : kReplyKind, std::move(reply));
+}
+
+void RpcEndpoint::rethrow_remote(const std::string& etype, const std::string& message) {
+    if (etype == "AccessDenied") throw AccessDenied(message);
+    if (etype == "TypeError") throw TypeError(message);
+    if (etype == "ScriptError") throw ScriptError(message);
+    if (etype == "RemoteError") throw RemoteError(message);
+    throw Error(message);
+}
+
+void RpcEndpoint::on_reply(const net::Message& msg, bool control) {
+    Value reply;
+    try {
+        Bytes plain = control ? msg.payload : apply_inbound(msg.payload);
+        reply = Value::decode(std::span<const std::uint8_t>(plain));
+    } catch (const Error& e) {
+        log_warn(router_.simulator().now(), "rpc", "dropped garbled reply: ", e.what());
+        return;
+    }
+    const Dict& rep = reply.as_dict();
+    auto call_id = static_cast<std::uint64_t>(rep.at("id").as_int());
+    auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;  // late reply after timeout: drop
+    auto pending = std::move(it->second);
+    pending_.erase(it);
+    router_.simulator().cancel(pending.timeout_timer);
+
+    if (rep.at("ok").as_bool()) {
+        pending.handler(rep.at("result"), nullptr);
+    } else {
+        try {
+            rethrow_remote(rep.at("etype").as_str(), rep.at("emsg").as_str());
+        } catch (...) {
+            pending.handler(Value{}, std::current_exception());
+        }
+    }
+}
+
+}  // namespace pmp::rt

@@ -1,0 +1,110 @@
+// Remote method invocation over the simulated radio.
+//
+// The paper's services are exported as Jini services and invoked remotely
+// (Fig 2a: "remote method call of m_R on a node"). RpcEndpoint is that
+// machinery: it marshals Value argument lists, routes the call into the
+// target node's Runtime dispatch — so every woven aspect on the callee
+// fires exactly as for a local call — and marshals back the result or the
+// raised error. Marshaling/unmarshaling are themselves ordinary code paths
+// that MIDAS can adapt (the paper's implicit marshaling extensions).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "net/router.h"
+#include "rt/runtime.h"
+
+namespace pmp::rt {
+
+/// Result delivered to the caller: exactly one of `result` / `error` is
+/// meaningful; `error` is nullptr on success.
+using ReplyHandler = std::function<void(Value result, std::exception_ptr error)>;
+
+class RpcEndpoint {
+public:
+    /// Attaches to the node's router under kinds "rpc.call" / "rpc.reply".
+    RpcEndpoint(net::MessageRouter& router, Runtime& runtime);
+
+    /// Make an instance callable from remote nodes. Objects are never
+    /// implicitly exported.
+    void export_object(const std::string& instance_name);
+    void unexport_object(const std::string& instance_name);
+    bool exported(const std::string& instance_name) const;
+
+    /// Fire-and-collect asynchronous call. The handler runs when the reply
+    /// arrives or the timeout elapses (with a RemoteError).
+    void call_async(NodeId target, const std::string& object, const std::string& method,
+                    List args, ReplyHandler on_reply, Duration timeout = seconds(2));
+
+    /// Convenience for tests/examples running outside the event loop: pumps
+    /// the simulator until the reply arrives, then returns the result or
+    /// rethrows the remote error.
+    Value call_sync(NodeId target, const std::string& object, const std::string& method,
+                    List args, Duration timeout = seconds(2));
+
+    Runtime& runtime() { return runtime_; }
+    net::MessageRouter& router() { return router_; }
+
+    /// While an incoming call is being dispatched, the node it came from;
+    /// invalid otherwise. This is the implicit session information the
+    /// paper's session-management extension extracts (Fig 2c step 2).
+    NodeId current_caller() const { return current_caller_; }
+
+    /// Wire filters: join points on the marshaling path itself. The paper's
+    /// example — "an extension that will encrypt every outgoing call from
+    /// an application and decrypt every incoming call" — installs here: it
+    /// needs to know nothing about the application, not even its interface.
+    /// Outbound filters transform every encoded rpc payload before it hits
+    /// the radio (in priority order); inbound filters undo them in reverse
+    /// order on arrival. Filters are owned (HookOwner) so withdrawing an
+    /// extension removes its filters exactly like its advice.
+    using WireFilter = std::function<Bytes(Bytes)>;
+    void add_wire_filter(HookOwner owner, int priority, WireFilter outbound,
+                         WireFilter inbound);
+    bool remove_wire_filters(HookOwner owner);
+    std::size_t wire_filter_count() const { return wire_filters_.size(); }
+
+    /// Exempt objects whose name starts with `prefix` from wire filters.
+    /// The platform's control plane (the adaptation service, the registrar,
+    /// discovery event listeners) is exempted by the node assembly: its
+    /// integrity comes from package signatures, and exempting it avoids the
+    /// bootstrap deadlock where the extension that keys the channel could
+    /// never be delivered over the channel it keys. Calls to exempt objects
+    /// travel under distinct control message kinds that skip the filters.
+    void exempt_from_filters(const std::string& prefix);
+    bool is_exempt(const std::string& object) const;
+
+private:
+    void on_call(const net::Message& msg, bool control);
+    void on_reply(const net::Message& msg, bool control);
+    static Bytes encode_error(std::uint64_t call_id, const std::string& etype,
+                              const std::string& message);
+    [[noreturn]] static void rethrow_remote(const std::string& etype, const std::string& message);
+
+    struct Pending {
+        ReplyHandler handler;
+        sim::TimerId timeout_timer;
+    };
+    struct FilterSlot {
+        HookOwner owner;
+        int priority;
+        WireFilter outbound;
+        WireFilter inbound;
+    };
+
+    Bytes apply_outbound(Bytes payload) const;
+    Bytes apply_inbound(Bytes payload) const;
+
+    net::MessageRouter& router_;
+    Runtime& runtime_;
+    std::set<std::string> exported_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::uint64_t next_call_ = 0;
+    NodeId current_caller_;
+    std::vector<FilterSlot> wire_filters_;  // kept sorted by priority
+    std::vector<std::string> exempt_prefixes_;
+};
+
+}  // namespace pmp::rt

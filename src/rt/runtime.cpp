@@ -1,0 +1,68 @@
+#include "rt/runtime.h"
+
+#include "common/error.h"
+
+namespace pmp::rt {
+
+void Runtime::register_type(std::shared_ptr<TypeInfo> type) {
+    if (type_index_.contains(type->name())) {
+        throw TypeError("type '" + type->name() + "' already registered");
+    }
+    type_index_.emplace(type->name(), types_.size());
+    types_.push_back(type);
+    // Notify observers after registration so a weaver seeing the type can
+    // immediately weave into it. Copy the observer list first: weaving may
+    // add/remove observers re-entrantly.
+    auto observers = observers_;
+    for (auto& [_, fn] : observers) fn(*type);
+}
+
+std::shared_ptr<TypeInfo> Runtime::find_type(std::string_view name) const {
+    auto it = type_index_.find(name);
+    return it == type_index_.end() ? nullptr : types_[it->second];
+}
+
+std::vector<std::shared_ptr<TypeInfo>> Runtime::types() const { return types_; }
+
+std::shared_ptr<ServiceObject> Runtime::create(std::string_view type_name,
+                                               std::string instance_name) {
+    auto type = find_type(type_name);
+    if (!type) {
+        throw TypeError("unknown type '" + std::string(type_name) + "'");
+    }
+    if (objects_.contains(instance_name)) {
+        throw TypeError("instance '" + instance_name + "' already exists");
+    }
+    auto object = std::make_shared<ServiceObject>(type, instance_name);
+    objects_.emplace(std::move(instance_name), object);
+    return object;
+}
+
+std::shared_ptr<ServiceObject> Runtime::find_object(std::string_view instance_name) const {
+    auto it = objects_.find(instance_name);
+    return it == objects_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<ServiceObject>> Runtime::objects_of(
+    std::string_view type_name) const {
+    std::vector<std::shared_ptr<ServiceObject>> out;
+    for (const auto& [_, obj] : objects_) {
+        if (obj->type().name() == type_name) out.push_back(obj);
+    }
+    return out;
+}
+
+void Runtime::destroy(std::string_view instance_name) {
+    auto it = objects_.find(instance_name);
+    if (it != objects_.end()) objects_.erase(it);
+}
+
+Runtime::ObserverId Runtime::add_type_observer(TypeObserver observer) {
+    ObserverId id = ++next_observer_;
+    observers_.emplace(id, std::move(observer));
+    return id;
+}
+
+void Runtime::remove_type_observer(ObserverId id) { observers_.erase(id); }
+
+}  // namespace pmp::rt

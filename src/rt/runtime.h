@@ -1,0 +1,67 @@
+// Per-node runtime: the registry of service classes and live objects.
+//
+// One Runtime exists per mobile node / base station — the analog of that
+// node's PROSE-enabled JVM. The weaver enumerates its types to resolve
+// pointcuts, and subscribes to type registration so classes that appear
+// after an aspect was woven still receive matching advice (as a JIT would
+// instrument classes loaded later).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/object.h"
+
+namespace pmp::rt {
+
+class Runtime {
+public:
+    using TypeObserver = std::function<void(TypeInfo&)>;
+    using ObserverId = std::uint64_t;
+
+    explicit Runtime(std::string node_name) : node_name_(std::move(node_name)) {}
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    const std::string& node_name() const { return node_name_; }
+
+    /// Register a service class. Throws TypeError on duplicate names.
+    void register_type(std::shared_ptr<TypeInfo> type);
+
+    /// nullptr if unknown.
+    std::shared_ptr<TypeInfo> find_type(std::string_view name) const;
+
+    /// All registered classes, in registration order.
+    std::vector<std::shared_ptr<TypeInfo>> types() const;
+
+    /// Create and track an instance. Throws TypeError for unknown types or
+    /// duplicate instance names.
+    std::shared_ptr<ServiceObject> create(std::string_view type_name,
+                                          std::string instance_name);
+
+    /// Look up a live instance by name; nullptr if absent.
+    std::shared_ptr<ServiceObject> find_object(std::string_view instance_name) const;
+
+    /// All live instances of a given class.
+    std::vector<std::shared_ptr<ServiceObject>> objects_of(std::string_view type_name) const;
+
+    /// Drop a tracked instance.
+    void destroy(std::string_view instance_name);
+
+    /// Subscribe to future type registrations (used by the weaver).
+    ObserverId add_type_observer(TypeObserver observer);
+    void remove_type_observer(ObserverId id);
+
+private:
+    std::string node_name_;
+    std::vector<std::shared_ptr<TypeInfo>> types_;
+    std::map<std::string, std::size_t, std::less<>> type_index_;
+    std::map<std::string, std::shared_ptr<ServiceObject>, std::less<>> objects_;
+    std::map<ObserverId, TypeObserver> observers_;
+    ObserverId next_observer_ = 0;
+};
+
+}  // namespace pmp::rt

@@ -1,0 +1,309 @@
+#include "rt/type.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "rt/object.h"
+
+namespace pmp::rt {
+
+const char* type_kind_name(TypeKind k) {
+    switch (k) {
+        case TypeKind::kAny: return "any";
+        case TypeKind::kVoid: return "void";
+        case TypeKind::kBool: return "bool";
+        case TypeKind::kInt: return "int";
+        case TypeKind::kReal: return "real";
+        case TypeKind::kStr: return "str";
+        case TypeKind::kBlob: return "blob";
+        case TypeKind::kList: return "list";
+        case TypeKind::kDict: return "dict";
+    }
+    return "?";
+}
+
+std::optional<TypeKind> parse_type_kind(std::string_view name) {
+    if (name == "any") return TypeKind::kAny;
+    if (name == "void") return TypeKind::kVoid;
+    if (name == "bool") return TypeKind::kBool;
+    if (name == "int") return TypeKind::kInt;
+    if (name == "real") return TypeKind::kReal;
+    if (name == "str") return TypeKind::kStr;
+    if (name == "blob" || name == "bytes") return TypeKind::kBlob;
+    if (name == "list") return TypeKind::kList;
+    if (name == "dict") return TypeKind::kDict;
+    return std::nullopt;
+}
+
+bool value_matches(TypeKind kind, const Value& v) {
+    switch (kind) {
+        case TypeKind::kAny: return true;
+        case TypeKind::kVoid: return v.is_null();
+        case TypeKind::kBool: return v.is_bool();
+        case TypeKind::kInt: return v.is_int();
+        case TypeKind::kReal: return v.is_number();
+        case TypeKind::kStr: return v.is_str();
+        case TypeKind::kBlob: return v.is_blob();
+        case TypeKind::kList: return v.is_list();
+        case TypeKind::kDict: return v.is_dict();
+    }
+    return false;
+}
+
+std::string MethodDecl::signature(std::string_view type_name) const {
+    std::ostringstream os;
+    os << type_kind_name(returns) << ' ' << type_name << '.' << name << '(';
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i) os << ", ";
+        os << type_kind_name(params[i].type);
+    }
+    if (varargs) {
+        if (!params.empty()) os << ", ";
+        os << "..";
+    }
+    os << ')';
+    return os.str();
+}
+
+// -------------------------------------------------------------- Method ----
+
+void Method::validate(const List& args) const {
+    if (decl_.varargs ? args.size() < decl_.params.size()
+                      : args.size() != decl_.params.size()) {
+        throw TypeError("method '" + decl_.name + "' expects " +
+                        std::to_string(decl_.params.size()) +
+                        (decl_.varargs ? "+ args, got " : " args, got ") +
+                        std::to_string(args.size()));
+    }
+    for (std::size_t i = 0; i < decl_.params.size(); ++i) {
+        if (!value_matches(decl_.params[i].type, args[i])) {
+            throw TypeError("method '" + decl_.name + "' parameter '" + decl_.params[i].name +
+                            "' expects " + type_kind_name(decl_.params[i].type) + ", got " +
+                            Value::kind_name(args[i].kind()));
+        }
+    }
+}
+
+Value Method::invoke(ServiceObject& self, List args) {
+    validate(args);
+    // The minimal hook. When the method carries no advice this is the whole
+    // cost of carrying the adaptation platform: one well-predicted branch.
+    if (!armed_) [[likely]] {
+        return handler_(self, args);
+    }
+    return invoke_hooked(self, args);
+}
+
+Value Method::invoke_unhooked(ServiceObject& self, List args) {
+    validate(args);
+    return handler_(self, args);
+}
+
+Value Method::invoke_debugger_style(ServiceObject& self, List args) {
+    validate(args);
+    return invoke_hooked(self, args);  // no armed_ short-circuit
+}
+
+Value Method::invoke_hooked(ServiceObject& self, List& args) {
+    CallFrame frame{self, *this, args, Value{}, Dict{}};
+
+    // The innermost stage runs entry advice, the original handler and exit
+    // advice. Around advice wraps this core, outermost slot first.
+    auto core = [&]() -> Value {
+        try {
+            for (auto& slot : entry_hooks_) slot.fn(frame);
+            frame.result = handler_(self, args);
+            for (auto& slot : exit_hooks_) slot.fn(frame);
+        } catch (...) {
+            auto error = std::current_exception();
+            for (auto& slot : error_hooks_) slot.fn(frame, error);
+            throw;
+        }
+        return frame.result;
+    };
+
+    if (around_hooks_.empty()) {
+        return core();
+    }
+
+    // Build the proceed() chain: each around hook's continuation invokes the
+    // next one; the last continuation is the core above.
+    std::function<Value()> next = core;
+    for (auto it = around_hooks_.rbegin(); it != around_hooks_.rend(); ++it) {
+        auto& hook = it->fn;
+        std::function<Value()> inner = std::move(next);
+        next = [&hook, &frame, inner = std::move(inner)]() -> Value {
+            return hook(frame, inner);
+        };
+    }
+    frame.result = next();
+    return frame.result;
+}
+
+void Method::refresh_armed() {
+    armed_ = !(entry_hooks_.empty() && exit_hooks_.empty() && error_hooks_.empty() &&
+               around_hooks_.empty());
+}
+
+void Method::add_entry_hook(HookOwner owner, int priority, EntryHook fn) {
+    detail::insert_by_priority(entry_hooks_, {owner, priority, std::move(fn)});
+    refresh_armed();
+}
+
+void Method::add_exit_hook(HookOwner owner, int priority, ExitHook fn) {
+    detail::insert_by_priority(exit_hooks_, {owner, priority, std::move(fn)});
+    refresh_armed();
+}
+
+void Method::add_error_hook(HookOwner owner, int priority, ErrorHook fn) {
+    detail::insert_by_priority(error_hooks_, {owner, priority, std::move(fn)});
+    refresh_armed();
+}
+
+void Method::add_around_hook(HookOwner owner, int priority, AroundHook fn) {
+    detail::insert_by_priority(around_hooks_, {owner, priority, std::move(fn)});
+    refresh_armed();
+}
+
+bool Method::remove_hooks(HookOwner owner) {
+    bool removed = detail::remove_owner(entry_hooks_, owner);
+    removed |= detail::remove_owner(exit_hooks_, owner);
+    removed |= detail::remove_owner(error_hooks_, owner);
+    removed |= detail::remove_owner(around_hooks_, owner);
+    refresh_armed();
+    return removed;
+}
+
+// --------------------------------------------------------------- Field ----
+
+void Field::add_set_hook(HookOwner owner, int priority, FieldSetHook fn) {
+    detail::insert_by_priority(set_hooks_, {owner, priority, std::move(fn)});
+    armed_ = true;
+}
+
+void Field::add_get_hook(HookOwner owner, int priority, FieldGetHook fn) {
+    detail::insert_by_priority(get_hooks_, {owner, priority, std::move(fn)});
+    armed_ = true;
+}
+
+bool Field::remove_hooks(HookOwner owner) {
+    bool removed = detail::remove_owner(set_hooks_, owner);
+    removed |= detail::remove_owner(get_hooks_, owner);
+    armed_ = !(set_hooks_.empty() && get_hooks_.empty());
+    return removed;
+}
+
+void Field::on_set(ServiceObject& self, const Value& old_value, Value& new_value) {
+    for (auto& slot : set_hooks_) slot.fn(self, decl_, old_value, new_value);
+}
+
+void Field::on_get(ServiceObject& self, Value& value) {
+    for (auto& slot : get_hooks_) slot.fn(self, decl_, value);
+}
+
+// ------------------------------------------------------------ TypeInfo ----
+
+TypeInfo::Builder& TypeInfo::Builder::extends(std::shared_ptr<TypeInfo> parent) {
+    parent_ = std::move(parent);
+    return *this;
+}
+
+TypeInfo::Builder& TypeInfo::Builder::method(std::string name, TypeKind returns,
+                                             std::vector<ParamSpec> params,
+                                             MethodHandler handler, bool varargs) {
+    MethodDecl decl{std::move(name), returns, std::move(params), varargs};
+    methods_.push_back(std::make_unique<Method>(std::move(decl), std::move(handler)));
+    return *this;
+}
+
+TypeInfo::Builder& TypeInfo::Builder::field(std::string name, TypeKind type, Value initial) {
+    fields_.push_back(Field{FieldDecl{std::move(name), type, std::move(initial)}});
+    return *this;
+}
+
+std::shared_ptr<TypeInfo> TypeInfo::Builder::build() {
+    auto type = std::shared_ptr<TypeInfo>(new TypeInfo());
+    type->name_ = std::move(name_);
+    type->parent_ = parent_;
+
+    if (parent_) {
+        // Copy-down inheritance: inherited members come first (stable field
+        // layout for tooling), own declarations override by name.
+        auto declares = [](const auto& owned, std::string_view member) {
+            for (const auto& m : owned) {
+                if constexpr (requires { m->decl(); }) {
+                    if (m->decl().name == member) return true;
+                } else {
+                    if (m.decl().name == member) return true;
+                }
+            }
+            return false;
+        };
+        for (const auto& parent_method : parent_->methods_) {
+            if (!declares(methods_, parent_method->decl().name)) {
+                type->methods_.push_back(parent_method->clone_unwoven());
+            }
+        }
+        for (const Field& parent_field : parent_->fields_) {
+            if (!declares(fields_, parent_field.decl().name)) {
+                type->fields_.push_back(Field{parent_field.decl()});
+            }
+        }
+    }
+    for (auto& m : methods_) type->methods_.push_back(std::move(m));
+    for (auto& f : fields_) type->fields_.push_back(std::move(f));
+    for (std::size_t i = 0; i < type->methods_.size(); ++i) {
+        const auto& decl = type->methods_[i]->decl();
+        if (!type->method_index_.emplace(decl.name, i).second) {
+            throw TypeError("duplicate method '" + decl.name + "' in type '" + type->name_ + "'");
+        }
+    }
+    for (std::size_t i = 0; i < type->fields_.size(); ++i) {
+        const auto& decl = type->fields_[i].decl();
+        if (!type->field_index_.emplace(decl.name, i).second) {
+            throw TypeError("duplicate field '" + decl.name + "' in type '" + type->name_ + "'");
+        }
+    }
+    return type;
+}
+
+bool TypeInfo::is_a(std::string_view ancestor_name) const {
+    for (const TypeInfo* t = this; t != nullptr; t = t->parent_.get()) {
+        if (t->name_ == ancestor_name) return true;
+    }
+    return false;
+}
+
+Method* TypeInfo::method(std::string_view name) {
+    auto it = method_index_.find(std::string(name));
+    return it == method_index_.end() ? nullptr : methods_[it->second].get();
+}
+
+const Method* TypeInfo::method(std::string_view name) const {
+    auto it = method_index_.find(std::string(name));
+    return it == method_index_.end() ? nullptr : methods_[it->second].get();
+}
+
+Field* TypeInfo::field(std::string_view name) {
+    auto it = field_index_.find(std::string(name));
+    return it == field_index_.end() ? nullptr : &fields_[it->second];
+}
+
+const Field* TypeInfo::field(std::string_view name) const {
+    auto it = field_index_.find(std::string(name));
+    return it == field_index_.end() ? nullptr : &fields_[it->second];
+}
+
+std::size_t TypeInfo::field_index(std::string_view name) const {
+    auto it = field_index_.find(std::string(name));
+    return it == field_index_.end() ? SIZE_MAX : it->second;
+}
+
+std::vector<Method*> TypeInfo::methods() {
+    std::vector<Method*> out;
+    out.reserve(methods_.size());
+    for (auto& m : methods_) out.push_back(m.get());
+    return out;
+}
+
+}  // namespace pmp::rt

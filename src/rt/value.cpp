@@ -1,0 +1,299 @@
+#include "rt/value.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace pmp::rt {
+
+// ---------------------------------------------------------------- Dict ----
+
+Dict::Dict(std::initializer_list<Entry> entries) {
+    for (const auto& e : entries) set(e.first, e.second);
+}
+
+std::vector<Dict::Entry>::iterator Dict::lower_bound(const std::string& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, const std::string& k) { return e.first < k; });
+}
+
+std::vector<Dict::Entry>::const_iterator Dict::lower_bound(const std::string& key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, const std::string& k) { return e.first < k; });
+}
+
+void Dict::set(const std::string& key, Value value) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+        it->second = std::move(value);
+    } else {
+        entries_.insert(it, Entry{key, std::move(value)});
+    }
+}
+
+const Value* Dict::find(const std::string& key) const {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return &it->second;
+    return nullptr;
+}
+
+const Value& Dict::at(const std::string& key) const {
+    if (const Value* v = find(key)) return *v;
+    throw TypeError("dict has no key '" + key + "'");
+}
+
+bool Dict::erase(const std::string& key) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+        entries_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+bool Dict::operator==(const Dict& other) const { return entries_ == other.entries_; }
+
+// --------------------------------------------------------------- Value ----
+
+const char* Value::kind_name(Kind k) {
+    switch (k) {
+        case Kind::kNull: return "null";
+        case Kind::kBool: return "bool";
+        case Kind::kInt: return "int";
+        case Kind::kReal: return "real";
+        case Kind::kStr: return "str";
+        case Kind::kBlob: return "blob";
+        case Kind::kList: return "list";
+        case Kind::kDict: return "dict";
+    }
+    return "?";
+}
+
+namespace {
+[[noreturn]] void kind_error(Value::Kind want, Value::Kind got) {
+    throw TypeError(std::string("expected ") + Value::kind_name(want) + ", got " +
+                    Value::kind_name(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+    if (auto* p = std::get_if<bool>(&v_)) return *p;
+    kind_error(Kind::kBool, kind());
+}
+
+std::int64_t Value::as_int() const {
+    if (auto* p = std::get_if<std::int64_t>(&v_)) return *p;
+    kind_error(Kind::kInt, kind());
+}
+
+double Value::as_real() const {
+    if (auto* p = std::get_if<double>(&v_)) return *p;
+    if (auto* p = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*p);
+    kind_error(Kind::kReal, kind());
+}
+
+const std::string& Value::as_str() const {
+    if (auto* p = std::get_if<std::string>(&v_)) return *p;
+    kind_error(Kind::kStr, kind());
+}
+
+const Bytes& Value::as_blob() const {
+    if (auto* p = std::get_if<Bytes>(&v_)) return *p;
+    kind_error(Kind::kBlob, kind());
+}
+
+const List& Value::as_list() const {
+    if (auto* p = std::get_if<List>(&v_)) return *p;
+    kind_error(Kind::kList, kind());
+}
+
+List& Value::as_list() {
+    if (auto* p = std::get_if<List>(&v_)) return *p;
+    kind_error(Kind::kList, kind());
+}
+
+const Dict& Value::as_dict() const {
+    if (auto* p = std::get_if<Dict>(&v_)) return *p;
+    kind_error(Kind::kDict, kind());
+}
+
+Dict& Value::as_dict() {
+    if (auto* p = std::get_if<Dict>(&v_)) return *p;
+    kind_error(Kind::kDict, kind());
+}
+
+bool Value::truthy() const {
+    switch (kind()) {
+        case Kind::kNull: return false;
+        case Kind::kBool: return std::get<bool>(v_);
+        case Kind::kInt: return std::get<std::int64_t>(v_) != 0;
+        case Kind::kReal: return std::get<double>(v_) != 0.0;
+        case Kind::kStr: return !std::get<std::string>(v_).empty();
+        case Kind::kBlob: return !std::get<Bytes>(v_).empty();
+        case Kind::kList: return !std::get<List>(v_).empty();
+        case Kind::kDict: return !std::get<Dict>(v_).empty();
+    }
+    return false;
+}
+
+namespace {
+void quote_into(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+}  // namespace
+
+std::string Value::to_string() const {
+    std::ostringstream os;
+    switch (kind()) {
+        case Kind::kNull: os << "null"; break;
+        case Kind::kBool: os << (std::get<bool>(v_) ? "true" : "false"); break;
+        case Kind::kInt: os << std::get<std::int64_t>(v_); break;
+        case Kind::kReal: os << std::get<double>(v_); break;
+        case Kind::kStr: quote_into(os, std::get<std::string>(v_)); break;
+        case Kind::kBlob:
+            os << "blob(" << hex_encode(std::span<const std::uint8_t>(std::get<Bytes>(v_)))
+               << ")";
+            break;
+        case Kind::kList: {
+            os << '[';
+            const auto& list = std::get<List>(v_);
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (i) os << ", ";
+                os << list[i].to_string();
+            }
+            os << ']';
+            break;
+        }
+        case Kind::kDict: {
+            os << '{';
+            bool first = true;
+            for (const auto& [k, v] : std::get<Dict>(v_)) {
+                if (!first) os << ", ";
+                first = false;
+                quote_into(os, k);
+                os << ": " << v.to_string();
+            }
+            os << '}';
+            break;
+        }
+    }
+    return os.str();
+}
+
+void Value::encode(Bytes& out) const {
+    out.push_back(static_cast<std::uint8_t>(kind()));
+    switch (kind()) {
+        case Kind::kNull: break;
+        case Kind::kBool: out.push_back(std::get<bool>(v_) ? 1 : 0); break;
+        case Kind::kInt:
+            append_u64(out, static_cast<std::uint64_t>(std::get<std::int64_t>(v_)));
+            break;
+        case Kind::kReal: {
+            double d = std::get<double>(v_);
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(d));
+            std::memcpy(&bits, &d, sizeof(bits));
+            append_u64(out, bits);
+            break;
+        }
+        case Kind::kStr: {
+            const auto& s = std::get<std::string>(v_);
+            append_u32(out, static_cast<std::uint32_t>(s.size()));
+            append(out, as_bytes(s));
+            break;
+        }
+        case Kind::kBlob: {
+            const auto& b = std::get<Bytes>(v_);
+            append_u32(out, static_cast<std::uint32_t>(b.size()));
+            append(out, std::span<const std::uint8_t>(b));
+            break;
+        }
+        case Kind::kList: {
+            const auto& list = std::get<List>(v_);
+            append_u32(out, static_cast<std::uint32_t>(list.size()));
+            for (const auto& v : list) v.encode(out);
+            break;
+        }
+        case Kind::kDict: {
+            const auto& dict = std::get<Dict>(v_);
+            append_u32(out, static_cast<std::uint32_t>(dict.size()));
+            for (const auto& [k, v] : dict) {
+                append_u32(out, static_cast<std::uint32_t>(k.size()));
+                append(out, as_bytes(k));
+                v.encode(out);
+            }
+            break;
+        }
+    }
+}
+
+Bytes Value::encode() const {
+    Bytes out;
+    encode(out);
+    return out;
+}
+
+Value Value::decode(ByteReader& reader) {
+    auto tag = reader.read(1)[0];
+    switch (static_cast<Kind>(tag)) {
+        case Kind::kNull: return Value{};
+        case Kind::kBool: return Value{reader.read(1)[0] != 0};
+        case Kind::kInt: return Value{static_cast<std::int64_t>(reader.read_u64())};
+        case Kind::kReal: {
+            std::uint64_t bits = reader.read_u64();
+            double d;
+            std::memcpy(&d, &bits, sizeof(d));
+            return Value{d};
+        }
+        case Kind::kStr: {
+            std::uint32_t n = reader.read_u32();
+            return Value{reader.read_string(n)};
+        }
+        case Kind::kBlob: {
+            std::uint32_t n = reader.read_u32();
+            auto span = reader.read(n);
+            return Value{Bytes(span.begin(), span.end())};
+        }
+        case Kind::kList: {
+            std::uint32_t n = reader.read_u32();
+            // A hostile length prefix must not drive allocation: every
+            // element needs at least its one-byte tag, so n can never
+            // exceed the bytes actually present.
+            if (n > reader.remaining()) {
+                throw ParseError("list length exceeds available bytes", 0, 0);
+            }
+            List list;
+            list.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) list.push_back(decode(reader));
+            return Value{std::move(list)};
+        }
+        case Kind::kDict: {
+            std::uint32_t n = reader.read_u32();
+            if (n > reader.remaining()) {
+                throw ParseError("dict size exceeds available bytes", 0, 0);
+            }
+            Dict dict;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                std::uint32_t klen = reader.read_u32();
+                std::string key = reader.read_string(klen);
+                dict.set(key, decode(reader));
+            }
+            return Value{std::move(dict)};
+        }
+    }
+    throw ParseError("unknown value tag " + std::to_string(tag), 0, 0);
+}
+
+Value Value::decode(std::span<const std::uint8_t> data) {
+    ByteReader reader(data);
+    return decode(reader);
+}
+
+}  // namespace pmp::rt

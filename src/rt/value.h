@@ -1,0 +1,132 @@
+// Dynamic value type of the metaobject runtime.
+//
+// Value plays the role Java's Object plays in the paper: the type of every
+// method argument and result crossing the middleware, of marshaled RPC
+// payloads, of AdviceScript values, and of extension configuration. It is a
+// tree: scalars, byte blobs, lists and string-keyed dictionaries, with a
+// canonical byte encoding (used both on the wire and as the signed payload
+// of extension packages).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace pmp::rt {
+
+class Value;
+
+/// Ordered sequence of values.
+using List = std::vector<Value>;
+
+/// String-keyed mapping with deterministic (sorted) iteration order.
+/// Implemented as a sorted vector so it works with the incomplete Value
+/// type and encodes canonically (same content => same bytes => same MAC).
+class Dict {
+public:
+    using Entry = std::pair<std::string, Value>;
+    using const_iterator = std::vector<Entry>::const_iterator;
+
+    Dict() = default;
+    Dict(std::initializer_list<Entry> entries);
+
+    /// Insert or overwrite.
+    void set(const std::string& key, Value value);
+
+    /// nullptr if absent.
+    const Value* find(const std::string& key) const;
+
+    /// Reference to the value; throws TypeError if absent.
+    const Value& at(const std::string& key) const;
+
+    bool contains(const std::string& key) const { return find(key) != nullptr; }
+    bool erase(const std::string& key);
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+
+    bool operator==(const Dict&) const;
+
+private:
+    std::vector<Entry>::iterator lower_bound(const std::string& key);
+    std::vector<Entry>::const_iterator lower_bound(const std::string& key) const;
+
+    std::vector<Entry> entries_;  // kept sorted by key
+};
+
+/// The dynamic value.
+class Value {
+public:
+    enum class Kind : std::uint8_t {
+        kNull = 0,
+        kBool = 1,
+        kInt = 2,
+        kReal = 3,
+        kStr = 4,
+        kBlob = 5,
+        kList = 6,
+        kDict = 7,
+    };
+
+    Value() : v_(std::monostate{}) {}
+    Value(bool b) : v_(b) {}
+    Value(std::int64_t i) : v_(i) {}
+    Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+    Value(double d) : v_(d) {}
+    Value(const char* s) : v_(std::string(s)) {}
+    Value(std::string s) : v_(std::move(s)) {}
+    Value(Bytes b) : v_(std::move(b)) {}
+    Value(List l) : v_(std::move(l)) {}
+    Value(Dict d) : v_(std::move(d)) {}
+
+    Kind kind() const { return static_cast<Kind>(v_.index()); }
+    static const char* kind_name(Kind k);
+
+    bool is_null() const { return kind() == Kind::kNull; }
+    bool is_bool() const { return kind() == Kind::kBool; }
+    bool is_int() const { return kind() == Kind::kInt; }
+    bool is_real() const { return kind() == Kind::kReal; }
+    bool is_number() const { return is_int() || is_real(); }
+    bool is_str() const { return kind() == Kind::kStr; }
+    bool is_blob() const { return kind() == Kind::kBlob; }
+    bool is_list() const { return kind() == Kind::kList; }
+    bool is_dict() const { return kind() == Kind::kDict; }
+
+    /// Checked accessors; throw TypeError on kind mismatch.
+    bool as_bool() const;
+    std::int64_t as_int() const;
+    /// Numeric accessor: accepts both Int and Real.
+    double as_real() const;
+    const std::string& as_str() const;
+    const Bytes& as_blob() const;
+    const List& as_list() const;
+    List& as_list();
+    const Dict& as_dict() const;
+    Dict& as_dict();
+
+    /// Script truthiness: null/false/0/""/empty containers are false.
+    bool truthy() const;
+
+    bool operator==(const Value& other) const { return v_ == other.v_; }
+
+    /// Human-readable JSON-like rendering (for logs and examples).
+    std::string to_string() const;
+
+    /// Canonical binary encoding (self-delimiting).
+    void encode(Bytes& out) const;
+    Bytes encode() const;
+    static Value decode(ByteReader& reader);
+    static Value decode(std::span<const std::uint8_t> data);
+
+private:
+    std::variant<std::monostate, bool, std::int64_t, double, std::string, Bytes, List, Dict> v_;
+};
+
+}  // namespace pmp::rt

@@ -1,0 +1,108 @@
+// Abstract syntax tree for AdviceScript.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/value.h"
+
+namespace pmp::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class BinOp {
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+struct Expr {
+    enum class Kind {
+        kLiteral,   // value
+        kVar,       // name
+        kBinary,    // op, lhs, rhs
+        kUnary,     // op, operand
+        kCall,      // callee name (possibly "ns.fn"), args
+        kIndex,     // target[index]
+        kMember,    // target.name  (dict field shorthand)
+        kListLit,   // [a, b, c]
+        kDictLit,   // {"k": v, ...}
+    };
+
+    Kind kind;
+    int line = 0;
+
+    rt::Value literal;                      // kLiteral
+    std::string name;                       // kVar, kCall (callee), kMember (field)
+    BinOp bin_op{};                         // kBinary
+    UnOp un_op{};                           // kUnary
+    ExprPtr lhs, rhs;                       // kBinary; kIndex uses lhs=target rhs=index;
+                                            // kUnary and kMember use lhs
+    std::vector<ExprPtr> args;              // kCall, kListLit
+    std::vector<std::pair<ExprPtr, ExprPtr>> entries;  // kDictLit (key, value)
+};
+
+struct Stmt {
+    enum class Kind {
+        kLet,       // name = expr
+        kAssign,    // target (Var/Index/Member chain) = expr
+        kExpr,      // expression statement
+        kIf,        // cond, then_block, else_block
+        kWhile,     // cond, body
+        kForIn,     // name, iterable, body
+        kReturn,    // optional expr
+        kBreak,
+        kContinue,
+        kThrow,     // expr
+        kBlock,     // body
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::string name;           // kLet, kForIn loop variable
+    ExprPtr target;             // kAssign target (lvalue expression)
+    ExprPtr expr;               // initializer / condition / thrown / returned
+    std::vector<StmtPtr> body;  // blocks
+    std::vector<StmtPtr> else_body;
+};
+
+struct FunctionDecl {
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+/// A parsed compilation unit: top-level statements (run once, populate the
+/// extension's global state) plus named functions (the advice entry points
+/// such as onEntry / onExit / onShutdown, and any helpers).
+struct Program {
+    std::vector<StmtPtr> top_level;
+    std::vector<FunctionDecl> functions;
+
+    const FunctionDecl* find_function(std::string_view name) const {
+        for (const auto& f : functions) {
+            if (f.name == name) return &f;
+        }
+        return nullptr;
+    }
+};
+
+}  // namespace pmp::script

@@ -1,0 +1,218 @@
+#include "script/check.h"
+
+namespace pmp::script {
+
+namespace {
+
+class Checker {
+public:
+    Checker(const Program& program, const BuiltinRegistry& builtins,
+            const std::set<std::string>& predefined)
+        : program_(program), builtins_(builtins) {
+        globals_ = predefined;
+    }
+
+    std::vector<Diagnostic> run() {
+        // Pass 0: function table (duplicates, duplicate params).
+        for (const FunctionDecl& fn : program_.functions) {
+            if (!functions_.insert(fn.name).second) {
+                report(fn.line, "duplicate function '" + fn.name + "'");
+            }
+            std::set<std::string> params;
+            for (const std::string& p : fn.params) {
+                if (!params.insert(p).second) {
+                    report(fn.line, "duplicate parameter '" + p + "' in '" + fn.name + "'");
+                }
+            }
+        }
+
+        // Pass 1: top level, sequentially (a global exists only below its
+        // `let`). Top-level code runs outside any loop or function.
+        scopes_.clear();
+        check_stmts(program_.top_level, /*top_level=*/true, /*in_loop=*/false,
+                    /*in_function=*/false);
+
+        // Pass 2: function bodies see every global the top level defines.
+        for (const FunctionDecl& fn : program_.functions) {
+            scopes_.clear();
+            scopes_.emplace_back();
+            for (const std::string& p : fn.params) scopes_.back().insert(p);
+            check_stmts(fn.body, /*top_level=*/false, /*in_loop=*/false,
+                        /*in_function=*/true);
+        }
+        return std::move(diagnostics_);
+    }
+
+private:
+    void report(int line, std::string message) {
+        diagnostics_.push_back(Diagnostic{line, std::move(message)});
+    }
+
+    bool var_defined(const std::string& name) const {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            if (it->contains(name)) return true;
+        }
+        return globals_.contains(name);
+    }
+
+    /// True if the statement unconditionally transfers control.
+    static bool terminates(const Stmt& stmt) {
+        return stmt.kind == Stmt::Kind::kReturn || stmt.kind == Stmt::Kind::kBreak ||
+               stmt.kind == Stmt::Kind::kContinue || stmt.kind == Stmt::Kind::kThrow;
+    }
+
+    void check_stmts(const std::vector<StmtPtr>& body, bool top_level, bool in_loop,
+                     bool in_function) {
+        bool dead = false;
+        for (const StmtPtr& stmt : body) {
+            if (dead) {
+                report(stmt->line, "unreachable statement");
+                dead = false;  // one report per dead region
+            }
+            check_stmt(*stmt, top_level, in_loop, in_function);
+            if (terminates(*stmt)) dead = true;
+        }
+    }
+
+    void check_block(const std::vector<StmtPtr>& body, bool in_loop, bool in_function) {
+        scopes_.emplace_back();
+        check_stmts(body, /*top_level=*/false, in_loop, in_function);
+        scopes_.pop_back();
+    }
+
+    void check_stmt(const Stmt& stmt, bool top_level, bool in_loop, bool in_function) {
+        switch (stmt.kind) {
+            case Stmt::Kind::kLet:
+                check_expr(*stmt.expr);
+                if (top_level && scopes_.empty()) {
+                    globals_.insert(stmt.name);
+                } else if (!scopes_.empty()) {
+                    scopes_.back().insert(stmt.name);
+                }
+                return;
+            case Stmt::Kind::kAssign:
+                check_expr(*stmt.expr);
+                check_lvalue(*stmt.target);
+                return;
+            case Stmt::Kind::kExpr: check_expr(*stmt.expr); return;
+            case Stmt::Kind::kIf:
+                check_expr(*stmt.expr);
+                check_block(stmt.body, in_loop, in_function);
+                check_block(stmt.else_body, in_loop, in_function);
+                return;
+            case Stmt::Kind::kWhile:
+                check_expr(*stmt.expr);
+                check_block(stmt.body, /*in_loop=*/true, in_function);
+                return;
+            case Stmt::Kind::kForIn: {
+                check_expr(*stmt.expr);
+                scopes_.emplace_back();
+                scopes_.back().insert(stmt.name);
+                check_stmts(stmt.body, /*top_level=*/false, /*in_loop=*/true, in_function);
+                scopes_.pop_back();
+                return;
+            }
+            case Stmt::Kind::kReturn:
+                if (stmt.expr) check_expr(*stmt.expr);
+                if (!in_function) report(stmt.line, "'return' outside a function");
+                return;
+            case Stmt::Kind::kBreak:
+                if (!in_loop) report(stmt.line, "'break' outside a loop");
+                return;
+            case Stmt::Kind::kContinue:
+                if (!in_loop) report(stmt.line, "'continue' outside a loop");
+                return;
+            case Stmt::Kind::kThrow: check_expr(*stmt.expr); return;
+            case Stmt::Kind::kBlock: check_block(stmt.body, in_loop, in_function); return;
+        }
+    }
+
+    void check_lvalue(const Expr& target) {
+        switch (target.kind) {
+            case Expr::Kind::kVar:
+                if (!var_defined(target.name)) {
+                    report(target.line,
+                           "assignment to undeclared variable '" + target.name + "'");
+                }
+                return;
+            case Expr::Kind::kIndex:
+                check_lvalue(*target.lhs);
+                check_expr(*target.rhs);
+                return;
+            case Expr::Kind::kMember: check_lvalue(*target.lhs); return;
+            default: return;  // the parser already rejects other targets
+        }
+    }
+
+    void check_expr(const Expr& expr) {
+        switch (expr.kind) {
+            case Expr::Kind::kLiteral: return;
+            case Expr::Kind::kVar:
+                if (!var_defined(expr.name)) {
+                    report(expr.line, "undefined variable '" + expr.name + "'");
+                }
+                return;
+            case Expr::Kind::kBinary:
+                check_expr(*expr.lhs);
+                check_expr(*expr.rhs);
+                return;
+            case Expr::Kind::kUnary: check_expr(*expr.lhs); return;
+            case Expr::Kind::kCall: {
+                for (const ExprPtr& a : expr.args) check_expr(*a);
+                const FunctionDecl* fn = program_.find_function(expr.name);
+                if (fn) {
+                    if (fn->params.size() != expr.args.size()) {
+                        report(expr.line, "function '" + expr.name + "' expects " +
+                                              std::to_string(fn->params.size()) +
+                                              " args, got " +
+                                              std::to_string(expr.args.size()));
+                    }
+                    return;
+                }
+                if (!builtins_.find(expr.name)) {
+                    report(expr.line, "unknown function '" + expr.name + "'");
+                }
+                return;
+            }
+            case Expr::Kind::kIndex:
+                check_expr(*expr.lhs);
+                check_expr(*expr.rhs);
+                return;
+            case Expr::Kind::kMember: check_expr(*expr.lhs); return;
+            case Expr::Kind::kListLit:
+                for (const ExprPtr& a : expr.args) check_expr(*a);
+                return;
+            case Expr::Kind::kDictLit:
+                for (const auto& [k, v] : expr.entries) {
+                    check_expr(*k);
+                    check_expr(*v);
+                }
+                return;
+        }
+    }
+
+    const Program& program_;
+    const BuiltinRegistry& builtins_;
+    std::set<std::string> globals_;
+    std::set<std::string> functions_;
+    std::vector<std::set<std::string>> scopes_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> check(const Program& program, const BuiltinRegistry& builtins,
+                              const std::set<std::string>& predefined) {
+    return Checker(program, builtins, predefined).run();
+}
+
+std::string format_diagnostics(const std::vector<Diagnostic>& diagnostics) {
+    std::string out;
+    for (const Diagnostic& d : diagnostics) {
+        if (!out.empty()) out += "; ";
+        out += "line " + std::to_string(d.line) + ": " + d.message;
+    }
+    return out;
+}
+
+}  // namespace pmp::script

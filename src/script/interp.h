@@ -1,0 +1,120 @@
+// AdviceScript interpreter and sandbox.
+//
+// Extension code arrives from the network, so it runs inside a sandbox
+// (paper §3.1, "addressing secure execution"): every host facility it can
+// touch is a registered builtin gated by a capability string, and the
+// interpreter enforces step and recursion budgets so a buggy or hostile
+// extension cannot wedge the node. The hosting layer (MIDAS receiver)
+// decides which capabilities a package gets.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "script/ast.h"
+
+namespace pmp::script {
+
+/// Execution limits and capability grants for one extension instance.
+struct Sandbox {
+    std::set<std::string> capabilities;
+    std::uint64_t step_budget = 1'000'000;  ///< per entry-point invocation
+    int max_recursion = 64;
+
+    bool allows(const std::string& capability) const {
+        return capability.empty() || capabilities.contains(capability);
+    }
+};
+
+/// Host functions callable from script. A builtin with an empty capability
+/// is part of the core library and always available; anything touching the
+/// node (logging, network, database, robot control, the current join
+/// point) declares the capability it needs.
+class BuiltinRegistry {
+public:
+    using Fn = std::function<rt::Value(rt::List& args)>;
+
+    struct Entry {
+        std::string capability;
+        Fn fn;
+    };
+
+    /// Register `name` (e.g. "net.post"); replaces an existing entry.
+    void add(const std::string& name, const std::string& capability, Fn fn);
+
+    const Entry* find(const std::string& name) const;
+
+    /// The core library: len, str, push, keys, range, math and string
+    /// helpers — no capabilities required.
+    static BuiltinRegistry with_core();
+
+private:
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Tree-walking evaluator over one Program.
+///
+/// The top-level statements run once (run_top_level) and populate the
+/// extension's global state; advice entry points are then invoked with
+/// call(). Globals persist across calls — that is how, e.g., the
+/// monitoring extension accumulates a local buffer between interceptions.
+class Interpreter {
+public:
+    Interpreter(std::shared_ptr<const Program> program, Sandbox sandbox,
+                std::shared_ptr<const BuiltinRegistry> builtins);
+
+    /// Execute top-level statements (global `let`s etc.). Call once.
+    void run_top_level();
+
+    bool has_function(std::string_view name) const {
+        return program_->find_function(name) != nullptr;
+    }
+
+    /// Invoke a named function. Throws ScriptError for script faults,
+    /// AccessDenied for capability violations, ResourceExhausted for
+    /// budget overruns.
+    rt::Value call(std::string_view name, rt::List args);
+
+    /// Read/write a global (tests and host glue).
+    const rt::Value* global(const std::string& name) const;
+    void set_global(const std::string& name, rt::Value value);
+
+    const Sandbox& sandbox() const { return sandbox_; }
+
+private:
+    struct Scope {
+        std::unordered_map<std::string, rt::Value> vars;
+    };
+
+    // Control-flow signals (internal).
+    struct ReturnSignal {
+        rt::Value value;
+    };
+    struct BreakSignal {};
+    struct ContinueSignal {};
+
+    void tick(int line);
+    rt::Value* find_var(const std::string& name);
+
+    void exec_block(const std::vector<StmtPtr>& body);
+    void exec(const Stmt& stmt);
+    rt::Value eval(const Expr& expr);
+    rt::Value eval_binary(const Expr& expr);
+    rt::Value eval_call(const Expr& expr);
+    rt::Value* resolve_lvalue(const Expr& target);
+    rt::Value call_function(const FunctionDecl& fn, rt::List args);
+
+    std::shared_ptr<const Program> program_;
+    Sandbox sandbox_;
+    std::shared_ptr<const BuiltinRegistry> builtins_;
+
+    Scope globals_;
+    std::vector<Scope> scopes_;  // current frame's lexical scopes
+    std::uint64_t steps_ = 0;
+    int depth_ = 0;
+};
+
+}  // namespace pmp::script

@@ -1,0 +1,273 @@
+#include <cctype>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "script/token.h"
+
+namespace pmp::script {
+
+const char* token_name(Tok kind) {
+    switch (kind) {
+        case Tok::kEof: return "end of input";
+        case Tok::kIdent: return "identifier";
+        case Tok::kInt: return "integer";
+        case Tok::kReal: return "real";
+        case Tok::kStr: return "string";
+        case Tok::kLet: return "'let'";
+        case Tok::kFun: return "'fun'";
+        case Tok::kIf: return "'if'";
+        case Tok::kElse: return "'else'";
+        case Tok::kWhile: return "'while'";
+        case Tok::kFor: return "'for'";
+        case Tok::kIn: return "'in'";
+        case Tok::kReturn: return "'return'";
+        case Tok::kBreak: return "'break'";
+        case Tok::kContinue: return "'continue'";
+        case Tok::kThrow: return "'throw'";
+        case Tok::kTrue: return "'true'";
+        case Tok::kFalse: return "'false'";
+        case Tok::kNull: return "'null'";
+        case Tok::kLParen: return "'('";
+        case Tok::kRParen: return "')'";
+        case Tok::kLBrace: return "'{'";
+        case Tok::kRBrace: return "'}'";
+        case Tok::kLBracket: return "'['";
+        case Tok::kRBracket: return "']'";
+        case Tok::kComma: return "','";
+        case Tok::kSemi: return "';'";
+        case Tok::kColon: return "':'";
+        case Tok::kDot: return "'.'";
+        case Tok::kAssign: return "'='";
+        case Tok::kEq: return "'=='";
+        case Tok::kNe: return "'!='";
+        case Tok::kLt: return "'<'";
+        case Tok::kLe: return "'<='";
+        case Tok::kGt: return "'>'";
+        case Tok::kGe: return "'>='";
+        case Tok::kPlus: return "'+'";
+        case Tok::kMinus: return "'-'";
+        case Tok::kStar: return "'*'";
+        case Tok::kSlash: return "'/'";
+        case Tok::kPercent: return "'%'";
+        case Tok::kAndAnd: return "'&&'";
+        case Tok::kOrOr: return "'||'";
+        case Tok::kBang: return "'!'";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"let", Tok::kLet},       {"fun", Tok::kFun},         {"if", Tok::kIf},
+    {"else", Tok::kElse},     {"while", Tok::kWhile},     {"for", Tok::kFor},
+    {"in", Tok::kIn},         {"return", Tok::kReturn},   {"break", Tok::kBreak},
+    {"continue", Tok::kContinue}, {"throw", Tok::kThrow}, {"true", Tok::kTrue},
+    {"false", Tok::kFalse},   {"null", Tok::kNull},
+};
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view source) : src_(source) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> out;
+        for (;;) {
+            skip_trivia();
+            Token tok = next_token();
+            bool done = tok.kind == Tok::kEof;
+            out.push_back(std::move(tok));
+            if (done) return out;
+        }
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const { throw ParseError(what, line_, col_); }
+
+    bool eof() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char advance() {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void skip_trivia() {
+        for (;;) {
+            if (eof()) return;
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (!eof() && peek() != '\n') advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+                if (eof()) fail("unterminated block comment");
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token make(Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = tok_line_;
+        t.column = tok_col_;
+        return t;
+    }
+
+    Token next_token() {
+        tok_line_ = line_;
+        tok_col_ = col_;
+        if (eof()) return make(Tok::kEof);
+        char c = advance();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return ident(c);
+        if (std::isdigit(static_cast<unsigned char>(c))) return number(c);
+        if (c == '"') return string_literal();
+
+        switch (c) {
+            case '(': return make(Tok::kLParen);
+            case ')': return make(Tok::kRParen);
+            case '{': return make(Tok::kLBrace);
+            case '}': return make(Tok::kRBrace);
+            case '[': return make(Tok::kLBracket);
+            case ']': return make(Tok::kRBracket);
+            case ',': return make(Tok::kComma);
+            case ';': return make(Tok::kSemi);
+            case ':': return make(Tok::kColon);
+            case '.': return make(Tok::kDot);
+            case '+': return make(Tok::kPlus);
+            case '-': return make(Tok::kMinus);
+            case '*': return make(Tok::kStar);
+            case '/': return make(Tok::kSlash);
+            case '%': return make(Tok::kPercent);
+            case '=':
+                if (peek() == '=') {
+                    advance();
+                    return make(Tok::kEq);
+                }
+                return make(Tok::kAssign);
+            case '!':
+                if (peek() == '=') {
+                    advance();
+                    return make(Tok::kNe);
+                }
+                return make(Tok::kBang);
+            case '<':
+                if (peek() == '=') {
+                    advance();
+                    return make(Tok::kLe);
+                }
+                return make(Tok::kLt);
+            case '>':
+                if (peek() == '=') {
+                    advance();
+                    return make(Tok::kGe);
+                }
+                return make(Tok::kGt);
+            case '&':
+                if (peek() == '&') {
+                    advance();
+                    return make(Tok::kAndAnd);
+                }
+                fail("stray '&'");
+            case '|':
+                if (peek() == '|') {
+                    advance();
+                    return make(Tok::kOrOr);
+                }
+                fail("stray '|'");
+            default: fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    Token ident(char first) {
+        std::string text(1, first);
+        while (!eof() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+            text.push_back(advance());
+        }
+        if (auto it = kKeywords.find(text); it != kKeywords.end()) {
+            return make(it->second);
+        }
+        Token t = make(Tok::kIdent);
+        t.text = std::move(text);
+        return t;
+    }
+
+    Token number(char first) {
+        std::string text(1, first);
+        bool real = false;
+        while (!eof()) {
+            char c = peek();
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                text.push_back(advance());
+            } else if (c == '.' && !real &&
+                       std::isdigit(static_cast<unsigned char>(peek(1)))) {
+                real = true;
+                text.push_back(advance());
+            } else {
+                break;
+            }
+        }
+        if (real) {
+            Token t = make(Tok::kReal);
+            t.real_val = std::stod(text);
+            return t;
+        }
+        Token t = make(Tok::kInt);
+        t.int_val = std::stoll(text);
+        return t;
+    }
+
+    Token string_literal() {
+        std::string text;
+        for (;;) {
+            if (eof()) fail("unterminated string literal");
+            char c = advance();
+            if (c == '"') break;
+            if (c == '\\') {
+                if (eof()) fail("unterminated escape");
+                char esc = advance();
+                switch (esc) {
+                    case 'n': text.push_back('\n'); break;
+                    case 't': text.push_back('\t'); break;
+                    case '"': text.push_back('"'); break;
+                    case '\\': text.push_back('\\'); break;
+                    default: fail(std::string("unknown escape '\\") + esc + "'");
+                }
+            } else {
+                text.push_back(c);
+            }
+        }
+        Token t = make(Tok::kStr);
+        t.text = std::move(text);
+        return t;
+    }
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    int tok_line_ = 1;
+    int tok_col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace pmp::script

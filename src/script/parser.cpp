@@ -1,0 +1,413 @@
+#include "script/parser.h"
+
+#include "common/error.h"
+#include "script/token.h"
+
+namespace pmp::script {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Program run() {
+        Program prog;
+        while (!at(Tok::kEof)) {
+            if (at(Tok::kFun)) {
+                prog.functions.push_back(fundecl());
+            } else {
+                prog.top_level.push_back(stmt());
+            }
+        }
+        return prog;
+    }
+
+private:
+    const Token& cur() const { return tokens_[pos_]; }
+    bool at(Tok kind) const { return cur().kind == kind; }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ParseError(what + " (found " + token_name(cur().kind) + ")", cur().line,
+                         cur().column);
+    }
+
+    Token eat(Tok kind, const char* what) {
+        if (!at(kind)) fail(std::string("expected ") + what);
+        return tokens_[pos_++];
+    }
+
+    bool eat_if(Tok kind) {
+        if (at(kind)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    ExprPtr make_expr(Expr::Kind kind) {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = cur().line;
+        return e;
+    }
+
+    StmtPtr make_stmt(Stmt::Kind kind) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = cur().line;
+        return s;
+    }
+
+    // ------------------------------------------------------ declarations --
+
+    FunctionDecl fundecl() {
+        FunctionDecl fn;
+        fn.line = cur().line;
+        eat(Tok::kFun, "'fun'");
+        fn.name = eat(Tok::kIdent, "function name").text;
+        eat(Tok::kLParen, "'('");
+        if (!at(Tok::kRParen)) {
+            do {
+                fn.params.push_back(eat(Tok::kIdent, "parameter name").text);
+            } while (eat_if(Tok::kComma));
+        }
+        eat(Tok::kRParen, "')'");
+        fn.body = block();
+        return fn;
+    }
+
+    std::vector<StmtPtr> block() {
+        eat(Tok::kLBrace, "'{'");
+        std::vector<StmtPtr> body;
+        while (!at(Tok::kRBrace)) {
+            if (at(Tok::kEof)) fail("unterminated block");
+            body.push_back(stmt());
+        }
+        eat(Tok::kRBrace, "'}'");
+        return body;
+    }
+
+    // -------------------------------------------------------- statements --
+
+    StmtPtr stmt() {
+        switch (cur().kind) {
+            case Tok::kLet: return let_stmt();
+            case Tok::kIf: return if_stmt();
+            case Tok::kWhile: return while_stmt();
+            case Tok::kFor: return for_stmt();
+            case Tok::kReturn: return return_stmt();
+            case Tok::kBreak: {
+                auto s = make_stmt(Stmt::Kind::kBreak);
+                ++pos_;
+                eat(Tok::kSemi, "';'");
+                return s;
+            }
+            case Tok::kContinue: {
+                auto s = make_stmt(Stmt::Kind::kContinue);
+                ++pos_;
+                eat(Tok::kSemi, "';'");
+                return s;
+            }
+            case Tok::kThrow: {
+                auto s = make_stmt(Stmt::Kind::kThrow);
+                ++pos_;
+                s->expr = expr();
+                eat(Tok::kSemi, "';'");
+                return s;
+            }
+            case Tok::kLBrace: {
+                auto s = make_stmt(Stmt::Kind::kBlock);
+                s->body = block();
+                return s;
+            }
+            default: return expr_or_assign_stmt();
+        }
+    }
+
+    StmtPtr let_stmt() {
+        auto s = make_stmt(Stmt::Kind::kLet);
+        eat(Tok::kLet, "'let'");
+        s->name = eat(Tok::kIdent, "variable name").text;
+        eat(Tok::kAssign, "'='");
+        s->expr = expr();
+        eat(Tok::kSemi, "';'");
+        return s;
+    }
+
+    StmtPtr if_stmt() {
+        auto s = make_stmt(Stmt::Kind::kIf);
+        eat(Tok::kIf, "'if'");
+        eat(Tok::kLParen, "'('");
+        s->expr = expr();
+        eat(Tok::kRParen, "')'");
+        s->body = block();
+        if (eat_if(Tok::kElse)) {
+            if (at(Tok::kIf)) {
+                s->else_body.push_back(if_stmt());
+            } else {
+                s->else_body = block();
+            }
+        }
+        return s;
+    }
+
+    StmtPtr while_stmt() {
+        auto s = make_stmt(Stmt::Kind::kWhile);
+        eat(Tok::kWhile, "'while'");
+        eat(Tok::kLParen, "'('");
+        s->expr = expr();
+        eat(Tok::kRParen, "')'");
+        s->body = block();
+        return s;
+    }
+
+    StmtPtr for_stmt() {
+        auto s = make_stmt(Stmt::Kind::kForIn);
+        eat(Tok::kFor, "'for'");
+        eat(Tok::kLParen, "'('");
+        s->name = eat(Tok::kIdent, "loop variable").text;
+        eat(Tok::kIn, "'in'");
+        s->expr = expr();
+        eat(Tok::kRParen, "')'");
+        s->body = block();
+        return s;
+    }
+
+    StmtPtr return_stmt() {
+        auto s = make_stmt(Stmt::Kind::kReturn);
+        eat(Tok::kReturn, "'return'");
+        if (!at(Tok::kSemi)) s->expr = expr();
+        eat(Tok::kSemi, "';'");
+        return s;
+    }
+
+    StmtPtr expr_or_assign_stmt() {
+        ExprPtr first = expr();
+        if (eat_if(Tok::kAssign)) {
+            if (first->kind != Expr::Kind::kVar && first->kind != Expr::Kind::kIndex &&
+                first->kind != Expr::Kind::kMember) {
+                fail("left side of '=' is not assignable");
+            }
+            auto s = make_stmt(Stmt::Kind::kAssign);
+            s->target = std::move(first);
+            s->expr = expr();
+            eat(Tok::kSemi, "';'");
+            return s;
+        }
+        auto s = make_stmt(Stmt::Kind::kExpr);
+        s->expr = std::move(first);
+        eat(Tok::kSemi, "';'");
+        return s;
+    }
+
+    // ------------------------------------------------------- expressions --
+
+    ExprPtr expr() { return or_expr(); }
+
+    ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kBinary;
+        e->line = lhs->line;
+        e->bin_op = op;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        return e;
+    }
+
+    ExprPtr or_expr() {
+        ExprPtr lhs = and_expr();
+        while (eat_if(Tok::kOrOr)) lhs = binary(BinOp::kOr, std::move(lhs), and_expr());
+        return lhs;
+    }
+
+    ExprPtr and_expr() {
+        ExprPtr lhs = cmp_expr();
+        while (eat_if(Tok::kAndAnd)) lhs = binary(BinOp::kAnd, std::move(lhs), cmp_expr());
+        return lhs;
+    }
+
+    ExprPtr cmp_expr() {
+        ExprPtr lhs = sum_expr();
+        BinOp op;
+        switch (cur().kind) {
+            case Tok::kEq: op = BinOp::kEq; break;
+            case Tok::kNe: op = BinOp::kNe; break;
+            case Tok::kLt: op = BinOp::kLt; break;
+            case Tok::kLe: op = BinOp::kLe; break;
+            case Tok::kGt: op = BinOp::kGt; break;
+            case Tok::kGe: op = BinOp::kGe; break;
+            default: return lhs;
+        }
+        ++pos_;
+        return binary(op, std::move(lhs), sum_expr());
+    }
+
+    ExprPtr sum_expr() {
+        ExprPtr lhs = term_expr();
+        for (;;) {
+            if (eat_if(Tok::kPlus)) {
+                lhs = binary(BinOp::kAdd, std::move(lhs), term_expr());
+            } else if (eat_if(Tok::kMinus)) {
+                lhs = binary(BinOp::kSub, std::move(lhs), term_expr());
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    ExprPtr term_expr() {
+        ExprPtr lhs = unary_expr();
+        for (;;) {
+            if (eat_if(Tok::kStar)) {
+                lhs = binary(BinOp::kMul, std::move(lhs), unary_expr());
+            } else if (eat_if(Tok::kSlash)) {
+                lhs = binary(BinOp::kDiv, std::move(lhs), unary_expr());
+            } else if (eat_if(Tok::kPercent)) {
+                lhs = binary(BinOp::kMod, std::move(lhs), unary_expr());
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    ExprPtr unary_expr() {
+        if (at(Tok::kMinus) || at(Tok::kBang)) {
+            auto e = make_expr(Expr::Kind::kUnary);
+            e->un_op = at(Tok::kMinus) ? UnOp::kNeg : UnOp::kNot;
+            ++pos_;
+            e->lhs = unary_expr();
+            return e;
+        }
+        return postfix_expr();
+    }
+
+    ExprPtr postfix_expr() {
+        ExprPtr e = primary_expr();
+        for (;;) {
+            if (at(Tok::kLParen)) {
+                // Call: the callee must be a plain name or ns.name chain.
+                std::string callee;
+                if (e->kind == Expr::Kind::kVar) {
+                    callee = e->name;
+                } else if (e->kind == Expr::Kind::kMember &&
+                           e->lhs->kind == Expr::Kind::kVar) {
+                    callee = e->lhs->name + "." + e->name;
+                } else {
+                    fail("only named functions can be called");
+                }
+                auto call = make_expr(Expr::Kind::kCall);
+                call->name = std::move(callee);
+                call->line = e->line;
+                ++pos_;  // '('
+                if (!at(Tok::kRParen)) {
+                    do {
+                        call->args.push_back(expr());
+                    } while (eat_if(Tok::kComma));
+                }
+                eat(Tok::kRParen, "')'");
+                e = std::move(call);
+            } else if (eat_if(Tok::kLBracket)) {
+                auto idx = std::make_unique<Expr>();
+                idx->kind = Expr::Kind::kIndex;
+                idx->line = e->line;
+                idx->lhs = std::move(e);
+                idx->rhs = expr();
+                eat(Tok::kRBracket, "']'");
+                e = std::move(idx);
+            } else if (eat_if(Tok::kDot)) {
+                auto mem = std::make_unique<Expr>();
+                mem->kind = Expr::Kind::kMember;
+                mem->line = e->line;
+                mem->name = eat(Tok::kIdent, "member name").text;
+                mem->lhs = std::move(e);
+                e = std::move(mem);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr primary_expr() {
+        switch (cur().kind) {
+            case Tok::kInt: {
+                auto e = make_expr(Expr::Kind::kLiteral);
+                e->literal = rt::Value{tokens_[pos_++].int_val};
+                return e;
+            }
+            case Tok::kReal: {
+                auto e = make_expr(Expr::Kind::kLiteral);
+                e->literal = rt::Value{tokens_[pos_++].real_val};
+                return e;
+            }
+            case Tok::kStr: {
+                auto e = make_expr(Expr::Kind::kLiteral);
+                e->literal = rt::Value{tokens_[pos_++].text};
+                return e;
+            }
+            case Tok::kTrue: {
+                auto e = make_expr(Expr::Kind::kLiteral);
+                e->literal = rt::Value{true};
+                ++pos_;
+                return e;
+            }
+            case Tok::kFalse: {
+                auto e = make_expr(Expr::Kind::kLiteral);
+                e->literal = rt::Value{false};
+                ++pos_;
+                return e;
+            }
+            case Tok::kNull: {
+                auto e = make_expr(Expr::Kind::kLiteral);
+                ++pos_;
+                return e;
+            }
+            case Tok::kIdent: {
+                auto e = make_expr(Expr::Kind::kVar);
+                e->name = tokens_[pos_++].text;
+                return e;
+            }
+            case Tok::kLParen: {
+                ++pos_;
+                ExprPtr e = expr();
+                eat(Tok::kRParen, "')'");
+                return e;
+            }
+            case Tok::kLBracket: {
+                auto e = make_expr(Expr::Kind::kListLit);
+                ++pos_;
+                if (!at(Tok::kRBracket)) {
+                    do {
+                        e->args.push_back(expr());
+                    } while (eat_if(Tok::kComma));
+                }
+                eat(Tok::kRBracket, "']'");
+                return e;
+            }
+            case Tok::kLBrace: {
+                auto e = make_expr(Expr::Kind::kDictLit);
+                ++pos_;
+                if (!at(Tok::kRBrace)) {
+                    do {
+                        ExprPtr key = expr();
+                        eat(Tok::kColon, "':'");
+                        ExprPtr value = expr();
+                        e->entries.emplace_back(std::move(key), std::move(value));
+                    } while (eat_if(Tok::kComma));
+                }
+                eat(Tok::kRBrace, "'}'");
+                return e;
+            }
+            default: fail("expected expression");
+        }
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) { return Parser(tokenize(source)).run(); }
+
+}  // namespace pmp::script

@@ -1,0 +1,35 @@
+// Recursive-descent parser for AdviceScript.
+#pragma once
+
+#include <string_view>
+
+#include "script/ast.h"
+
+namespace pmp::script {
+
+/// Parse a compilation unit. Throws ParseError with line/column on syntax
+/// errors. The grammar (expressions listed loosest-binding first):
+///
+///   program   := (fundecl | stmt)*
+///   fundecl   := 'fun' IDENT '(' params? ')' block
+///   stmt      := 'let' IDENT '=' expr ';'
+///              | 'if' '(' expr ')' block ('else' (block | ifstmt))?
+///              | 'while' '(' expr ')' block
+///              | 'for' '(' IDENT 'in' expr ')' block
+///              | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+///              | 'throw' expr ';'
+///              | expr ('=' expr)? ';'        -- assignment or expression
+///   expr      := or ; or := and ('||' and)* ; and := cmp ('&&' cmp)*
+///   cmp       := sum (('=='|'!='|'<'|'<='|'>'|'>=') sum)?
+///   sum       := term (('+'|'-') term)* ; term := unary (('*'|'/'|'%') unary)*
+///   unary     := ('-'|'!') unary | postfix
+///   postfix   := primary ( '(' args? ')' | '[' expr ']' | '.' IDENT )*
+///   primary   := INT | REAL | STRING | 'true' | 'false' | 'null'
+///              | IDENT | '(' expr ')' | '[' args? ']' | '{' entries? '}'
+///
+/// Calls are restricted to named callees: `f(x)` or `ns.f(x)` — functions
+/// are not first-class values, which keeps the sandbox easy to reason
+/// about.
+Program parse(std::string_view source);
+
+}  // namespace pmp::script

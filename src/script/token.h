@@ -1,0 +1,80 @@
+// Token stream for AdviceScript.
+//
+// AdviceScript is the little language extension bodies are written in. A
+// base station ships source text inside a signed package; the receiving
+// node compiles it on arrival and runs it inside a capability sandbox —
+// the C++ equivalent of the paper shipping Java classes compiled at the
+// base station (Fig 5) into the PROSE aspect sandbox.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmp::script {
+
+enum class Tok : std::uint8_t {
+    kEof,
+    kIdent,
+    kInt,
+    kReal,
+    kStr,
+    // keywords
+    kLet,
+    kFun,
+    kIf,
+    kElse,
+    kWhile,
+    kFor,
+    kIn,
+    kReturn,
+    kBreak,
+    kContinue,
+    kThrow,
+    kTrue,
+    kFalse,
+    kNull,
+    // punctuation / operators
+    kLParen,
+    kRParen,
+    kLBrace,
+    kRBrace,
+    kLBracket,
+    kRBracket,
+    kComma,
+    kSemi,
+    kColon,
+    kDot,
+    kAssign,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kPlus,
+    kMinus,
+    kStar,
+    kSlash,
+    kPercent,
+    kAndAnd,
+    kOrOr,
+    kBang,
+};
+
+struct Token {
+    Tok kind = Tok::kEof;
+    std::string text;       // identifier / string contents
+    std::int64_t int_val = 0;
+    double real_val = 0;
+    int line = 1;
+    int column = 1;
+};
+
+const char* token_name(Tok kind);
+
+/// Tokenize `source`; throws ParseError on malformed input. The returned
+/// vector always ends with a kEof token.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace pmp::script

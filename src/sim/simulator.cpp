@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace pmp::sim {
+
+TimerId Simulator::schedule_at(SimTime when, Callback fn) {
+    if (when < now_) when = now_;
+    std::uint64_t id = ++next_id_;
+    live_.insert(id);
+    queue_.push(Event{when, ++next_seq_, id, /*repeating=*/false, std::move(fn)});
+    return TimerId{id};
+}
+
+TimerId Simulator::schedule_after(Duration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::schedule_every(Duration period, Callback fn) {
+    // The repeating timer keeps one pending event at a time. The shared id
+    // is stable across re-arms so a single cancel() stops the cycle: the
+    // cancelled_ tombstone suppresses the in-flight event, which is the
+    // only thing that would re-arm.
+    std::uint64_t id = ++next_id_;
+    live_.insert(id);
+    auto shared_fn = std::make_shared<Callback>(std::move(fn));
+    auto rearm = std::make_shared<std::function<void()>>();
+    *rearm = [this, id, period, shared_fn, rearm]() {
+        (*shared_fn)();
+        if (live_.contains(id)) {
+            queue_.push(Event{now_ + period, ++next_seq_, id, /*repeating=*/true, *rearm});
+        } else {
+            // Cancelled from inside fn: no event will carry the tombstone
+            // out of the queue, so clear it here.
+            cancelled_.erase(id);
+        }
+    };
+    queue_.push(Event{now_ + period, ++next_seq_, id, /*repeating=*/true, *rearm});
+    return TimerId{id};
+}
+
+bool Simulator::cancel(TimerId id) {
+    if (!id.valid() || !live_.erase(id.value)) return false;
+    cancelled_.insert(id.value);
+    return true;
+}
+
+bool Simulator::fire_next() {
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        if (!ev.repeating) live_.erase(ev.id);
+        now_ = ev.when;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+std::size_t Simulator::run(std::size_t limit) {
+    std::size_t executed = 0;
+    while (executed < limit && fire_next()) ++executed;
+    return executed;
+}
+
+void Simulator::run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        fire_next();
+    }
+    if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_for(Duration d) { run_until(now_ + d); }
+
+}  // namespace pmp::sim

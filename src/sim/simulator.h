@@ -1,0 +1,98 @@
+// Discrete-event simulation kernel.
+//
+// Every dynamic behaviour in the platform — radio propagation, lease
+// renewal timers, mobility, asynchronous extension uploads — is an event on
+// this single virtual timeline. Events scheduled for the same instant fire
+// in scheduling order (FIFO), which makes whole-system runs deterministic
+// for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmp::sim {
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+struct TimerId {
+    std::uint64_t value = 0;
+    bool valid() const { return value != 0; }
+    auto operator<=>(const TimerId&) const = default;
+};
+
+/// The event loop. Single-threaded by design (Core Guidelines CP: shared
+/// mutable state is avoided by having exactly one logical thread of control;
+/// benchmarks that need wall-clock parallelism run separate simulators).
+class Simulator {
+public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Current virtual time.
+    SimTime now() const { return now_; }
+
+    /// Schedule `fn` to run at absolute time `when` (>= now, else it runs at
+    /// the current instant, never in the past).
+    TimerId schedule_at(SimTime when, Callback fn);
+
+    /// Schedule `fn` to run `delay` after now.
+    TimerId schedule_after(Duration delay, Callback fn);
+
+    /// Schedule `fn` every `period`, first firing after one period.
+    /// Cancelling the returned id stops the repetition.
+    TimerId schedule_every(Duration period, Callback fn);
+
+    /// Cancel a pending event. Cancelling an already-fired or unknown id is
+    /// a no-op. Returns true if something was actually cancelled.
+    bool cancel(TimerId id);
+
+    /// Run the single next event. Returns false if the queue is empty.
+    bool step();
+
+    /// Run events until the queue is empty or `limit` events have fired.
+    /// Returns the number of events executed.
+    std::size_t run(std::size_t limit = SIZE_MAX);
+
+    /// Run all events with time <= deadline; afterwards now() == deadline
+    /// (even if the queue went empty earlier).
+    void run_until(SimTime deadline);
+
+    /// Convenience: run_until(now() + d).
+    void run_for(Duration d);
+
+    /// Number of events currently pending.
+    std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+private:
+    struct Event {
+        SimTime when;
+        std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+        std::uint64_t id;
+        bool repeating;
+        Callback fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool fire_next();
+
+    SimTime now_ = SimTime::zero();
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_id_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<std::uint64_t> live_;       // ids that can still fire
+    std::unordered_set<std::uint64_t> cancelled_;  // tombstones for queued events
+};
+
+}  // namespace pmp::sim

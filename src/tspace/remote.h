@@ -1,0 +1,144 @@
+// Remote access to a tuple space, and tuple-space-based extension
+// distribution (the paper's §4.6 alternative to push-based MIDAS).
+//
+// TupleSpaceHost exports a node's TupleSpace as the service object
+// "tspace" and registers it (type "tspace") at a registrar so roaming
+// devices can find it. Remote interface:
+//
+//   out(tuple list, ttl_ms int) -> int
+//   rdp(template) -> {found, tuple} | rda(template) -> [tuple]
+//   inp(template) -> {found, tuple}
+//   count() -> int
+//
+// On top of that:
+//
+//   TupleSpacePublisher (authority side) — keeps each policy extension
+//   alive as a tuple ["midas.ext", name, version, sealed] with a TTL,
+//   republished at TTL/2. Stop republishing (or retract) and the policy
+//   evaporates from the space: locality in time, data-centrically.
+//
+//   TupleSpacePuller (device side) — polls discovered tuple spaces for
+//   extension tuples, installs them through the node's AdaptationService,
+//   and refreshes each installed extension's lease while its tuple is
+//   still present. When the device leaves (or the tuple expires), the
+//   refreshes stop and the extension is withdrawn by the normal lease
+//   machinery. Identity-decoupled: the device never needs to know who
+//   published the policy — only whether it is (still) in the space.
+#pragma once
+
+#include "disco/lookup.h"
+#include "midas/receiver.h"
+#include "tspace/tuplespace.h"
+
+namespace pmp::tspace {
+
+/// Serves a TupleSpace over RPC and advertises it. Besides the classic
+/// operations, remote peers can subscribe to future matches (TSpaces-style
+/// eventing): notify(template, listener, duration_ms) -> {watch} delivers
+/// every future matching out() as an RPC notify(tuple) on the subscriber's
+/// listener object. Subscriptions are leased; re-subscribe to renew.
+class TupleSpaceHost {
+public:
+    /// Registers "tspace" at the given (usually co-located) registrar.
+    TupleSpaceHost(rt::RpcEndpoint& rpc, disco::Registrar& registrar, TupleSpace& space);
+    ~TupleSpaceHost();
+
+    TupleSpace& space() { return space_; }
+    std::size_t subscription_count() const { return subs_.size(); }
+
+private:
+    struct Subscription {
+        TupleId notify_id = 0;
+        NodeId watcher;
+        std::string listener;
+        SimTime expires;
+    };
+
+    rt::Value do_notify(NodeId watcher, const Template& tmpl, const std::string& listener,
+                        std::int64_t duration_ms);
+    void sweep();
+
+    rt::RpcEndpoint& rpc_;
+    TupleSpace& space_;
+    std::shared_ptr<rt::ServiceObject> self_object_;
+    std::map<std::uint64_t, Subscription> subs_;
+    std::uint64_t next_sub_ = 0;
+    sim::TimerId sweep_timer_;
+};
+
+/// Authority side: policy as leased tuples.
+class TupleSpacePublisher {
+public:
+    /// Publishes into a *local* space (the usual deployment: the space runs
+    /// on the authority's own node). `ttl` is the tuple lease.
+    TupleSpacePublisher(sim::Simulator& sim, TupleSpace& space, const crypto::KeyStore& keys,
+                        std::string issuer, Duration ttl = seconds(3));
+    ~TupleSpacePublisher();
+
+    void publish(midas::ExtensionPackage pkg);
+    void retract(const std::string& name);
+    std::size_t published_count() const { return published_.size(); }
+
+private:
+    struct Published {
+        Bytes sealed;
+        std::uint32_t version;
+        TupleId tuple = 0;
+    };
+
+    void republish_all();
+
+    sim::Simulator& sim_;
+    TupleSpace& space_;
+    const crypto::KeyStore& keys_;
+    std::string issuer_;
+    Duration ttl_;
+    std::map<std::string, Published> published_;
+    std::map<std::string, std::uint32_t> last_version_;
+    sim::TimerId republish_timer_;
+};
+
+/// Device side: pull-based adaptation.
+///
+/// kPoll reads the space on a fixed period; kNotify subscribes to future
+/// extension tuples (plus one catch-up read per subscription) and lets the
+/// publisher's periodic republish act as the keep-alive signal — far fewer
+/// messages on a quiet space, same lease-bounded staleness.
+class TupleSpacePuller {
+public:
+    enum class Mode { kPoll, kNotify };
+
+    TupleSpacePuller(disco::DiscoveryClient& discovery, midas::AdaptationService& receiver,
+                     Duration poll_period = seconds(1), Mode mode = Mode::kPoll);
+    ~TupleSpacePuller();
+
+    struct Stats {
+        std::uint64_t polls = 0;
+        std::uint64_t tuples_seen = 0;
+        std::uint64_t installs = 0;
+        std::uint64_t notifications = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    void poll();
+    void subscribe_tick();
+    void handle_tuple(NodeId host, const rt::List& tuple);
+    std::string ensure_listener();
+
+    disco::DiscoveryClient& discovery_;
+    midas::AdaptationService& receiver_;
+    Duration poll_period_;
+    Duration lease_;  // lease requested per install/refresh
+    Mode mode_;
+    std::map<std::string, std::uint64_t> installed_;  // pkg name -> ext id
+    std::map<NodeId, SimTime> subscribed_until_;      // per tspace host
+    std::string listener_name_;
+    sim::TimerId poll_timer_;
+    /// Liveness token for async callbacks: lookups and subscriptions in
+    /// flight when the puller is destroyed must not touch it.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+    Stats stats_;
+};
+
+}  // namespace pmp::tspace

@@ -1,0 +1,167 @@
+#include "tspace/tuplespace.h"
+
+#include "common/error.h"
+
+namespace pmp::tspace {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+bool Field::matches(const Value& v) const {
+    switch (kind) {
+        case Kind::kExact: return v == exact;
+        case Kind::kAny: return true;
+        case Kind::kType: return rt::value_matches(type, v);
+    }
+    return false;
+}
+
+bool Template::matches(const List& tuple) const {
+    if (tuple.size() != fields_.size()) return false;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (!fields_[i].matches(tuple[i])) return false;
+    }
+    return true;
+}
+
+rt::Value Template::to_value() const {
+    List out;
+    for (const Field& f : fields_) {
+        Dict d{{"k", Value{static_cast<std::int64_t>(f.kind)}}};
+        if (f.kind == Field::Kind::kExact) d.set("v", f.exact);
+        if (f.kind == Field::Kind::kType) {
+            d.set("t", Value{static_cast<std::int64_t>(f.type)});
+        }
+        out.push_back(Value{std::move(d)});
+    }
+    return Value{std::move(out)};
+}
+
+Template Template::from_value(const rt::Value& v) {
+    std::vector<Field> fields;
+    for (const Value& fv : v.as_list()) {
+        const Dict& d = fv.as_dict();
+        auto kind = static_cast<Field::Kind>(d.at("k").as_int());
+        Field f;
+        f.kind = kind;
+        if (kind == Field::Kind::kExact) f.exact = d.at("v");
+        if (kind == Field::Kind::kType) {
+            f.type = static_cast<rt::TypeKind>(d.at("t").as_int());
+        }
+        fields.push_back(std::move(f));
+    }
+    return Template(std::move(fields));
+}
+
+bool TupleSpace::offer(const List& tuple) {
+    // rd-waiters and notify subscribers all see the tuple; the first
+    // in-waiter consumes it. Collect ids first: callbacks may mutate maps.
+    std::vector<TupleId> readers;
+    TupleId taker = 0;
+    for (auto& [id, waiter] : waiters_) {
+        if (!waiter.tmpl.matches(tuple)) continue;
+        if (waiter.take) {
+            if (taker == 0) taker = id;
+        } else {
+            readers.push_back(id);
+        }
+    }
+    for (TupleId id : readers) {
+        auto it = waiters_.find(id);
+        if (it == waiters_.end()) continue;
+        auto fn = it->second.fn;
+        if (!it->second.persistent) waiters_.erase(it);
+        fn(tuple);
+    }
+    if (taker != 0) {
+        auto it = waiters_.find(taker);
+        if (it != waiters_.end()) {
+            auto fn = std::move(it->second.fn);
+            waiters_.erase(it);
+            fn(tuple);
+            return true;
+        }
+    }
+    return false;
+}
+
+TupleId TupleSpace::out(List tuple, Duration ttl) {
+    ++outs_;
+    if (offer(tuple)) return 0;  // consumed immediately by an in-waiter
+
+    TupleId id = ++next_id_;
+    Stored stored{std::move(tuple), {}};
+    if (ttl != Duration::max()) {
+        stored.expiry = sim_.schedule_after(ttl, [this, id]() { tuples_.erase(id); });
+    }
+    tuples_.emplace(id, std::move(stored));
+    return id;
+}
+
+std::optional<List> TupleSpace::rdp(const Template& tmpl) const {
+    for (const auto& [_, stored] : tuples_) {
+        if (tmpl.matches(stored.tuple)) return stored.tuple;
+    }
+    return std::nullopt;
+}
+
+std::vector<List> TupleSpace::rda(const Template& tmpl) const {
+    std::vector<List> out;
+    for (const auto& [_, stored] : tuples_) {
+        if (tmpl.matches(stored.tuple)) out.push_back(stored.tuple);
+    }
+    return out;
+}
+
+std::optional<List> TupleSpace::inp(const Template& tmpl) {
+    for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+        if (tmpl.matches(it->second.tuple)) {
+            List tuple = std::move(it->second.tuple);
+            sim_.cancel(it->second.expiry);
+            tuples_.erase(it);
+            return tuple;
+        }
+    }
+    return std::nullopt;
+}
+
+TupleId TupleSpace::rd(const Template& tmpl, std::function<void(const List&)> fn) {
+    if (auto hit = rdp(tmpl)) {
+        fn(*hit);
+        return 0;
+    }
+    TupleId id = ++next_id_;
+    waiters_.emplace(id, Waiter{tmpl, /*take=*/false, /*persistent=*/false,
+                                [fn](List t) { fn(t); }});
+    return id;
+}
+
+TupleId TupleSpace::in(const Template& tmpl, std::function<void(List)> fn) {
+    if (auto hit = inp(tmpl)) {
+        fn(std::move(*hit));
+        return 0;
+    }
+    TupleId id = ++next_id_;
+    waiters_.emplace(id, Waiter{tmpl, /*take=*/true, /*persistent=*/false, std::move(fn)});
+    return id;
+}
+
+TupleId TupleSpace::notify(const Template& tmpl, std::function<void(const List&)> fn) {
+    TupleId id = ++next_id_;
+    waiters_.emplace(id, Waiter{tmpl, /*take=*/false, /*persistent=*/true,
+                                [fn](List t) { fn(t); }});
+    return id;
+}
+
+void TupleSpace::cancel_wait(TupleId id) { waiters_.erase(id); }
+
+bool TupleSpace::remove(TupleId id) {
+    auto it = tuples_.find(id);
+    if (it == tuples_.end()) return false;
+    sim_.cancel(it->second.expiry);
+    tuples_.erase(it);
+    return true;
+}
+
+}  // namespace pmp::tspace

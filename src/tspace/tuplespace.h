@@ -1,0 +1,131 @@
+// Tuple space (Linda / TSpaces style) — the paper's future-work direction
+// for "a more flexible and expressive platform for distributing extensions"
+// (§4.6, citing [Gel85] and TSpaces [LCX+01]).
+//
+// A tuple space decouples providers and consumers in time and identity: a
+// base station *out*s extension tuples into the space; devices *rd* the
+// tuples matching their interests whenever they happen to be connected.
+// Tuples carry a TTL (lease), so policy evaporates from the space unless
+// the authority keeps republishing — the same locality-in-time mechanism
+// MIDAS gets from keep-alives, expressed data-centrically.
+//
+// The engine here is deliberately classic:
+//   out(tuple [, ttl])      write a tuple (ordered fields)
+//   rdp(template)           non-destructive read, non-blocking
+//   inp(template)           destructive take, non-blocking
+//   rd/in(template, fn)     one-shot wait: fn fires when a match appears
+//   notify(template, fn)    persistent subscription to future matches
+//
+// Templates match per-field: an exact value, a typed wildcard, or any.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "rt/type.h"
+#include "sim/simulator.h"
+
+namespace pmp::tspace {
+
+/// One template field.
+struct Field {
+    enum class Kind : std::uint8_t { kExact, kAny, kType };
+
+    Kind kind = Kind::kAny;
+    rt::Value exact;                        // kExact
+    rt::TypeKind type = rt::TypeKind::kAny;  // kType
+
+    static Field any() { return Field{Kind::kAny, {}, rt::TypeKind::kAny}; }
+    static Field of_type(rt::TypeKind t) { return Field{Kind::kType, {}, t}; }
+    static Field eq(rt::Value v) { return Field{Kind::kExact, std::move(v), rt::TypeKind::kAny}; }
+
+    bool matches(const rt::Value& v) const;
+};
+
+/// An anti-tuple. Matches tuples with the same arity whose fields all match.
+class Template {
+public:
+    Template() = default;
+    Template(std::initializer_list<Field> fields) : fields_(fields) {}
+    explicit Template(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+    bool matches(const rt::List& tuple) const;
+    std::size_t arity() const { return fields_.size(); }
+
+    /// Wire form (templates travel to remote spaces): a list where each
+    /// field encodes as {"k": 0, "v": value} / {"k": 1} / {"k": 2, "t": n}.
+    rt::Value to_value() const;
+    static Template from_value(const rt::Value& v);
+
+private:
+    std::vector<Field> fields_;
+};
+
+/// Identifies a tuple or a registered wait/subscription within one space.
+using TupleId = std::uint64_t;
+
+class TupleSpace {
+public:
+    explicit TupleSpace(sim::Simulator& sim) : sim_(sim) {}
+    TupleSpace(const TupleSpace&) = delete;
+    TupleSpace& operator=(const TupleSpace&) = delete;
+
+    /// Write a tuple. With a finite ttl the tuple evaporates on its own.
+    /// Waiting rd/in and notify subscribers fire immediately (rd before in;
+    /// an `in` consumes the tuple and stops the scan).
+    TupleId out(rt::List tuple, Duration ttl = Duration::max());
+
+    /// Non-destructive read of the oldest match.
+    std::optional<rt::List> rdp(const Template& tmpl) const;
+
+    /// Destructive take of the oldest match.
+    std::optional<rt::List> inp(const Template& tmpl);
+
+    /// Read all current matches, oldest first (the common "rda" extension;
+    /// TSpaces calls it scan).
+    std::vector<rt::List> rda(const Template& tmpl) const;
+
+    /// One-shot blocking read: fires now if a match exists, else when one
+    /// arrives. Returns a wait id (cancel with cancel_wait).
+    TupleId rd(const Template& tmpl, std::function<void(const rt::List&)> fn);
+
+    /// One-shot blocking take.
+    TupleId in(const Template& tmpl, std::function<void(rt::List)> fn);
+
+    /// Persistent subscription: fires for every future out() that matches
+    /// (not for tuples already present — pair with rdp for catch-up).
+    TupleId notify(const Template& tmpl, std::function<void(const rt::List&)> fn);
+
+    void cancel_wait(TupleId id);
+
+    /// Remove a tuple by id (the writer revoking early). Returns true if
+    /// it was still present.
+    bool remove(TupleId id);
+
+    std::size_t size() const { return tuples_.size(); }
+    std::uint64_t outs() const { return outs_; }
+
+private:
+    struct Stored {
+        rt::List tuple;
+        sim::TimerId expiry;
+    };
+    struct Waiter {
+        Template tmpl;
+        bool take = false;
+        bool persistent = false;
+        std::function<void(rt::List)> fn;
+    };
+
+    /// Offer a fresh tuple to waiters; returns true if an `in` consumed it.
+    bool offer(const rt::List& tuple);
+
+    sim::Simulator& sim_;
+    std::map<TupleId, Stored> tuples_;  // insertion order == id order
+    std::map<TupleId, Waiter> waiters_;
+    TupleId next_id_ = 0;
+    std::uint64_t outs_ = 0;
+};
+
+}  // namespace pmp::tspace

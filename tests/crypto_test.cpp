@@ -1,0 +1,180 @@
+// Crypto tests: SHA-256 against FIPS 180-4 vectors, HMAC against RFC 4231,
+// and the trust model (sign / verify / tamper / unknown issuer).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/trust.h"
+
+namespace pmp::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(to_hex(Sha256::hash("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(to_hex(Sha256::hash("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(to_hex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    std::string message = "The quick brown fox jumps over the lazy dog";
+    // Feed in awkward chunk sizes crossing the 64-byte block boundary.
+    for (std::size_t chunk : {1u, 3u, 7u, 13u, 63u, 64u, 65u}) {
+        Sha256 h;
+        for (std::size_t i = 0; i < message.size(); i += chunk) {
+            h.update(std::string_view(message).substr(i, chunk));
+        }
+        EXPECT_EQ(h.finalize(), Sha256::hash(message)) << "chunk=" << chunk;
+    }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+    // 55/56/64 bytes exercise the padding edge cases.
+    for (std::size_t n : {55u, 56u, 63u, 64u, 119u, 120u}) {
+        std::string a(n, 'x');
+        Sha256 h;
+        h.update(a);
+        EXPECT_EQ(h.finalize(), Sha256::hash(a)) << "n=" << n;
+    }
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+    Bytes key(20, 0x0b);
+    Mac mac = hmac_sha256(std::span<const std::uint8_t>(key), as_bytes("Hi There"));
+    EXPECT_EQ(to_hex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 (short key "Jefe").
+TEST(Hmac, Rfc4231Case2) {
+    Mac mac = hmac_sha256("Jefe", "what do ya want for nothing?");
+    EXPECT_EQ(to_hex(mac),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (0xaa key, 0xdd data).
+TEST(Hmac, Rfc4231Case3) {
+    Bytes key(20, 0xaa);
+    Bytes data(50, 0xdd);
+    Mac mac = hmac_sha256(std::span<const std::uint8_t>(key),
+                          std::span<const std::uint8_t>(data));
+    EXPECT_EQ(to_hex(mac),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6 (131-byte key: longer than the block size).
+TEST(Hmac, Rfc4231LongKey) {
+    Bytes key(131, 0xaa);
+    Mac mac = hmac_sha256(std::span<const std::uint8_t>(key),
+                          as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+    EXPECT_EQ(to_hex(mac),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, MacEqualConstantTimeSemantics) {
+    Mac a = hmac_sha256("k", "m");
+    Mac b = a;
+    EXPECT_TRUE(mac_equal(a, b));
+    b[31] ^= 1;
+    EXPECT_FALSE(mac_equal(a, b));
+}
+
+TEST(Trust, SignVerifyRoundTrip) {
+    KeyStore keys;
+    keys.add_key("hall-a", to_bytes("secret-key-hall-a"));
+    TrustStore trust;
+    trust.trust("hall-a", to_bytes("secret-key-hall-a"));
+
+    Bytes payload = to_bytes("extension payload");
+    Signature sig = keys.sign("hall-a", std::span<const std::uint8_t>(payload));
+    EXPECT_EQ(sig.issuer, "hall-a");
+    EXPECT_NO_THROW(trust.verify(std::span<const std::uint8_t>(payload), sig));
+}
+
+TEST(Trust, TamperedPayloadRejected) {
+    KeyStore keys;
+    keys.add_key("hall-a", to_bytes("k"));
+    TrustStore trust;
+    trust.trust("hall-a", to_bytes("k"));
+
+    Bytes payload = to_bytes("payload");
+    Signature sig = keys.sign("hall-a", std::span<const std::uint8_t>(payload));
+    payload[0] ^= 0xFF;
+    EXPECT_THROW(trust.verify(std::span<const std::uint8_t>(payload), sig), TrustError);
+}
+
+TEST(Trust, UnknownIssuerRejected) {
+    KeyStore keys;
+    keys.add_key("mallory", to_bytes("mk"));
+    TrustStore trust;  // trusts nobody
+
+    Bytes payload = to_bytes("payload");
+    Signature sig = keys.sign("mallory", std::span<const std::uint8_t>(payload));
+    EXPECT_THROW(trust.verify(std::span<const std::uint8_t>(payload), sig), TrustError);
+}
+
+TEST(Trust, WrongKeyRejected) {
+    KeyStore keys;
+    keys.add_key("hall-a", to_bytes("real-key"));
+    TrustStore trust;
+    trust.trust("hall-a", to_bytes("other-key"));
+
+    Bytes payload = to_bytes("payload");
+    Signature sig = keys.sign("hall-a", std::span<const std::uint8_t>(payload));
+    EXPECT_THROW(trust.verify(std::span<const std::uint8_t>(payload), sig), TrustError);
+}
+
+TEST(Trust, RevokeRemovesTrust) {
+    KeyStore keys;
+    keys.add_key("hall-a", to_bytes("k"));
+    TrustStore trust;
+    trust.trust("hall-a", to_bytes("k"));
+    EXPECT_TRUE(trust.trusts("hall-a"));
+    trust.revoke("hall-a");
+    EXPECT_FALSE(trust.trusts("hall-a"));
+
+    Bytes payload = to_bytes("p");
+    Signature sig = keys.sign("hall-a", std::span<const std::uint8_t>(payload));
+    EXPECT_THROW(trust.verify(std::span<const std::uint8_t>(payload), sig), TrustError);
+}
+
+TEST(Trust, SigningWithoutKeyThrows) {
+    KeyStore keys;
+    Bytes payload = to_bytes("p");
+    EXPECT_THROW(keys.sign("nobody", std::span<const std::uint8_t>(payload)), TrustError);
+}
+
+TEST(Trust, SignatureEncodeDecodeRoundTrip) {
+    KeyStore keys;
+    keys.add_key("issuer with spaces", to_bytes("k"));
+    Bytes payload = to_bytes("data");
+    Signature sig = keys.sign("issuer with spaces", std::span<const std::uint8_t>(payload));
+
+    Bytes encoded = sig.encode();
+    ByteReader reader{std::span<const std::uint8_t>(encoded)};
+    Signature decoded = Signature::decode(reader);
+    EXPECT_EQ(decoded.issuer, sig.issuer);
+    EXPECT_TRUE(mac_equal(decoded.mac, sig.mac));
+    EXPECT_TRUE(reader.exhausted());
+}
+
+}  // namespace
+}  // namespace pmp::crypto

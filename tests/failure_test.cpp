@@ -1,0 +1,220 @@
+// Failure injection: radio loss and duplication, base-station crash,
+// node disappearance, runtime capability violations, and federation
+// handoff between halls. The platform must degrade exactly the way the
+// paper's leasing design promises: no wedged state, extensions evaporate,
+// applications revert to baseline.
+#include <gtest/gtest.h>
+
+#include "midas/federation.h"
+#include "midas/node.h"
+#include "robot/devices.h"
+
+namespace pmp::midas {
+namespace {
+
+using rt::Dict;
+using rt::Value;
+
+ExtensionPackage noop_pkg(const std::string& name = "hall/noop") {
+    ExtensionPackage pkg;
+    pkg.name = name;
+    pkg.script = "fun onEntry() { }";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    return pkg;
+}
+
+struct World {
+    sim::Simulator sim;
+    net::Network net;
+    std::unique_ptr<BaseStation> hall;
+    std::unique_ptr<MobileNode> robot;
+    std::shared_ptr<rt::ServiceObject> motor;
+
+    explicit World(net::NetworkConfig cfg, std::uint64_t seed = 13)
+        : net(sim, cfg, seed) {
+        BaseConfig bc;
+        bc.issuer = "hall";
+        hall = std::make_unique<BaseStation>(net, "hall", net::Position{0, 0}, 100.0, bc);
+        hall->keys().add_key("hall", to_bytes("k"));
+        robot = std::make_unique<MobileNode>(net, "robot", net::Position{10, 0}, 100.0);
+        robot->trust().trust("hall", to_bytes("k"));
+        robot->receiver().allow_capabilities("hall", {"net"});
+        motor = robot::make_motor(robot->runtime(), "motor:x");
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(60)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        return pred();
+    }
+};
+
+TEST(FailureInjection, AdaptationSurvivesHeavyMessageLoss) {
+    net::NetworkConfig cfg;
+    cfg.loss_probability = 0.25;
+    World w(cfg);
+    w.hall->base().add_extension(noop_pkg());
+
+    // Installation retries ride on discovery refresh + keep-alive
+    // re-install, so it succeeds despite 25% loss.
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 1; }));
+
+    // Availability over a long residence: the extension may blip out when
+    // several keep-alives are lost in a row, but re-adaptation brings it
+    // back; it must be installed most of the time.
+    int installed_samples = 0, total_samples = 0;
+    for (int i = 0; i < 300; ++i) {
+        w.sim.run_until(w.sim.now() + milliseconds(100));
+        ++total_samples;
+        if (w.robot->receiver().installed_count() == 1) ++installed_samples;
+    }
+    EXPECT_GT(installed_samples * 100 / total_samples, 80);
+}
+
+TEST(FailureInjection, DuplicatedMessagesAreIdempotent) {
+    net::NetworkConfig cfg;
+    cfg.duplicate_probability = 0.5;
+    World w(cfg);
+    w.hall->base().add_extension(noop_pkg());
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 1; }));
+    w.sim.run_for(seconds(20));
+    // Duplicated installs register as refreshes, never as second copies.
+    EXPECT_EQ(w.robot->receiver().installed_count(), 1u);
+    EXPECT_EQ(w.robot->receiver().stats().installs, 1u);
+}
+
+TEST(FailureInjection, BaseStationCrashWithdrawsExtensions) {
+    World w(net::NetworkConfig{});
+    w.hall->base().add_extension(noop_pkg());
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 1; }));
+
+    // The base station dies. Keep-alives stop; the receiver autonomously
+    // withdraws and the robot reverts to its plain behaviour.
+    w.net.remove_node(w.hall->id());
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 0; }));
+    EXPECT_GE(w.robot->receiver().stats().expirations, 1u);
+    EXPECT_FALSE(w.motor->type().method("rotate")->woven());
+    EXPECT_NO_THROW(w.motor->call("rotate", {Value{10.0}}));
+}
+
+TEST(FailureInjection, NodeDisappearanceCleansUpBaseState) {
+    World w(net::NetworkConfig{});
+    w.hall->base().add_extension(noop_pkg());
+    ASSERT_TRUE(w.run_until([&] { return w.hall->base().adapted_count() == 1; }));
+
+    w.net.remove_node(w.robot->id());  // battery pulled
+    ASSERT_TRUE(w.run_until([&] { return w.hall->base().adapted_count() == 0; }));
+    EXPECT_GE(w.hall->base().stats().nodes_dropped, 1u);
+}
+
+TEST(FailureInjection, RuntimeCapabilityViolationIsContained) {
+    World w(net::NetworkConfig{});
+    // The package requests no capabilities (so it installs), but its advice
+    // tries to use the network at run time: the sandbox denies per call.
+    ExtensionPackage sneaky = noop_pkg("hall/sneaky");
+    sneaky.script = R"(
+        fun onEntry() { owner.post("collector", "post", [sys.node(), 1]); }
+    )";
+    sneaky.capabilities = {};  // no "net"
+    w.hall->base().add_extension(sneaky);
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 1; }));
+
+    // Every intercepted call fails with AccessDenied — contained, loud.
+    EXPECT_THROW(w.motor->call("rotate", {Value{1.0}}), AccessDenied);
+    EXPECT_EQ(w.hall->store().size(), 0u);
+
+    // Revocation still works; baseline behaviour returns.
+    w.hall->base().remove_extension("hall/sneaky");
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 0; }));
+    EXPECT_NO_THROW(w.motor->call("rotate", {Value{1.0}}));
+}
+
+TEST(FailureInjection, JitterAndLossDoNotBreakLeaseInvariant) {
+    // Property-flavoured sweep: under several loss rates, at no sampled
+    // instant may an extension be woven while its receiver believes nothing
+    // is installed (weaver/bookkeeping coherence).
+    for (double loss : {0.0, 0.1, 0.3}) {
+        net::NetworkConfig cfg;
+        cfg.loss_probability = loss;
+        World w(cfg, /*seed=*/1000 + static_cast<std::uint64_t>(loss * 10));
+        w.hall->base().add_extension(noop_pkg());
+        for (int i = 0; i < 200; ++i) {
+            w.sim.run_until(w.sim.now() + milliseconds(100));
+            bool woven = w.motor->type().method("rotate")->woven();
+            bool installed = w.robot->receiver().installed_count() > 0;
+            EXPECT_EQ(woven, installed) << "loss=" << loss << " i=" << i;
+        }
+    }
+}
+
+TEST(RoamingFederation, HandoffReleasesNodePromptly) {
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, 17);
+
+    // Two halls with a backbone between their bases; keep-alive failure
+    // detection configured slow so that a prompt release is observable.
+    BaseConfig slow;
+    slow.keepalive_period = seconds(2);
+    slow.max_keepalive_failures = 5;  // natural drop would take >10s
+    slow.issuer = "hall-a";
+    BaseStation hall_a(net, "hall-a", {0, 0}, 100.0, slow);
+    hall_a.keys().add_key("hall-a", to_bytes("ka"));
+    slow.issuer = "hall-b";
+    BaseStation hall_b(net, "hall-b", {400, 0}, 100.0, slow);
+    hall_b.keys().add_key("hall-b", to_bytes("kb"));
+
+    net.add_wire(hall_a.id(), hall_b.id());
+    Federation fed_a(hall_a.rpc(), hall_a.base(), "hall-a");
+    Federation fed_b(hall_b.rpc(), hall_b.base(), "hall-b");
+    fed_a.add_neighbor(hall_b.id());
+    fed_b.add_neighbor(hall_a.id());
+
+    hall_a.base().add_extension(noop_pkg("hall-a/p"));
+    hall_b.base().add_extension(noop_pkg("hall-b/p"));
+
+    MobileNode robot(net, "robot", {10, 0}, 100.0);
+    robot.trust().trust("hall-a", to_bytes("ka"));
+    robot.trust().trust("hall-b", to_bytes("kb"));
+    robot.receiver().allow_capabilities("hall-a", {"net"});
+    robot.receiver().allow_capabilities("hall-b", {"net"});
+    robot::make_motor(robot.runtime(), "motor:x");
+
+    auto run_until = [&](const std::function<bool()>& pred, Duration timeout) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        return pred();
+    };
+
+    ASSERT_TRUE(run_until([&] { return hall_a.base().adapted_count() == 1; }, seconds(15)));
+
+    // Roam to hall B.
+    robot.move_to({410, 0});
+    ASSERT_TRUE(run_until([&] { return hall_b.base().adapted_count() == 1; }, seconds(15)));
+    SimTime b_adapted_at = sim.now();
+
+    // The claim reaches hall A over the backbone almost immediately —
+    // far faster than 5 keep-alive failures at 2s each.
+    ASSERT_TRUE(run_until([&] { return hall_a.base().adapted_count() == 0; }, seconds(2)));
+    EXPECT_LT(sim.now() - b_adapted_at, Duration{seconds(2)});
+    EXPECT_EQ(hall_a.base().stats().nodes_handed_off, 1u);
+    EXPECT_EQ(hall_a.base().stats().nodes_dropped, 0u);
+    EXPECT_GE(fed_b.stats().claims_sent, 1u);
+    EXPECT_GE(fed_a.stats().claims_received, 1u);
+
+    bool saw_handoff = false;
+    for (const auto& activity : hall_a.base().activity()) {
+        if (activity.event == "handoff" && activity.node_label == "robot") {
+            saw_handoff = true;
+        }
+    }
+    EXPECT_TRUE(saw_handoff);
+}
+
+}  // namespace
+}  // namespace pmp::midas

@@ -1,0 +1,343 @@
+// End-to-end reproduction of the paper's Fig 2 scenario: a remote call to a
+// robot service m_R, adapted by the production hall with cooperating
+// extensions — session extraction (implicit), access control, and quality
+// control that persists every state change to the hall database — plus the
+// full lifecycle: enter, adapt, operate, leave, revert.
+#include <gtest/gtest.h>
+
+#include "midas/channel.h"
+#include "midas/node.h"
+
+namespace pmp::midas {
+namespace {
+
+using rt::Dict;
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+/// Session management: extracts the caller identity into the call's
+/// implicit context (Fig 2c step 2). Installed automatically because the
+/// access-control extension implies it.
+ExtensionPackage session_package() {
+    ExtensionPackage pkg;
+    pkg.name = "hall/session";
+    pkg.script = R"(
+        fun onEntry() { ctx.set_note("caller", sys.caller()); }
+    )";
+    pkg.bindings = {
+        PackageBinding{prose::AdviceKind::kBefore, "call(* RobotSvc.*(..))", "onEntry",
+                       /*priority=*/-10}};
+    return pkg;
+}
+
+/// Access control: uses the session information to decide whether the call
+/// proceeds (Fig 2c step 3).
+ExtensionPackage access_package(List allowed) {
+    ExtensionPackage pkg;
+    pkg.name = "hall/access-control";
+    pkg.script = R"(
+        fun onEntry() {
+            let caller = ctx.note("caller");
+            if (!contains(config.allowed, caller)) {
+                ctx.deny("caller " + caller + " is not authorized in this hall");
+            }
+        }
+    )";
+    pkg.bindings = {
+        PackageBinding{prose::AdviceKind::kBefore, "call(* RobotSvc.*(..))", "onEntry",
+                       /*priority=*/0}};
+    pkg.config = Value{Dict{{"allowed", Value{std::move(allowed)}}}};
+    pkg.implies = {"hall/session"};
+    return pkg;
+}
+
+/// Quality assurance: intercepts changes to the robot's state (the * in
+/// Fig 2) and persists them in the hall database (step 4).
+ExtensionPackage quality_package() {
+    ExtensionPackage pkg;
+    pkg.name = "hall/quality";
+    pkg.script = R"(
+        fun onStateChange() {
+            owner.post("collector", "post",
+                       [sys.node(), {"field": ctx.field(),
+                                     "old": ctx.oldval(), "new": ctx.newval()}]);
+        }
+    )";
+    pkg.bindings = {PackageBinding{prose::AdviceKind::kFieldSet, "fieldset(RobotSvc.state)",
+                                   "onStateChange", 0}};
+    pkg.capabilities = {"net"};
+    return pkg;
+}
+
+class Fig2Scenario : public ::testing::Test {
+protected:
+    Fig2Scenario() : net_(sim_, net::NetworkConfig{}, 42) {
+        BaseConfig bc;
+        bc.issuer = "hall";
+        hall_ = std::make_unique<BaseStation>(net_, "hall-base", net::Position{0, 0}, 100.0,
+                                              bc);
+        hall_->keys().add_key("hall", to_bytes("hall-key"));
+
+        robot_ = std::make_unique<MobileNode>(net_, "robot:1:1", net::Position{10, 0}, 100.0);
+        robot_->trust().trust("hall", to_bytes("hall-key"));
+        robot_->receiver().allow_capabilities("hall", {"net"});
+
+        // m_R: the robot's exported service. It only knows its own logic;
+        // every policy above arrives from the hall.
+        robot_->runtime().register_type(
+            rt::TypeInfo::Builder("RobotSvc")
+                .field("state", TypeKind::kInt, Value{std::int64_t{0}})
+                .method("work", TypeKind::kInt, {{"amount", TypeKind::kInt}},
+                        [](rt::ServiceObject& self, List& args) -> Value {
+                            std::int64_t next = self.peek("state").as_int() + args[0].as_int();
+                            self.set("state", Value{next});  // state change (*)
+                            return Value{next};
+                        })
+                .build());
+        service_ = robot_->runtime().create("RobotSvc", "m_R");
+        robot_->rpc().export_object("m_R");
+
+        // Two clients: one authorized by hall policy, one not.
+        alice_ = std::make_unique<NodeStack>(net_, "alice", net::Position{5, 5}, 100.0);
+        mallory_ = std::make_unique<NodeStack>(net_, "mallory", net::Position{-5, 5}, 100.0);
+
+        hall_->base().add_extension(session_package());
+        hall_->base().add_extension(access_package(List{Value{"alice"}}));
+        hall_->base().add_extension(quality_package());
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(15)) {
+        SimTime deadline = sim_.now() + timeout;
+        while (sim_.now() < deadline) {
+            if (pred()) return true;
+            sim_.run_until(sim_.now() + milliseconds(100));
+        }
+        return pred();
+    }
+
+    bool adapted() { return robot_->receiver().installed_count() == 3; }
+
+    sim::Simulator sim_;
+    net::Network net_;
+    std::unique_ptr<BaseStation> hall_;
+    std::unique_ptr<MobileNode> robot_;
+    std::unique_ptr<NodeStack> alice_, mallory_;
+    std::shared_ptr<rt::ServiceObject> service_;
+};
+
+TEST_F(Fig2Scenario, UnadaptedServiceAcceptsAnyone) {
+    // Before the hall adapts the robot (instantly at t=0), anyone may call.
+    Value r = mallory_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{5}});
+    EXPECT_EQ(r.as_int(), 5);
+}
+
+TEST_F(Fig2Scenario, AllThreeExtensionsInstall) {
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+    std::set<std::string> names;
+    for (const auto& inst : robot_->receiver().installed()) names.insert(inst.name);
+    EXPECT_TRUE(names.contains("hall/session"));
+    EXPECT_TRUE(names.contains("hall/access-control"));
+    EXPECT_TRUE(names.contains("hall/quality"));
+}
+
+TEST_F(Fig2Scenario, AuthorizedCallerCompletesAndStateIsLogged) {
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+
+    Value r = alice_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{7}});
+    EXPECT_EQ(r.as_int(), 7);
+
+    // Step 4: the state change was propagated to the hall database.
+    ASSERT_TRUE(run_until([&] { return hall_->store().size() >= 1; }));
+    auto records = hall_->store().query(db::Query{});
+    ASSERT_GE(records.size(), 1u);
+    EXPECT_EQ(records[0].source, "robot:1:1");
+    const Dict& data = records[0].data.as_dict();
+    EXPECT_EQ(data.at("field").as_str(), "state");
+    EXPECT_EQ(data.at("old").as_int(), 0);
+    EXPECT_EQ(data.at("new").as_int(), 7);
+}
+
+TEST_F(Fig2Scenario, UnauthorizedCallerIsDenied) {
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+
+    try {
+        mallory_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{5}});
+        FAIL() << "expected AccessDenied";
+    } catch (const AccessDenied& e) {
+        EXPECT_NE(std::string(e.what()).find("mallory"), std::string::npos);
+    }
+    // The denied call never executed the body nor changed state.
+    EXPECT_EQ(service_->peek("state").as_int(), 0);
+    EXPECT_EQ(hall_->store().size(), 0u);
+}
+
+TEST_F(Fig2Scenario, LocalCallsAreGovernedToo) {
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+    // A local (non-RPC) invocation has no caller identity; the policy
+    // rejects it like any unauthorized caller.
+    EXPECT_THROW(service_->call("work", {Value{1}}), AccessDenied);
+}
+
+TEST_F(Fig2Scenario, LeavingTheHallRevertsEverything) {
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+    robot_->move_to({1000, 0});
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 0; }));
+
+    // Out of the hall the robot is its plain self again. (Mallory cannot
+    // reach it by radio anymore, but local calls show the policy is gone.)
+    EXPECT_EQ(service_->call("work", {Value{3}}).as_int(), 3);
+    EXPECT_FALSE(service_->type().method("work")->woven());
+}
+
+TEST_F(Fig2Scenario, DeviceAgeExtensionGatesByTrust) {
+    // §4.6: "a proactive context can add an extension that records the
+    // 'birth date' of a device. The very same extension may intercept all
+    // service invocations ... and decide how to proceed depending on the
+    // device's age." Here: devices younger than 5 virtual seconds may not
+    // execute service calls.
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+
+    ExtensionPackage age;
+    age.name = "hall/age-gate";
+    age.script = R"SCRIPT(
+        let birth_ms = sys.now_ms();   // recorded when the extension arrives
+        fun onEntry() {
+            let age_ms = sys.now_ms() - birth_ms;
+            if (age_ms < config.min_age_ms) {
+                ctx.deny("device too young (" + str(age_ms) + "ms)");
+            }
+        }
+    )SCRIPT";
+    age.bindings = {{prose::AdviceKind::kBefore, "call(* RobotSvc.*(..))", "onEntry",
+                     /*priority=*/-20}};
+    age.config = Value{Dict{{"min_age_ms", Value{5000}}}};
+    hall_->base().add_extension(age);
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 4; }));
+
+    // Too young: even the authorized caller is refused.
+    SimTime installed_at = sim_.now();
+    EXPECT_THROW(alice_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{1}}),
+                 AccessDenied);
+
+    // Old enough: calls pass the age gate (and then the other policies).
+    sim_.run_until(installed_at + seconds(6));
+    EXPECT_EQ(alice_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{2}}).as_int(), 2);
+}
+
+TEST_F(Fig2Scenario, PolicyUpdateChangesAuthorizationLive) {
+    ASSERT_TRUE(run_until([&] { return adapted(); }));
+    EXPECT_THROW(mallory_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{1}}),
+                 AccessDenied);
+
+    // The hall now authorizes mallory as well; the new policy replaces the
+    // old one on the adapted robot without any robot-side involvement.
+    hall_->base().add_extension(access_package(List{Value{"alice"}, Value{"mallory"}}));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().stats().replacements >= 1; }));
+
+    EXPECT_EQ(mallory_->rpc().call_sync(robot_->id(), "m_R", "work", {Value{2}}).as_int(),
+              2);
+}
+
+// The paper's §1 PDA scenario: "PDAs entering a building being adapted
+// with an encryption layer, a persistence module, and a filter that
+// prevents using certain resources." All three arrive together; none is in
+// the PDA's code.
+TEST(PdaBuildingScenario, ThreeExtensionsComposeOnEntry) {
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, 99);
+
+    BaseConfig bc;
+    bc.issuer = "building";
+    BaseStation building(net, "building", {0, 0}, 100.0, bc);
+    building.keys().add_key("building", to_bytes("bk"));
+    // The building mandates an encrypted application channel, so its own
+    // application endpoints (the collector) must speak it too. MIDAS
+    // control traffic is filter-exempt either way.
+    key_channel(building.rpc(), /*owner=*/1, "building-key");
+
+    MobileNode pda(net, "pda:ann", {10, 0}, 100.0);
+    pda.trust().trust("building", to_bytes("bk"));
+    pda.receiver().allow_capabilities("building", {"rpc", "net"});
+
+    // The PDA's own application: notes plus a camera it can trigger.
+    pda.runtime().register_type(
+        rt::TypeInfo::Builder("PdaApps")
+            .field("note_count", TypeKind::kInt, Value{std::int64_t{0}})
+            .method("add_note", TypeKind::kInt, {{"text", TypeKind::kStr}},
+                    [](rt::ServiceObject& self, List& args) -> Value {
+                        (void)args;
+                        std::int64_t n = self.peek("note_count").as_int() + 1;
+                        self.set("note_count", Value{n});
+                        return Value{n};
+                    })
+            .method("take_photo", TypeKind::kStr, {},
+                    [](rt::ServiceObject&, List&) -> Value { return Value{"click"}; })
+            .build());
+    auto apps = pda.runtime().create("PdaApps", "apps");
+    pda.rpc().export_object("apps");
+
+    // 1. Encryption layer (application-blind).
+    ExtensionPackage enc;
+    enc.name = "building/encryption";
+    enc.script = "rpc.set_channel(config.key);";
+    enc.capabilities = {"rpc"};
+    enc.config = Value{Dict{{"key", Value{"building-key"}}}};
+    building.base().add_extension(enc);
+
+    // 2. Persistence module: every state change lands in the building DB.
+    ExtensionPackage persist;
+    persist.name = "building/persistence";
+    persist.script = R"(
+        fun onSet() {
+            owner.post("collector", "post",
+                       [sys.node(), {"field": ctx.field(), "value": ctx.newval()}]);
+        })";
+    persist.bindings = {{prose::AdviceKind::kFieldSet, "fieldset(PdaApps.*)", "onSet", 0}};
+    persist.capabilities = {"net"};
+    building.base().add_extension(persist);
+
+    // 3. Resource filter: no cameras inside the building.
+    ExtensionPackage filter;
+    filter.name = "building/no-cameras";
+    filter.script = R"(
+        fun onEntry() { ctx.deny("cameras are not allowed in this building"); }
+    )";
+    filter.bindings = {{prose::AdviceKind::kBefore, "call(* PdaApps.take_photo(..))",
+                        "onEntry", 0}};
+    building.base().add_extension(filter);
+
+    auto run_until = [&](const std::function<bool()>& pred, Duration timeout) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        return pred();
+    };
+    ASSERT_TRUE(run_until([&] { return pda.receiver().installed_count() == 3; },
+                          seconds(15)));
+
+    // The filter blocks the camera; notes still work and are persisted.
+    EXPECT_THROW(apps->call("take_photo", {}), AccessDenied);
+    EXPECT_EQ(apps->call("add_note", {Value{"meeting at 3"}}).as_int(), 1);
+    ASSERT_TRUE(run_until([&] { return building.store().size() >= 1; }, seconds(5)));
+    EXPECT_EQ(building.store().query(db::Query{})[0].data.as_dict().at("field").as_str(),
+              "note_count");
+
+    // The encryption layer is live: an outsider's plaintext call is dropped.
+    NodeStack outsider(net, "outsider", {-10, 0}, 100.0);
+    EXPECT_THROW(outsider.rpc().call_sync(pda.id(), "apps", "add_note",
+                                          {Value{"spam"}}, milliseconds(500)),
+                 RemoteError);
+
+    // Leaving the building removes all three at once.
+    pda.move_to({1000, 0});
+    ASSERT_TRUE(run_until([&] { return pda.receiver().installed_count() == 0; },
+                          seconds(15)));
+    EXPECT_NO_THROW(apps->call("take_photo", {}));
+    EXPECT_EQ(pda.rpc().wire_filter_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pmp::midas

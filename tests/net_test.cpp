@@ -1,0 +1,283 @@
+// Tests for the simulated radio network, mobility and message routing.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/mobility.h"
+#include "net/network.h"
+#include "net/router.h"
+
+namespace pmp::net {
+namespace {
+
+NetworkConfig quiet() {
+    NetworkConfig cfg;
+    cfg.jitter = Duration{0};
+    return cfg;
+}
+
+TEST(Position, Distance) {
+    EXPECT_DOUBLE_EQ((Position{0, 0}.distance_to(Position{3, 4})), 5.0);
+    EXPECT_DOUBLE_EQ((Position{1, 1}.distance_to(Position{1, 1})), 0.0);
+}
+
+TEST(Network, ContactRequiresMutualRange) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId big = net.add_node("base", {0, 0}, 100);
+    NodeId small = net.add_node("pda", {50, 0}, 10);
+    // base reaches pda, but pda's radio cannot reach back at 50m.
+    EXPECT_FALSE(net.in_contact(big, small));
+    net.move_node(small, {5, 0});
+    EXPECT_TRUE(net.in_contact(big, small));
+    EXPECT_TRUE(net.in_contact(small, big));
+}
+
+TEST(Network, NoSelfContact) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    EXPECT_FALSE(net.in_contact(a, a));
+}
+
+TEST(Network, DeliversWithLatency) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+
+    SimTime delivered_at = SimTime::max();
+    std::string got_kind;
+    net.set_handler(b, [&](const Message& m) {
+        delivered_at = sim.now();
+        got_kind = m.kind;
+    });
+    ASSERT_TRUE(net.send(Message{a, b, "test.ping", to_bytes("hi")}));
+    sim.run();
+    EXPECT_EQ(got_kind, "test.ping");
+    EXPECT_GE(delivered_at, SimTime::zero() + quiet().base_latency);
+    EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Network, DropsWhenOutOfRangeAtSend) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {100, 0}, 10);
+    net.set_handler(b, [&](const Message&) { FAIL() << "should not deliver"; });
+    EXPECT_FALSE(net.send(Message{a, b, "x", {}}));
+    sim.run();
+    EXPECT_EQ(net.stats().dropped_out_of_range, 1u);
+}
+
+TEST(Network, DropsWhenReceiverMovesAwayMidFlight) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    bool delivered = false;
+    net.set_handler(b, [&](const Message&) { delivered = true; });
+    ASSERT_TRUE(net.send(Message{a, b, "x", {}}));
+    net.move_node(b, {1000, 0});  // teleports away before delivery
+    sim.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_EQ(net.stats().dropped_out_of_range, 1u);
+}
+
+TEST(Network, RemovedNodeDoesNotReceive) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    bool delivered = false;
+    net.set_handler(b, [&](const Message&) { delivered = true; });
+    ASSERT_TRUE(net.send(Message{a, b, "x", {}}));
+    net.remove_node(b);
+    sim.run();
+    EXPECT_FALSE(delivered);
+}
+
+TEST(Network, LossInjection) {
+    sim::Simulator sim;
+    NetworkConfig cfg = quiet();
+    cfg.loss_probability = 1.0;
+    Network net(sim, cfg, 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    net.set_handler(b, [&](const Message&) { FAIL() << "lossy link delivered"; });
+    EXPECT_FALSE(net.send(Message{a, b, "x", {}}));
+    sim.run();
+    EXPECT_EQ(net.stats().dropped_loss, 1u);
+}
+
+TEST(Network, DuplicateInjection) {
+    sim::Simulator sim;
+    NetworkConfig cfg = quiet();
+    cfg.duplicate_probability = 1.0;
+    Network net(sim, cfg, 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    int deliveries = 0;
+    net.set_handler(b, [&](const Message&) { ++deliveries; });
+    net.send(Message{a, b, "x", {}});
+    sim.run();
+    EXPECT_EQ(deliveries, 2);
+    EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(Network, BroadcastReachesOnlyNeighbors) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId near1 = net.add_node("n1", {1, 0}, 10);
+    NodeId near2 = net.add_node("n2", {0, 1}, 10);
+    NodeId far = net.add_node("far", {100, 0}, 10);
+
+    int near_got = 0;
+    net.set_handler(near1, [&](const Message&) { ++near_got; });
+    net.set_handler(near2, [&](const Message&) { ++near_got; });
+    net.set_handler(far, [&](const Message&) { FAIL() << "far node reached"; });
+
+    EXPECT_EQ(net.broadcast(a, "hello", {}), 2u);
+    sim.run();
+    EXPECT_EQ(near_got, 2);
+}
+
+TEST(Network, NeighborsList) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    net.add_node("b", {1, 0}, 10);
+    net.add_node("c", {100, 0}, 10);
+    EXPECT_EQ(net.neighbors(a).size(), 1u);
+}
+
+TEST(Network, LargerMessagesTakeLonger) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    SimTime small_at, big_at;
+    int got = 0;
+    net.set_handler(b, [&](const Message& m) {
+        (got++ == 0 ? small_at : big_at) = sim.now();
+        (void)m;
+    });
+    net.send(Message{a, b, "s", Bytes(10)});
+    sim.run();
+    SimTime start2 = sim.now();
+    net.send(Message{a, b, "b", Bytes(100 * 1024)});
+    sim.run();
+    EXPECT_GT(big_at - start2, small_at - SimTime::zero() + Duration{0});
+}
+
+TEST(Network, UnknownNodeThrows) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    EXPECT_THROW(net.position_of(NodeId{99}), RemoteError);
+    EXPECT_THROW(net.move_node(NodeId{99}, {0, 0}), RemoteError);
+    EXPECT_THROW(net.set_handler(NodeId{99}, [](const Message&) {}), RemoteError);
+}
+
+TEST(Mobility, LinearInterpolation) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    PathMover mover(net, a, {Waypoint{{100, 0}, SimTime::zero() + seconds(10)}});
+
+    sim.run_until(SimTime::zero() + seconds(5));
+    Position mid = net.position_of(a);
+    EXPECT_NEAR(mid.x, 50.0, 2.0);  // within one tick of the midpoint
+    sim.run_until(SimTime::zero() + seconds(11));
+    EXPECT_NEAR(net.position_of(a).x, 100.0, 0.01);
+    EXPECT_TRUE(mover.finished());
+}
+
+TEST(Mobility, MultiLegPath) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    PathMover mover(net, a, {Waypoint{{10, 0}, SimTime::zero() + seconds(1)},
+                             Waypoint{{10, 20}, SimTime::zero() + seconds(3)}});
+    sim.run_until(SimTime::zero() + seconds(2));
+    Position p = net.position_of(a);
+    EXPECT_NEAR(p.x, 10.0, 0.5);
+    EXPECT_NEAR(p.y, 10.0, 1.5);
+    sim.run_until(SimTime::zero() + seconds(4));
+    EXPECT_NEAR(net.position_of(a).y, 20.0, 0.01);
+}
+
+TEST(Mobility, EmptyPathFinishesImmediately) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    PathMover mover(net, a, {});
+    EXPECT_TRUE(mover.finished());
+}
+
+TEST(Network, WiredLinkIgnoresDistance) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("base-a", {0, 0}, 10);
+    NodeId b = net.add_node("base-b", {10000, 0}, 10);
+    EXPECT_FALSE(net.in_contact(a, b));
+    net.add_wire(a, b);
+    EXPECT_TRUE(net.in_contact(a, b));
+    EXPECT_TRUE(net.in_contact(b, a));  // symmetric regardless of argument order
+
+    int got = 0;
+    net.set_handler(b, [&](const Message&) { ++got; });
+    EXPECT_TRUE(net.send(Message{a, b, "backbone", {}}));
+    sim.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(Network, WireDoesNotAffectThirdParties) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {10000, 0}, 10);
+    NodeId c = net.add_node("c", {20000, 0}, 10);
+    net.add_wire(a, b);
+    EXPECT_FALSE(net.in_contact(a, c));
+    EXPECT_FALSE(net.in_contact(b, c));
+    // Broadcast from a reaches only the wired peer.
+    EXPECT_EQ(net.broadcast(a, "x", {}), 1u);
+}
+
+TEST(Router, RoutesByKind) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    MessageRouter ra(net, a);
+    MessageRouter rb(net, b);
+
+    int pings = 0, pongs = 0;
+    rb.route("ping", [&](const Message&) { ++pings; });
+    rb.route("pong", [&](const Message&) { ++pongs; });
+    ra.send(b, "ping", {});
+    ra.send(b, "other", {});  // unrouted: silently dropped
+    sim.run();
+    EXPECT_EQ(pings, 1);
+    EXPECT_EQ(pongs, 0);
+}
+
+TEST(Router, UnrouteStopsDelivery) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    MessageRouter ra(net, a);
+    MessageRouter rb(net, b);
+    int got = 0;
+    rb.route("k", [&](const Message&) { ++got; });
+    ra.send(b, "k", {});
+    sim.run();
+    rb.unroute("k");
+    ra.send(b, "k", {});
+    sim.run();
+    EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace pmp::net

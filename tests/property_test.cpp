@@ -1,0 +1,218 @@
+// Property-style sweeps over seeds (gtest TEST_P):
+//
+//   * Weaver vs reference model: under random interleavings of weave and
+//     withdraw, dispatch always runs exactly the advice of the currently
+//     woven aspects, in priority order; after withdrawing everything the
+//     methods are pristine.
+//   * Whole-system determinism: the same seed replays the same world —
+//     identical adaptation history, database contents and radio statistics
+//     across two independent runs.
+//   * Lease safety: a receiver never holds a woven extension whose lease
+//     expired more than one sweep-tick ago.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/weaver.h"
+#include "midas/node.h"
+#include "robot/devices.h"
+
+namespace pmp {
+namespace {
+
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+// ------------------------------------------------ weaver random ops ----
+
+class WeaverRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeaverRandomOps, DispatchAlwaysMatchesModel) {
+    Rng rng(GetParam());
+    rt::Runtime runtime("prop");
+    runtime.register_type(
+        rt::TypeInfo::Builder("Thing")
+            .method("touch", TypeKind::kInt, {},
+                    [](rt::ServiceObject&, List&) -> Value { return Value{0}; })
+            .build());
+    auto thing = runtime.create("Thing", "thing");
+    prose::Weaver weaver(runtime);
+
+    // Model: the set of live aspects with their tag and priority.
+    struct Live {
+        AspectId id;
+        int tag;
+        int priority;
+    };
+    std::vector<Live> model;
+    std::vector<int> fired;  // tags, in firing order
+    int next_tag = 0;
+
+    for (int step = 0; step < 200; ++step) {
+        bool do_weave = model.empty() || rng.chance(0.55);
+        if (do_weave) {
+            int tag = next_tag++;
+            int priority = static_cast<int>(rng.next_in(-3, 3));
+            auto aspect = std::make_shared<prose::Aspect>("a" + std::to_string(tag));
+            aspect->before(
+                "call(* Thing.*(..))",
+                [&fired, tag](rt::CallFrame&) { fired.push_back(tag); }, priority);
+            model.push_back(Live{weaver.weave(aspect), tag, priority});
+        } else {
+            std::size_t victim = rng.next_below(model.size());
+            ASSERT_TRUE(weaver.withdraw(model[victim].id));
+            model.erase(model.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+
+        // Expected firing order: stable sort of live aspects by priority,
+        // ties by weave order (hooks append within equal priority).
+        std::vector<Live> expected = model;
+        std::stable_sort(expected.begin(), expected.end(),
+                         [](const Live& a, const Live& b) { return a.priority < b.priority; });
+
+        fired.clear();
+        thing->call("touch", {});
+        ASSERT_EQ(fired.size(), expected.size()) << "step " << step;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(fired[i], expected[i].tag) << "step " << step << " slot " << i;
+        }
+        EXPECT_EQ(thing->type().method("touch")->woven(), !model.empty());
+    }
+
+    weaver.withdraw_all();
+    fired.clear();
+    thing->call("touch", {});
+    EXPECT_TRUE(fired.empty());
+    EXPECT_FALSE(thing->type().method("touch")->woven());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeaverRandomOps, ::testing::Values(11, 22, 33, 44, 55));
+
+// ------------------------------------------------- determinism sweep ----
+
+struct ScenarioOutcome {
+    std::uint64_t installs, expirations, refreshes;
+    std::size_t store_records;
+    std::uint64_t net_delivered, net_dropped;
+    std::string store_digest;
+
+    bool operator==(const ScenarioOutcome&) const = default;
+};
+
+ScenarioOutcome run_scenario(std::uint64_t seed) {
+    sim::Simulator sim;
+    net::NetworkConfig cfg;
+    cfg.loss_probability = 0.05;  // some nondeterminism *sources* to tame
+    net::Network net(sim, cfg, seed);
+
+    midas::BaseConfig bc;
+    bc.issuer = "hall";
+    midas::BaseStation hall(net, "hall", {0, 0}, 100.0, bc);
+    hall.keys().add_key("hall", to_bytes("k"));
+
+    midas::ExtensionPackage pkg;
+    pkg.name = "hall/mon";
+    pkg.script = R"(
+        fun onEntry() {
+            owner.post("collector", "post", [sys.node(), ctx.method()]);
+        })";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    pkg.capabilities = {"net"};
+    hall.base().add_extension(pkg);
+
+    midas::MobileNode robot(net, "robot", {10, 0}, 100.0);
+    robot.trust().trust("hall", to_bytes("k"));
+    robot.receiver().allow_capabilities("hall", {"net"});
+    auto motor = robot::make_motor(robot.runtime(), "motor:x");
+
+    // Scripted activity: rotate every 500ms, roam out at 10s, back at 15s.
+    sim.schedule_every(milliseconds(500), [&]() {
+        try {
+            motor->call("rotate", {Value{15.0}});
+        } catch (const Error&) {
+        }
+    });
+    sim.schedule_at(SimTime::zero() + seconds(10), [&]() { robot.move_to({1000, 0}); });
+    sim.schedule_at(SimTime::zero() + seconds(15), [&]() { robot.move_to({10, 0}); });
+    sim.run_until(SimTime::zero() + seconds(25));
+
+    ScenarioOutcome out;
+    out.installs = robot.receiver().stats().installs;
+    out.expirations = robot.receiver().stats().expirations;
+    out.refreshes = robot.receiver().stats().refreshes;
+    out.store_records = hall.store().size();
+    out.net_delivered = net.stats().delivered;
+    out.net_dropped = net.stats().dropped_loss + net.stats().dropped_out_of_range;
+    for (const auto& rec : hall.store().query(db::Query{})) {
+        out.store_digest += rec.source + "@" + std::to_string(rec.at.ns) + ";";
+    }
+    return out;
+}
+
+class Determinism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Determinism, SameSeedSameWorld) {
+    ScenarioOutcome first = run_scenario(GetParam());
+    ScenarioOutcome second = run_scenario(GetParam());
+    EXPECT_EQ(first, second);
+    // Sanity: the scenario actually did something.
+    EXPECT_GE(first.installs, 1u);
+    EXPECT_GE(first.store_records, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism, ::testing::Values(101, 202, 303));
+
+TEST(Determinism, DifferentSeedsDivergeSomewhere) {
+    // Not a strict requirement per-pair, but across a few seeds at 5% loss
+    // at least one outcome must differ — otherwise the seed is not wired
+    // through and the determinism test above would be vacuous.
+    ScenarioOutcome a = run_scenario(1);
+    ScenarioOutcome b = run_scenario(2);
+    ScenarioOutcome c = run_scenario(3);
+    EXPECT_TRUE(!(a == b) || !(b == c) || !(a == c));
+}
+
+// ------------------------------------------------------ lease safety ----
+
+class LeaseSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeaseSafety, NoExtensionOutlivesItsLeaseByMoreThanATick) {
+    Rng rng(GetParam());
+    sim::Simulator sim;
+    net::NetworkConfig cfg;
+    cfg.loss_probability = 0.15;
+    net::Network net(sim, cfg, GetParam());
+
+    midas::BaseConfig bc;
+    bc.issuer = "hall";
+    midas::BaseStation hall(net, "hall", {0, 0}, 100.0, bc);
+    hall.keys().add_key("hall", to_bytes("k"));
+    midas::ExtensionPackage pkg;
+    pkg.name = "hall/noop";
+    pkg.script = "fun onEntry() { }";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    hall.base().add_extension(pkg);
+
+    midas::MobileNode robot(net, "robot", {10, 0}, 100.0);
+    robot.trust().trust("hall", to_bytes("k"));
+    robot.receiver().allow_capabilities("hall", {});
+    robot::make_motor(robot.runtime(), "motor:x");
+
+    // Random roaming; at every tick the lease-expiry invariant must hold.
+    for (int i = 0; i < 400; ++i) {
+        if (rng.chance(0.02)) {
+            bool inside = rng.chance(0.5);
+            robot.move_to({inside ? 10.0 : 1000.0, 0.0});
+        }
+        sim.run_until(sim.now() + milliseconds(50));
+        for (const auto& inst : robot.receiver().installed()) {
+            EXPECT_GE(inst.expires + milliseconds(50), sim.now())
+                << "extension '" << inst.name << "' outlived its lease at tick " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaseSafety, ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace pmp

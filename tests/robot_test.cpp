@@ -1,0 +1,344 @@
+// Tests for the robot substrate: device physics, the task layer with
+// sensor-event freezing, direct mode, the overriding layer, and the plotter.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/weaver.h"
+#include "robot/plotter.h"
+
+namespace pmp::robot {
+namespace {
+
+using rt::List;
+using rt::Value;
+
+class RobotTest : public ::testing::Test {
+protected:
+    RobotTest() : runtime_("robot:1"), controller_(sim_, runtime_, "robot:1") {}
+
+    sim::Simulator sim_;
+    rt::Runtime runtime_;
+    RobotController controller_;
+};
+
+TEST_F(RobotTest, MotorRotateUpdatesPositionAndReportsDuration) {
+    auto motor = controller_.add_motor("motor:x", /*deg_per_sec_full=*/90.0);
+    std::int64_t ms = motor->call("rotate", {Value{45.0}}).as_int();
+    EXPECT_EQ(ms, 500);  // 45 deg at 90 deg/s
+    EXPECT_DOUBLE_EQ(motor->peek("position").as_real(), 45.0);
+
+    motor->call("rotate", {Value{-45.0}});
+    EXPECT_DOUBLE_EQ(motor->peek("position").as_real(), 0.0);
+}
+
+TEST_F(RobotTest, MotorPowerScalesSpeed) {
+    auto motor = controller_.add_motor("motor:x", 90.0);
+    motor->call("set_power", {Value{1}});
+    std::int64_t slow = motor->call("rotate", {Value{45.0}}).as_int();
+    motor->call("set_power", {Value{7}});
+    std::int64_t fast = motor->call("rotate", {Value{45.0}}).as_int();
+    EXPECT_EQ(slow, 7 * fast);
+}
+
+TEST_F(RobotTest, MotorPowerValidated) {
+    auto motor = controller_.add_motor("motor:x");
+    EXPECT_THROW(motor->call("set_power", {Value{0}}), TypeError);
+    EXPECT_THROW(motor->call("set_power", {Value{8}}), TypeError);
+}
+
+TEST_F(RobotTest, MotorStatusCountsActions) {
+    auto motor = controller_.add_motor("motor:x");
+    motor->call("rotate", {Value{10.0}});
+    motor->call("stop", {});
+    Value status = motor->call("status", {});
+    EXPECT_EQ(status.as_dict().at("actions").as_int(), 2);
+}
+
+TEST_F(RobotTest, DevicesShareTheDeviceBaseClass) {
+    auto motor = controller_.add_motor("motor:x");
+    auto sensor = controller_.add_sensor("sensor:t", "touch");
+    EXPECT_TRUE(motor->type().is_a("Device"));
+    EXPECT_TRUE(sensor->type().is_a("Device"));
+    // Inherited behaviour.
+    EXPECT_EQ(motor->call("id", {}).as_str(), "motor:x");
+    EXPECT_EQ(sensor->call("id", {}).as_str(), "sensor:t");
+
+    // Disabling through the base-class method stops the motor.
+    motor->call("set_enabled", {Value{false}});
+    EXPECT_THROW(motor->call("rotate", {Value{10.0}}), Error);
+    motor->call("set_enabled", {Value{true}});
+    EXPECT_NO_THROW(motor->call("rotate", {Value{10.0}}));
+}
+
+TEST_F(RobotTest, DeviceFamilyPointcutCoversMotorsAndSensors) {
+    auto motor = controller_.add_motor("motor:x");
+    auto sensor = controller_.add_sensor("sensor:t", "touch");
+    prose::Weaver weaver(runtime_);
+    std::vector<std::string> seen;
+    auto aspect = std::make_shared<prose::Aspect>("family");
+    aspect->before("call(* Device+.*(..))", [&](rt::CallFrame& f) {
+        seen.push_back(f.self.name() + "." + f.method.decl().name);
+    });
+    weaver.weave(aspect);
+
+    motor->call("rotate", {Value{5.0}});
+    sensor->call("read", {});
+    motor->call("id", {});
+    EXPECT_EQ(seen, (std::vector<std::string>{"motor:x.rotate", "sensor:t.read",
+                                              "motor:x.id"}));
+}
+
+TEST_F(RobotTest, SensorReadAndKind) {
+    auto sensor = controller_.add_sensor("sensor:touch", "touch");
+    EXPECT_EQ(sensor->call("kind", {}).as_str(), "touch");
+    EXPECT_EQ(sensor->call("read", {}).as_int(), 0);
+    inject_reading(*sensor, 1);
+    EXPECT_EQ(sensor->call("read", {}).as_int(), 1);
+}
+
+TEST_F(RobotTest, TaskExecutesStepsPacedByPhysics) {
+    controller_.add_motor("motor:x", 90.0);
+    bool completed = false;
+    Task task;
+    task.name = "sweep";
+    task.steps = {MacroStep{"motor:x", "rotate", {Value{90.0}}},
+                  MacroStep{"motor:x", "rotate", {Value{-90.0}}},
+                  MacroStep{"motor:x", "stop", {}}};
+    task.on_done = [&](bool ok) { completed = ok; };
+    ASSERT_TRUE(controller_.start_task(task));
+    EXPECT_TRUE(controller_.busy());
+
+    // Two 90-degree rotations at 90 deg/s take 2 virtual seconds.
+    sim_.run_until(SimTime::zero() + milliseconds(1500));
+    EXPECT_FALSE(completed);
+    sim_.run_until(SimTime::zero() + seconds(3));
+    EXPECT_TRUE(completed);
+    EXPECT_FALSE(controller_.busy());
+    EXPECT_EQ(controller_.stats().macros_executed, 3u);
+    EXPECT_EQ(controller_.stats().tasks_completed, 1u);
+}
+
+TEST_F(RobotTest, OnlyOneTaskAtATime) {
+    controller_.add_motor("motor:x");
+    Task t1;
+    t1.name = "one";
+    t1.steps = {MacroStep{"motor:x", "rotate", {Value{360.0}}}};
+    ASSERT_TRUE(controller_.start_task(t1));
+    Task t2;
+    t2.name = "two";
+    EXPECT_FALSE(controller_.start_task(t2));
+}
+
+TEST_F(RobotTest, SensorEventDefaultAborts) {
+    controller_.add_motor("motor:x");
+    auto sensor = controller_.add_sensor("sensor:touch", "touch");
+    bool completed = true;
+    Task task;
+    task.name = "march";
+    for (int i = 0; i < 10; ++i) {
+        task.steps.push_back(MacroStep{"motor:x", "rotate", {Value{90.0}}});
+    }
+    task.on_done = [&](bool ok) { completed = ok; };
+    controller_.start_task(task);
+
+    sim_.run_until(SimTime::zero() + milliseconds(1200));
+    inject_reading(*sensor, 1);  // obstacle!
+    EXPECT_FALSE(completed);
+    EXPECT_FALSE(controller_.busy());
+    EXPECT_EQ(controller_.stats().tasks_aborted, 1u);
+    EXPECT_EQ(controller_.stats().events_handled, 1u);
+}
+
+TEST_F(RobotTest, TaskMayDecideToContinueAfterEvent) {
+    controller_.add_motor("motor:x");
+    auto sensor = controller_.add_sensor("sensor:light", "light");
+    bool completed = false;
+    int events = 0;
+    Task task;
+    task.name = "resilient";
+    for (int i = 0; i < 3; ++i) {
+        task.steps.push_back(MacroStep{"motor:x", "rotate", {Value{90.0}}});
+    }
+    task.on_event = [&](const std::string& sensor_name, std::int64_t reading) {
+        ++events;
+        EXPECT_EQ(sensor_name, "sensor:light");
+        EXPECT_EQ(reading, 42);
+        return TaskDecision::kContinue;
+    };
+    task.on_done = [&](bool ok) { completed = ok; };
+    controller_.start_task(task);
+
+    sim_.run_until(SimTime::zero() + milliseconds(500));
+    inject_reading(*sensor, 42);
+    sim_.run_until(SimTime::zero() + seconds(5));
+    EXPECT_EQ(events, 1);
+    EXPECT_TRUE(completed);
+}
+
+TEST_F(RobotTest, HardwareFreezesDuringEventHandling) {
+    auto motor = controller_.add_motor("motor:x");
+    auto sensor = controller_.add_sensor("sensor:touch", "touch");
+    Task task;
+    task.name = "t";
+    task.steps = {MacroStep{"motor:x", "rotate", {Value{90.0}}}};
+    task.on_event = [&](const std::string&, std::int64_t) {
+        // While the task deliberates, the hardware must refuse commands.
+        EXPECT_THROW(motor->call("rotate", {Value{1.0}}), Error);
+        return TaskDecision::kAbort;
+    };
+    controller_.start_task(task);
+    sim_.run_until(SimTime::zero() + milliseconds(100));
+    inject_reading(*sensor, 1);
+    // After handling, the hardware thaws.
+    EXPECT_NO_THROW(motor->call("rotate", {Value{1.0}}));
+}
+
+TEST_F(RobotTest, OverrideSuspendsAndResumes) {
+    auto motor = controller_.add_motor("motor:x");
+    std::vector<std::string> done_order;
+    Task main_task;
+    main_task.name = "main";
+    for (int i = 0; i < 4; ++i) {
+        main_task.steps.push_back(MacroStep{"motor:x", "rotate", {Value{90.0}}});
+    }
+    main_task.on_done = [&](bool) { done_order.push_back("main"); };
+    controller_.start_task(main_task);
+    sim_.run_until(SimTime::zero() + milliseconds(1100));
+
+    Task rescue;
+    rescue.name = "rescue";
+    rescue.steps = {MacroStep{"motor:x", "rotate", {Value{-360.0}}}};
+    rescue.on_done = [&](bool) { done_order.push_back("rescue"); };
+    controller_.push_override(rescue);
+
+    sim_.run_until(SimTime::zero() + seconds(15));
+    ASSERT_EQ(done_order.size(), 2u);
+    EXPECT_EQ(done_order[0], "rescue");
+    EXPECT_EQ(done_order[1], "main");
+    EXPECT_EQ(controller_.stats().overrides_run, 1u);
+    // All of main's 4 plus the rescue rotation happened.
+    EXPECT_EQ(motor->state<MotorImpl>().actions, 5u);
+}
+
+TEST_F(RobotTest, DirectModeBypassesTasks) {
+    auto motor = controller_.add_motor("motor:x");
+    controller_.direct("motor:x", "rotate", {Value{30.0}});
+    EXPECT_DOUBLE_EQ(motor->peek("position").as_real(), 30.0);
+    EXPECT_THROW(controller_.direct("ghost", "rotate", {Value{1.0}}), Error);
+}
+
+TEST_F(RobotTest, DeniedMacroAbortsTask) {
+    // A policy aspect vetoes large rotations; the task must abort cleanly.
+    prose::Weaver weaver(runtime_);
+    auto aspect = std::make_shared<prose::Aspect>("limits");
+    aspect->before("call(* Motor.rotate(..))", [](rt::CallFrame& f) {
+        if (f.args[0].as_real() > 45.0) throw AccessDenied("limit");
+    });
+    weaver.weave(aspect);
+
+    controller_.add_motor("motor:x");
+    bool completed = true;
+    Task task;
+    task.name = "too-far";
+    task.steps = {MacroStep{"motor:x", "rotate", {Value{30.0}}},
+                  MacroStep{"motor:x", "rotate", {Value{90.0}}},   // denied
+                  MacroStep{"motor:x", "rotate", {Value{30.0}}}};  // never runs
+    task.on_done = [&](bool ok) { completed = ok; };
+    controller_.start_task(task);
+    sim_.run_until(SimTime::zero() + seconds(5));
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(controller_.stats().macros_executed, 1u);
+}
+
+// ------------------------------------------------------------ plotter ----
+
+class PlotterTest : public ::testing::Test {
+protected:
+    PlotterTest()
+        : runtime_("plotter:1"),
+          controller_(sim_, runtime_, "plotter:1"),
+          plotter_(controller_) {}
+
+    sim::Simulator sim_;
+    rt::Runtime runtime_;
+    RobotController controller_;
+    Plotter plotter_;
+};
+
+TEST_F(PlotterTest, MoveDoesNotDrawPenUp) {
+    auto drawing = plotter_.drawing();
+    drawing->call("move_to", {Value{10.0}, Value{5.0}});
+    EXPECT_TRUE(plotter_.trace().empty());
+    EXPECT_DOUBLE_EQ(drawing->peek("pos_x").as_real(), 10.0);
+    EXPECT_DOUBLE_EQ(drawing->peek("pos_y").as_real(), 5.0);
+}
+
+TEST_F(PlotterTest, LineToDrawsSegment) {
+    auto drawing = plotter_.drawing();
+    drawing->call("move_to", {Value{1.0}, Value{1.0}});
+    drawing->call("line_to", {Value{4.0}, Value{5.0}});
+    ASSERT_EQ(plotter_.trace().size(), 1u);
+    const Segment& seg = plotter_.trace()[0];
+    EXPECT_DOUBLE_EQ(seg.x0, 1.0);
+    EXPECT_DOUBLE_EQ(seg.y0, 1.0);
+    EXPECT_DOUBLE_EQ(seg.x1, 4.0);
+    EXPECT_DOUBLE_EQ(seg.y1, 5.0);
+    EXPECT_TRUE(drawing->peek("pen").as_bool());
+}
+
+TEST_F(PlotterTest, PolylineDecomposesIntoSegments) {
+    auto drawing = plotter_.drawing();
+    rt::List square{
+        Value{List{Value{0.0}, Value{0.0}}}, Value{List{Value{10.0}, Value{0.0}}},
+        Value{List{Value{10.0}, Value{10.0}}}, Value{List{Value{0.0}, Value{10.0}}},
+        Value{List{Value{0.0}, Value{0.0}}}};
+    std::int64_t total_ms = drawing->call("draw_polyline", {Value{square}}).as_int();
+    EXPECT_EQ(plotter_.trace().size(), 4u);
+    EXPECT_GT(total_ms, 0);
+    EXPECT_FALSE(drawing->peek("pen").as_bool());  // pen lifted at the end
+}
+
+TEST_F(PlotterTest, MovementsDriveMotors) {
+    auto drawing = plotter_.drawing();
+    drawing->call("line_to", {Value{3.0}, Value{0.0}});
+    auto motor_x = controller_.device("drawing.motor:x");
+    ASSERT_NE(motor_x, nullptr);
+    // 3 units at 10 deg/unit = 30 degrees on the x motor.
+    EXPECT_DOUBLE_EQ(motor_x->peek("position").as_real(), 30.0);
+}
+
+TEST_F(PlotterTest, MotorAdviceSeesPlotterMovements) {
+    // The hardware-monitoring shape: weave on Motor.*, draw, count events.
+    prose::Weaver weaver(runtime_);
+    int motor_calls = 0;
+    auto aspect = std::make_shared<prose::Aspect>("monitor");
+    aspect->before("call(* Motor.rotate(..))", [&](rt::CallFrame&) { ++motor_calls; });
+    weaver.weave(aspect);
+
+    plotter_.drawing()->call("line_to", {Value{5.0}, Value{5.0}});
+    // Pen-down (z motor) + x and y motors.
+    EXPECT_EQ(motor_calls, 3);
+}
+
+TEST_F(PlotterTest, CoordinateLimitAspectBlocksDrawing) {
+    // The paper's "Control" application: forbid movements beyond certain
+    // coordinates so parts of the paper remain untouched.
+    prose::Weaver weaver(runtime_);
+    auto aspect = std::make_shared<prose::Aspect>("bounds");
+    aspect->before("call(* Drawing.line_to(..)) || call(* Drawing.move_to(..))",
+                   [](rt::CallFrame& f) {
+                       if (f.args[0].as_real() > 100.0 || f.args[1].as_real() > 100.0) {
+                           throw AccessDenied("outside drawable area");
+                       }
+                   });
+    weaver.weave(aspect);
+
+    auto drawing = plotter_.drawing();
+    EXPECT_NO_THROW(drawing->call("line_to", {Value{50.0}, Value{50.0}}));
+    EXPECT_THROW(drawing->call("line_to", {Value{150.0}, Value{50.0}}), AccessDenied);
+    EXPECT_EQ(plotter_.trace().size(), 1u);
+    EXPECT_DOUBLE_EQ(drawing->peek("pos_x").as_real(), 50.0);  // blocked move didn't happen
+}
+
+}  // namespace
+}  // namespace pmp::robot

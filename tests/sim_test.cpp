@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace pmp::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+    Simulator sim;
+    EXPECT_EQ(sim.now(), SimTime::zero());
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(SimTime{300}, [&]() { order.push_back(3); });
+    sim.schedule_at(SimTime{100}, [&]() { order.push_back(1); });
+    sim.schedule_at(SimTime{200}, [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), SimTime{300});
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(SimTime{50}, [&order, i]() { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesNow) {
+    Simulator sim;
+    SimTime observed;
+    sim.schedule_at(SimTime{1000}, [&]() {
+        sim.schedule_after(Duration{500}, [&]() { observed = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(observed, SimTime{1500});
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+    Simulator sim;
+    sim.schedule_at(SimTime{100}, []() {});
+    sim.run();
+    bool fired = false;
+    sim.schedule_at(SimTime{50}, [&]() {
+        fired = true;
+        EXPECT_EQ(sim.now(), SimTime{100});
+    });
+    sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator sim;
+    bool fired = false;
+    TimerId id = sim.schedule_after(Duration{10}, [&]() { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+    Simulator sim;
+    EXPECT_FALSE(sim.cancel(TimerId{}));
+    EXPECT_FALSE(sim.cancel(TimerId{9999}));
+}
+
+TEST(Simulator, DoubleCancelSecondReturnsFalse) {
+    Simulator sim;
+    TimerId id = sim.schedule_after(Duration{10}, []() {});
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_after(Duration{1}, [&]() { ++fired; });
+    sim.schedule_after(Duration{2}, [&]() { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunLimitStops) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i) sim.schedule_after(Duration{i + 1}, [&]() { ++fired; });
+    EXPECT_EQ(sim.run(3), 3u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenIdle) {
+    Simulator sim;
+    sim.run_until(SimTime{5000});
+    EXPECT_EQ(sim.now(), SimTime{5000});
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents) {
+    Simulator sim;
+    bool early = false, late = false;
+    sim.schedule_at(SimTime{100}, [&]() { early = true; });
+    sim.schedule_at(SimTime{201}, [&]() { late = true; });
+    sim.run_until(SimTime{200});
+    EXPECT_TRUE(early);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(sim.now(), SimTime{200});
+    sim.run();
+    EXPECT_TRUE(late);
+}
+
+TEST(Simulator, RunForIsRelative) {
+    Simulator sim;
+    sim.run_until(SimTime{1000});
+    sim.run_for(Duration{500});
+    EXPECT_EQ(sim.now(), SimTime{1500});
+}
+
+TEST(Simulator, ScheduleEveryRepeats) {
+    Simulator sim;
+    int fired = 0;
+    TimerId id = sim.schedule_every(Duration{100}, [&]() { ++fired; });
+    sim.run_until(SimTime{1000});
+    EXPECT_EQ(fired, 10);
+    sim.cancel(id);
+    sim.run_until(SimTime{2000});
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, ScheduleEveryCanCancelItself) {
+    Simulator sim;
+    int fired = 0;
+    TimerId id;
+    id = sim.schedule_every(Duration{10}, [&]() {
+        if (++fired == 3) sim.cancel(id);
+    });
+    sim.run_until(SimTime{1000});
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, NestedSchedulingWithinEvent) {
+    Simulator sim;
+    std::vector<SimTime> at;
+    sim.schedule_at(SimTime{10}, [&]() {
+        at.push_back(sim.now());
+        sim.schedule_after(Duration{5}, [&]() { at.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(at.size(), 2u);
+    EXPECT_EQ(at[0], SimTime{10});
+    EXPECT_EQ(at[1], SimTime{15});
+}
+
+}  // namespace
+}  // namespace pmp::sim

@@ -1,0 +1,103 @@
+// Tests for the specmini workload suite: determinism, mode-independence of
+// results (hooks must not change semantics), and advice transparency.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/weaver.h"
+#include "specmini/suite.h"
+
+namespace pmp::specmini {
+namespace {
+
+TEST(Specmini, KernelNamesStable) {
+    EXPECT_EQ(Suite::kernel_names(),
+              (std::vector<std::string>{"compress", "db", "ray", "parse"}));
+}
+
+TEST(Specmini, UnknownKernelThrows) {
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    EXPECT_THROW(suite.run("javac", 10, DispatchMode::kHooked), Error);
+}
+
+class KernelModes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelModes, ChecksumIdenticalAcrossDispatchModes) {
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    auto hooked = suite.run(GetParam(), 5000, DispatchMode::kHooked);
+    auto unhooked = suite.run(GetParam(), 5000, DispatchMode::kUnhooked);
+    EXPECT_EQ(hooked.checksum, unhooked.checksum);
+    EXPECT_EQ(hooked.calls, unhooked.calls);
+    EXPECT_GT(hooked.calls, 0u);
+}
+
+TEST_P(KernelModes, DeterministicAcrossRuns) {
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    auto first = suite.run(GetParam(), 3000, DispatchMode::kHooked);
+    auto second = suite.run(GetParam(), 3000, DispatchMode::kHooked);
+    EXPECT_EQ(first.checksum, second.checksum);
+}
+
+TEST_P(KernelModes, ScaleGrowsCalls) {
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    auto small = suite.run(GetParam(), 1000, DispatchMode::kHooked);
+    auto large = suite.run(GetParam(), 4000, DispatchMode::kHooked);
+    EXPECT_GT(large.calls, small.calls);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelModes,
+                         ::testing::ValuesIn(Suite::kernel_names()));
+
+TEST(Specmini, RunAllCoversEveryKernel) {
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    auto results = suite.run_all(1000, DispatchMode::kHooked);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto& r : results) EXPECT_GT(r.calls, 0u) << r.name;
+}
+
+TEST(Specmini, DoNothingAdviceDoesNotChangeResults) {
+    // The E2 shape: a do-nothing extension trapping method entries must not
+    // alter any workload result.
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    auto baseline = suite.run_all(2000, DispatchMode::kHooked);
+
+    prose::Weaver weaver(runtime);
+    auto aspect = std::make_shared<prose::Aspect>("noop");
+    aspect->before("call(* Spec*.*(..))", [](rt::CallFrame&) {});
+    AspectId id = weaver.weave(aspect);
+    EXPECT_GT(weaver.report(id)->methods_matched, 0u);
+
+    auto woven = suite.run_all(2000, DispatchMode::kHooked);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(woven[i].checksum, baseline[i].checksum) << baseline[i].name;
+    }
+
+    weaver.withdraw(id);
+    auto after = suite.run_all(2000, DispatchMode::kHooked);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(after[i].checksum, baseline[i].checksum) << baseline[i].name;
+    }
+}
+
+TEST(Specmini, UnhookedModeIgnoresWovenAdvice) {
+    rt::Runtime runtime("n");
+    Suite suite(runtime);
+    prose::Weaver weaver(runtime);
+    int fired = 0;
+    auto aspect = std::make_shared<prose::Aspect>("counter");
+    aspect->before("call(* Spec*.*(..))", [&](rt::CallFrame&) { ++fired; });
+    weaver.weave(aspect);
+
+    suite.run("ray", 100, DispatchMode::kUnhooked);
+    EXPECT_EQ(fired, 0);
+    suite.run("ray", 100, DispatchMode::kHooked);
+    EXPECT_EQ(fired, 100);
+}
+
+}  // namespace
+}  // namespace pmp::specmini

@@ -1,0 +1,323 @@
+// Tests for the tuple-space substrate and tuple-space-based extension
+// distribution (paper §4.6 future work).
+#include <gtest/gtest.h>
+
+#include "midas/node.h"
+#include "robot/devices.h"
+#include "tspace/remote.h"
+
+namespace pmp::tspace {
+namespace {
+
+using rt::List;
+using rt::TypeKind;
+using rt::Value;
+
+List t(std::initializer_list<Value> fields) { return List(fields); }
+
+// ------------------------------------------------------------- engine ----
+
+class TupleSpaceTest : public ::testing::Test {
+protected:
+    sim::Simulator sim_;
+    TupleSpace space_{sim_};
+};
+
+TEST_F(TupleSpaceTest, OutRdpInp) {
+    space_.out(t({Value{"job"}, Value{1}}));
+    space_.out(t({Value{"job"}, Value{2}}));
+    EXPECT_EQ(space_.size(), 2u);
+
+    Template any_job{Field::eq(Value{"job"}), Field::any()};
+    auto read = space_.rdp(any_job);
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ((*read)[1].as_int(), 1);  // oldest first
+    EXPECT_EQ(space_.size(), 2u);       // rdp is non-destructive
+
+    auto taken = space_.inp(any_job);
+    ASSERT_TRUE(taken.has_value());
+    EXPECT_EQ((*taken)[1].as_int(), 1);
+    EXPECT_EQ(space_.size(), 1u);
+
+    auto second = space_.inp(any_job);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ((*second)[1].as_int(), 2);
+    EXPECT_FALSE(space_.inp(any_job).has_value());
+}
+
+TEST_F(TupleSpaceTest, TemplatesMatchByArityValueAndType) {
+    space_.out(t({Value{"a"}, Value{5}}));
+
+    EXPECT_TRUE(space_.rdp(Template{Field::any(), Field::any()}).has_value());
+    EXPECT_FALSE(space_.rdp(Template{Field::any()}).has_value());  // arity
+    EXPECT_TRUE(space_.rdp(Template{Field::eq(Value{"a"}), Field::of_type(TypeKind::kInt)})
+                    .has_value());
+    EXPECT_FALSE(
+        space_.rdp(Template{Field::eq(Value{"b"}), Field::any()}).has_value());
+    EXPECT_FALSE(
+        space_.rdp(Template{Field::any(), Field::of_type(TypeKind::kStr)}).has_value());
+}
+
+TEST_F(TupleSpaceTest, RdaReturnsAllMatches) {
+    for (int i = 0; i < 5; ++i) space_.out(t({Value{"x"}, Value{i}}));
+    space_.out(t({Value{"y"}, Value{99}}));
+    auto all = space_.rda(Template{Field::eq(Value{"x"}), Field::any()});
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[4][1].as_int(), 4);
+}
+
+TEST_F(TupleSpaceTest, TtlEvaporatesTuples) {
+    space_.out(t({Value{"ephemeral"}}), seconds(1));
+    space_.out(t({Value{"durable"}}));
+    sim_.run_until(SimTime::zero() + seconds(2));
+    EXPECT_FALSE(space_.rdp(Template{Field::eq(Value{"ephemeral"})}).has_value());
+    EXPECT_TRUE(space_.rdp(Template{Field::eq(Value{"durable"})}).has_value());
+}
+
+TEST_F(TupleSpaceTest, RemoveRetractsEarly) {
+    TupleId id = space_.out(t({Value{"x"}}));
+    EXPECT_TRUE(space_.remove(id));
+    EXPECT_FALSE(space_.remove(id));
+    EXPECT_EQ(space_.size(), 0u);
+}
+
+TEST_F(TupleSpaceTest, BlockingRdFiresOnArrival) {
+    std::vector<std::int64_t> got;
+    space_.rd(Template{Field::eq(Value{"k"}), Field::any()},
+              [&](const List& tuple) { got.push_back(tuple[1].as_int()); });
+    EXPECT_TRUE(got.empty());
+    space_.out(t({Value{"k"}, Value{7}}));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 7);
+    // One-shot: a second out does not re-fire.
+    space_.out(t({Value{"k"}, Value{8}}));
+    EXPECT_EQ(got.size(), 1u);
+    // rd leaves the tuples in the space.
+    EXPECT_EQ(space_.size(), 2u);
+}
+
+TEST_F(TupleSpaceTest, BlockingRdFiresImmediatelyOnExistingMatch) {
+    space_.out(t({Value{"k"}, Value{1}}));
+    int fired = 0;
+    TupleId id = space_.rd(Template{Field::eq(Value{"k"}), Field::any()},
+                           [&](const List&) { ++fired; });
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(id, 0u);  // satisfied synchronously, nothing registered
+}
+
+TEST_F(TupleSpaceTest, BlockingInConsumesArrivingTuple) {
+    int fired = 0;
+    space_.in(Template{Field::eq(Value{"k"})}, [&](List) { ++fired; });
+    space_.out(t({Value{"k"}}));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(space_.size(), 0u);  // consumed before storage
+}
+
+TEST_F(TupleSpaceTest, OnlyOneInWaiterConsumes) {
+    int a = 0, b = 0;
+    space_.in(Template{Field::any()}, [&](List) { ++a; });
+    space_.in(Template{Field::any()}, [&](List) { ++b; });
+    space_.out(t({Value{1}}));
+    EXPECT_EQ(a + b, 1);
+    space_.out(t({Value{2}}));
+    EXPECT_EQ(a + b, 2);
+}
+
+TEST_F(TupleSpaceTest, NotifyIsPersistent) {
+    int fired = 0;
+    TupleId sub = space_.notify(Template{Field::eq(Value{"k"}), Field::any()},
+                                [&](const List&) { ++fired; });
+    space_.out(t({Value{"k"}, Value{1}}));
+    space_.out(t({Value{"k"}, Value{2}}));
+    space_.out(t({Value{"other"}, Value{3}}));
+    EXPECT_EQ(fired, 2);
+    space_.cancel_wait(sub);
+    space_.out(t({Value{"k"}, Value{3}}));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST_F(TupleSpaceTest, CancelWaitStopsRd) {
+    int fired = 0;
+    TupleId id = space_.rd(Template{Field::any()}, [&](const List&) { ++fired; });
+    space_.cancel_wait(id);
+    space_.out(t({Value{1}}));
+    EXPECT_EQ(fired, 0);
+}
+
+TEST_F(TupleSpaceTest, TemplateWireRoundTrip) {
+    Template tmpl{Field::eq(Value{"midas.ext"}), Field::of_type(TypeKind::kStr),
+                  Field::any()};
+    Template back = Template::from_value(tmpl.to_value());
+    List match = t({Value{"midas.ext"}, Value{"name"}, Value{42}});
+    List miss = t({Value{"midas.ext"}, Value{7}, Value{42}});
+    EXPECT_TRUE(back.matches(match));
+    EXPECT_FALSE(back.matches(miss));
+}
+
+// ------------------------------------------- remote host & distribution ----
+
+class TspaceDistributionTest : public ::testing::Test {
+protected:
+    TspaceDistributionTest() : net_(sim_, net::NetworkConfig{}, 31) {
+        // The authority node: registrar + tuple space, but no push base.
+        midas::BaseConfig bc;
+        bc.issuer = "hall";
+        hall_ = std::make_unique<midas::BaseStation>(net_, "hall", net::Position{0, 0},
+                                                     100.0, bc);
+        hall_->keys().add_key("hall", to_bytes("k"));
+        space_ = std::make_unique<TupleSpace>(sim_);
+        host_ = std::make_unique<TupleSpaceHost>(hall_->rpc(), hall_->registrar(), *space_);
+        publisher_ = std::make_unique<TupleSpacePublisher>(sim_, *space_, hall_->keys(),
+                                                           "hall", seconds(3));
+
+        robot_ = std::make_unique<midas::MobileNode>(net_, "robot", net::Position{10, 0},
+                                                     100.0);
+        robot_->trust().trust("hall", to_bytes("k"));
+        robot_->receiver().allow_capabilities("hall", {"net"});
+        robot::make_motor(robot_->runtime(), "motor:x");
+        puller_ = std::make_unique<TupleSpacePuller>(robot_->discovery(),
+                                                     robot_->receiver(), seconds(1));
+    }
+
+    midas::ExtensionPackage noop_pkg(const std::string& name) {
+        midas::ExtensionPackage pkg;
+        pkg.name = name;
+        pkg.script = "fun onEntry() { }";
+        pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+        return pkg;
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(30)) {
+        SimTime deadline = sim_.now() + timeout;
+        while (sim_.now() < deadline) {
+            if (pred()) return true;
+            sim_.run_until(sim_.now() + milliseconds(100));
+        }
+        return pred();
+    }
+
+    sim::Simulator sim_;
+    net::Network net_;
+    std::unique_ptr<midas::BaseStation> hall_;
+    std::unique_ptr<TupleSpace> space_;
+    std::unique_ptr<TupleSpaceHost> host_;
+    std::unique_ptr<TupleSpacePublisher> publisher_;
+    std::unique_ptr<midas::MobileNode> robot_;
+    std::unique_ptr<TupleSpacePuller> puller_;
+};
+
+TEST_F(TspaceDistributionTest, DeviceAdaptsFromTheSpace) {
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+    EXPECT_EQ(robot_->receiver().installed()[0].name, "hall/policy");
+    EXPECT_GE(puller_->stats().installs, 1u);
+}
+
+TEST_F(TspaceDistributionTest, PullKeepsExtensionAliveWhileTuplePresent) {
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+    sim_.run_for(seconds(15));
+    EXPECT_EQ(robot_->receiver().installed_count(), 1u);
+    EXPECT_EQ(robot_->receiver().stats().expirations, 0u);
+}
+
+TEST_F(TspaceDistributionTest, RetractEvaporatesPolicy) {
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+    publisher_->retract("hall/policy");
+    // No tuple, no refresh: the lease lapses and the extension withdraws.
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 0; }));
+    EXPECT_GE(robot_->receiver().stats().expirations, 1u);
+}
+
+TEST_F(TspaceDistributionTest, LeavingRangeEvaporatesPolicy) {
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+    robot_->move_to({1000, 0});
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 0; }));
+}
+
+TEST_F(TspaceDistributionTest, RepublishingNewVersionReplaces) {
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+    std::uint32_t v1 = robot_->receiver().installed()[0].version;
+
+    midas::ExtensionPackage v2 = noop_pkg("hall/policy");
+    v2.script = "fun onEntry() { }\nfun extra() { return 1; }";
+    publisher_->publish(v2);
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().stats().replacements >= 1; }));
+    EXPECT_GT(robot_->receiver().installed()[0].version, v1);
+    // The superseded tuple was retracted: exactly one policy tuple remains.
+    EXPECT_EQ(space_->rda(Template{Field::eq(Value{"midas.ext"}), Field::any(),
+                                   Field::any(), Field::any()})
+                  .size(),
+              1u);
+}
+
+TEST_F(TspaceDistributionTest, NotifyModeAdaptsOnPublication) {
+    // Replace the polling puller with an event-driven one.
+    puller_ = std::make_unique<TupleSpacePuller>(robot_->discovery(), robot_->receiver(),
+                                                 seconds(1), TupleSpacePuller::Mode::kNotify);
+    sim_.run_for(seconds(3));  // discovery + subscription
+    ASSERT_GE(host_->subscription_count(), 1u);
+
+    SimTime published_at = sim_.now();
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; },
+                          seconds(5)));
+    // Event-driven: well under one poll period after publication.
+    EXPECT_LT(sim_.now() - published_at, Duration{milliseconds(500)});
+    EXPECT_GE(puller_->stats().notifications, 1u);
+}
+
+TEST_F(TspaceDistributionTest, NotifyModeCatchesUpOnExistingTuples) {
+    publisher_->publish(noop_pkg("hall/policy"));
+    sim_.run_for(seconds(1));
+    puller_ = std::make_unique<TupleSpacePuller>(robot_->discovery(), robot_->receiver(),
+                                                 seconds(1), TupleSpacePuller::Mode::kNotify);
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+}
+
+TEST_F(TspaceDistributionTest, NotifyModeSustainedByRepublish) {
+    puller_ = std::make_unique<TupleSpacePuller>(robot_->discovery(), robot_->receiver(),
+                                                 seconds(1), TupleSpacePuller::Mode::kNotify);
+    publisher_->publish(noop_pkg("hall/policy"));
+    ASSERT_TRUE(run_until([&] { return robot_->receiver().installed_count() == 1; }));
+    sim_.run_for(seconds(15));
+    EXPECT_EQ(robot_->receiver().installed_count(), 1u);
+    EXPECT_EQ(robot_->receiver().stats().expirations, 0u);
+}
+
+TEST_F(TspaceDistributionTest, SubscriptionExpiresWithoutRenewal) {
+    sim_.run_for(seconds(1));
+    // Subscribe directly with a short lease and never renew.
+    Template tmpl{Field::eq(Value{"x"})};
+    robot_->rpc().export_object("adaptation");  // any listener-ish target
+    Value reply = robot_->rpc().call_sync(
+        hall_->id(), "tspace", "notify",
+        {tmpl.to_value(), Value{"adaptation"}, Value{std::int64_t{1000}}});
+    EXPECT_GT(reply.as_dict().at("watch").as_int(), 0);
+    EXPECT_EQ(host_->subscription_count(), 1u);
+    sim_.run_for(seconds(3));
+    EXPECT_EQ(host_->subscription_count(), 0u);
+}
+
+TEST_F(TspaceDistributionTest, RemoteOutAndInpThroughService) {
+    sim_.run_for(seconds(1));
+    // A device writes a tuple into the hall's space and takes it back.
+    Value out_id = robot_->rpc().call_sync(
+        hall_->id(), "tspace", "out",
+        {Value{List{Value{"job"}, Value{123}}}, Value{std::int64_t{0}}});
+    EXPECT_GT(out_id.as_int(), 0);
+
+    Template job{Field::eq(Value{"job"}), Field::any()};
+    Value hit = robot_->rpc().call_sync(hall_->id(), "tspace", "inp", {job.to_value()});
+    ASSERT_TRUE(hit.as_dict().at("found").as_bool());
+    EXPECT_EQ(hit.as_dict().at("tuple").as_list()[1].as_int(), 123);
+
+    Value miss = robot_->rpc().call_sync(hall_->id(), "tspace", "inp", {job.to_value()});
+    EXPECT_FALSE(miss.as_dict().at("found").as_bool());
+}
+
+}  // namespace
+}  // namespace pmp::tspace

@@ -1,0 +1,183 @@
+// Tests for the dynamic Value type: accessors, Dict, rendering, and the
+// canonical encoding (including a property-style random round-trip sweep).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "rt/value.h"
+
+namespace pmp::rt {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+    EXPECT_TRUE(Value{}.is_null());
+    EXPECT_EQ(Value{true}.as_bool(), true);
+    EXPECT_EQ(Value{42}.as_int(), 42);
+    EXPECT_DOUBLE_EQ(Value{2.5}.as_real(), 2.5);
+    EXPECT_EQ(Value{"hi"}.as_str(), "hi");
+    EXPECT_EQ((Value{Bytes{1, 2}}.as_blob()), (Bytes{1, 2}));
+    EXPECT_EQ((Value{List{Value{1}}}.as_list().size()), 1u);
+    EXPECT_EQ((Value{Dict{{"k", Value{1}}}}.as_dict().size()), 1u);
+}
+
+TEST(Value, IntPromotesToRealAccessor) {
+    EXPECT_DOUBLE_EQ(Value{3}.as_real(), 3.0);
+}
+
+TEST(Value, WrongKindThrows) {
+    EXPECT_THROW(Value{1}.as_str(), TypeError);
+    EXPECT_THROW(Value{"x"}.as_int(), TypeError);
+    EXPECT_THROW(Value{2.5}.as_int(), TypeError);  // no silent truncation
+    EXPECT_THROW(Value{}.as_list(), TypeError);
+}
+
+TEST(Value, Truthiness) {
+    EXPECT_FALSE(Value{}.truthy());
+    EXPECT_FALSE(Value{false}.truthy());
+    EXPECT_FALSE(Value{0}.truthy());
+    EXPECT_FALSE(Value{0.0}.truthy());
+    EXPECT_FALSE(Value{""}.truthy());
+    EXPECT_FALSE(Value{List{}}.truthy());
+    EXPECT_FALSE(Value{Dict{}}.truthy());
+    EXPECT_TRUE(Value{true}.truthy());
+    EXPECT_TRUE(Value{-1}.truthy());
+    EXPECT_TRUE(Value{"x"}.truthy());
+    EXPECT_TRUE((Value{List{Value{}}}.truthy()));
+}
+
+TEST(Value, EqualityIsStrict) {
+    EXPECT_EQ(Value{1}, Value{1});
+    EXPECT_NE(Value{1}, Value{1.0});  // different kinds
+    EXPECT_EQ(Value{"a"}, Value{"a"});
+    EXPECT_EQ((Value{List{Value{1}, Value{2}}}), (Value{List{Value{1}, Value{2}}}));
+}
+
+TEST(Value, ToStringRendering) {
+    EXPECT_EQ(Value{}.to_string(), "null");
+    EXPECT_EQ(Value{true}.to_string(), "true");
+    EXPECT_EQ(Value{42}.to_string(), "42");
+    EXPECT_EQ(Value{"a\"b"}.to_string(), "\"a\\\"b\"");
+    EXPECT_EQ((Value{List{Value{1}, Value{"x"}}}.to_string()), "[1, \"x\"]");
+    Dict d{{"b", Value{2}}, {"a", Value{1}}};
+    EXPECT_EQ(Value{d}.to_string(), "{\"a\": 1, \"b\": 2}");  // sorted keys
+}
+
+TEST(Dict, SetFindErase) {
+    Dict d;
+    EXPECT_TRUE(d.empty());
+    d.set("x", Value{1});
+    d.set("a", Value{2});
+    d.set("x", Value{3});  // overwrite
+    EXPECT_EQ(d.size(), 2u);
+    ASSERT_NE(d.find("x"), nullptr);
+    EXPECT_EQ(d.find("x")->as_int(), 3);
+    EXPECT_EQ(d.find("missing"), nullptr);
+    EXPECT_EQ(d.at("a").as_int(), 2);
+    EXPECT_THROW(d.at("missing"), TypeError);
+    EXPECT_TRUE(d.erase("a"));
+    EXPECT_FALSE(d.erase("a"));
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Dict, IterationIsSorted) {
+    Dict d{{"zebra", Value{1}}, {"apple", Value{2}}, {"mango", Value{3}}};
+    std::vector<std::string> keys;
+    for (const auto& [k, _] : d) keys.push_back(k);
+    EXPECT_EQ(keys, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(ValueEncode, ScalarsRoundTrip) {
+    for (const Value& v :
+         {Value{}, Value{true}, Value{false}, Value{0}, Value{-1}, Value{INT64_MAX},
+          Value{3.14159}, Value{-0.0}, Value{""}, Value{"hello"}, Value{Bytes{0, 255}}}) {
+        EXPECT_EQ(Value::decode(std::span<const std::uint8_t>(v.encode())), v)
+            << v.to_string();
+    }
+}
+
+TEST(ValueEncode, NestedRoundTrip) {
+    Value v{Dict{{"list", Value{List{Value{1}, Value{"two"}, Value{Dict{{"x", Value{}}}}}}},
+                 {"blob", Value{Bytes{1, 2, 3}}}}};
+    EXPECT_EQ(Value::decode(std::span<const std::uint8_t>(v.encode())), v);
+}
+
+TEST(ValueEncode, CanonicalAcrossInsertionOrder) {
+    Dict d1;
+    d1.set("a", Value{1});
+    d1.set("b", Value{2});
+    Dict d2;
+    d2.set("b", Value{2});
+    d2.set("a", Value{1});
+    EXPECT_EQ(Value{d1}.encode(), Value{d2}.encode());
+}
+
+TEST(ValueEncode, TruncatedInputThrows) {
+    Bytes enc = Value{"hello"}.encode();
+    enc.resize(enc.size() - 2);
+    EXPECT_THROW(Value::decode(std::span<const std::uint8_t>(enc)), ParseError);
+}
+
+TEST(ValueEncode, UnknownTagThrows) {
+    Bytes enc{0x7F};
+    EXPECT_THROW(Value::decode(std::span<const std::uint8_t>(enc)), ParseError);
+}
+
+// Property sweep: random value trees survive encode/decode for many seeds.
+class ValueRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    static Value random_value(Rng& rng, int depth) {
+        int pick = static_cast<int>(rng.next_below(depth > 3 ? 6 : 8));
+        switch (pick) {
+            case 0: return Value{};
+            case 1: return Value{rng.chance(0.5)};
+            case 2: return Value{static_cast<std::int64_t>(rng.next_u64())};
+            case 3: return Value{rng.next_double() * 1e6 - 5e5};
+            case 4: {
+                std::string s;
+                for (std::uint64_t i = rng.next_below(20); i > 0; --i) {
+                    s.push_back(static_cast<char>('a' + rng.next_below(26)));
+                }
+                return Value{std::move(s)};
+            }
+            case 5: {
+                Bytes b;
+                for (std::uint64_t i = rng.next_below(32); i > 0; --i) {
+                    b.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+                }
+                return Value{std::move(b)};
+            }
+            case 6: {
+                List l;
+                for (std::uint64_t i = rng.next_below(5); i > 0; --i) {
+                    l.push_back(random_value(rng, depth + 1));
+                }
+                return Value{std::move(l)};
+            }
+            default: {
+                Dict d;
+                for (std::uint64_t i = rng.next_below(5); i > 0; --i) {
+                    d.set("k" + std::to_string(rng.next_below(100)),
+                          random_value(rng, depth + 1));
+                }
+                return Value{std::move(d)};
+            }
+        }
+    }
+};
+
+TEST_P(ValueRoundTrip, EncodeDecodeIdentity) {
+    Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        Value v = random_value(rng, 0);
+        Value back = Value::decode(std::span<const std::uint8_t>(v.encode()));
+        EXPECT_EQ(back, v) << v.to_string();
+        // Canonical: re-encoding the decoded value gives identical bytes.
+        EXPECT_EQ(back.encode(), v.encode());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace pmp::rt
