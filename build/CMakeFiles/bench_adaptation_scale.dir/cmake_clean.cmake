@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptation_scale.dir/bench/bench_adaptation_scale.cpp.o"
+  "CMakeFiles/bench_adaptation_scale.dir/bench/bench_adaptation_scale.cpp.o.d"
+  "bench/bench_adaptation_scale"
+  "bench/bench_adaptation_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptation_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

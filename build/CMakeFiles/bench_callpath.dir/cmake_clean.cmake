@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_callpath.dir/bench/bench_callpath.cpp.o"
+  "CMakeFiles/bench_callpath.dir/bench/bench_callpath.cpp.o.d"
+  "bench/bench_callpath"
+  "bench/bench_callpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_callpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_callpath.
+# This may be replaced when dependencies are built.

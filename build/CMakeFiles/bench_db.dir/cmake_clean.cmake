@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_db.dir/bench/bench_db.cpp.o"
+  "CMakeFiles/bench_db.dir/bench/bench_db.cpp.o.d"
+  "bench/bench_db"
+  "bench/bench_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interception.dir/bench/bench_interception.cpp.o"
+  "CMakeFiles/bench_interception.dir/bench/bench_interception.cpp.o.d"
+  "bench/bench_interception"
+  "bench/bench_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leasing.dir/bench/bench_leasing.cpp.o"
+  "CMakeFiles/bench_leasing.dir/bench/bench_leasing.cpp.o.d"
+  "bench/bench_leasing"
+  "bench/bench_leasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

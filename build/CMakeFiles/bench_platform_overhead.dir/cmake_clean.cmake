@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_platform_overhead.dir/bench/bench_platform_overhead.cpp.o"
+  "CMakeFiles/bench_platform_overhead.dir/bench/bench_platform_overhead.cpp.o.d"
+  "bench/bench_platform_overhead"
+  "bench/bench_platform_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_platform_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

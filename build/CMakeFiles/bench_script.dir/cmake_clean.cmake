@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_script.dir/bench/bench_script.cpp.o"
+  "CMakeFiles/bench_script.dir/bench/bench_script.cpp.o.d"
+  "bench/bench_script"
+  "bench/bench_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trust.dir/bench/bench_trust.cpp.o"
+  "CMakeFiles/bench_trust.dir/bench/bench_trust.cpp.o.d"
+  "bench/bench_trust"
+  "bench/bench_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

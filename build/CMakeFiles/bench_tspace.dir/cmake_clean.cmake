@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tspace.dir/bench/bench_tspace.cpp.o"
+  "CMakeFiles/bench_tspace.dir/bench/bench_tspace.cpp.o.d"
+  "bench/bench_tspace"
+  "bench/bench_tspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weaving.dir/bench/bench_weaving.cpp.o"
+  "CMakeFiles/bench_weaving.dir/bench/bench_weaving.cpp.o.d"
+  "bench/bench_weaving"
+  "bench/bench_weaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

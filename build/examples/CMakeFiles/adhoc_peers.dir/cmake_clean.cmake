@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_peers.dir/adhoc_peers.cpp.o"
+  "CMakeFiles/adhoc_peers.dir/adhoc_peers.cpp.o.d"
+  "adhoc_peers"
+  "adhoc_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

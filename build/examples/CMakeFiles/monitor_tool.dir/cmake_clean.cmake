@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_tool.dir/monitor_tool.cpp.o"
+  "CMakeFiles/monitor_tool.dir/monitor_tool.cpp.o.d"
+  "monitor_tool"
+  "monitor_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

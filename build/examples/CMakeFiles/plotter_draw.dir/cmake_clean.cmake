@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plotter_draw.dir/plotter_draw.cpp.o"
+  "CMakeFiles/plotter_draw.dir/plotter_draw.cpp.o.d"
+  "plotter_draw"
+  "plotter_draw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plotter_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_hall.dir/production_hall.cpp.o"
+  "CMakeFiles/production_hall.dir/production_hall.cpp.o.d"
+  "production_hall"
+  "production_hall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

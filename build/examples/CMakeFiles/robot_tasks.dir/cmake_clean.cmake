@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_tasks.dir/robot_tasks.cpp.o"
+  "CMakeFiles/robot_tasks.dir/robot_tasks.cpp.o.d"
+  "robot_tasks"
+  "robot_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

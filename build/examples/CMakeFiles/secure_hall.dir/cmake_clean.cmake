@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_hall.dir/secure_hall.cpp.o"
+  "CMakeFiles/secure_hall.dir/secure_hall.cpp.o.d"
+  "secure_hall"
+  "secure_hall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_hall.dir/tuple_hall.cpp.o"
+  "CMakeFiles/tuple_hall.dir/tuple_hall.cpp.o.d"
+  "tuple_hall"
+  "tuple_hall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_common.dir/bytes.cpp.o"
+  "CMakeFiles/pmp_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/pmp_common.dir/error.cpp.o"
+  "CMakeFiles/pmp_common.dir/error.cpp.o.d"
+  "CMakeFiles/pmp_common.dir/log.cpp.o"
+  "CMakeFiles/pmp_common.dir/log.cpp.o.d"
+  "libpmp_common.a"
+  "libpmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

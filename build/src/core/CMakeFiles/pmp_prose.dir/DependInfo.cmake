@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aspect.cpp" "src/core/CMakeFiles/pmp_prose.dir/aspect.cpp.o" "gcc" "src/core/CMakeFiles/pmp_prose.dir/aspect.cpp.o.d"
+  "/root/repo/src/core/pointcut.cpp" "src/core/CMakeFiles/pmp_prose.dir/pointcut.cpp.o" "gcc" "src/core/CMakeFiles/pmp_prose.dir/pointcut.cpp.o.d"
+  "/root/repo/src/core/script_aspect.cpp" "src/core/CMakeFiles/pmp_prose.dir/script_aspect.cpp.o" "gcc" "src/core/CMakeFiles/pmp_prose.dir/script_aspect.cpp.o.d"
+  "/root/repo/src/core/weaver.cpp" "src/core/CMakeFiles/pmp_prose.dir/weaver.cpp.o" "gcc" "src/core/CMakeFiles/pmp_prose.dir/weaver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pmp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/pmp_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_prose.dir/aspect.cpp.o"
+  "CMakeFiles/pmp_prose.dir/aspect.cpp.o.d"
+  "CMakeFiles/pmp_prose.dir/pointcut.cpp.o"
+  "CMakeFiles/pmp_prose.dir/pointcut.cpp.o.d"
+  "CMakeFiles/pmp_prose.dir/script_aspect.cpp.o"
+  "CMakeFiles/pmp_prose.dir/script_aspect.cpp.o.d"
+  "CMakeFiles/pmp_prose.dir/weaver.cpp.o"
+  "CMakeFiles/pmp_prose.dir/weaver.cpp.o.d"
+  "libpmp_prose.a"
+  "libpmp_prose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_prose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/pmp_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/pmp_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/pmp_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/pmp_crypto.dir/trust.cpp.o"
+  "CMakeFiles/pmp_crypto.dir/trust.cpp.o.d"
+  "libpmp_crypto.a"
+  "libpmp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

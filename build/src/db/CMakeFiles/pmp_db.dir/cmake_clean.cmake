@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_db.dir/store.cpp.o"
+  "CMakeFiles/pmp_db.dir/store.cpp.o.d"
+  "libpmp_db.a"
+  "libpmp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disco/lookup.cpp" "src/disco/CMakeFiles/pmp_disco.dir/lookup.cpp.o" "gcc" "src/disco/CMakeFiles/pmp_disco.dir/lookup.cpp.o.d"
+  "/root/repo/src/disco/registrar.cpp" "src/disco/CMakeFiles/pmp_disco.dir/registrar.cpp.o" "gcc" "src/disco/CMakeFiles/pmp_disco.dir/registrar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/pmp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_disco.dir/lookup.cpp.o"
+  "CMakeFiles/pmp_disco.dir/lookup.cpp.o.d"
+  "CMakeFiles/pmp_disco.dir/registrar.cpp.o"
+  "CMakeFiles/pmp_disco.dir/registrar.cpp.o.d"
+  "libpmp_disco.a"
+  "libpmp_disco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_disco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/midas/base.cpp" "src/midas/CMakeFiles/pmp_midas.dir/base.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/base.cpp.o.d"
+  "/root/repo/src/midas/channel.cpp" "src/midas/CMakeFiles/pmp_midas.dir/channel.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/channel.cpp.o.d"
+  "/root/repo/src/midas/collector.cpp" "src/midas/CMakeFiles/pmp_midas.dir/collector.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/collector.cpp.o.d"
+  "/root/repo/src/midas/federation.cpp" "src/midas/CMakeFiles/pmp_midas.dir/federation.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/federation.cpp.o.d"
+  "/root/repo/src/midas/node.cpp" "src/midas/CMakeFiles/pmp_midas.dir/node.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/node.cpp.o.d"
+  "/root/repo/src/midas/package.cpp" "src/midas/CMakeFiles/pmp_midas.dir/package.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/package.cpp.o.d"
+  "/root/repo/src/midas/receiver.cpp" "src/midas/CMakeFiles/pmp_midas.dir/receiver.cpp.o" "gcc" "src/midas/CMakeFiles/pmp_midas.dir/receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmp_prose.dir/DependInfo.cmake"
+  "/root/repo/build/src/disco/CMakeFiles/pmp_disco.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pmp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/pmp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/pmp_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pmp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_midas.dir/base.cpp.o"
+  "CMakeFiles/pmp_midas.dir/base.cpp.o.d"
+  "CMakeFiles/pmp_midas.dir/channel.cpp.o"
+  "CMakeFiles/pmp_midas.dir/channel.cpp.o.d"
+  "CMakeFiles/pmp_midas.dir/collector.cpp.o"
+  "CMakeFiles/pmp_midas.dir/collector.cpp.o.d"
+  "CMakeFiles/pmp_midas.dir/federation.cpp.o"
+  "CMakeFiles/pmp_midas.dir/federation.cpp.o.d"
+  "CMakeFiles/pmp_midas.dir/node.cpp.o"
+  "CMakeFiles/pmp_midas.dir/node.cpp.o.d"
+  "CMakeFiles/pmp_midas.dir/package.cpp.o"
+  "CMakeFiles/pmp_midas.dir/package.cpp.o.d"
+  "CMakeFiles/pmp_midas.dir/receiver.cpp.o"
+  "CMakeFiles/pmp_midas.dir/receiver.cpp.o.d"
+  "libpmp_midas.a"
+  "libpmp_midas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_midas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

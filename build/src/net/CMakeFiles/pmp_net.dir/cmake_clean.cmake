@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_net.dir/mobility.cpp.o"
+  "CMakeFiles/pmp_net.dir/mobility.cpp.o.d"
+  "CMakeFiles/pmp_net.dir/network.cpp.o"
+  "CMakeFiles/pmp_net.dir/network.cpp.o.d"
+  "CMakeFiles/pmp_net.dir/router.cpp.o"
+  "CMakeFiles/pmp_net.dir/router.cpp.o.d"
+  "libpmp_net.a"
+  "libpmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_robot.dir/controller.cpp.o"
+  "CMakeFiles/pmp_robot.dir/controller.cpp.o.d"
+  "CMakeFiles/pmp_robot.dir/devices.cpp.o"
+  "CMakeFiles/pmp_robot.dir/devices.cpp.o.d"
+  "CMakeFiles/pmp_robot.dir/plotter.cpp.o"
+  "CMakeFiles/pmp_robot.dir/plotter.cpp.o.d"
+  "libpmp_robot.a"
+  "libpmp_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/object.cpp" "src/rt/CMakeFiles/pmp_rt.dir/object.cpp.o" "gcc" "src/rt/CMakeFiles/pmp_rt.dir/object.cpp.o.d"
+  "/root/repo/src/rt/rpc.cpp" "src/rt/CMakeFiles/pmp_rt.dir/rpc.cpp.o" "gcc" "src/rt/CMakeFiles/pmp_rt.dir/rpc.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/rt/CMakeFiles/pmp_rt.dir/runtime.cpp.o" "gcc" "src/rt/CMakeFiles/pmp_rt.dir/runtime.cpp.o.d"
+  "/root/repo/src/rt/type.cpp" "src/rt/CMakeFiles/pmp_rt.dir/type.cpp.o" "gcc" "src/rt/CMakeFiles/pmp_rt.dir/type.cpp.o.d"
+  "/root/repo/src/rt/value.cpp" "src/rt/CMakeFiles/pmp_rt.dir/value.cpp.o" "gcc" "src/rt/CMakeFiles/pmp_rt.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_rt.dir/object.cpp.o"
+  "CMakeFiles/pmp_rt.dir/object.cpp.o.d"
+  "CMakeFiles/pmp_rt.dir/rpc.cpp.o"
+  "CMakeFiles/pmp_rt.dir/rpc.cpp.o.d"
+  "CMakeFiles/pmp_rt.dir/runtime.cpp.o"
+  "CMakeFiles/pmp_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/pmp_rt.dir/type.cpp.o"
+  "CMakeFiles/pmp_rt.dir/type.cpp.o.d"
+  "CMakeFiles/pmp_rt.dir/value.cpp.o"
+  "CMakeFiles/pmp_rt.dir/value.cpp.o.d"
+  "libpmp_rt.a"
+  "libpmp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

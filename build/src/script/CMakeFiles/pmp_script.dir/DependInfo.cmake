@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/check.cpp" "src/script/CMakeFiles/pmp_script.dir/check.cpp.o" "gcc" "src/script/CMakeFiles/pmp_script.dir/check.cpp.o.d"
+  "/root/repo/src/script/interp.cpp" "src/script/CMakeFiles/pmp_script.dir/interp.cpp.o" "gcc" "src/script/CMakeFiles/pmp_script.dir/interp.cpp.o.d"
+  "/root/repo/src/script/lexer.cpp" "src/script/CMakeFiles/pmp_script.dir/lexer.cpp.o" "gcc" "src/script/CMakeFiles/pmp_script.dir/lexer.cpp.o.d"
+  "/root/repo/src/script/parser.cpp" "src/script/CMakeFiles/pmp_script.dir/parser.cpp.o" "gcc" "src/script/CMakeFiles/pmp_script.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pmp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

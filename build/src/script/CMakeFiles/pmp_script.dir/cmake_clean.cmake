@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_script.dir/check.cpp.o"
+  "CMakeFiles/pmp_script.dir/check.cpp.o.d"
+  "CMakeFiles/pmp_script.dir/interp.cpp.o"
+  "CMakeFiles/pmp_script.dir/interp.cpp.o.d"
+  "CMakeFiles/pmp_script.dir/lexer.cpp.o"
+  "CMakeFiles/pmp_script.dir/lexer.cpp.o.d"
+  "CMakeFiles/pmp_script.dir/parser.cpp.o"
+  "CMakeFiles/pmp_script.dir/parser.cpp.o.d"
+  "libpmp_script.a"
+  "libpmp_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

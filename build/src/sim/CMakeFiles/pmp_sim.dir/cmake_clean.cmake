@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pmp_sim.dir/simulator.cpp.o.d"
+  "libpmp_sim.a"
+  "libpmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

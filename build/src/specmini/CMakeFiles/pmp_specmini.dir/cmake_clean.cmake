@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_specmini.dir/suite.cpp.o"
+  "CMakeFiles/pmp_specmini.dir/suite.cpp.o.d"
+  "libpmp_specmini.a"
+  "libpmp_specmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_specmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

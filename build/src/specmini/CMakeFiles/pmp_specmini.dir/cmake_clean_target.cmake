@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmp_specmini.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_tspace.dir/remote.cpp.o"
+  "CMakeFiles/pmp_tspace.dir/remote.cpp.o.d"
+  "CMakeFiles/pmp_tspace.dir/tuplespace.cpp.o"
+  "CMakeFiles/pmp_tspace.dir/tuplespace.cpp.o.d"
+  "libpmp_tspace.a"
+  "libpmp_tspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_tspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_test.dir/disco_test.cpp.o"
+  "CMakeFiles/disco_test.dir/disco_test.cpp.o.d"
+  "disco_test"
+  "disco_test.pdb"
+  "disco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

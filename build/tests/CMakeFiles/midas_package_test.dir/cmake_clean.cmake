@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_package_test.dir/midas_package_test.cpp.o"
+  "CMakeFiles/midas_package_test.dir/midas_package_test.cpp.o.d"
+  "midas_package_test"
+  "midas_package_test.pdb"
+  "midas_package_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_package_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/midas_test.cpp" "tests/CMakeFiles/midas_test.dir/midas_test.cpp.o" "gcc" "tests/CMakeFiles/midas_test.dir/midas_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pmp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pmp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/pmp_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmp_prose.dir/DependInfo.cmake"
+  "/root/repo/build/src/disco/CMakeFiles/pmp_disco.dir/DependInfo.cmake"
+  "/root/repo/build/src/midas/CMakeFiles/pmp_midas.dir/DependInfo.cmake"
+  "/root/repo/build/src/robot/CMakeFiles/pmp_robot.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/pmp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/specmini/CMakeFiles/pmp_specmini.dir/DependInfo.cmake"
+  "/root/repo/build/src/tspace/CMakeFiles/pmp_tspace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointcut_test.dir/pointcut_test.cpp.o"
+  "CMakeFiles/pointcut_test.dir/pointcut_test.cpp.o.d"
+  "pointcut_test"
+  "pointcut_test.pdb"
+  "pointcut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointcut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

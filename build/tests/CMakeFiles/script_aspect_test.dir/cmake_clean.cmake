@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_aspect_test.dir/script_aspect_test.cpp.o"
+  "CMakeFiles/script_aspect_test.dir/script_aspect_test.cpp.o.d"
+  "script_aspect_test"
+  "script_aspect_test.pdb"
+  "script_aspect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_aspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_check_test.dir/script_check_test.cpp.o"
+  "CMakeFiles/script_check_test.dir/script_check_test.cpp.o.d"
+  "script_check_test"
+  "script_check_test.pdb"
+  "script_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

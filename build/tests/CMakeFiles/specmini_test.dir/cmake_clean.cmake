@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specmini_test.dir/specmini_test.cpp.o"
+  "CMakeFiles/specmini_test.dir/specmini_test.cpp.o.d"
+  "specmini_test"
+  "specmini_test.pdb"
+  "specmini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specmini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspace_test.dir/tspace_test.cpp.o"
+  "CMakeFiles/tspace_test.dir/tspace_test.cpp.o.d"
+  "tspace_test"
+  "tspace_test.pdb"
+  "tspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

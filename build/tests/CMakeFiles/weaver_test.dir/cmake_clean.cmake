@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weaver_test.dir/weaver_test.cpp.o"
+  "CMakeFiles/weaver_test.dir/weaver_test.cpp.o.d"
+  "weaver_test"
+  "weaver_test.pdb"
+  "weaver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weaver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
