@@ -12,10 +12,13 @@
 //
 // reporting records stored, radio messages, bytes on air, and virtual
 // drawing time.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "midas/node.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "robot/plotter.h"
 
 namespace {
@@ -193,5 +196,38 @@ int main() {
            "without losing records; virtual drawing time is unchanged because the\n"
            "posts are asynchronous (paper: 'first locally stored and then\n"
            "asynchronously sent').\n");
+
+    // --- what does watching cost? The same monitored scenario, wall-clock,
+    // with the obs layer recording vs. compiled-in-but-idle.
+    auto monitored_run_wall = [](bool obs_on) {
+        obs::set_enabled(obs_on);
+        auto t0 = std::chrono::steady_clock::now();
+        Scenario s;
+        ExtensionPackage pkg;
+        pkg.name = "hall/monitoring";
+        pkg.script = kPerActionScript;
+        pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+        pkg.capabilities = {"net"};
+        s.hall->base().add_extension(pkg);
+        s.run_until([&] { return s.robot_node->receiver().installed_count() == 1; });
+        s.draw(kStrokes);
+        obs::set_enabled(true);
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+
+    printf("\n=== obs instrumentation cost on this scenario (wall-clock, best of 5) ===\n");
+    double idle = 1e9, enabled = 1e9;
+    monitored_run_wall(true);  // warm-up
+    for (int i = 0; i < 5; ++i) {
+        idle = std::min(idle, monitored_run_wall(false));
+        enabled = std::min(enabled, monitored_run_wall(true));
+    }
+    printf("idle:    %.4f s wall\n", idle);
+    printf("enabled: %.4f s wall  (overhead %.1f%%)\n", enabled,
+           (enabled / idle - 1.0) * 100);
+
+    // Live metrics accumulated across everything this bench just did.
+    printf("\n=== metrics snapshot (whole bench run) ===\n%s",
+           obs::to_text(obs::snapshot_metrics()).c_str());
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "midas/node.h"
+#include "obs/export.h"
 #include "robot/devices.h"
 
 using namespace pmp;
@@ -109,5 +110,25 @@ int main() {
     printf("(replayed movements were themselves monitored: the DB now holds %zu "
            "records)\n",
            hall.store().size());
+
+    // --- the platform watching itself: the tool also pulls the live obs
+    // snapshot — weaving activity, radio traffic, lease churn — exactly what
+    // a dashboard next to the Fig 6 action list would chart.
+    sim.run_for(seconds(10));  // let a few keep-alive rounds land
+
+    obs::Snapshot snap = obs::snapshot_metrics();
+    printf("\n[monitor] live platform metrics (JSON snapshot):\n%s\n",
+           obs::to_json(snap).c_str());
+
+    const auto trace = obs::TraceBuffer::global().events();
+    printf("\n[monitor] last platform trace events (%zu retained, %llu recorded):\n",
+           trace.size(),
+           static_cast<unsigned long long>(obs::TraceBuffer::global().recorded()));
+    std::size_t start = trace.size() > 10 ? trace.size() - 10 : 0;
+    for (std::size_t i = start; i < trace.size(); ++i) {
+        const obs::TraceEvent& ev = trace[i];
+        printf("  [%7.3fs] %-10s %-16s %s\n", ev.at.seconds_since_zero(),
+               obs::event_kind_name(ev.kind), ev.component.c_str(), ev.name.c_str());
+    }
     return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <iostream>
 
+#include "obs/component.h"
+#include "obs/metrics.h"
+
 namespace pmp {
 
 Log& Log::instance() {
@@ -15,8 +18,15 @@ void Log::write(LogLevel level, SimTime when, const std::string& component,
                 const std::string& message) {
     static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
     auto& log = instance();
+    // Log tags, metrics, and traces all share one canonical component
+    // namespace: "receiver" and "midas@robot" both resolve to
+    // "midas.receiver", so a log line and its metrics carry the same id.
+    auto& components = obs::ComponentRegistry::global();
+    std::string canonical = components.canonical(component);
+    components.id(components.family(component));
+    obs::Registry::global().counter("log.lines", components.family(component)).inc();
     std::string line = "[" + to_string(when) + "] " + kNames[static_cast<int>(level)] + " " +
-                       component + ": " + message;
+                       canonical + ": " + message;
     if (log.sink_) {
         log.sink_(level, line);
     } else {

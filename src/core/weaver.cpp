@@ -1,6 +1,22 @@
 #include "core/weaver.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pmp::prose {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+}  // namespace
 
 Weaver::Weaver(rt::Runtime& runtime) : runtime_(runtime) {
     observer_ = runtime_.add_type_observer([this](rt::TypeInfo& t) { on_type_registered(t); });
@@ -12,6 +28,29 @@ Weaver::~Weaver() {
 }
 
 void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
+    // Per-aspect join-point telemetry: every advice execution bumps the
+    // aspect's call counter and records its (real, CPU) latency. Slots are
+    // resolved once per weave; the woven hooks carry raw pointers, which
+    // stay valid because these are pinned registry entries.
+    obs::Counter* calls =
+        &obs::Registry::global().counter("weaver.advice_calls", woven.aspect->name());
+    obs::Histogram* latency =
+        &obs::Registry::global().histogram("weaver.advice_ns", woven.aspect->name());
+
+    auto timed = [calls, latency](const auto& fn, auto&&... args) -> decltype(auto) {
+        if (!obs::enabled()) return fn(std::forward<decltype(args)>(args)...);
+        calls->inc();
+        Clock::time_point t0 = Clock::now();
+        if constexpr (std::is_void_v<decltype(fn(std::forward<decltype(args)>(args)...))>) {
+            fn(std::forward<decltype(args)>(args)...);
+            latency->observe(elapsed_ns(t0));
+        } else {
+            auto result = fn(std::forward<decltype(args)>(args)...);
+            latency->observe(elapsed_ns(t0));
+            return result;
+        }
+    };
+
     for (const AdviceBinding& binding : woven.aspect->bindings()) {
         switch (binding.kind) {
             case AdviceKind::kBefore:
@@ -23,17 +62,31 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     ++woven.report.methods_matched;
                     switch (binding.kind) {
                         case AdviceKind::kBefore:
-                            method->add_entry_hook(id.value, binding.priority, binding.before);
+                            method->add_entry_hook(
+                                id.value, binding.priority,
+                                [timed, fn = binding.before](rt::CallFrame& f) { timed(fn, f); });
                             break;
                         case AdviceKind::kAfter:
-                            method->add_exit_hook(id.value, binding.priority, binding.after);
+                            method->add_exit_hook(
+                                id.value, binding.priority,
+                                [timed, fn = binding.after](rt::CallFrame& f) { timed(fn, f); });
                             break;
                         case AdviceKind::kAfterThrowing:
-                            method->add_error_hook(id.value, binding.priority,
-                                                   binding.after_throwing);
+                            method->add_error_hook(
+                                id.value, binding.priority,
+                                [timed, fn = binding.after_throwing](rt::CallFrame& f,
+                                                                     std::exception_ptr e) {
+                                    timed(fn, f, e);
+                                });
                             break;
                         default:
-                            method->add_around_hook(id.value, binding.priority, binding.around);
+                            method->add_around_hook(
+                                id.value, binding.priority,
+                                [timed, fn = binding.around](
+                                    rt::CallFrame& f,
+                                    const std::function<rt::Value()>& proceed) {
+                                    return timed(fn, f, proceed);
+                                });
                             break;
                     }
                 }
@@ -42,14 +95,20 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                 for (rt::Field& field : type.fields()) {
                     if (!binding.pointcut.matches_field_set(type, field.decl())) continue;
                     ++woven.report.fields_matched;
-                    field.add_set_hook(id.value, binding.priority, binding.field_set);
+                    field.add_set_hook(id.value, binding.priority,
+                                       [timed, fn = binding.field_set](auto&&... args) {
+                                           timed(fn, std::forward<decltype(args)>(args)...);
+                                       });
                 }
                 break;
             case AdviceKind::kFieldGet:
                 for (rt::Field& field : type.fields()) {
                     if (!binding.pointcut.matches_field_get(type, field.decl())) continue;
                     ++woven.report.fields_matched;
-                    field.add_get_hook(id.value, binding.priority, binding.field_get);
+                    field.add_get_hook(id.value, binding.priority,
+                                       [timed, fn = binding.field_get](auto&&... args) {
+                                           timed(fn, std::forward<decltype(args)>(args)...);
+                                       });
                 }
                 break;
         }
@@ -57,17 +116,35 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
 }
 
 AspectId Weaver::weave(std::shared_ptr<Aspect> aspect) {
+    auto& reg = obs::Registry::global();
+    std::uint64_t span = obs::TraceBuffer::global().begin_span("prose.weaver", "weave",
+                                                               {{"aspect", aspect->name()}});
+    Clock::time_point t0 = Clock::now();
+
     AspectId id = ids_.next();
     auto [it, _] = woven_.emplace(id, Woven{std::move(aspect), WeaveReport{}});
     for (const auto& type : runtime_.types()) {
         weave_into_type(*type, id, it->second);
     }
+
+    reg.histogram("weaver.weave_ns").observe(elapsed_ns(t0));
+    reg.counter("weaver.weaves").inc();
+    reg.gauge("weaver.woven").set(static_cast<std::int64_t>(woven_.size()));
+    obs::TraceBuffer::global().end_span(
+        span, {{"methods", std::to_string(it->second.report.methods_matched)},
+               {"fields", std::to_string(it->second.report.fields_matched)}});
     return id;
 }
 
 bool Weaver::withdraw(AspectId id, WithdrawReason reason) {
     auto it = woven_.find(id);
     if (it == woven_.end()) return false;
+    auto& reg = obs::Registry::global();
+    std::uint64_t span = obs::TraceBuffer::global().begin_span(
+        "prose.weaver", "withdraw",
+        {{"aspect", it->second.aspect->name()}, {"reason", withdraw_reason_name(reason)}});
+    Clock::time_point t0 = Clock::now();
+
     // Shutdown procedure first (paper: the extension is notified before
     // leaving so it can reach a consistent state), then unhook.
     it->second.aspect->notify_withdraw(reason);
@@ -76,6 +153,11 @@ bool Weaver::withdraw(AspectId id, WithdrawReason reason) {
         for (rt::Field& field : type->fields()) field.remove_hooks(id.value);
     }
     woven_.erase(it);
+
+    reg.histogram("weaver.withdraw_ns").observe(elapsed_ns(t0));
+    reg.counter("weaver.withdrawals").inc();
+    reg.gauge("weaver.woven").set(static_cast<std::int64_t>(woven_.size()));
+    obs::TraceBuffer::global().end_span(span);
     return true;
 }
 

@@ -1,6 +1,7 @@
 #include "midas/base.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace pmp::midas {
 
@@ -10,7 +11,17 @@ using rt::Value;
 
 ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
                              const crypto::KeyStore& keys, BaseConfig config)
-    : rpc_(rpc), registrar_(registrar), keys_(keys), config_(std::move(config)) {
+    : rpc_(rpc),
+      registrar_(registrar),
+      keys_(keys),
+      config_(std::move(config)),
+      installs_sent_c_("midas.base.installs_sent", config_.issuer),
+      install_failures_c_("midas.base.install_failures", config_.issuer),
+      keepalives_sent_c_("midas.base.keepalives_sent", config_.issuer),
+      keepalive_failures_c_("midas.base.keepalive_failures", config_.issuer),
+      nodes_dropped_c_("midas.base.nodes_dropped", config_.issuer),
+      nodes_handed_off_c_("midas.base.nodes_handed_off", config_.issuer),
+      adapted_nodes_g_("midas.base.adapted_nodes", config_.issuer) {
     watch_token_ = registrar_.watch_local(
         "midas.adaptation",
         [this](const disco::ServiceItem& item, bool appeared) { on_service(item, appeared); });
@@ -90,6 +101,7 @@ void ExtensionBase::adapt_node(NodeId node, const std::string& label) {
     auto [it, fresh] = adapted_.emplace(
         node, AdaptedNode{node, label, {}, 0, rpc_.router().simulator().now()});
     it->second.failures = 0;
+    adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
     if (fresh) {
         record("adapt", label, "");
         log_info(rpc_.router().simulator().now(), "base@" + config_.issuer,
@@ -105,11 +117,12 @@ void ExtensionBase::adapt_node(NodeId node, const std::string& label) {
 bool ExtensionBase::release_node(const std::string& label) {
     for (auto it = adapted_.begin(); it != adapted_.end(); ++it) {
         if (it->second.label != label) continue;
-        ++stats_.nodes_handed_off;
+        nodes_handed_off_c_.inc();
         record("handoff", label, "");
         log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
                  label, " handed off to a neighbouring base");
         adapted_.erase(it);
+        adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
         return true;
     }
     return false;
@@ -131,16 +144,19 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
         install_on(node, implied, visiting);
     }
 
-    ++stats_.installs_sent;
+    installs_sent_c_.inc();
+    std::uint64_t push_span = obs::TraceBuffer::global().begin_span(
+        "midas.base", "pkg.push", {{"issuer", config_.issuer}, {"pkg", name}});
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
     rpc_.call_async(
         node, "adaptation", "install",
         {Value{policy_it->second.sealed}, Value{lease_ms}},
-        [this, node, name](Value result, std::exception_ptr error) {
+        [this, node, name, push_span](Value result, std::exception_ptr error) {
+            obs::TraceBuffer::global().end_span(push_span, {{"ok", error ? "false" : "true"}});
             auto adapted_it = adapted_.find(node);
             if (adapted_it == adapted_.end()) return;
             if (error) {
-                ++stats_.install_failures;
+                install_failures_c_.inc();
                 try {
                     std::rethrow_exception(error);
                 } catch (const Error& e) {
@@ -168,7 +184,7 @@ void ExtensionBase::keepalive_tick() {
             }
         }
         for (const auto& [name, ext] : adapted.installed) {
-            ++stats_.keepalives_sent;
+            keepalives_sent_c_.inc();
             NodeId node_id = node;
             rpc_.call_async(
                 node, "adaptation", "keepalive",
@@ -177,6 +193,7 @@ void ExtensionBase::keepalive_tick() {
                     auto it = adapted_.find(node_id);
                     if (it == adapted_.end()) return;
                     if (error) {
+                        keepalive_failures_c_.inc();
                         if (++it->second.failures > config_.max_keepalive_failures) {
                             drop_node(node_id);
                         }
@@ -198,11 +215,18 @@ void ExtensionBase::keepalive_tick() {
 void ExtensionBase::drop_node(NodeId node) {
     auto it = adapted_.find(node);
     if (it == adapted_.end()) return;
-    ++stats_.nodes_dropped;
+    nodes_dropped_c_.inc();
     record("node-gone", it->second.label, "");
     log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
              it->second.label, " left; stopping keep-alives");
     adapted_.erase(it);
+    adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
+}
+
+ExtensionBase::Stats ExtensionBase::stats() const {
+    return Stats{installs_sent_c_.value(),      install_failures_c_.value(),
+                 keepalives_sent_c_.value(),    keepalive_failures_c_.value(),
+                 nodes_dropped_c_.value(),      nodes_handed_off_c_.value()};
 }
 
 }  // namespace pmp::midas

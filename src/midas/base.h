@@ -18,6 +18,7 @@
 #include "crypto/trust.h"
 #include "disco/registrar.h"
 #include "midas/package.h"
+#include "obs/metrics.h"
 
 namespace pmp::midas {
 
@@ -71,14 +72,17 @@ public:
     };
     const std::vector<Activity>& activity() const { return activity_; }
 
+    /// Legacy stats view; authoritative counters live in the obs registry
+    /// under `midas.base.*` (labelled by issuer).
     struct Stats {
         std::uint64_t installs_sent = 0;
         std::uint64_t install_failures = 0;
         std::uint64_t keepalives_sent = 0;
+        std::uint64_t keepalive_failures = 0;  ///< call errors (timeout/unreachable)
         std::uint64_t nodes_dropped = 0;    ///< via keep-alive failure
         std::uint64_t nodes_handed_off = 0; ///< via federation claim
     };
-    const Stats& stats() const { return stats_; }
+    Stats stats() const;
 
     /// Roaming support (see midas::Federation). `on_adapt` fires whenever a
     /// node is (re-)adapted; `release_node` drops a node another base has
@@ -111,7 +115,15 @@ private:
     std::map<std::string, std::uint32_t> last_version_;
     std::map<NodeId, AdaptedNode> adapted_;
     std::vector<Activity> activity_;
-    Stats stats_;
+
+    // Registry-backed counters, labelled by issuer.
+    obs::OwnedCounter installs_sent_c_;
+    obs::OwnedCounter install_failures_c_;
+    obs::OwnedCounter keepalives_sent_c_;
+    obs::OwnedCounter keepalive_failures_c_;
+    obs::OwnedCounter nodes_dropped_c_;
+    obs::OwnedCounter nodes_handed_off_c_;
+    obs::OwnedGauge adapted_nodes_g_;
 
     std::uint64_t watch_token_ = 0;
     sim::TimerId keepalive_timer_;

@@ -1,6 +1,7 @@
 #include "midas/channel.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmp::midas {
 
@@ -19,17 +20,26 @@ std::pair<rt::RpcEndpoint::WireFilter, rt::RpcEndpoint::WireFilter> make_channel
     if (key_text.empty()) throw Error("channel key must be non-empty");
     Bytes key = to_bytes(key_text);
 
-    rt::RpcEndpoint::WireFilter outbound = [key](Bytes plain) {
+    // Hot-path counters: cache the registry slots once per filter pair.
+    auto& reg = obs::Registry::global();
+    obs::Counter* sealed = &reg.counter("midas.channel.sealed");
+    obs::Counter* opened = &reg.counter("midas.channel.opened");
+    obs::Counter* rejected = &reg.counter("midas.channel.rejected");
+
+    rt::RpcEndpoint::WireFilter outbound = [key, sealed](Bytes plain) {
+        sealed->inc();
         Bytes wire = kMagic;
         append(wire, std::span<const std::uint8_t>(
                          crypt(key, std::span<const std::uint8_t>(plain))));
         return wire;
     };
-    rt::RpcEndpoint::WireFilter inbound = [key](Bytes wire) {
+    rt::RpcEndpoint::WireFilter inbound = [key, opened, rejected](Bytes wire) {
         if (wire.size() < kMagic.size() ||
             !std::equal(kMagic.begin(), kMagic.end(), wire.begin())) {
+            rejected->inc();
             throw ParseError("rpc payload is not channel-encrypted", 0, 0);
         }
+        opened->inc();
         return crypt(key, std::span<const std::uint8_t>(wire).subspan(kMagic.size()));
     };
     return {std::move(outbound), std::move(inbound)};

@@ -3,6 +3,7 @@
 #include "script/check.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace pmp::midas {
 
@@ -18,7 +19,16 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
       trust_(trust),
       discovery_(discovery),
       config_(std::move(config)),
-      host_builtins_(script::BuiltinRegistry::with_core()) {
+      host_builtins_(script::BuiltinRegistry::with_core()),
+      installs_c_("midas.installs", config_.node_label),
+      replacements_c_("midas.replacements", config_.node_label),
+      refreshes_c_("midas.refreshes", config_.node_label),
+      rejections_c_("midas.rejections", config_.node_label),
+      sig_rejections_c_("midas.sig_rejections", config_.node_label),
+      expirations_c_("midas.lease.expirations", config_.node_label),
+      renewals_c_("midas.lease.renewals", config_.node_label),
+      revocations_c_("midas.revocations", config_.node_label),
+      extensions_g_("midas.extensions", config_.node_label) {
     // Node facilities every extension may request.
     host_builtins_.add("sys.now_ms", "", [this](List&) -> Value {
         return Value{rpc_.router().simulator().now().ns / 1'000'000};
@@ -144,25 +154,33 @@ void AdaptationService::emit(const std::string& event, const Installed& entry) {
 rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
                                         std::int64_t lease_ms) {
     SimTime now = rpc_.router().simulator().now();
+    auto& trace = obs::TraceBuffer::global();
     ExtensionPackage pkg;
     crypto::Signature sig;
+    std::uint64_t verify_span =
+        trace.begin_span("midas.receiver", "pkg.verify", {{"node", config_.node_label}});
     try {
         std::tie(pkg, sig) = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
         // Trust first: nothing from an untrusted or tampered package is
         // even parsed as code.
         trust_.verify(std::span<const std::uint8_t>(pkg.signed_payload()), sig);
     } catch (const Error& e) {
-        ++stats_.rejections;
+        rejections_c_.inc();
+        sig_rejections_c_.inc();
+        trace.end_span(verify_span, {{"ok", "false"}});
+        trace.instant("midas.receiver", "sig.reject",
+                      {{"node", config_.node_label}, {"error", e.what()}});
         log_warn(now, "midas@" + config_.node_label, "rejected package: ", e.what());
         throw;
     }
+    trace.end_span(verify_span, {{"ok", "true"}, {"pkg", pkg.name}, {"issuer", sig.issuer}});
 
     // Capability policy: every requested capability must be grantable for
     // this issuer.
     const auto caps_it = issuer_caps_.find(sig.issuer);
     for (const std::string& cap : pkg.capabilities) {
         if (caps_it == issuer_caps_.end() || !caps_it->second.contains(cap)) {
-            ++stats_.rejections;
+            rejections_c_.inc();
             throw TrustError("issuer '" + sig.issuer + "' may not grant capability '" +
                              cap + "' on this node");
         }
@@ -175,7 +193,7 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
         Entry& existing = installed_.at(it->second);
         if (pkg.version <= existing.info.version) {
             // Idempotent re-install: refresh the lease only.
-            ++stats_.refreshes;
+            refreshes_c_.inc();
             existing.info.base = base;
             arm_expiry(existing.info.id, lease);
             emit("refresh", existing.info);
@@ -184,7 +202,7 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
             return Value{std::move(out)};
         }
         // Newer version: withdraw the old one first (shutdown runs).
-        ++stats_.replacements;
+        replacements_c_.inc();
         withdraw(it->second, prose::WithdrawReason::kReplaced);
     }
 
@@ -259,7 +277,7 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
         // The top level may have installed wire filters before compilation
         // failed; do not leave them orphaned.
         rpc_.remove_wire_filters(wire_owner);
-        ++stats_.rejections;
+        rejections_c_.inc();
         throw;
     }
 
@@ -270,7 +288,13 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     installed_.emplace(id, std::move(entry));
     by_name_[pkg.name] = id;
     arm_expiry(id, lease);
-    ++stats_.installs;
+    installs_c_.inc();
+    extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
+    trace.instant("midas.receiver", "pkg.install",
+                  {{"node", config_.node_label},
+                   {"pkg", pkg.name},
+                   {"version", std::to_string(pkg.version)},
+                   {"issuer", sig.issuer}});
     emit("install", installed_.at(id).info);
     log_info(now, "midas@" + config_.node_label, "installed '", pkg.name, "' v",
              pkg.version, " from ", sig.issuer);
@@ -287,8 +311,11 @@ void AdaptationService::arm_expiry(ExtensionId id, Duration lease) {
     entry.expiry_timer = rpc_.router().simulator().schedule_after(lease, [this, id]() {
         auto it = installed_.find(id);
         if (it == installed_.end()) return;
-        ++stats_.expirations;
+        expirations_c_.inc();
         Installed info = it->second.info;
+        obs::TraceBuffer::global().instant(
+            "midas.receiver", "lease.expire",
+            {{"node", config_.node_label}, {"pkg", info.name}});
         log_info(rpc_.router().simulator().now(), "midas@" + config_.node_label,
                  "lease expired, withdrawing '", info.name, "'");
         withdraw(id, prose::WithdrawReason::kLeaseExpired);
@@ -300,6 +327,10 @@ bool AdaptationService::do_keepalive(std::uint64_t ext, std::int64_t lease_ms) {
     ExtensionId id{ext};
     auto it = installed_.find(id);
     if (it == installed_.end()) return false;
+    renewals_c_.inc();
+    obs::TraceBuffer::global().instant(
+        "midas.receiver", "lease.renew",
+        {{"node", config_.node_label}, {"pkg", it->second.info.name}});
     arm_expiry(id, clamp(lease_ms));
     return true;
 }
@@ -308,7 +339,7 @@ bool AdaptationService::do_revoke(std::uint64_t ext) {
     ExtensionId id{ext};
     auto it = installed_.find(id);
     if (it == installed_.end()) return false;
-    ++stats_.revocations;
+    revocations_c_.inc();
     Installed info = it->second.info;
     withdraw(id, prose::WithdrawReason::kExplicit);
     emit("revoke", info);
@@ -337,12 +368,18 @@ void AdaptationService::withdraw(ExtensionId id, prose::WithdrawReason reason) {
     }
     by_name_.erase(it->second.info.name);
     installed_.erase(it);
+    extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
 }
 
 void AdaptationService::withdraw_all(prose::WithdrawReason reason) {
     while (!installed_.empty()) {
         withdraw(installed_.begin()->first, reason);
     }
+}
+
+AdaptationService::Stats AdaptationService::stats() const {
+    return Stats{installs_c_.value(),    replacements_c_.value(), refreshes_c_.value(),
+                 rejections_c_.value(),  expirations_c_.value(),  revocations_c_.value()};
 }
 
 std::vector<AdaptationService::Installed> AdaptationService::installed() const {

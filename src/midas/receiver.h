@@ -30,6 +30,7 @@
 #include "crypto/trust.h"
 #include "disco/lookup.h"
 #include "midas/package.h"
+#include "obs/metrics.h"
 
 namespace pmp::midas {
 
@@ -91,6 +92,9 @@ public:
     /// Withdraw everything from a given base (or all) locally.
     void withdraw_all(prose::WithdrawReason reason = prose::WithdrawReason::kExplicit);
 
+    /// Legacy stats view. The authoritative counters live in the obs
+    /// registry under `midas.*` (labelled by node); this struct is
+    /// assembled on demand by `stats()`.
     struct Stats {
         std::uint64_t installs = 0;
         std::uint64_t replacements = 0;
@@ -99,7 +103,7 @@ public:
         std::uint64_t expirations = 0;
         std::uint64_t revocations = 0;
     };
-    const Stats& stats() const { return stats_; }
+    Stats stats() const;
 
     /// Observation hook for examples/tests: event is one of "install",
     /// "replace", "refresh", "expire", "revoke".
@@ -142,7 +146,19 @@ private:
     std::map<NodeId, std::shared_ptr<disco::LeasedResource>> advertisements_;
     std::uint64_t registrar_token_ = 0;
     std::shared_ptr<rt::ServiceObject> self_object_;
-    Stats stats_;
+
+    // Registry-backed counters, labelled by node. Owned (refcounted) so a
+    // torn-down node frees its label and a successor starts from zero.
+    obs::OwnedCounter installs_c_;
+    obs::OwnedCounter replacements_c_;
+    obs::OwnedCounter refreshes_c_;
+    obs::OwnedCounter rejections_c_;
+    obs::OwnedCounter sig_rejections_c_;
+    obs::OwnedCounter expirations_c_;
+    obs::OwnedCounter renewals_c_;
+    obs::OwnedCounter revocations_c_;
+    obs::OwnedGauge extensions_g_;
+
     EventFn event_fn_;
 };
 

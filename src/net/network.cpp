@@ -13,8 +13,38 @@ double Position::distance_to(const Position& other) const {
     return std::sqrt(dx * dx + dy * dy);
 }
 
+namespace {
+std::string next_net_label() {
+    static int seq = 0;
+    return "net" + std::to_string(++seq);
+}
+}  // namespace
+
 Network::Network(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed)
-    : sim_(sim), config_(config), rng_(seed) {}
+    : sim_(sim),
+      config_(config),
+      rng_(seed),
+      obs_label_(next_net_label()),
+      sent_("net.sent", obs_label_),
+      delivered_("net.delivered", obs_label_),
+      dropped_out_of_range_("net.dropped_range", obs_label_),
+      dropped_loss_("net.dropped_loss", obs_label_),
+      duplicated_("net.duplicated", obs_label_),
+      bytes_delivered_("net.bytes_delivered", obs_label_) {}
+
+NetworkStats Network::stats() const {
+    return NetworkStats{sent_.value(),         delivered_.value(), dropped_out_of_range_.value(),
+                        dropped_loss_.value(), duplicated_.value(), bytes_delivered_.value()};
+}
+
+void Network::reset_stats() {
+    sent_.reset();
+    delivered_.reset();
+    dropped_out_of_range_.reset();
+    dropped_loss_.reset();
+    duplicated_.reset();
+    bytes_delivered_.reset();
+}
 
 NodeId Network::add_node(const std::string& name, Position pos, double range) {
     NodeId id = node_ids_.next();
@@ -103,36 +133,36 @@ void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch) {
     sim_.schedule_after(transit_time(msg), [this, msg, to_epoch]() {
         auto* receiver = find(msg.to);
         if (!receiver || receiver->epoch != to_epoch || !receiver->handler) {
-            ++stats_.dropped_out_of_range;
+            dropped_out_of_range_.inc();
             return;
         }
         // Radio check at delivery time: the receiver may have roamed out of
         // range while the message was in flight.
         if (!in_contact(msg.from, msg.to)) {
-            ++stats_.dropped_out_of_range;
+            dropped_out_of_range_.inc();
             return;
         }
-        ++stats_.delivered;
-        stats_.bytes_delivered += msg.wire_size();
+        delivered_.inc();
+        bytes_delivered_.inc(msg.wire_size());
         if (receiver->tap) receiver->tap(msg);
         receiver->handler(msg);
     });
 }
 
 bool Network::send(const Message& msg) {
-    ++stats_.sent;
+    sent_.inc();
     const auto* receiver = find(msg.to);
     if (!receiver || !in_contact(msg.from, msg.to)) {
-        ++stats_.dropped_out_of_range;
+        dropped_out_of_range_.inc();
         return false;
     }
     if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
-        ++stats_.dropped_loss;
+        dropped_loss_.inc();
         return false;
     }
     schedule_delivery(msg, receiver->epoch);
     if (config_.duplicate_probability > 0 && rng_.chance(config_.duplicate_probability)) {
-        ++stats_.duplicated;
+        duplicated_.inc();
         schedule_delivery(msg, receiver->epoch);
     }
     return true;

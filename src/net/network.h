@@ -20,6 +20,7 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace pmp::net {
@@ -54,7 +55,9 @@ struct NetworkConfig {
     double duplicate_probability = 0.0;          ///< per-message dup chance
 };
 
-/// Counters for tests and benchmarks.
+/// Legacy stats view for tests and benchmarks. The authoritative counters
+/// live in the obs registry under `net.*` (labelled per network instance);
+/// this struct is assembled on demand by `Network::stats()`.
 struct NetworkStats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
@@ -115,8 +118,11 @@ public:
     /// Returns the number of deliveries scheduled.
     std::size_t broadcast(NodeId from, const std::string& kind, Bytes payload);
 
-    const NetworkStats& stats() const { return stats_; }
-    void reset_stats() { stats_ = NetworkStats{}; }
+    NetworkStats stats() const;
+    void reset_stats();
+
+    /// The obs label this instance reports under (e.g. "net3").
+    const std::string& obs_label() const { return obs_label_; }
 
     sim::Simulator& simulator() { return sim_; }
 
@@ -141,7 +147,16 @@ private:
     IdGenerator<NodeId> node_ids_;
     std::unordered_map<NodeId, NodeState> nodes_;
     std::set<std::pair<NodeId, NodeId>> wires_;  // normalized (min, max) pairs
-    NetworkStats stats_;
+
+    // Per-instance counters in the global registry. Owned (refcounted) so a
+    // destroyed network frees its label and a successor starts from zero.
+    std::string obs_label_;
+    obs::OwnedCounter sent_;
+    obs::OwnedCounter delivered_;
+    obs::OwnedCounter dropped_out_of_range_;
+    obs::OwnedCounter dropped_loss_;
+    obs::OwnedCounter duplicated_;
+    obs::OwnedCounter bytes_delivered_;
 };
 
 }  // namespace pmp::net

@@ -1,0 +1,79 @@
+#include "obs/component.h"
+
+#include <algorithm>
+
+namespace pmp::obs {
+
+ComponentRegistry& ComponentRegistry::global() {
+    static ComponentRegistry registry;
+    return registry;
+}
+
+ComponentRegistry::ComponentRegistry() {
+    // Legacy log tags used across the seed tree -> canonical dotted names.
+    alias("rpc", "rt.rpc");
+    alias("router", "net.router");
+    alias("net", "net.network");
+    alias("disco", "disco.lookup");
+    alias("registrar", "disco.registrar");
+    alias("tspace-pull", "tspace.pull");
+    alias("tspace", "tspace.space");
+    alias("midas", "midas.receiver");
+    alias("receiver", "midas.receiver");
+    alias("ext", "midas.ext");
+    alias("base", "midas.base");
+    alias("weaver", "prose.weaver");
+    alias("robot", "robot.controller");
+}
+
+void ComponentRegistry::alias(std::string_view tag, std::string_view canonical_name) {
+    for (auto& [t, c] : aliases_) {
+        if (t == tag) {
+            c = std::string(canonical_name);
+            return;
+        }
+    }
+    aliases_.emplace_back(std::string(tag), std::string(canonical_name));
+}
+
+std::string ComponentRegistry::canonical(std::string_view tag) const {
+    std::string_view base = tag;
+    std::string_view instance;
+    if (auto at = tag.find('@'); at != std::string_view::npos) {
+        base = tag.substr(0, at);
+        instance = tag.substr(at + 1);
+    }
+    std::string_view mapped = base;
+    for (const auto& [t, c] : aliases_) {
+        if (t == base) {
+            mapped = c;
+            break;
+        }
+    }
+    std::string out(mapped);
+    if (!instance.empty()) {
+        out += '@';
+        out += instance;
+    }
+    return out;
+}
+
+std::string ComponentRegistry::family(std::string_view tag) const {
+    std::string full = canonical(tag);
+    if (auto at = full.find('@'); at != std::string::npos) full.resize(at);
+    return full;
+}
+
+std::uint32_t ComponentRegistry::id(std::string_view canonical_name) {
+    auto it = std::find(names_.begin(), names_.end(), canonical_name);
+    if (it != names_.end()) return static_cast<std::uint32_t>(it - names_.begin());
+    names_.emplace_back(canonical_name);
+    return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+const std::string& ComponentRegistry::name(std::uint32_t id) const {
+    static const std::string kUnknown = "?";
+    return id < names_.size() ? names_[id] : kUnknown;
+}
+
+}  // namespace pmp::obs

@@ -1,0 +1,53 @@
+// Canonical component names shared by logs, metrics, and traces.
+//
+// Historically every subsystem invented its own log tag ("receiver",
+// "midas@robot", "rpc") while metrics would want dotted hierarchical names
+// ("midas.receiver"). This registry is the single authority: it maps legacy
+// aliases onto canonical dotted names, splits off per-instance suffixes
+// ("base@hall" -> component "midas.base", instance "hall"), and interns
+// each canonical name to a small integer id so a log line and its metrics
+// provably refer to the same component.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmp::obs {
+
+class ComponentRegistry {
+public:
+    static ComponentRegistry& global();
+
+    /// Canonical form of a raw tag. An "@instance" suffix is preserved:
+    /// only the part before '@' is run through the alias table.
+    ///   "receiver"   -> "midas.receiver"
+    ///   "base@hall"  -> "midas.base@hall"
+    ///   "rt.rpc"     -> "rt.rpc" (already canonical; unknown tags pass through)
+    std::string canonical(std::string_view tag) const;
+
+    /// Canonical name with any "@instance" suffix removed — the metric
+    /// family a tag belongs to.
+    std::string family(std::string_view tag) const;
+
+    /// Intern a canonical name; stable small id, first come first served.
+    std::uint32_t id(std::string_view canonical_name);
+
+    /// Name for an interned id ("?" if out of range).
+    const std::string& name(std::uint32_t id) const;
+
+    /// Register an alias (legacy tag -> canonical). Later registrations
+    /// overwrite earlier ones; the built-in table covers the seed tree.
+    void alias(std::string_view tag, std::string_view canonical_name);
+
+    std::size_t interned() const { return names_.size(); }
+
+private:
+    ComponentRegistry();
+
+    std::vector<std::pair<std::string, std::string>> aliases_;  // tag -> canonical
+    std::vector<std::string> names_;                            // id -> canonical
+};
+
+}  // namespace pmp::obs

@@ -1,0 +1,420 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmp::obs {
+
+// ------------------------------------------------------------ snapshot ----
+
+std::uint64_t Snapshot::counter(std::string_view name, std::string_view label) const {
+    for (const auto& c : counters) {
+        if (c.name == name && c.label == label) return c.value;
+    }
+    return 0;
+}
+
+Snapshot snapshot_metrics(const Registry& reg) {
+    Snapshot snap;
+    reg.visit_counters([&](const std::string& name, const std::string& label, const Counter& c) {
+        snap.counters.push_back({name, label, c.value()});
+    });
+    reg.visit_gauges([&](const std::string& name, const std::string& label, const Gauge& g) {
+        snap.gauges.push_back({name, label, g.value()});
+    });
+    reg.visit_histograms(
+        [&](const std::string& name, const std::string& label, const Histogram& h) {
+            snap.histograms.push_back({name, label, h.count(), h.sum(), h.bounds(), h.buckets(),
+                                       h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)});
+        });
+    return snap;
+}
+
+Snapshot snapshot(const Registry& reg, const TraceBuffer& trace) {
+    Snapshot snap = snapshot_metrics(reg);
+    snap.trace_dropped = trace.dropped();
+    snap.trace = trace.events();
+    return snap;
+}
+
+// ------------------------------------------------------------- to_text ----
+
+namespace {
+
+std::string fmt_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string fmt_double_short(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+}
+
+std::string full_name(const std::string& name, const std::string& label) {
+    return label.empty() ? name : name + "{" + label + "}";
+}
+
+}  // namespace
+
+std::string to_text(const Snapshot& snap) {
+    std::ostringstream out;
+    if (!snap.counters.empty()) {
+        out << "counters:\n";
+        for (const auto& c : snap.counters) {
+            out << "  " << full_name(c.name, c.label) << " = " << c.value << "\n";
+        }
+    }
+    if (!snap.gauges.empty()) {
+        out << "gauges:\n";
+        for (const auto& g : snap.gauges) {
+            out << "  " << full_name(g.name, g.label) << " = " << g.value << "\n";
+        }
+    }
+    if (!snap.histograms.empty()) {
+        out << "histograms:\n";
+        for (const auto& h : snap.histograms) {
+            out << "  " << full_name(h.name, h.label) << ": count=" << h.count
+                << " mean=" << fmt_double_short(h.count ? h.sum / static_cast<double>(h.count) : 0)
+                << " p50=" << fmt_double_short(h.p50) << " p95=" << fmt_double_short(h.p95)
+                << " p99=" << fmt_double_short(h.p99) << "\n";
+        }
+    }
+    if (!snap.trace.empty() || snap.trace_dropped != 0) {
+        out << "trace (" << snap.trace.size() << " events, " << snap.trace_dropped
+            << " dropped):\n";
+        for (const auto& ev : snap.trace) {
+            out << "  [" << to_string(ev.at) << "] " << event_kind_name(ev.kind);
+            if (ev.span != 0) out << " #" << ev.span;
+            if (!ev.component.empty()) out << " " << ev.component;
+            if (!ev.name.empty()) out << " " << ev.name;
+            for (const auto& [k, v] : ev.kv) out << " " << k << "=" << v;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+// ------------------------------------------------------------- to_json ----
+
+namespace {
+
+void json_string(std::ostringstream& out, std::string_view s) {
+    out << '"';
+    for (char ch : s) {
+        switch (ch) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            case '\r': out << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                    out << buf;
+                } else {
+                    out << ch;
+                }
+        }
+    }
+    out << '"';
+}
+
+template <typename T, typename Fn>
+void json_array(std::ostringstream& out, const std::vector<T>& items, Fn fn) {
+    out << '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) out << ',';
+        fn(items[i]);
+    }
+    out << ']';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+    std::ostringstream out;
+    out << "{\"counters\":";
+    json_array(out, snap.counters, [&](const CounterSample& c) {
+        out << "{\"name\":";
+        json_string(out, c.name);
+        out << ",\"label\":";
+        json_string(out, c.label);
+        out << ",\"value\":" << c.value << "}";
+    });
+    out << ",\"gauges\":";
+    json_array(out, snap.gauges, [&](const GaugeSample& g) {
+        out << "{\"name\":";
+        json_string(out, g.name);
+        out << ",\"label\":";
+        json_string(out, g.label);
+        out << ",\"value\":" << g.value << "}";
+    });
+    out << ",\"histograms\":";
+    json_array(out, snap.histograms, [&](const HistogramSample& h) {
+        out << "{\"name\":";
+        json_string(out, h.name);
+        out << ",\"label\":";
+        json_string(out, h.label);
+        out << ",\"count\":" << h.count << ",\"sum\":" << fmt_double(h.sum) << ",\"bounds\":";
+        json_array(out, h.bounds, [&](double b) { out << fmt_double(b); });
+        out << ",\"buckets\":";
+        json_array(out, h.buckets, [&](std::uint64_t b) { out << b; });
+        out << ",\"p50\":" << fmt_double(h.p50) << ",\"p95\":" << fmt_double(h.p95)
+            << ",\"p99\":" << fmt_double(h.p99) << "}";
+    });
+    out << ",\"trace_dropped\":" << snap.trace_dropped << ",\"trace\":";
+    json_array(out, snap.trace, [&](const TraceEvent& ev) {
+        out << "{\"at_ns\":" << ev.at.ns << ",\"kind\":";
+        json_string(out, event_kind_name(ev.kind));
+        out << ",\"span\":" << ev.span << ",\"component\":";
+        json_string(out, ev.component);
+        out << ",\"name\":";
+        json_string(out, ev.name);
+        out << ",\"kv\":[";
+        for (std::size_t i = 0; i < ev.kv.size(); ++i) {
+            if (i) out << ',';
+            out << '[';
+            json_string(out, ev.kv[i].first);
+            out << ',';
+            json_string(out, ev.kv[i].second);
+            out << ']';
+        }
+        out << "]}";
+    });
+    out << "}";
+    return out.str();
+}
+
+// --------------------------------------------------- snapshot_from_json ----
+//
+// Minimal recursive-descent JSON parser — enough for our own renderer's
+// output plus harmless whitespace. Not a general-purpose JSON library.
+
+namespace {
+
+class JsonCursor {
+public:
+    explicit JsonCursor(std::string_view text) : text_(text) {}
+
+    void skip_ws() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char ch) {
+        if (peek() != ch) fail(std::string("expected '") + ch + "'");
+        ++pos_;
+    }
+
+    bool consume(char ch) {
+        if (pos_ < text_.size() && peek() == ch) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char ch = text_[pos_++];
+            if (ch == '"') return out;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("dangling escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // Our renderer only emits \u for control bytes.
+                    out += static_cast<char>(code & 0xFF);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    /// Raw number token; callers convert with strtoull/strtoll/strtod so
+    /// 64-bit counters survive without a double round-trip.
+    std::string parse_number_token() {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            char ch = text_[pos_];
+            if ((ch >= '0' && ch <= '9') || ch == '-' || ch == '+' || ch == '.' || ch == 'e' ||
+                ch == 'E') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) fail("expected number");
+        return std::string(text_.substr(start, pos_ - start));
+    }
+
+    std::uint64_t parse_u64() { return std::strtoull(parse_number_token().c_str(), nullptr, 10); }
+    std::int64_t parse_i64() { return std::strtoll(parse_number_token().c_str(), nullptr, 10); }
+    double parse_double() { return std::strtod(parse_number_token().c_str(), nullptr); }
+
+    /// Iterate "key": <value> pairs of an object; fn must consume the value.
+    template <typename Fn>
+    void parse_object(Fn fn) {
+        expect('{');
+        if (consume('}')) return;
+        while (true) {
+            std::string key = parse_string();
+            expect(':');
+            fn(key);
+            if (consume(',')) continue;
+            expect('}');
+            return;
+        }
+    }
+
+    /// Iterate elements of an array; fn must consume each element.
+    template <typename Fn>
+    void parse_array(Fn fn) {
+        expect('[');
+        if (consume(']')) return;
+        while (true) {
+            fn();
+            if (consume(',')) continue;
+            expect(']');
+            return;
+        }
+    }
+
+    [[noreturn]] void fail(const std::string& what) {
+        throw std::runtime_error("snapshot json parse error at offset " + std::to_string(pos_) +
+                                 ": " + what);
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+EventKind parse_event_kind(const std::string& s, JsonCursor& cur) {
+    if (s == "span_begin") return EventKind::kSpanBegin;
+    if (s == "span_end") return EventKind::kSpanEnd;
+    if (s == "instant") return EventKind::kInstant;
+    cur.fail("unknown event kind '" + s + "'");
+}
+
+}  // namespace
+
+Snapshot snapshot_from_json(std::string_view json) {
+    Snapshot snap;
+    JsonCursor cur(json);
+    cur.parse_object([&](const std::string& key) {
+        if (key == "counters") {
+            cur.parse_array([&] {
+                CounterSample c;
+                cur.parse_object([&](const std::string& k) {
+                    if (k == "name") c.name = cur.parse_string();
+                    else if (k == "label") c.label = cur.parse_string();
+                    else if (k == "value") c.value = cur.parse_u64();
+                    else cur.fail("unknown counter field '" + k + "'");
+                });
+                snap.counters.push_back(std::move(c));
+            });
+        } else if (key == "gauges") {
+            cur.parse_array([&] {
+                GaugeSample g;
+                cur.parse_object([&](const std::string& k) {
+                    if (k == "name") g.name = cur.parse_string();
+                    else if (k == "label") g.label = cur.parse_string();
+                    else if (k == "value") g.value = cur.parse_i64();
+                    else cur.fail("unknown gauge field '" + k + "'");
+                });
+                snap.gauges.push_back(std::move(g));
+            });
+        } else if (key == "histograms") {
+            cur.parse_array([&] {
+                HistogramSample h;
+                cur.parse_object([&](const std::string& k) {
+                    if (k == "name") h.name = cur.parse_string();
+                    else if (k == "label") h.label = cur.parse_string();
+                    else if (k == "count") h.count = cur.parse_u64();
+                    else if (k == "sum") h.sum = cur.parse_double();
+                    else if (k == "bounds") cur.parse_array([&] { h.bounds.push_back(cur.parse_double()); });
+                    else if (k == "buckets") cur.parse_array([&] { h.buckets.push_back(cur.parse_u64()); });
+                    else if (k == "p50") h.p50 = cur.parse_double();
+                    else if (k == "p95") h.p95 = cur.parse_double();
+                    else if (k == "p99") h.p99 = cur.parse_double();
+                    else cur.fail("unknown histogram field '" + k + "'");
+                });
+                snap.histograms.push_back(std::move(h));
+            });
+        } else if (key == "trace_dropped") {
+            snap.trace_dropped = cur.parse_u64();
+        } else if (key == "trace") {
+            cur.parse_array([&] {
+                TraceEvent ev;
+                cur.parse_object([&](const std::string& k) {
+                    if (k == "at_ns") ev.at.ns = cur.parse_i64();
+                    else if (k == "kind") ev.kind = parse_event_kind(cur.parse_string(), cur);
+                    else if (k == "span") ev.span = cur.parse_u64();
+                    else if (k == "component") ev.component = cur.parse_string();
+                    else if (k == "name") ev.name = cur.parse_string();
+                    else if (k == "kv") {
+                        cur.parse_array([&] {
+                            std::pair<std::string, std::string> kv;
+                            cur.expect('[');
+                            kv.first = cur.parse_string();
+                            cur.expect(',');
+                            kv.second = cur.parse_string();
+                            cur.expect(']');
+                            ev.kv.push_back(std::move(kv));
+                        });
+                    } else {
+                        cur.fail("unknown trace field '" + k + "'");
+                    }
+                });
+                snap.trace.push_back(std::move(ev));
+            });
+        } else {
+            cur.fail("unknown snapshot field '" + key + "'");
+        }
+    });
+    return snap;
+}
+
+}  // namespace pmp::obs

@@ -1,0 +1,81 @@
+// Snapshot + exporters for the observability layer.
+//
+// A Snapshot is a value-type copy of everything the registry and trace ring
+// hold at one instant: benches take one before and one after a phase, diff
+// them, and examples dump one at exit. Two renderers: `to_text` for humans
+// (aligned columns, histograms as p50/p95/p99), `to_json` for tools.
+// `snapshot_from_json` parses the JSON renderer's own output back into a
+// Snapshot — the round-trip is tested, which keeps the wire format honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pmp::obs {
+
+struct CounterSample {
+    std::string name;
+    std::string label;
+    std::uint64_t value = 0;
+
+    bool operator==(const CounterSample&) const = default;
+};
+
+struct GaugeSample {
+    std::string name;
+    std::string label;
+    std::int64_t value = 0;
+
+    bool operator==(const GaugeSample&) const = default;
+};
+
+struct HistogramSample {
+    std::string name;
+    std::string label;
+    std::uint64_t count = 0;
+    double sum = 0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+
+    bool operator==(const HistogramSample&) const = default;
+};
+
+struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+    std::uint64_t trace_dropped = 0;
+    std::vector<TraceEvent> trace;
+
+    bool operator==(const Snapshot&) const = default;
+
+    /// Value of a counter sample, 0 when absent — convenient in asserts.
+    std::uint64_t counter(std::string_view name, std::string_view label = {}) const;
+};
+
+/// Copy the current state of a registry and trace ring.
+Snapshot snapshot(const Registry& reg = Registry::global(),
+                  const TraceBuffer& trace = TraceBuffer::global());
+
+/// Metrics only (skips the trace ring) — what benches usually diff.
+Snapshot snapshot_metrics(const Registry& reg = Registry::global());
+
+/// Human-readable rendering.
+std::string to_text(const Snapshot& snap);
+
+/// JSON rendering; stable field order, doubles printed to full precision.
+std::string to_json(const Snapshot& snap);
+
+/// Parse `to_json` output back into a Snapshot. Throws std::runtime_error
+/// on malformed input.
+Snapshot snapshot_from_json(std::string_view json);
+
+}  // namespace pmp::obs

@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace pmp::obs {
+
+// ----------------------------------------------------------- Histogram ----
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (bounds_.empty()) bounds_ = latency_ns_bounds();
+    buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+    if (!detail::g_enabled) return;
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(count_);
+    double cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double next = cumulative + static_cast<double>(buckets_[i]);
+        if (next >= rank && buckets_[i] > 0) {
+            if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+            double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            double hi = bounds_[i];
+            double fraction = (rank - cumulative) / static_cast<double>(buckets_[i]);
+            return lo + fraction * (hi - lo);
+        }
+        cumulative = next;
+    }
+    return bounds_.back();
+}
+
+void Histogram::reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+}
+
+namespace {
+std::vector<double> exponential_edges(double lo, double hi) {
+    // 1 / 2.5 / 5 per decade, the classic log-friendly ladder.
+    std::vector<double> out;
+    for (double decade = lo; decade <= hi; decade *= 10) {
+        out.push_back(decade);
+        if (decade * 2.5 <= hi) out.push_back(decade * 2.5);
+        if (decade * 5 <= hi) out.push_back(decade * 5);
+    }
+    return out;
+}
+}  // namespace
+
+const std::vector<double>& Histogram::latency_ns_bounds() {
+    static const std::vector<double> kBounds = exponential_edges(50, 1e8);
+    return kBounds;
+}
+
+const std::vector<double>& Histogram::latency_ms_bounds() {
+    static const std::vector<double> kBounds = exponential_edges(0.1, 60'000);
+    return kBounds;
+}
+
+// ------------------------------------------------------------ Registry ----
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+template <typename T>
+Registry::Slot<T>& Registry::slot(std::map<std::string, Family<T>, std::less<>>& families,
+                                  std::string_view name, std::string_view label, bool pin) {
+    auto fam_it = families.find(name);
+    if (fam_it == families.end()) {
+        fam_it = families.emplace(std::string(name), Family<T>{}).first;
+    }
+    Family<T>& family = fam_it->second;
+    auto it = family.find(label);
+    if (it == family.end()) {
+        // Cardinality cap: overflow labels share one slot per family. The
+        // unlabelled slot does not count against the cap.
+        if (!label.empty() && family.size() >= kLabelCap) {
+            it = family.find(kOverflowLabel);
+            if (it == family.end()) {
+                it = family.emplace(std::string(kOverflowLabel), Slot<T>{}).first;
+            }
+        } else {
+            it = family.emplace(std::string(label), Slot<T>{}).first;
+        }
+    }
+    if (!it->second.metric) it->second.metric = std::make_unique<T>();
+    if (pin) it->second.pinned = true;
+    return it->second;
+}
+
+// Histogram has no default constructor; specialise slot creation.
+template <>
+Registry::Slot<Histogram>& Registry::slot<Histogram>(
+    std::map<std::string, Family<Histogram>, std::less<>>& families, std::string_view name,
+    std::string_view label, bool pin) {
+    auto fam_it = families.find(name);
+    if (fam_it == families.end()) {
+        fam_it = families.emplace(std::string(name), Family<Histogram>{}).first;
+    }
+    Family<Histogram>& family = fam_it->second;
+    auto it = family.find(label);
+    if (it == family.end()) {
+        if (!label.empty() && family.size() >= kLabelCap) {
+            it = family.find(kOverflowLabel);
+            if (it == family.end()) {
+                it = family.emplace(std::string(kOverflowLabel), Slot<Histogram>{}).first;
+            }
+        } else {
+            it = family.emplace(std::string(label), Slot<Histogram>{}).first;
+        }
+    }
+    if (pin) it->second.pinned = true;
+    return it->second;
+}
+
+template <typename T>
+void Registry::release(std::map<std::string, Family<T>, std::less<>>& families,
+                       std::string_view name, std::string_view label) {
+    auto fam_it = families.find(name);
+    if (fam_it == families.end()) return;
+    auto it = fam_it->second.find(label);
+    if (it == fam_it->second.end()) return;
+    if (--it->second.owners <= 0 && !it->second.pinned) {
+        fam_it->second.erase(it);
+        if (fam_it->second.empty()) families.erase(fam_it);
+    }
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view label) {
+    return *slot(counters_, name, label, /*pin=*/true).metric;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view label) {
+    return *slot(gauges_, name, label, /*pin=*/true).metric;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view label,
+                               std::vector<double> bounds) {
+    Slot<Histogram>& s = slot(histograms_, name, label, /*pin=*/true);
+    if (!s.metric) s.metric = std::make_unique<Histogram>(std::move(bounds));
+    return *s.metric;
+}
+
+Counter& Registry::acquire_counter(std::string_view name, std::string_view label) {
+    Slot<Counter>& s = slot(counters_, name, label, /*pin=*/false);
+    ++s.owners;
+    return *s.metric;
+}
+
+void Registry::release_counter(std::string_view name, std::string_view label) {
+    release(counters_, name, label);
+}
+
+Gauge& Registry::acquire_gauge(std::string_view name, std::string_view label) {
+    Slot<Gauge>& s = slot(gauges_, name, label, /*pin=*/false);
+    ++s.owners;
+    return *s.metric;
+}
+
+void Registry::release_gauge(std::string_view name, std::string_view label) {
+    release(gauges_, name, label);
+}
+
+void Registry::reset() {
+    for (auto& [_, family] : counters_) {
+        for (auto& [__, s] : family) s.metric->reset();
+    }
+    for (auto& [_, family] : gauges_) {
+        for (auto& [__, s] : family) s.metric->reset();
+    }
+    for (auto& [_, family] : histograms_) {
+        for (auto& [__, s] : family) {
+            if (s.metric) s.metric->reset();
+        }
+    }
+}
+
+void Registry::visit_counters(
+    const std::function<void(const std::string&, const std::string&, const Counter&)>& fn)
+    const {
+    for (const auto& [name, family] : counters_) {
+        for (const auto& [label, s] : family) fn(name, label, *s.metric);
+    }
+}
+
+void Registry::visit_gauges(
+    const std::function<void(const std::string&, const std::string&, const Gauge&)>& fn) const {
+    for (const auto& [name, family] : gauges_) {
+        for (const auto& [label, s] : family) fn(name, label, *s.metric);
+    }
+}
+
+void Registry::visit_histograms(
+    const std::function<void(const std::string&, const std::string&, const Histogram&)>& fn)
+    const {
+    for (const auto& [name, family] : histograms_) {
+        for (const auto& [label, s] : family) {
+            if (s.metric) fn(name, label, *s.metric);
+        }
+    }
+}
+
+std::size_t Registry::size() const {
+    std::size_t n = 0;
+    for (const auto& [_, family] : counters_) n += family.size();
+    for (const auto& [_, family] : gauges_) n += family.size();
+    for (const auto& [_, family] : histograms_) n += family.size();
+    return n;
+}
+
+}  // namespace pmp::obs

@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace pmp::obs {
+
+const char* event_kind_name(EventKind k) {
+    switch (k) {
+        case EventKind::kSpanBegin: return "span_begin";
+        case EventKind::kSpanEnd: return "span_end";
+        case EventKind::kInstant: return "instant";
+    }
+    return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+TraceBuffer& TraceBuffer::global() {
+    static TraceBuffer buffer;
+    return buffer;
+}
+
+void TraceBuffer::push(TraceEvent ev) {
+    if (size_ == ring_.size()) {
+        ++dropped_;  // overwrite the oldest
+    } else {
+        ++size_;
+    }
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % ring_.size();
+    ++recorded_;
+}
+
+std::uint64_t TraceBuffer::begin_span(std::string component, std::string name, KeyValues kv) {
+    return begin_span_at(now(), std::move(component), std::move(name), std::move(kv));
+}
+
+void TraceBuffer::end_span(std::uint64_t span, KeyValues kv) {
+    end_span_at(now(), span, std::move(kv));
+}
+
+void TraceBuffer::instant(std::string component, std::string name, KeyValues kv) {
+    instant_at(now(), std::move(component), std::move(name), std::move(kv));
+}
+
+std::uint64_t TraceBuffer::begin_span_at(SimTime at, std::string component, std::string name,
+                                         KeyValues kv) {
+    if (!detail::g_enabled) return 0;
+    std::uint64_t id = ++next_span_;
+    push(TraceEvent{at, EventKind::kSpanBegin, id, std::move(component), std::move(name),
+                    std::move(kv)});
+    return id;
+}
+
+void TraceBuffer::end_span_at(SimTime at, std::uint64_t span, KeyValues kv) {
+    if (!detail::g_enabled || span == 0) return;
+    push(TraceEvent{at, EventKind::kSpanEnd, span, {}, {}, std::move(kv)});
+}
+
+void TraceBuffer::instant_at(SimTime at, std::string component, std::string name, KeyValues kv) {
+    if (!detail::g_enabled) return;
+    push(TraceEvent{at, EventKind::kInstant, 0, std::move(component), std::move(name),
+                    std::move(kv)});
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    // Oldest event sits at head_ when full, at 0 otherwise.
+    std::size_t start = size_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+void TraceBuffer::clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    recorded_ = 0;
+    next_span_ = 0;
+}
+
+std::uint64_t TraceBuffer::set_clock(std::function<SimTime()> clock) {
+    clock_ = std::move(clock);
+    return ++clock_token_;
+}
+
+void TraceBuffer::clear_clock(std::uint64_t token) {
+    if (token == clock_token_) clock_ = nullptr;
+}
+
+}  // namespace pmp::obs

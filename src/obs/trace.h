@@ -1,0 +1,101 @@
+// Bounded trace ring of structured events.
+//
+// Where the metrics registry answers "how many / how fast", the trace ring
+// answers "what happened, in what order": span begin/end pairs for the
+// platform's long operations (weave, withdraw, RPC round-trips, package
+// push/verify) and instant events for point occurrences (lease renew,
+// lease expire, signature rejection). Events carry the virtual SimTime,
+// a canonical component name, and a small key/value payload.
+//
+// The buffer is a fixed-capacity ring: recording never allocates beyond
+// the high-water mark and old events are evicted oldest-first, so tracing
+// can stay on permanently — the cost of a busy system is forgetting the
+// distant past, not growing without bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmp::obs {
+
+enum class EventKind : std::uint8_t { kSpanBegin, kSpanEnd, kInstant };
+
+const char* event_kind_name(EventKind k);
+
+/// Key/value payload: small, ordered, stringly — render-friendly.
+using KeyValues = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+    SimTime at;
+    EventKind kind = EventKind::kInstant;
+    std::uint64_t span = 0;  ///< nonzero links a begin to its end
+    std::string component;   ///< canonical component name (see component.h)
+    std::string name;        ///< operation, e.g. "weave", "rpc.call"
+    KeyValues kv;
+
+    bool operator==(const TraceEvent&) const = default;
+};
+
+class TraceBuffer {
+public:
+    explicit TraceBuffer(std::size_t capacity = 1024);
+
+    static TraceBuffer& global();
+
+    /// Begin a span; returns its id for end_span. Timestamps come from the
+    /// installed clock (the live simulator); SimTime::zero() without one.
+    std::uint64_t begin_span(std::string component, std::string name, KeyValues kv = {});
+    void end_span(std::uint64_t span, KeyValues kv = {});
+    void instant(std::string component, std::string name, KeyValues kv = {});
+
+    /// Explicit-time variants for callers that carry their own SimTime.
+    std::uint64_t begin_span_at(SimTime at, std::string component, std::string name,
+                                KeyValues kv = {});
+    void end_span_at(SimTime at, std::uint64_t span, KeyValues kv = {});
+    void instant_at(SimTime at, std::string component, std::string name, KeyValues kv = {});
+
+    /// All retained events, oldest first.
+    std::vector<TraceEvent> events() const;
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return ring_.size(); }
+    /// Events evicted so far to make room.
+    std::uint64_t dropped() const { return dropped_; }
+    /// Total events ever recorded.
+    std::uint64_t recorded() const { return recorded_; }
+
+    void clear();
+
+    /// High-volume spans (per-advice execution) are gated behind this
+    /// extra switch so the default-on trace does not tax interception
+    /// microbenchmarks. Flip on when debugging advice behaviour.
+    bool detail() const { return detail_; }
+    void set_detail(bool on) { detail_ = on; }
+
+    /// Install the time source (the live simulator registers itself).
+    /// Returns a token; clear_clock ignores stale tokens so a destroyed
+    /// simulator cannot yank a successor's clock.
+    std::uint64_t set_clock(std::function<SimTime()> clock);
+    void clear_clock(std::uint64_t token);
+    SimTime now() const { return clock_ ? clock_() : SimTime::zero(); }
+
+private:
+    void push(TraceEvent ev);
+
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;  ///< next write position
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t next_span_ = 0;
+    bool detail_ = false;
+    std::function<SimTime()> clock_;
+    std::uint64_t clock_token_ = 0;
+};
+
+}  // namespace pmp::obs

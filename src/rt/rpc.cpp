@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pmp::rt {
 
@@ -11,6 +13,24 @@ constexpr const char* kReplyKind = "rpc.reply";
 // Control-plane variants bypass wire filters (see exempt_from_filters).
 constexpr const char* kCtlCallKind = "rpc.call.ctl";
 constexpr const char* kCtlReplyKind = "rpc.reply.ctl";
+
+// Pinned registry slots, resolved once per process.
+struct RpcMetrics {
+    obs::Counter& calls_sent = obs::Registry::global().counter("rpc.calls_sent");
+    obs::Counter& calls_received = obs::Registry::global().counter("rpc.calls_received");
+    obs::Counter& replies_received = obs::Registry::global().counter("rpc.replies_received");
+    obs::Counter& errors_returned = obs::Registry::global().counter("rpc.errors_returned");
+    obs::Counter& timeouts = obs::Registry::global().counter("rpc.timeouts");
+    obs::Counter& unreachable = obs::Registry::global().counter("rpc.unreachable");
+    obs::Counter& garbled = obs::Registry::global().counter("rpc.garbled");
+    obs::Histogram& roundtrip_ms = obs::Registry::global().histogram(
+        "rpc.roundtrip_ms", {}, obs::Histogram::latency_ms_bounds());
+};
+
+RpcMetrics& metrics() {
+    static RpcMetrics m;
+    return m;
+}
 }  // namespace
 
 RpcEndpoint::RpcEndpoint(net::MessageRouter& router, Runtime& runtime)
@@ -79,6 +99,9 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
                              const std::string& method, List args, ReplyHandler on_reply,
                              Duration timeout) {
     std::uint64_t call_id = ++next_call_;
+    metrics().calls_sent.inc();
+    std::uint64_t span = obs::TraceBuffer::global().begin_span(
+        "rt.rpc", "rpc.call", {{"obj", object}, {"method", method}});
     Dict request{{"id", Value{static_cast<std::int64_t>(call_id)}},
                  {"obj", Value{object}},
                  {"method", Value{method}},
@@ -92,10 +115,13 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
         auto it = pending_.find(call_id);
         if (it == pending_.end()) return;
         auto handler = std::move(it->second.handler);
+        metrics().timeouts.inc();
+        obs::TraceBuffer::global().end_span(it->second.span, {{"outcome", "timeout"}});
         pending_.erase(it);
         handler(Value{}, std::make_exception_ptr(RemoteError("rpc call timed out")));
     });
-    pending_.emplace(call_id, Pending{std::move(on_reply), timer});
+    pending_.emplace(call_id,
+                     Pending{std::move(on_reply), timer, router_.simulator().now(), span});
 
     if (!sent) {
         // Out of radio range at send time: fail fast instead of waiting out
@@ -106,6 +132,8 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
             auto pending = std::move(it->second);
             pending_.erase(it);
             router_.simulator().cancel(pending.timeout_timer);
+            metrics().unreachable.inc();
+            obs::TraceBuffer::global().end_span(pending.span, {{"outcome", "unreachable"}});
             pending.handler(Value{},
                             std::make_exception_ptr(RemoteError("rpc target unreachable")));
         });
@@ -149,9 +177,11 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
     } catch (const Error& e) {
         // Unintelligible request — e.g. the peer encrypts and we do not
         // (only one end adapted). Drop it; the caller times out.
+        metrics().garbled.inc();
         log_warn(router_.simulator().now(), "rpc", "dropped garbled call: ", e.what());
         return;
     }
+    metrics().calls_received.inc();
     const Dict& req = request.as_dict();
     auto call_id = static_cast<std::uint64_t>(req.at("id").as_int());
     const std::string& object_name = req.at("obj").as_str();
@@ -209,6 +239,7 @@ void RpcEndpoint::on_reply(const net::Message& msg, bool control) {
         Bytes plain = control ? msg.payload : apply_inbound(msg.payload);
         reply = Value::decode(std::span<const std::uint8_t>(plain));
     } catch (const Error& e) {
+        metrics().garbled.inc();
         log_warn(router_.simulator().now(), "rpc", "dropped garbled reply: ", e.what());
         return;
     }
@@ -220,7 +251,14 @@ void RpcEndpoint::on_reply(const net::Message& msg, bool control) {
     pending_.erase(it);
     router_.simulator().cancel(pending.timeout_timer);
 
-    if (rep.at("ok").as_bool()) {
+    bool ok = rep.at("ok").as_bool();
+    metrics().replies_received.inc();
+    if (!ok) metrics().errors_returned.inc();
+    Duration rtt = router_.simulator().now() - pending.sent_at;
+    metrics().roundtrip_ms.observe(static_cast<double>(rtt.count()) / 1e6);
+    obs::TraceBuffer::global().end_span(pending.span, {{"outcome", ok ? "ok" : "error"}});
+
+    if (ok) {
         pending.handler(rep.at("result"), nullptr);
     } else {
         try {

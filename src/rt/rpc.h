@@ -86,6 +86,8 @@ private:
     struct Pending {
         ReplyHandler handler;
         sim::TimerId timeout_timer;
+        SimTime sent_at;           ///< virtual send time, for round-trip stats
+        std::uint64_t span = 0;    ///< obs trace span covering the round-trip
     };
     struct FilterSlot {
         HookOwner owner;

@@ -1,6 +1,7 @@
 #include "rt/runtime.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmp::rt {
 
@@ -10,6 +11,7 @@ void Runtime::register_type(std::shared_ptr<TypeInfo> type) {
     }
     type_index_.emplace(type->name(), types_.size());
     types_.push_back(type);
+    obs::Registry::global().counter("rt.types_registered").inc();
     // Notify observers after registration so a weaver seeing the type can
     // immediately weave into it. Copy the observer list first: weaving may
     // add/remove observers re-entrantly.
@@ -35,6 +37,7 @@ std::shared_ptr<ServiceObject> Runtime::create(std::string_view type_name,
     }
     auto object = std::make_shared<ServiceObject>(type, instance_name);
     objects_.emplace(std::move(instance_name), object);
+    obs::Registry::global().counter("rt.objects_created").inc();
     return object;
 }
 

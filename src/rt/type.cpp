@@ -3,9 +3,24 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "rt/object.h"
 
 namespace pmp::rt {
+
+namespace {
+// Join-point hit counters on the dispatch hot path. Resolved once; the
+// references stay valid for the process lifetime (pinned registry slots).
+struct DispatchMetrics {
+    obs::Counter& unwoven = obs::Registry::global().counter("rt.dispatch.unwoven");
+    obs::Counter& advised = obs::Registry::global().counter("rt.dispatch.advised");
+};
+
+DispatchMetrics& dispatch_metrics() {
+    static DispatchMetrics m;
+    return m;
+}
+}  // namespace
 
 const char* type_kind_name(TypeKind k) {
     switch (k) {
@@ -87,16 +102,27 @@ void Method::validate(const List& args) const {
 Value Method::invoke(ServiceObject& self, List args) {
     validate(args);
     // The minimal hook. When the method carries no advice this is the whole
-    // cost of carrying the adaptation platform: one well-predicted branch.
+    // cost of carrying the adaptation platform: one well-predicted branch
+    // (plus one more for the join-point counter).
     if (!armed_) [[likely]] {
+        dispatch_metrics().unwoven.inc();
         return handler_(self, args);
     }
+    dispatch_metrics().advised.inc();
     return invoke_hooked(self, args);
 }
 
 Value Method::invoke_unhooked(ServiceObject& self, List args) {
     validate(args);
     return handler_(self, args);
+}
+
+Value Method::invoke_no_obs(ServiceObject& self, List args) {
+    validate(args);
+    if (!armed_) [[likely]] {
+        return handler_(self, args);
+    }
+    return invoke_hooked(self, args);
 }
 
 Value Method::invoke_debugger_style(ServiceObject& self, List args) {

@@ -3,7 +3,16 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace pmp::sim {
+
+Simulator::Simulator() {
+    trace_clock_token_ =
+        obs::TraceBuffer::global().set_clock([this]() { return now_; });
+}
+
+Simulator::~Simulator() { obs::TraceBuffer::global().clear_clock(trace_clock_token_); }
 
 TimerId Simulator::schedule_at(SimTime when, Callback fn) {
     if (when < now_) when = now_;

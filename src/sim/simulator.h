@@ -31,7 +31,11 @@ class Simulator {
 public:
     using Callback = std::function<void()>;
 
-    Simulator() = default;
+    /// Registers this simulator as the trace clock (obs::TraceBuffer), so
+    /// trace events recorded anywhere in the process carry virtual time.
+    /// With several live simulators the most recently constructed one wins.
+    Simulator();
+    ~Simulator();
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
@@ -93,6 +97,7 @@ private:
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     std::unordered_set<std::uint64_t> live_;       // ids that can still fire
     std::unordered_set<std::uint64_t> cancelled_;  // tombstones for queued events
+    std::uint64_t trace_clock_token_ = 0;          // obs trace-clock registration
 };
 
 }  // namespace pmp::sim

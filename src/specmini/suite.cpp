@@ -173,7 +173,11 @@ void register_types(rt::Runtime& runtime) {
 
 /// Dispatch through the selected mode.
 Value call(rt::ServiceObject& obj, rt::Method& method, List args, DispatchMode mode) {
-    if (mode == DispatchMode::kHooked) return method.invoke(obj, std::move(args));
+    switch (mode) {
+        case DispatchMode::kHooked: return method.invoke(obj, std::move(args));
+        case DispatchMode::kHookedNoObs: return method.invoke_no_obs(obj, std::move(args));
+        case DispatchMode::kUnhooked: break;
+    }
     return method.invoke_unhooked(obj, std::move(args));
 }
 

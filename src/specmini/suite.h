@@ -27,8 +27,10 @@
 namespace pmp::specmini {
 
 enum class DispatchMode {
-    kUnhooked,  ///< Method::invoke_unhooked — as if PROSE were absent
-    kHooked,    ///< Method::invoke — normal platform dispatch
+    kUnhooked,      ///< Method::invoke_unhooked — as if PROSE were absent
+    kHooked,        ///< Method::invoke — normal platform dispatch
+    kHookedNoObs,   ///< Method::invoke_no_obs — platform dispatch without the
+                    ///< obs join-point counters (prices the instrumentation)
 };
 
 struct KernelResult {

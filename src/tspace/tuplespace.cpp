@@ -1,12 +1,30 @@
 #include "tspace/tuplespace.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmp::tspace {
 
 using rt::Dict;
 using rt::List;
 using rt::Value;
+
+namespace {
+// Pinned registry slots, resolved once per process.
+struct TspaceMetrics {
+    obs::Counter& outs = obs::Registry::global().counter("tspace.outs");
+    obs::Counter& reads = obs::Registry::global().counter("tspace.reads");
+    obs::Counter& takes = obs::Registry::global().counter("tspace.takes");
+    obs::Counter& notifies = obs::Registry::global().counter("tspace.notifies");
+    obs::Counter& blocked_reads = obs::Registry::global().counter("tspace.blocked_reads");
+    obs::Counter& expirations = obs::Registry::global().counter("tspace.expirations");
+};
+
+TspaceMetrics& metrics() {
+    static TspaceMetrics m;
+    return m;
+}
+}  // namespace
 
 bool Field::matches(const Value& v) const {
     switch (kind) {
@@ -88,18 +106,23 @@ bool TupleSpace::offer(const List& tuple) {
 
 TupleId TupleSpace::out(List tuple, Duration ttl) {
     ++outs_;
+    metrics().outs.inc();
     if (offer(tuple)) return 0;  // consumed immediately by an in-waiter
 
     TupleId id = ++next_id_;
     Stored stored{std::move(tuple), {}};
     if (ttl != Duration::max()) {
-        stored.expiry = sim_.schedule_after(ttl, [this, id]() { tuples_.erase(id); });
+        stored.expiry = sim_.schedule_after(ttl, [this, id]() {
+            metrics().expirations.inc();
+            tuples_.erase(id);
+        });
     }
     tuples_.emplace(id, std::move(stored));
     return id;
 }
 
 std::optional<List> TupleSpace::rdp(const Template& tmpl) const {
+    metrics().reads.inc();
     for (const auto& [_, stored] : tuples_) {
         if (tmpl.matches(stored.tuple)) return stored.tuple;
     }
@@ -107,6 +130,7 @@ std::optional<List> TupleSpace::rdp(const Template& tmpl) const {
 }
 
 std::vector<List> TupleSpace::rda(const Template& tmpl) const {
+    metrics().reads.inc();
     std::vector<List> out;
     for (const auto& [_, stored] : tuples_) {
         if (tmpl.matches(stored.tuple)) out.push_back(stored.tuple);
@@ -115,6 +139,7 @@ std::vector<List> TupleSpace::rda(const Template& tmpl) const {
 }
 
 std::optional<List> TupleSpace::inp(const Template& tmpl) {
+    metrics().takes.inc();
     for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
         if (tmpl.matches(it->second.tuple)) {
             List tuple = std::move(it->second.tuple);
@@ -131,6 +156,7 @@ TupleId TupleSpace::rd(const Template& tmpl, std::function<void(const List&)> fn
         fn(*hit);
         return 0;
     }
+    metrics().blocked_reads.inc();
     TupleId id = ++next_id_;
     waiters_.emplace(id, Waiter{tmpl, /*take=*/false, /*persistent=*/false,
                                 [fn](List t) { fn(t); }});
@@ -142,12 +168,14 @@ TupleId TupleSpace::in(const Template& tmpl, std::function<void(List)> fn) {
         fn(std::move(*hit));
         return 0;
     }
+    metrics().blocked_reads.inc();
     TupleId id = ++next_id_;
     waiters_.emplace(id, Waiter{tmpl, /*take=*/true, /*persistent=*/false, std::move(fn)});
     return id;
 }
 
 TupleId TupleSpace::notify(const Template& tmpl, std::function<void(const List&)> fn) {
+    metrics().notifies.inc();
     TupleId id = ++next_id_;
     waiters_.emplace(id, Waiter{tmpl, /*take=*/false, /*persistent=*/true,
                                 [fn](List t) { fn(t); }});
