@@ -119,5 +119,47 @@ int main() {
     }
     printf("\nshape to check: replacement is push-driven, so its latency is one\n"
            "radio round-trip plus install cost — independent of the lease period.\n");
+
+    // Fault sweep: lease churn under an increasingly hostile radio. Burst
+    // loss eats keep-alives in clusters, so leases lapse and re-install;
+    // the interesting outputs are how often the lease churns (expirations
+    // per minute), what fraction of the residence the extension was
+    // actually in place, and how much install traffic the recovery spent.
+    printf("\n=== fault sweep: lease churn vs radio loss (lease 1000 ms) ===\n\n");
+    printf("%-10s %14s %16s %14s\n", "loss", "expirations/min", "availability %",
+           "installs sent");
+    for (double loss : {0.0, 0.10, 0.25, 0.40}) {
+        World w{milliseconds(1000)};
+        net::FaultPlan plan;
+        plan.loss = loss;
+        plan.burst_enter = loss / 4;  // bursts scale with the ambient loss
+        plan.burst_exit = 0.3;
+        w.net.set_fault_plan(plan, 1234);
+        if (!w.run_until([&] { return w.robot->receiver().installed_count() == 1; })) {
+            printf("%-10.2f FATAL: install never succeeded\n", loss);
+            continue;
+        }
+
+        std::uint64_t expirations0 = w.robot->receiver().stats().expirations;
+        std::uint64_t installs0 = w.hall->base().stats().installs_sent;
+        int installed_samples = 0, total_samples = 0;
+        SimTime sweep_start = w.sim.now();
+        while (w.sim.now() - sweep_start < seconds(60)) {
+            w.sim.run_for(milliseconds(100));
+            ++total_samples;
+            if (w.robot->receiver().installed_count() == 1) ++installed_samples;
+        }
+        double minutes =
+            static_cast<double>((w.sim.now() - sweep_start).count()) / 60e9;
+        printf("%-10.2f %14.1f %16.1f %14llu\n", loss,
+               static_cast<double>(w.robot->receiver().stats().expirations - expirations0) /
+                   minutes,
+               100.0 * installed_samples / total_samples,
+               static_cast<unsigned long long>(w.hall->base().stats().installs_sent -
+                                               installs0));
+    }
+    printf("\nshape to check: availability degrades gracefully (no cliff) and\n"
+           "install traffic grows sub-linearly with loss — the backoff keeps\n"
+           "recovery from amplifying an already-bad radio.\n");
     return 0;
 }

@@ -43,8 +43,11 @@ void LeasedResource::renew(bool is_retry) {
     rpc_.call_async(
         registrar_, "registrar", "renew",
         {Value{static_cast<std::int64_t>(lease_.value)}, Value{want_ms}},
-        [this, is_retry](Value result, std::exception_ptr error) {
-            if (!alive_) return;
+        [this, is_retry, guard = std::weak_ptr<char>(token_)](Value result,
+                                                              std::exception_ptr error) {
+            // The holder may drop the handle while the renew call is in
+            // flight; the token expiring means `this` is gone.
+            if (guard.expired() || !alive_) return;
             bool ok = !error && result.as_dict().at("ok").as_bool();
             if (ok) {
                 schedule_renewal(duration_ / 2);
@@ -64,7 +67,11 @@ void LeasedResource::mark_lost() {
     if (!alive_) return;
     alive_ = false;
     rpc_.router().simulator().cancel(timer_);
-    if (on_lost_) on_lost_();
+    // The callback typically drops the last handle to this resource (e.g.
+    // erasing it from an advertisement map), so it must run off a local:
+    // invoking the member directly would destroy the executing closure.
+    LostFn fn = std::move(on_lost_);
+    if (fn) fn();
 }
 
 // ----------------------------------------------------- DiscoveryClient ----

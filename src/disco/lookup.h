@@ -58,6 +58,10 @@ private:
     LostFn on_lost_;
     sim::TimerId timer_;
     bool alive_ = true;
+    // Liveness token for in-flight renew replies: a reply can arrive after
+    // the holder dropped the handle, so the callback captures a weak_ptr to
+    // this instead of a raw `this`.
+    std::shared_ptr<char> token_ = std::make_shared<char>('\0');
 };
 
 class DiscoveryClient {

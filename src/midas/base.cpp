@@ -21,7 +21,8 @@ ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
       keepalive_failures_c_("midas.base.keepalive_failures", config_.issuer),
       nodes_dropped_c_("midas.base.nodes_dropped", config_.issuer),
       nodes_handed_off_c_("midas.base.nodes_handed_off", config_.issuer),
-      adapted_nodes_g_("midas.base.adapted_nodes", config_.issuer) {
+      adapted_nodes_g_("midas.base.adapted_nodes", config_.issuer),
+      backoff_rng_(config_.backoff_seed) {
     watch_token_ = registrar_.watch_local(
         "midas.adaptation",
         [this](const disco::ServiceItem& item, bool appeared) { on_service(item, appeared); });
@@ -99,7 +100,7 @@ void ExtensionBase::on_service(const disco::ServiceItem& item, bool appeared) {
 
 void ExtensionBase::adapt_node(NodeId node, const std::string& label) {
     auto [it, fresh] = adapted_.emplace(
-        node, AdaptedNode{node, label, {}, 0, rpc_.router().simulator().now()});
+        node, AdaptedNode{node, label, {}, {}, 0, rpc_.router().simulator().now()});
     it->second.failures = 0;
     adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
     if (fresh) {
@@ -145,6 +146,9 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
     }
 
     installs_sent_c_.inc();
+    if (auto pre = adapted_.find(node); pre != adapted_.end()) {
+        pre->second.retry[name].in_flight = true;
+    }
     std::uint64_t push_span = obs::TraceBuffer::global().begin_span(
         "midas.base", "pkg.push", {{"issuer", config_.issuer}, {"pkg", name}});
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
@@ -155,33 +159,58 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
             obs::TraceBuffer::global().end_span(push_span, {{"ok", error ? "false" : "true"}});
             auto adapted_it = adapted_.find(node);
             if (adapted_it == adapted_.end()) return;
+            RetryState& rs = adapted_it->second.retry[name];
+            rs.in_flight = false;
             if (error) {
                 install_failures_c_.inc();
+                ++rs.attempts;
+                rs.next_at =
+                    rpc_.router().simulator().now() + install_backoff_for(rs.attempts);
                 try {
                     std::rethrow_exception(error);
-                } catch (const Error& e) {
+                } catch (const std::exception& e) {
                     log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
                              "install of '", name, "' on ", adapted_it->second.label,
                              " failed: ", e.what());
                 }
                 return;
             }
+            adapted_it->second.retry.erase(name);
             adapted_it->second.installed[name] =
                 static_cast<std::uint64_t>(result.as_dict().at("ext").as_int());
             record("install", adapted_it->second.label, name);
         });
 }
 
+Duration ExtensionBase::install_backoff_for(int attempts) {
+    Duration d = config_.install_backoff;
+    for (int i = 1; i < attempts && d < config_.install_backoff_max; ++i) d *= 2;
+    if (d > config_.install_backoff_max) d = config_.install_backoff_max;
+    if (config_.install_backoff_jitter > 0) {
+        double swing = (backoff_rng_.next_double() * 2.0 - 1.0) * config_.install_backoff_jitter;
+        d = Duration{static_cast<std::int64_t>(static_cast<double>(d.count()) * (1.0 + swing))};
+    }
+    return d;
+}
+
 void ExtensionBase::keepalive_tick() {
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
+    SimTime now = rpc_.router().simulator().now();
     for (auto& [node, adapted] : adapted_) {
         // Retry policy extensions whose install never succeeded (the radio
-        // may have eaten the package or the reply).
+        // may have eaten the package or the reply) — but at most one
+        // attempt in flight per extension, and only once its backoff
+        // window has elapsed. Without the gate a dead link costs one
+        // install per tick, forever.
         for (const auto& [name, _] : policy_) {
-            if (!adapted.installed.contains(name)) {
-                std::set<std::string> visiting;
-                install_on(node, name, visiting);
+            if (adapted.installed.contains(name)) continue;
+            auto rs = adapted.retry.find(name);
+            if (rs != adapted.retry.end() &&
+                (rs->second.in_flight || now < rs->second.next_at)) {
+                continue;
             }
+            std::set<std::string> visiting;
+            install_on(node, name, visiting);
         }
         for (const auto& [name, ext] : adapted.installed) {
             keepalives_sent_c_.inc();
@@ -202,7 +231,11 @@ void ExtensionBase::keepalive_tick() {
                     it->second.failures = 0;
                     if (!result.as_bool()) {
                         // Receiver no longer knows the extension (expired
-                        // there, or restarted): re-install.
+                        // there, or restarted). Drop the stale id — keeping
+                        // it would re-enter this branch every tick and storm
+                        // the node with installs — and let the backoff-gated
+                        // retry loop re-install.
+                        it->second.installed.erase(name);
                         std::set<std::string> visiting;
                         install_on(node_id, name, visiting);
                     }

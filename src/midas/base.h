@@ -15,6 +15,7 @@
 // symmetric mode).
 #pragma once
 
+#include "common/rng.h"
 #include "crypto/trust.h"
 #include "disco/registrar.h"
 #include "midas/package.h"
@@ -28,6 +29,15 @@ struct BaseConfig {
     Duration keepalive_period = milliseconds(800);
     int max_keepalive_failures = 2;           ///< consecutive failures before
                                               ///< the node is considered gone
+    /// Install retries back off exponentially instead of hammering every
+    /// keep-alive tick: delay doubles from `install_backoff` up to
+    /// `install_backoff_max`, with ±`install_backoff_jitter` randomisation
+    /// so a fleet of bases recovering from the same partition doesn't
+    /// retry in lock-step.
+    Duration install_backoff = milliseconds(200);
+    Duration install_backoff_max = seconds(10);
+    double install_backoff_jitter = 0.2;
+    std::uint64_t backoff_seed = 0x51ee7ULL;  ///< jitter rng stream
 };
 
 class ExtensionBase {
@@ -52,10 +62,21 @@ public:
 
     std::vector<std::string> policy_names() const;
 
+    /// Per-(node, extension) install retry ledger. `in_flight` gates a
+    /// second send while one is outstanding (the rpc timeout is longer
+    /// than the keep-alive period); `next_at` is the earliest moment the
+    /// keep-alive loop may retry after a failure.
+    struct RetryState {
+        int attempts = 0;
+        SimTime next_at{};
+        bool in_flight = false;
+    };
+
     struct AdaptedNode {
         NodeId node;
         std::string label;
         std::map<std::string, std::uint64_t> installed;  // pkg name -> remote ext id
+        std::map<std::string, RetryState> retry;
         int failures = 0;
         SimTime since;
     };
@@ -102,6 +123,7 @@ private:
     void install_on(NodeId node, const std::string& name,
                     std::set<std::string>& visiting);
     void keepalive_tick();
+    Duration install_backoff_for(int attempts);
     void drop_node(NodeId node);
     void record(const std::string& event, const std::string& node_label,
                 const std::string& extension);
@@ -125,6 +147,7 @@ private:
     obs::OwnedCounter nodes_handed_off_c_;
     obs::OwnedGauge adapted_nodes_g_;
 
+    Rng backoff_rng_;
     std::uint64_t watch_token_ = 0;
     sim::TimerId keepalive_timer_;
     std::function<void(const AdaptedNode&)> on_adapt_;

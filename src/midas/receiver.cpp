@@ -172,6 +172,18 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
                       {{"node", config_.node_label}, {"error", e.what()}});
         log_warn(now, "midas@" + config_.node_label, "rejected package: ", e.what());
         throw;
+    } catch (const std::exception& e) {
+        // A non-Error escape (hostile package tripping the allocator, a
+        // host-side bug) must not leak the verify span half-open or skip
+        // the rejection counters. Re-raise as Error so the rpc layer
+        // replies instead of dropping the call.
+        rejections_c_.inc();
+        sig_rejections_c_.inc();
+        trace.end_span(verify_span, {{"ok", "false"}});
+        trace.instant("midas.receiver", "sig.reject",
+                      {{"node", config_.node_label}, {"error", e.what()}});
+        log_warn(now, "midas@" + config_.node_label, "rejected package: ", e.what());
+        throw Error(e.what());
     }
     trace.end_span(verify_span, {{"ok", "true"}, {"pkg", pkg.name}, {"issuer", sig.issuer}});
 

@@ -1,0 +1,96 @@
+#include "net/fault.h"
+
+namespace pmp::net {
+
+namespace {
+
+/// SplitMix64 finalizer: mixes the plan seed with the link endpoints so
+/// each directed link gets an independent, order-of-creation-independent
+/// RNG stream.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+bool matches(const std::vector<NodeId>& side, NodeId id) {
+    if (side.empty()) return true;  // empty side = every node
+    for (NodeId n : side) {
+        if (n == id) return true;
+    }
+    return false;
+}
+
+bool cuts(const PartitionWindow& w, NodeId from, NodeId to, SimTime now) {
+    if (now < w.from || now >= w.until) return false;
+    if (matches(w.side_a, from) && matches(w.side_b, to)) return true;
+    if (w.one_way) return false;
+    return matches(w.side_b, from) && matches(w.side_a, to);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+FaultInjector::LinkState& FaultInjector::link(NodeId from, NodeId to) {
+    auto key = std::pair{from, to};
+    auto it = links_.find(key);
+    if (it == links_.end()) {
+        std::uint64_t stream = mix(seed_ ^ mix(from.value) ^ mix(mix(to.value)));
+        it = links_.emplace(key, LinkState{Rng(stream), false}).first;
+    }
+    return it->second;
+}
+
+bool FaultInjector::partitioned(NodeId from, NodeId to, SimTime now) const {
+    for (const PartitionWindow& w : plan_.partitions) {
+        if (cuts(w, from, to, now)) return true;
+    }
+    return false;
+}
+
+FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to, SimTime now) {
+    Verdict v;
+    if (partitioned(from, to, now)) {
+        v.drop = Drop::kPartition;
+        return v;  // the link is dead: burst state does not advance
+    }
+
+    LinkState& state = link(from, to);
+    if (state.in_burst) {
+        bool lost = state.rng.chance(plan_.burst_loss);
+        if (state.rng.chance(plan_.burst_exit)) state.in_burst = false;
+        if (lost) {
+            v.drop = Drop::kBurst;
+            return v;
+        }
+    } else {
+        if (plan_.burst_enter > 0 && state.rng.chance(plan_.burst_enter)) {
+            state.in_burst = true;
+            if (state.rng.chance(plan_.burst_loss)) {
+                v.drop = Drop::kBurst;
+                return v;
+            }
+        } else if (plan_.loss > 0 && state.rng.chance(plan_.loss)) {
+            v.drop = Drop::kLoss;
+            return v;
+        }
+    }
+
+    if (plan_.delay_jitter.count() > 0) {
+        v.extra_delay += Duration{static_cast<std::int64_t>(
+            state.rng.next_below(static_cast<std::uint64_t>(plan_.delay_jitter.count())))};
+    }
+    if (plan_.reorder > 0 && state.rng.chance(plan_.reorder)) {
+        v.extra_delay += plan_.reorder_hold;
+        v.reordered = true;
+    }
+    if (plan_.duplicate > 0 && state.rng.chance(plan_.duplicate)) {
+        v.duplicate = true;
+    }
+    return v;
+}
+
+}  // namespace pmp::net

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace pmp::net {
 
@@ -30,11 +31,27 @@ Network::Network(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed)
       dropped_out_of_range_("net.dropped_range", obs_label_),
       dropped_loss_("net.dropped_loss", obs_label_),
       duplicated_("net.duplicated", obs_label_),
-      bytes_delivered_("net.bytes_delivered", obs_label_) {}
+      bytes_delivered_("net.bytes_delivered", obs_label_),
+      fault_dropped_loss_("net.fault.dropped_loss", obs_label_),
+      fault_dropped_burst_("net.fault.dropped_burst", obs_label_),
+      fault_dropped_partition_("net.fault.dropped_partition", obs_label_),
+      fault_duplicated_("net.fault.duplicated", obs_label_),
+      fault_delayed_("net.fault.delayed", obs_label_),
+      fault_reordered_("net.fault.reordered", obs_label_) {}
 
 NetworkStats Network::stats() const {
-    return NetworkStats{sent_.value(),         delivered_.value(), dropped_out_of_range_.value(),
-                        dropped_loss_.value(), duplicated_.value(), bytes_delivered_.value()};
+    return NetworkStats{sent_.value(),
+                        delivered_.value(),
+                        dropped_out_of_range_.value(),
+                        dropped_loss_.value(),
+                        duplicated_.value(),
+                        bytes_delivered_.value(),
+                        fault_dropped_loss_.value(),
+                        fault_dropped_burst_.value(),
+                        fault_dropped_partition_.value(),
+                        fault_duplicated_.value(),
+                        fault_delayed_.value(),
+                        fault_reordered_.value()};
 }
 
 void Network::reset_stats() {
@@ -44,7 +61,36 @@ void Network::reset_stats() {
     dropped_loss_.reset();
     duplicated_.reset();
     bytes_delivered_.reset();
+    fault_dropped_loss_.reset();
+    fault_dropped_burst_.reset();
+    fault_dropped_partition_.reset();
+    fault_duplicated_.reset();
+    fault_delayed_.reset();
+    fault_reordered_.reset();
 }
+
+void Network::set_fault_plan(FaultPlan plan, std::uint64_t seed) {
+    // Announce each scheduled window on the trace ring so a soak's event
+    // log shows *why* traffic stopped. Instants fire when the window
+    // actually opens/heals, not at install time.
+    for (const PartitionWindow& w : plan.partitions) {
+        if (w.from > sim_.now()) {
+            sim_.schedule_at(w.from, [this]() {
+                obs::TraceBuffer::global().instant("net.network", "net.partition",
+                                                   {{"net", obs_label_}, {"state", "cut"}});
+            });
+        }
+        if (w.until != SimTime::max()) {
+            sim_.schedule_at(w.until, [this]() {
+                obs::TraceBuffer::global().instant("net.network", "net.partition",
+                                                   {{"net", obs_label_}, {"state", "heal"}});
+            });
+        }
+    }
+    injector_ = std::make_unique<FaultInjector>(std::move(plan), seed);
+}
+
+void Network::clear_fault_plan() { injector_.reset(); }
 
 NodeId Network::add_node(const std::string& name, Position pos, double range) {
     NodeId id = node_ids_.next();
@@ -53,12 +99,25 @@ NodeId Network::add_node(const std::string& name, Position pos, double range) {
 }
 
 void Network::remove_node(NodeId id) {
-    if (auto* node = find(id)) {
-        // Bumping the epoch invalidates in-flight deliveries without having
-        // to chase down their timers.
-        ++node->epoch;
-        node->handler = nullptr;
-        node->range = 0;
+    auto* node = find(id);
+    if (!node || node->removed) return;
+    // Bumping the epoch invalidates in-flight deliveries without having
+    // to chase down their timers.
+    ++node->epoch;
+    node->handler = nullptr;
+    node->tap = nullptr;
+    node->range = 0;
+    node->removed = true;
+    std::erase_if(wires_, [id](const auto& w) { return w.first == id || w.second == id; });
+    // Compact on a fresh event (not inline): a handler removing its own
+    // node must not free the std::function it is executing from.
+    sim_.schedule_after(Duration{0}, [this, id]() { compact(id); });
+}
+
+void Network::compact(NodeId id) {
+    auto it = nodes_.find(id);
+    if (it != nodes_.end() && it->second.removed && it->second.in_flight == 0) {
+        nodes_.erase(it);
     }
 }
 
@@ -106,6 +165,7 @@ bool Network::in_contact(NodeId a, NodeId b) const {
     const auto* na = find(a);
     const auto* nb = find(b);
     if (!na || !nb || a == b) return false;
+    if (na->removed || nb->removed) return false;
     if (wires_.contains(a < b ? std::pair{a, b} : std::pair{b, a})) return true;
     double dist = na->pos.distance_to(nb->pos);
     return dist <= na->range && dist <= nb->range;
@@ -129,11 +189,30 @@ Duration Network::transit_time(const Message& msg) {
     return config_.base_latency + size_cost + jitter;
 }
 
-void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch) {
-    sim_.schedule_after(transit_time(msg), [this, msg, to_epoch]() {
-        auto* receiver = find(msg.to);
-        if (!receiver || receiver->epoch != to_epoch || !receiver->handler) {
+void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch,
+                                Duration extra_delay) {
+    if (auto* receiver = find(msg.to)) ++receiver->in_flight;
+    sim_.schedule_after(transit_time(msg) + extra_delay, [this, msg, to_epoch]() {
+        auto it = nodes_.find(msg.to);
+        if (it == nodes_.end()) {
             dropped_out_of_range_.inc();
+            return;
+        }
+        NodeState& receiver = it->second;
+        if (receiver.in_flight > 0) --receiver.in_flight;
+        if (receiver.removed) {
+            dropped_out_of_range_.inc();
+            if (receiver.in_flight == 0) nodes_.erase(it);  // tombstone drained
+            return;
+        }
+        if (receiver.epoch != to_epoch || !receiver.handler) {
+            dropped_out_of_range_.inc();
+            return;
+        }
+        // A partition window may have opened while the message was in
+        // flight: the jammed radio swallows it at delivery time.
+        if (injector_ && injector_->partitioned(msg.from, msg.to, sim_.now())) {
+            fault_dropped_partition_.inc();
             return;
         }
         // Radio check at delivery time: the receiver may have roamed out of
@@ -144,8 +223,8 @@ void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch) {
         }
         delivered_.inc();
         bytes_delivered_.inc(msg.wire_size());
-        if (receiver->tap) receiver->tap(msg);
-        receiver->handler(msg);
+        if (receiver.tap) receiver.tap(msg);
+        receiver.handler(msg);
     });
 }
 
@@ -160,7 +239,33 @@ bool Network::send(const Message& msg) {
         dropped_loss_.inc();
         return false;
     }
-    schedule_delivery(msg, receiver->epoch);
+    Duration extra_delay{0};
+    bool fault_duplicate = false;
+    if (injector_) {
+        FaultInjector::Verdict verdict = injector_->judge(msg.from, msg.to, sim_.now());
+        switch (verdict.drop) {
+            case FaultInjector::Drop::kLoss:
+                fault_dropped_loss_.inc();
+                return false;
+            case FaultInjector::Drop::kBurst:
+                fault_dropped_burst_.inc();
+                return false;
+            case FaultInjector::Drop::kPartition:
+                fault_dropped_partition_.inc();
+                return false;
+            case FaultInjector::Drop::kNone:
+                break;
+        }
+        extra_delay = verdict.extra_delay;
+        fault_duplicate = verdict.duplicate;
+        if (verdict.reordered) fault_reordered_.inc();
+        if (extra_delay.count() > 0) fault_delayed_.inc();
+    }
+    schedule_delivery(msg, receiver->epoch, extra_delay);
+    if (fault_duplicate) {
+        fault_duplicated_.inc();
+        schedule_delivery(msg, receiver->epoch, extra_delay);
+    }
     if (config_.duplicate_probability > 0 && rng_.chance(config_.duplicate_probability)) {
         duplicated_.inc();
         schedule_delivery(msg, receiver->epoch);

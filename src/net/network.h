@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -20,6 +21,7 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "net/fault.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 
@@ -65,6 +67,14 @@ struct NetworkStats {
     std::uint64_t dropped_loss = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t bytes_delivered = 0;
+    /// Drops and duplicates attributed to an installed FaultPlan
+    /// (`net.fault.*` in the registry), by cause.
+    std::uint64_t fault_dropped_loss = 0;
+    std::uint64_t fault_dropped_burst = 0;
+    std::uint64_t fault_dropped_partition = 0;
+    std::uint64_t fault_duplicated = 0;
+    std::uint64_t fault_delayed = 0;
+    std::uint64_t fault_reordered = 0;
 };
 
 /// The shared radio medium. All nodes of one simulated world attach here.
@@ -80,8 +90,14 @@ public:
     NodeId add_node(const std::string& name, Position pos, double range);
 
     /// Remove a node from the air (simulates power-off / crash). Pending
-    /// deliveries to it are dropped.
+    /// deliveries to it are dropped; the entry itself is compacted once its
+    /// in-flight deliveries have drained, so churn does not grow `nodes_`.
     void remove_node(NodeId id);
+
+    /// Attached node entries, including tombstones awaiting compaction
+    /// (bounded: each tombstone lives only until its in-flight deliveries
+    /// drain).
+    std::size_t node_count() const { return nodes_.size(); }
 
     /// Install the receive callback for a node.
     void set_handler(NodeId id, Handler handler);
@@ -118,6 +134,14 @@ public:
     /// Returns the number of deliveries scheduled.
     std::size_t broadcast(NodeId from, const std::string& kind, Bytes payload);
 
+    /// Install a fault plan: from now on every send/delivery is judged by
+    /// a FaultInjector seeded with `seed` (deterministic per seed). Each
+    /// partition window additionally emits `net.partition` trace instants
+    /// when it opens ("cut") and heals ("heal"). Replaces any prior plan.
+    void set_fault_plan(FaultPlan plan, std::uint64_t seed);
+    void clear_fault_plan();
+    const FaultInjector* fault() const { return injector_.get(); }
+
     NetworkStats stats() const;
     void reset_stats();
 
@@ -134,9 +158,14 @@ private:
         Handler handler;
         Handler tap;
         std::uint64_t epoch = 0;  // bumped on remove; stale deliveries check it
+        bool removed = false;     // tombstoned; compacted when in_flight drains
+        std::uint64_t in_flight = 0;  // deliveries scheduled to this node
     };
 
-    void schedule_delivery(const Message& msg, std::uint64_t to_epoch);
+    void schedule_delivery(const Message& msg, std::uint64_t to_epoch,
+                           Duration extra_delay = Duration{0});
+    /// Erase a tombstoned node once its in-flight deliveries have drained.
+    void compact(NodeId id);
     Duration transit_time(const Message& msg);
     const NodeState* find(NodeId id) const;
     NodeState* find(NodeId id);
@@ -147,6 +176,7 @@ private:
     IdGenerator<NodeId> node_ids_;
     std::unordered_map<NodeId, NodeState> nodes_;
     std::set<std::pair<NodeId, NodeId>> wires_;  // normalized (min, max) pairs
+    std::unique_ptr<FaultInjector> injector_;    // null: no plan installed
 
     // Per-instance counters in the global registry. Owned (refcounted) so a
     // destroyed network frees its label and a successor starts from zero.
@@ -157,6 +187,13 @@ private:
     obs::OwnedCounter dropped_loss_;
     obs::OwnedCounter duplicated_;
     obs::OwnedCounter bytes_delivered_;
+    // Fault-plan attribution (all zero until set_fault_plan).
+    obs::OwnedCounter fault_dropped_loss_;
+    obs::OwnedCounter fault_dropped_burst_;
+    obs::OwnedCounter fault_dropped_partition_;
+    obs::OwnedCounter fault_duplicated_;
+    obs::OwnedCounter fault_delayed_;
+    obs::OwnedCounter fault_reordered_;
 };
 
 }  // namespace pmp::net

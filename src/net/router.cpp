@@ -1,6 +1,7 @@
 #include "net/router.h"
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace pmp::net {
 
@@ -30,7 +31,19 @@ void MessageRouter::dispatch(const Message& msg) {
                   network_.name_of(self_), " dropped unrouted kind '", msg.kind, "'");
         return;
     }
-    it->second(msg);
+    // Last line of defence: a throwing protocol handler must cost one
+    // message, not unwind the whole simulator loop. Protocols are expected
+    // to contain their own errors (RPC replies an error); anything that
+    // still escapes is logged and dropped, exactly like a garbled frame.
+    try {
+        it->second(msg);
+    } catch (const std::exception& e) {
+        static obs::Counter& handler_errors =
+            obs::Registry::global().counter("net.router.handler_errors");
+        handler_errors.inc();
+        log_warn(network_.simulator().now(), "router", network_.name_of(self_),
+                 " handler for '", msg.kind, "' threw: ", e.what());
+    }
 }
 
 }  // namespace pmp::net

@@ -23,6 +23,8 @@ struct RpcMetrics {
     obs::Counter& timeouts = obs::Registry::global().counter("rpc.timeouts");
     obs::Counter& unreachable = obs::Registry::global().counter("rpc.unreachable");
     obs::Counter& garbled = obs::Registry::global().counter("rpc.garbled");
+    obs::Counter& retries = obs::Registry::global().counter("rpc.retries");
+    obs::Counter& dup_calls = obs::Registry::global().counter("rpc.dup_calls");
     obs::Histogram& roundtrip_ms = obs::Registry::global().histogram(
         "rpc.roundtrip_ms", {}, obs::Histogram::latency_ms_bounds());
 };
@@ -95,9 +97,9 @@ bool RpcEndpoint::exported(const std::string& instance_name) const {
     return exported_.contains(instance_name);
 }
 
-void RpcEndpoint::call_async(NodeId target, const std::string& object,
-                             const std::string& method, List args, ReplyHandler on_reply,
-                             Duration timeout) {
+void RpcEndpoint::call_once(NodeId target, const std::string& object,
+                            const std::string& method, List args, Duration timeout,
+                            AttemptHandler on_done) {
     std::uint64_t call_id = ++next_call_;
     metrics().calls_sent.inc();
     std::uint64_t span = obs::TraceBuffer::global().begin_span(
@@ -118,10 +120,11 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
         metrics().timeouts.inc();
         obs::TraceBuffer::global().end_span(it->second.span, {{"outcome", "timeout"}});
         pending_.erase(it);
-        handler(Value{}, std::make_exception_ptr(RemoteError("rpc call timed out")));
+        handler(Value{}, std::make_exception_ptr(RemoteError("rpc call timed out")),
+                /*transport=*/true);
     });
     pending_.emplace(call_id,
-                     Pending{std::move(on_reply), timer, router_.simulator().now(), span});
+                     Pending{std::move(on_done), timer, router_.simulator().now(), span});
 
     if (!sent) {
         // Out of radio range at send time: fail fast instead of waiting out
@@ -135,9 +138,58 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
             metrics().unreachable.inc();
             obs::TraceBuffer::global().end_span(pending.span, {{"outcome", "unreachable"}});
             pending.handler(Value{},
-                            std::make_exception_ptr(RemoteError("rpc target unreachable")));
+                            std::make_exception_ptr(RemoteError("rpc target unreachable")),
+                            /*transport=*/true);
         });
     }
+}
+
+void RpcEndpoint::call_async(NodeId target, const std::string& object,
+                             const std::string& method, List args, ReplyHandler on_reply,
+                             Duration timeout) {
+    call_async(target, object, method, std::move(args), CallOptions{.timeout = timeout},
+               std::move(on_reply));
+}
+
+void RpcEndpoint::call_async(NodeId target, const std::string& object,
+                             const std::string& method, List args, CallOptions options,
+                             ReplyHandler on_reply) {
+    // Retry driver: each transport failure re-issues the call (fresh call
+    // id, same payload) after an exponentially growing delay, until the
+    // budget is spent. Remote answers — results *and* error replies — end
+    // the call immediately; retrying an application error cannot help.
+    struct Attempt {
+        RpcEndpoint* self;
+        NodeId target;
+        std::string object;
+        std::string method;
+        List args;
+        CallOptions options;
+        ReplyHandler on_reply;
+        int tries_left;
+        Duration next_backoff;
+
+        void fire(const std::shared_ptr<Attempt>& state) {
+            self->call_once(
+                target, object, method, args, options.timeout,
+                [state](Value result, std::exception_ptr error, bool transport) {
+                    if (error && transport && state->tries_left > 0) {
+                        --state->tries_left;
+                        metrics().retries.inc();
+                        Duration delay = state->next_backoff;
+                        state->next_backoff *= 2;
+                        state->self->router_.simulator().schedule_after(
+                            delay, [state]() { state->fire(state); });
+                        return;
+                    }
+                    state->on_reply(std::move(result), error);
+                });
+        }
+    };
+    auto state = std::make_shared<Attempt>(
+        Attempt{this, target, object, method, std::move(args), options, std::move(on_reply),
+                options.retries, options.retry_backoff});
+    state->fire(state);
 }
 
 Value RpcEndpoint::call_sync(NodeId target, const std::string& object,
@@ -187,6 +239,16 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
     const std::string& object_name = req.at("obj").as_str();
     const std::string& method = req.at("method").as_str();
 
+    // At-most-once: a duplicated radio frame (or a retry racing its own
+    // late reply) must not re-execute the method. Re-send the cached wire
+    // reply verbatim instead.
+    ReplyCacheKey cache_key{msg.from.value, call_id};
+    if (auto cached = reply_cache_.find(cache_key); cached != reply_cache_.end()) {
+        metrics().dup_calls.inc();
+        router_.send(msg.from, control ? kCtlReplyKind : kReplyKind, cached->second);
+        return;
+    }
+
     Bytes reply;
     if (control && !is_exempt(object_name)) {
         reply = encode_error(call_id, "AccessDenied",
@@ -218,10 +280,21 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
                 reply = encode_error(call_id, "ScriptError", e.what());
             } catch (const Error& e) {
                 reply = encode_error(call_id, "Error", e.what());
+            } catch (const std::exception& e) {
+                // Non-Error escapes (std::bad_alloc from a hostile package,
+                // a std::logic_error in host code) still become a proper
+                // error reply rather than unwinding into the router.
+                reply = encode_error(call_id, "Error", e.what());
             }
         }
     }
     if (!control) reply = apply_outbound(std::move(reply));
+    reply_cache_.emplace(cache_key, reply);
+    reply_cache_order_.push_back(cache_key);
+    if (reply_cache_order_.size() > kReplyCacheCap) {
+        reply_cache_.erase(reply_cache_order_.front());
+        reply_cache_order_.pop_front();
+    }
     router_.send(msg.from, control ? kCtlReplyKind : kReplyKind, std::move(reply));
 }
 
@@ -259,12 +332,12 @@ void RpcEndpoint::on_reply(const net::Message& msg, bool control) {
     obs::TraceBuffer::global().end_span(pending.span, {{"outcome", ok ? "ok" : "error"}});
 
     if (ok) {
-        pending.handler(rep.at("result"), nullptr);
+        pending.handler(rep.at("result"), nullptr, /*transport=*/false);
     } else {
         try {
             rethrow_remote(rep.at("etype").as_str(), rep.at("emsg").as_str());
         } catch (...) {
-            pending.handler(Value{}, std::current_exception());
+            pending.handler(Value{}, std::current_exception(), /*transport=*/false);
         }
     }
 }

@@ -9,7 +9,9 @@
 // that MIDAS can adapt (the paper's implicit marshaling extensions).
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -21,6 +23,16 @@ namespace pmp::rt {
 /// Result delivered to the caller: exactly one of `result` / `error` is
 /// meaningful; `error` is nullptr on success.
 using ReplyHandler = std::function<void(Value result, std::exception_ptr error)>;
+
+/// Per-call knobs. Retries apply only to *transport* failures (timeout,
+/// unreachable) — a remote error reply is the call's answer and is never
+/// retried. Each retry is a fresh call id; the delay before attempt k is
+/// `retry_backoff * 2^(k-1)`.
+struct CallOptions {
+    Duration timeout = seconds(2);
+    int retries = 0;
+    Duration retry_backoff = milliseconds(100);
+};
 
 class RpcEndpoint {
 public:
@@ -37,6 +49,10 @@ public:
     /// arrives or the timeout elapses (with a RemoteError).
     void call_async(NodeId target, const std::string& object, const std::string& method,
                     List args, ReplyHandler on_reply, Duration timeout = seconds(2));
+
+    /// As above with full per-call control (transport retries + timeout).
+    void call_async(NodeId target, const std::string& object, const std::string& method,
+                    List args, CallOptions options, ReplyHandler on_reply);
 
     /// Convenience for tests/examples running outside the event loop: pumps
     /// the simulator until the reply arrives, then returns the result or
@@ -77,6 +93,13 @@ public:
     bool is_exempt(const std::string& object) const;
 
 private:
+    /// Enriched internal handler: `transport` is true when the failure
+    /// never produced a remote answer (timeout / unreachable) — the only
+    /// failures a retry may help with.
+    using AttemptHandler = std::function<void(Value, std::exception_ptr, bool transport)>;
+
+    void call_once(NodeId target, const std::string& object, const std::string& method,
+                   List args, Duration timeout, AttemptHandler on_done);
     void on_call(const net::Message& msg, bool control);
     void on_reply(const net::Message& msg, bool control);
     static Bytes encode_error(std::uint64_t call_id, const std::string& etype,
@@ -84,7 +107,7 @@ private:
     [[noreturn]] static void rethrow_remote(const std::string& etype, const std::string& message);
 
     struct Pending {
-        ReplyHandler handler;
+        AttemptHandler handler;
         sim::TimerId timeout_timer;
         SimTime sent_at;           ///< virtual send time, for round-trip stats
         std::uint64_t span = 0;    ///< obs trace span covering the round-trip
@@ -107,6 +130,16 @@ private:
     NodeId current_caller_;
     std::vector<FilterSlot> wire_filters_;  // kept sorted by priority
     std::vector<std::string> exempt_prefixes_;
+
+    /// At-most-once execution under a duplicating radio: recently answered
+    /// (caller, call id) pairs map to their wire-ready reply, which is
+    /// re-sent verbatim on a duplicate call instead of re-dispatching.
+    /// Bounded FIFO — a dup arriving after eviction re-executes, which the
+    /// receiver-side handlers keep idempotent anyway.
+    static constexpr std::size_t kReplyCacheCap = 256;
+    using ReplyCacheKey = std::pair<std::uint64_t, std::uint64_t>;  // (caller, call id)
+    std::map<ReplyCacheKey, Bytes> reply_cache_;
+    std::deque<ReplyCacheKey> reply_cache_order_;
 };
 
 }  // namespace pmp::rt

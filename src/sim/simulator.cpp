@@ -35,17 +35,25 @@ TimerId Simulator::schedule_every(Duration period, Callback fn) {
     live_.insert(id);
     auto shared_fn = std::make_shared<Callback>(std::move(fn));
     auto rearm = std::make_shared<std::function<void()>>();
-    *rearm = [this, id, period, shared_fn, rearm]() {
+    // The rearm body refers to itself only weakly; the strong reference
+    // lives in the queued event. Once the final event is consumed (fired
+    // or tombstoned away) everything is freed — capturing `rearm` strongly
+    // here would form a shared_ptr cycle and leak the closure.
+    *rearm = [this, id, period, shared_fn,
+              weak = std::weak_ptr<std::function<void()>>(rearm)]() {
         (*shared_fn)();
         if (live_.contains(id)) {
-            queue_.push(Event{now_ + period, ++next_seq_, id, /*repeating=*/true, *rearm});
+            auto self = weak.lock();  // held alive by the event invoking us
+            queue_.push(Event{now_ + period, ++next_seq_, id, /*repeating=*/true,
+                              [self]() { (*self)(); }});
         } else {
             // Cancelled from inside fn: no event will carry the tombstone
             // out of the queue, so clear it here.
             cancelled_.erase(id);
         }
     };
-    queue_.push(Event{now_ + period, ++next_seq_, id, /*repeating=*/true, *rearm});
+    queue_.push(Event{now_ + period, ++next_seq_, id, /*repeating=*/true,
+                      [rearm]() { (*rearm)(); }});
     return TimerId{id};
 }
 

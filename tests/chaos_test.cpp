@@ -1,0 +1,164 @@
+// Chaos soak: the full platform (two halls, a small robot fleet) under a
+// seeded hostile radio — burst loss, duplication, delay jitter, reordering
+// and a scheduled blackout — across many seeds. The leasing design's
+// promise is convergence, not uptime: after the faults settle, every
+// reachable node must hold exactly its hall's policy, extensions must not
+// outlive their base, and the same seed must replay the identical run.
+#include <gtest/gtest.h>
+
+#include "midas/node.h"
+
+namespace pmp::midas {
+namespace {
+
+using rt::Value;
+
+ExtensionPackage policy_pkg(const std::string& name) {
+    ExtensionPackage pkg;
+    pkg.name = name;
+    pkg.script = "fun onEntry() { }";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    return pkg;
+}
+
+struct ChaosWorld {
+    sim::Simulator sim;
+    net::Network net;
+    std::unique_ptr<BaseStation> hall_a;
+    std::unique_ptr<BaseStation> hall_b;
+    std::vector<std::unique_ptr<MobileNode>> robots;
+
+    explicit ChaosWorld(std::uint64_t seed, bool with_faults = true)
+        : net(sim, net::NetworkConfig{}, seed) {
+        BaseConfig bca;
+        bca.issuer = "hallA";
+        hall_a = std::make_unique<BaseStation>(net, "hallA", net::Position{0, 0}, 120.0, bca);
+        hall_a->keys().add_key("hallA", to_bytes("ka"));
+        BaseConfig bcb;
+        bcb.issuer = "hallB";
+        hall_b =
+            std::make_unique<BaseStation>(net, "hallB", net::Position{300, 0}, 120.0, bcb);
+        hall_b->keys().add_key("hallB", to_bytes("kb"));
+
+        // Two robots live in hall A's cell, one in hall B's; the halls are
+        // out of each other's reach.
+        const net::Position spots[] = {{10, 0}, {20, 10}, {310, 0}};
+        for (int i = 0; i < 3; ++i) {
+            auto robot = std::make_unique<MobileNode>(net, "robot" + std::to_string(i),
+                                                      spots[i], 120.0);
+            robot->trust().trust("hallA", to_bytes("ka"));
+            robot->trust().trust("hallB", to_bytes("kb"));
+            robots.push_back(std::move(robot));
+        }
+        hall_a->base().add_extension(policy_pkg("hallA/policy"));
+        hall_b->base().add_extension(policy_pkg("hallB/policy"));
+
+        if (with_faults) {
+            net::FaultPlan plan;
+            plan.loss = 0.05;
+            plan.burst_enter = 0.02;
+            plan.burst_exit = 0.3;
+            plan.delay_jitter = milliseconds(10);
+            plan.duplicate = 0.1;
+            plan.reorder = 0.05;
+            // Mid-run blackout: robot0 loses all connectivity for 4s —
+            // long past its lease — then heals.
+            plan.partitions.push_back(net::PartitionWindow{
+                SimTime::zero() + seconds(8), SimTime::zero() + seconds(12),
+                {robots[0]->id()},
+                {}});
+            net.set_fault_plan(plan, seed * 1000003ULL + 17);
+        }
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(60)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        return pred();
+    }
+
+    bool converged() {
+        return robots[0]->receiver().installed_count() == 1 &&
+               robots[1]->receiver().installed_count() == 1 &&
+               robots[2]->receiver().installed_count() == 1;
+    }
+};
+
+TEST(ChaosSoak, ConvergesUnderInjectedFaultsAcrossSeeds) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ChaosWorld w(seed);
+        // Ride through the fault-heavy phase including the blackout.
+        w.sim.run_for(seconds(12));
+        // Invariant 1: after the blackout heals, everything re-converges —
+        // each robot holds exactly its hall's policy.
+        ASSERT_TRUE(w.run_until([&] { return w.converged(); })) << "seed " << seed;
+        // Invariant 2: it stays converged (keep-alives outrun the ongoing
+        // background loss; blips must heal within the window).
+        w.sim.run_for(seconds(5));
+        ASSERT_TRUE(w.run_until([&] { return w.converged(); }, seconds(30)))
+            << "seed " << seed;
+        // Invariant 3: the books balance — nothing delivered that was not
+        // sent, and the blackout actually bit.
+        net::NetworkStats s = w.net.stats();
+        EXPECT_LE(s.delivered, s.sent) << "seed " << seed;
+        EXPECT_GT(s.fault_dropped_partition, 0u) << "seed " << seed;
+        EXPECT_GT(s.fault_dropped_loss + s.fault_dropped_burst, 0u) << "seed " << seed;
+    }
+}
+
+TEST(ChaosSoak, SameSeedReplaysIdentically) {
+    auto fingerprint = [](std::uint64_t seed) {
+        ChaosWorld w(seed);
+        w.sim.run_for(seconds(20));
+        net::NetworkStats s = w.net.stats();
+        return std::tuple{s.sent,
+                          s.delivered,
+                          s.fault_dropped_loss,
+                          s.fault_dropped_burst,
+                          s.fault_dropped_partition,
+                          s.fault_duplicated,
+                          s.fault_delayed,
+                          s.fault_reordered,
+                          w.robots[0]->receiver().stats().installs,
+                          w.robots[1]->receiver().stats().refreshes,
+                          w.hall_a->base().stats().installs_sent,
+                          w.hall_b->base().stats().keepalives_sent};
+    };
+    EXPECT_EQ(fingerprint(7), fingerprint(7));
+    EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+TEST(ChaosSoak, ExtensionsDoNotOutliveTheirBase) {
+    ChaosWorld w(3, /*with_faults=*/false);
+    ASSERT_TRUE(w.run_until([&] { return w.converged(); }));
+
+    // Hall A's base station dies. Its extensions must evaporate from both
+    // of its robots within a lease plus keep-alive slack — the receivers
+    // withdraw autonomously, no teardown message required.
+    w.net.remove_node(w.hall_a->id());
+    SimTime gone_at = w.sim.now();
+    ASSERT_TRUE(w.run_until([&] {
+        return w.robots[0]->receiver().installed_count() == 0 &&
+               w.robots[1]->receiver().installed_count() == 0;
+    }, seconds(15)));
+    EXPECT_LE(w.sim.now() - gone_at, seconds(10));
+    // Hall B and its robot are untouched.
+    EXPECT_EQ(w.robots[2]->receiver().installed_count(), 1u);
+}
+
+TEST(ChaosSoak, BlackedOutNodeRecoversItsPolicy) {
+    ChaosWorld w(5);
+    ASSERT_TRUE(w.run_until([&] { return w.converged(); }, seconds(8)));
+    // During the blackout robot0's lease expires and hall A gives it up.
+    w.sim.run_until(SimTime::zero() + seconds(11));
+    EXPECT_EQ(w.robots[0]->receiver().installed_count(), 0u);
+    // After the heal the ordinary discovery + adaptation loop must bring
+    // the policy back without any operator involvement.
+    ASSERT_TRUE(w.run_until([&] { return w.converged(); }));
+}
+
+}  // namespace
+}  // namespace pmp::midas

@@ -5,8 +5,11 @@
 // applications revert to baseline.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "midas/federation.h"
 #include "midas/node.h"
+#include "obs/metrics.h"
 #include "robot/devices.h"
 
 namespace pmp::midas {
@@ -30,9 +33,8 @@ struct World {
     std::unique_ptr<MobileNode> robot;
     std::shared_ptr<rt::ServiceObject> motor;
 
-    explicit World(net::NetworkConfig cfg, std::uint64_t seed = 13)
+    explicit World(net::NetworkConfig cfg, std::uint64_t seed = 13, BaseConfig bc = {})
         : net(sim, cfg, seed) {
-        BaseConfig bc;
         bc.issuer = "hall";
         hall = std::make_unique<BaseStation>(net, "hall", net::Position{0, 0}, 100.0, bc);
         hall->keys().add_key("hall", to_bytes("k"));
@@ -148,6 +150,72 @@ TEST(FailureInjection, JitterAndLossDoNotBreakLeaseInvariant) {
             EXPECT_EQ(woven, installed) << "loss=" << loss << " i=" << i;
         }
     }
+}
+
+TEST(FailureInjection, ReceiverSideExpiryDoesNotCauseInstallStorm) {
+    World w(net::NetworkConfig{});
+    ExtensionPackage pkg = noop_pkg();
+    pkg.capabilities = {"net"};
+    w.hall->base().add_extension(pkg);
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 1; }));
+
+    // The receiver forgets the extension (as after a local restart) and the
+    // re-install is now persistently rejected. The base must drop the stale
+    // remote id — a keep-alive against it answers false every tick — and
+    // back off its retries instead of storming the node.
+    w.robot->receiver().allow_capabilities("hall", {});
+    w.robot->receiver().withdraw_all();
+    std::uint64_t installs_before = w.hall->base().stats().installs_sent;
+    w.sim.run_for(seconds(20));
+    std::uint64_t delta = w.hall->base().stats().installs_sent - installs_before;
+    EXPECT_GE(delta, 2u);   // it does keep trying...
+    EXPECT_LE(delta, 12u);  // ...but O(log n) over the window, not per tick
+    // The stale id left the base's books, so no keep-alives chase it.
+    ASSERT_EQ(w.hall->base().adapted_count(), 1u);
+    EXPECT_TRUE(w.hall->base().adapted()[0].installed.empty());
+}
+
+TEST(FailureInjection, InstallRetriesBackOffWhileNodeUnreachable) {
+    BaseConfig bc;
+    bc.max_keepalive_failures = 1'000'000;  // keep the node adapted throughout
+    World w(net::NetworkConfig{}, 13, bc);
+    w.hall->base().add_extension(noop_pkg());
+    ASSERT_TRUE(w.run_until([&] { return w.robot->receiver().installed_count() == 1; }));
+
+    // A new policy extension arrives while the node is out of range: every
+    // install fails fast. The retry schedule must be logarithmic in the
+    // outage length, not one attempt per keep-alive period.
+    w.robot->move_to({1000, 0});
+    std::uint64_t installs_before = w.hall->base().stats().installs_sent;
+    w.hall->base().add_extension(noop_pkg("hall/second"));
+    w.sim.run_for(seconds(30));
+    std::uint64_t delta = w.hall->base().stats().installs_sent - installs_before;
+    EXPECT_GE(delta, 3u);
+    EXPECT_LE(delta, 13u);
+}
+
+TEST(FailureInjection, NonErrorExceptionDuringInstallIsContained) {
+    World w(net::NetworkConfig{});
+    // A host builtin with a bug: throws something that is not an Error.
+    // The package's top level calls it at install time.
+    w.robot->receiver().add_host_builtin("boom", "", [](rt::List&) -> Value {
+        throw std::runtime_error("host bug: not an Error subclass");
+    });
+    ExtensionPackage pkg = noop_pkg("hall/booby");
+    pkg.script = "boom();\nfun onEntry() { }";
+
+    obs::Counter& router_errors =
+        obs::Registry::global().counter("net.router.handler_errors");
+    std::uint64_t router_errors_before = router_errors.value();
+    w.hall->base().add_extension(pkg);
+    ASSERT_TRUE(w.run_until([&] { return w.hall->base().stats().install_failures >= 1; }));
+    EXPECT_EQ(w.robot->receiver().installed_count(), 0u);
+    // The exception travelled back as an rpc error reply; it never escaped
+    // into the router (let alone the simulator loop).
+    EXPECT_EQ(router_errors.value(), router_errors_before);
+    // And the platform keeps running.
+    w.sim.run_for(seconds(2));
+    EXPECT_EQ(w.hall->base().adapted_count(), 1u);
 }
 
 TEST(RoamingFederation, HandoffReleasesNodePromptly) {

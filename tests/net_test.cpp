@@ -262,6 +262,232 @@ TEST(Router, RoutesByKind) {
     EXPECT_EQ(pongs, 0);
 }
 
+TEST(Fault, VerdictStreamIsSeedDeterministic) {
+    FaultPlan plan;
+    plan.loss = 0.2;
+    plan.burst_enter = 0.1;
+    plan.delay_jitter = milliseconds(10);
+    plan.duplicate = 0.1;
+    plan.reorder = 0.1;
+    FaultInjector a(plan, 42), b(plan, 42), other(plan, 43);
+
+    NodeId n1{1}, n2{2};
+    bool any_difference_from_other_seed = false;
+    for (int i = 0; i < 200; ++i) {
+        SimTime t = SimTime::zero() + milliseconds(i);
+        auto va = a.judge(n1, n2, t);
+        auto vb = b.judge(n1, n2, t);
+        auto vo = other.judge(n1, n2, t);
+        EXPECT_EQ(va.drop, vb.drop);
+        EXPECT_EQ(va.extra_delay, vb.extra_delay);
+        EXPECT_EQ(va.duplicate, vb.duplicate);
+        EXPECT_EQ(va.reordered, vb.reordered);
+        if (va.drop != vo.drop || va.extra_delay != vo.extra_delay) {
+            any_difference_from_other_seed = true;
+        }
+    }
+    EXPECT_TRUE(any_difference_from_other_seed);
+}
+
+TEST(Fault, LinkStreamsAreIndependentOfJudgeOrder) {
+    // Interleaving traffic on other links must not perturb a link's own
+    // fault stream — the property that makes multi-node soaks replayable.
+    FaultPlan plan;
+    plan.loss = 0.3;
+    plan.delay_jitter = milliseconds(10);
+    NodeId n1{1}, n2{2}, n3{3};
+
+    FaultInjector alone(plan, 7), interleaved(plan, 7);
+    for (int i = 0; i < 100; ++i) {
+        SimTime t = SimTime::zero() + milliseconds(i);
+        auto va = alone.judge(n1, n2, t);
+        interleaved.judge(n3, n1, t);  // extra traffic on another link
+        auto vb = interleaved.judge(n1, n2, t);
+        interleaved.judge(n2, n3, t);
+        EXPECT_EQ(va.drop, vb.drop);
+        EXPECT_EQ(va.extra_delay, vb.extra_delay);
+    }
+}
+
+TEST(Fault, BurstLossClusters) {
+    FaultPlan plan;
+    plan.burst_enter = 0.05;
+    plan.burst_exit = 0.2;
+    plan.burst_loss = 1.0;  // every in-burst message drops
+    FaultInjector inj(plan, 11);
+
+    NodeId n1{1}, n2{2};
+    int drops = 0, runs = 0;
+    bool in_run = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = inj.judge(n1, n2, SimTime::zero() + milliseconds(i));
+        bool dropped = v.drop == FaultInjector::Drop::kBurst;
+        if (dropped) ++drops;
+        if (dropped && !in_run) ++runs;
+        in_run = dropped;
+    }
+    ASSERT_GT(drops, 0);
+    ASSERT_GT(runs, 0);
+    // Clustering: far fewer distinct runs than drops (uniform loss would
+    // give runs ~= drops at these rates).
+    EXPECT_GT(drops / runs, 2);
+}
+
+TEST(Fault, OneWayPartitionCutsSingleDirection) {
+    NodeId n1{1}, n2{2}, n3{3};
+    FaultPlan plan;
+    plan.partitions.push_back(PartitionWindow{SimTime::zero() + seconds(1),
+                                             SimTime::zero() + seconds(2),
+                                             {n1},
+                                             {n2},
+                                             /*one_way=*/true});
+    FaultInjector inj(plan, 1);
+
+    SimTime before = SimTime::zero(), during = SimTime::zero() + milliseconds(1500),
+            after = SimTime::zero() + seconds(2);
+    EXPECT_FALSE(inj.partitioned(n1, n2, before));
+    EXPECT_TRUE(inj.partitioned(n1, n2, during));
+    EXPECT_FALSE(inj.partitioned(n2, n1, during));  // reverse stays up
+    EXPECT_FALSE(inj.partitioned(n1, n3, during));  // uninvolved link
+    EXPECT_FALSE(inj.partitioned(n1, n2, after));   // healed (exclusive end)
+}
+
+TEST(Fault, EmptySideMatchesEveryNode) {
+    NodeId n1{1}, n2{2}, n3{3};
+    FaultPlan plan;
+    // Isolate n1 from everyone, both directions.
+    plan.partitions.push_back(
+        PartitionWindow{SimTime::zero(), SimTime::max(), {n1}, {}});
+    FaultInjector inj(plan, 1);
+    SimTime t = SimTime::zero() + seconds(1);
+    EXPECT_TRUE(inj.partitioned(n1, n2, t));
+    EXPECT_TRUE(inj.partitioned(n3, n1, t));
+    EXPECT_FALSE(inj.partitioned(n2, n3, t));
+}
+
+TEST(Fault, NetworkDropsDuringPartitionWindowAndHeals) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    int got = 0;
+    net.set_handler(b, [&](const Message&) { ++got; });
+
+    FaultPlan plan;
+    plan.partitions.push_back(PartitionWindow{SimTime::zero() + seconds(1),
+                                             SimTime::zero() + seconds(2),
+                                             {a},
+                                             {b}});
+    net.set_fault_plan(plan, 5);
+
+    auto send_at = [&](Duration when) {
+        sim.schedule_at(SimTime::zero() + when,
+                        [&] { net.send(Message{a, b, "k", to_bytes("x")}); });
+    };
+    send_at(milliseconds(500));   // before the window: delivered
+    send_at(milliseconds(1500));  // inside: dropped
+    send_at(milliseconds(2500));  // after heal: delivered
+    sim.run();
+    EXPECT_EQ(got, 2);
+    EXPECT_EQ(net.stats().fault_dropped_partition, 1u);
+}
+
+TEST(Fault, PartitionOpeningMidFlightSwallowsMessage) {
+    sim::Simulator sim;
+    NetworkConfig cfg = quiet();
+    cfg.base_latency = milliseconds(20);
+    Network net(sim, cfg, 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    int got = 0;
+    net.set_handler(b, [&](const Message&) { ++got; });
+
+    FaultPlan plan;
+    plan.partitions.push_back(
+        PartitionWindow{SimTime::zero() + milliseconds(10), SimTime::max(), {a}, {b}});
+    net.set_fault_plan(plan, 5);
+
+    // Sent while the link is still up, but the window opens before the
+    // 20ms transit completes: the jammed radio eats it at delivery time.
+    ASSERT_TRUE(net.send(Message{a, b, "k", to_bytes("x")}));
+    sim.run();
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(net.stats().fault_dropped_partition, 1u);
+}
+
+TEST(Fault, DuplicationAndDelayCounters) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    int got = 0;
+    net.set_handler(b, [&](const Message&) { ++got; });
+
+    FaultPlan plan;
+    plan.duplicate = 1.0;
+    plan.delay_jitter = milliseconds(5);
+    net.set_fault_plan(plan, 9);
+    for (int i = 0; i < 10; ++i) net.send(Message{a, b, "k", to_bytes("x")});
+    sim.run();
+    EXPECT_EQ(got, 20);  // every message doubled
+    EXPECT_EQ(net.stats().fault_duplicated, 10u);
+}
+
+TEST(Network, ChurnKeepsNodeTableBounded) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId base = net.add_node("base", {0, 0}, 10);
+    net.set_handler(base, [](const Message&) {});
+
+    for (int i = 0; i < 1000; ++i) {
+        NodeId n = net.add_node("n" + std::to_string(i), {1, 0}, 10);
+        net.set_handler(n, [](const Message&) {});
+        net.send(Message{base, n, "k", to_bytes("x")});  // leave one in flight
+        net.remove_node(n);
+        // Pump occasionally, as a long-lived sim would.
+        if (i % 10 == 9) sim.run();
+    }
+    sim.run();
+    // Tombstones are compacted once in-flight deliveries drain: only the
+    // base survives 1000 add/remove cycles.
+    EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(Network, RemoveNodeFromItsOwnHandlerIsSafe) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    int got = 0;
+    net.set_handler(b, [&](const Message&) {
+        ++got;
+        net.remove_node(b);  // node removes itself while handling a message
+    });
+    net.send(Message{a, b, "k", to_bytes("x")});
+    net.send(Message{a, b, "k", to_bytes("x")});
+    sim.run();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(Router, ThrowingHandlerCostsOneMessageOnly) {
+    sim::Simulator sim;
+    Network net(sim, quiet(), 1);
+    NodeId a = net.add_node("a", {0, 0}, 10);
+    NodeId b = net.add_node("b", {1, 0}, 10);
+    MessageRouter ra(net, a);
+    MessageRouter rb(net, b);
+    int got = 0;
+    rb.route("boom", [&](const Message&) -> void {
+        throw std::runtime_error("not an Error subclass");
+    });
+    rb.route("ok", [&](const Message&) { ++got; });
+    ra.send(b, "boom", {});
+    ra.send(b, "ok", {});
+    EXPECT_NO_THROW(sim.run());  // the throw must not unwind the sim loop
+    EXPECT_EQ(got, 1);
+}
+
 TEST(Router, UnrouteStopsDelivery) {
     sim::Simulator sim;
     Network net(sim, quiet(), 1);

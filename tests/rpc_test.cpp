@@ -2,8 +2,11 @@
 // caller identity and hook transparency across the wire.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/error.h"
 #include "net/router.h"
+#include "obs/metrics.h"
 #include "rt/rpc.h"
 
 namespace pmp::rt {
@@ -125,6 +128,111 @@ TEST_F(RpcTest, TimeoutWhenReplyNeverComes) {
     ASSERT_TRUE(done);
     ASSERT_TRUE(error);
     EXPECT_THROW(std::rethrow_exception(error), RemoteError);
+}
+
+TEST_F(RpcTest, TransportRetriesOutliveAPartition) {
+    // The link is cut for the first 1.2 seconds; a call armed with retries
+    // keeps re-issuing (with doubling backoff) until the heal lets one
+    // attempt through.
+    net::FaultPlan plan;
+    plan.partitions.push_back(net::PartitionWindow{
+        SimTime::zero(), SimTime::zero() + milliseconds(1200), {a_id_}, {b_id_}});
+    net_.set_fault_plan(plan, 3);
+
+    bool done = false;
+    Value out;
+    std::exception_ptr error;
+    CallOptions opts;
+    opts.timeout = milliseconds(300);
+    opts.retries = 6;
+    opts.retry_backoff = milliseconds(100);
+    a_rpc_.call_async(b_id_, "greeter", "greet", {Value{"world"}}, opts,
+                      [&](Value r, std::exception_ptr e) {
+                          done = true;
+                          out = std::move(r);
+                          error = e;
+                      });
+    sim_.run();
+    ASSERT_TRUE(done);
+    ASSERT_FALSE(error);
+    EXPECT_EQ(out.as_str(), "hello world");
+}
+
+TEST_F(RpcTest, RemoteErrorsAreNeverRetried) {
+    obs::Counter& calls_sent = obs::Registry::global().counter("rpc.calls_sent");
+    std::uint64_t before = calls_sent.value();
+    CallOptions opts;
+    opts.retries = 5;
+    bool done = false;
+    std::exception_ptr error;
+    a_rpc_.call_async(b_id_, "greeter", "deny", {}, opts,
+                      [&](Value, std::exception_ptr e) {
+                          done = true;
+                          error = e;
+                      });
+    sim_.run();
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(error);
+    EXPECT_THROW(std::rethrow_exception(error), AccessDenied);
+    // An error reply is the call's answer: exactly one attempt on the air.
+    EXPECT_EQ(calls_sent.value() - before, 1u);
+}
+
+TEST_F(RpcTest, RetriesGiveUpAfterBudget) {
+    net_.move_node(b_id_, {1000, 0});
+    bool done = false;
+    std::exception_ptr error;
+    CallOptions opts;
+    opts.retries = 3;
+    opts.retry_backoff = milliseconds(10);
+    a_rpc_.call_async(b_id_, "greeter", "greet", {Value{"x"}}, opts,
+                      [&](Value, std::exception_ptr e) {
+                          done = true;
+                          error = e;
+                      });
+    sim_.run();
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(error);
+    EXPECT_THROW(std::rethrow_exception(error), RemoteError);
+}
+
+TEST_F(RpcTest, DuplicatedCallExecutesExactlyOnce) {
+    // The radio duplicates every frame; the reply cache must absorb the
+    // second copy of each call instead of re-dispatching it.
+    int executions = 0;
+    b_rt_.register_type(TypeInfo::Builder("Ledger")
+                            .method("bump", TypeKind::kInt, {},
+                                    [&executions](ServiceObject&, List&) -> Value {
+                                        return Value{static_cast<std::int64_t>(++executions)};
+                                    })
+                            .build());
+    b_rt_.create("Ledger", "ledger");
+    b_rpc_.export_object("ledger");
+
+    net::FaultPlan plan;
+    plan.duplicate = 1.0;
+    net_.set_fault_plan(plan, 3);
+
+    obs::Counter& dup_calls = obs::Registry::global().counter("rpc.dup_calls");
+    std::uint64_t dups_before = dup_calls.value();
+    Value r = a_rpc_.call_sync(b_id_, "ledger", "bump", {});
+    EXPECT_EQ(r.as_int(), 1);
+    EXPECT_EQ(executions, 1);
+    EXPECT_EQ(dup_calls.value() - dups_before, 1u);
+}
+
+TEST_F(RpcTest, NonErrorExceptionBecomesErrorReply) {
+    b_rt_.register_type(TypeInfo::Builder("Buggy")
+                            .method("crash", TypeKind::kVoid, {},
+                                    [](ServiceObject&, List&) -> Value {
+                                        throw std::runtime_error("not an Error subclass");
+                                    })
+                            .build());
+    b_rt_.create("Buggy", "buggy");
+    b_rpc_.export_object("buggy");
+    // The caller gets a proper remote error instead of the server's
+    // simulator loop unwinding.
+    EXPECT_THROW(a_rpc_.call_sync(b_id_, "buggy", "crash", {}), Error);
 }
 
 TEST_F(RpcTest, HooksFireForRemoteCalls) {
