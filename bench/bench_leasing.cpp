@@ -62,6 +62,65 @@ struct World {
     }
 };
 
+/// Crash–restart recovery bench: a durable hall adapting a fleet, killed
+/// by the power-cord model and rebuilt over the same journal storage.
+struct RecoveryWorld {
+    sim::Simulator sim;
+    net::Network net{sim, net::NetworkConfig{}, 91};
+    std::shared_ptr<db::JournalStorage> disk = std::make_shared<db::JournalStorage>();
+    std::unique_ptr<BaseStation> hall;
+    std::vector<std::unique_ptr<MobileNode>> robots;
+
+    RecoveryWorld(Duration keepalive, int fleet) {
+        disk->name = "hall";
+        start_hall(keepalive);
+        for (int i = 0; i < fleet; ++i) {
+            // Ring the hall so everyone stays in range.
+            double x = 10.0 + 3.0 * i;
+            auto robot = std::make_unique<MobileNode>(
+                net, "robot" + std::to_string(i), net::Position{x, 5.0}, 100.0);
+            robot->trust().trust("hall", to_bytes("k"));
+            robot->receiver().allow_capabilities("hall", {});
+            robots.push_back(std::move(robot));
+        }
+        hall->base().add_extension(noop_package());
+    }
+
+    void start_hall(Duration keepalive) {
+        BaseConfig bc;
+        bc.issuer = "hall";
+        bc.keepalive_period = keepalive;
+        hall = std::make_unique<BaseStation>(net, "hall", net::Position{0, 0}, 100.0, bc,
+                                             disco::RegistrarConfig{}, disk);
+        hall->keys().add_key("hall", to_bytes("k"));
+    }
+
+    void crash_hall() {
+        hall->journal()->power_off();
+        net.remove_node(hall->id());
+        hall.reset();
+    }
+
+    bool fleet_converged() {
+        for (auto& r : robots) {
+            if (r->receiver().installed_count() != 1) return false;
+            if (r->receiver().installed()[0].base_epoch != hall->base().epoch()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(60)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(20));
+        }
+        return pred();
+    }
+};
+
 }  // namespace
 
 int main() {
@@ -161,5 +220,36 @@ int main() {
     printf("\nshape to check: availability degrades gracefully (no cliff) and\n"
            "install traffic grows sub-linearly with loss — the backoff keeps\n"
            "recovery from amplifying an already-bad radio.\n");
+
+    // Recovery time: a durable hall crashes (1 s outage) and restarts over
+    // its journal under a bumped epoch. We measure restart -> every robot
+    // re-holding the policy under the new epoch. Recovered book entries
+    // re-adapt on the keep-alive tick, so the keep-alive period is the
+    // latency knob; the fleet size shows how re-adaptation scales.
+    printf("\n=== recovery: base restart -> full re-adaptation ===\n\n");
+    printf("%-16s %8s %22s %14s\n", "keepalive", "fleet", "recovery latency",
+           "epoch after");
+    for (auto ka_ms : {200, 400, 800}) {
+        for (int fleet : {1, 4, 16}) {
+            RecoveryWorld w{milliseconds(ka_ms), fleet};
+            if (!w.run_until([&] { return w.fleet_converged(); })) {
+                printf("%-16d %8d FATAL: initial adaptation failed\n", ka_ms, fleet);
+                continue;
+            }
+            w.crash_hall();
+            w.sim.run_for(seconds(1));
+            w.start_hall(milliseconds(ka_ms));
+            SimTime restarted_at = w.sim.now();
+            bool ok = w.run_until([&] { return w.fleet_converged(); });
+            printf("%-16s %8d %18.1f ms %14llu\n",
+                   (std::to_string(ka_ms) + " ms").c_str(), fleet,
+                   ok ? static_cast<double>((w.sim.now() - restarted_at).count()) / 1e6
+                      : -1.0,
+                   static_cast<unsigned long long>(w.hall->base().epoch()));
+        }
+    }
+    printf("\nshape to check: recovery latency is dominated by one keep-alive\n"
+           "period (the recovered book re-adapts on the first tick) and grows\n"
+           "only mildly with fleet size — re-installs fan out in parallel.\n");
     return 0;
 }

@@ -19,6 +19,8 @@ const char* withdraw_reason_name(WithdrawReason reason) {
         case WithdrawReason::kExplicit: return "explicit";
         case WithdrawReason::kLeaseExpired: return "lease-expired";
         case WithdrawReason::kReplaced: return "replaced";
+        case WithdrawReason::kBaseRestarted: return "base-restarted";
+        case WithdrawReason::kQuarantined: return "quarantined";
     }
     return "?";
 }

@@ -28,9 +28,13 @@ const char* advice_kind_name(AdviceKind kind);
 
 /// Why an aspect is being withdrawn — passed to the shutdown handler.
 enum class WithdrawReason {
-    kExplicit,      ///< host or base revoked it deliberately
-    kLeaseExpired,  ///< the node left the proactive space (lease lapsed)
-    kReplaced,      ///< a newer version of the same extension supersedes it
+    kExplicit,       ///< host or base revoked it deliberately
+    kLeaseExpired,   ///< the node left the proactive space (lease lapsed)
+    kReplaced,       ///< a newer version of the same extension supersedes it
+    kBaseRestarted,  ///< the issuing base restarted; this lease is from a
+                     ///< previous epoch and a fresh install follows
+    kQuarantined,    ///< the extension's advice kept crashing; the node
+                     ///< withdrew it in self-defence
 };
 
 const char* withdraw_reason_name(WithdrawReason reason);

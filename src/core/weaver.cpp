@@ -37,17 +37,30 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
     obs::Histogram* latency =
         &obs::Registry::global().histogram("weaver.advice_ns", woven.aspect->name());
 
-    auto timed = [calls, latency](const auto& fn, auto&&... args) -> decltype(auto) {
-        if (!obs::enabled()) return fn(std::forward<decltype(args)>(args)...);
-        calls->inc();
-        Clock::time_point t0 = Clock::now();
-        if constexpr (std::is_void_v<decltype(fn(std::forward<decltype(args)>(args)...))>) {
-            fn(std::forward<decltype(args)>(args)...);
-            latency->observe(elapsed_ns(t0));
-        } else {
-            auto result = fn(std::forward<decltype(args)>(args)...);
-            latency->observe(elapsed_ns(t0));
-            return result;
+    // The wrapper also reports every outcome to the advice observer (the
+    // receiver's quarantine input) — success as nullptr, failure as the
+    // escaping exception, which is then rethrown unchanged. The observer
+    // runs regardless of obs::enabled(): it is protocol machinery, not
+    // telemetry.
+    auto timed = [this, id, calls, latency](const auto& fn, auto&&... args) -> decltype(auto) {
+        const bool instrument = obs::enabled();
+        if (instrument) calls->inc();
+        Clock::time_point t0 = instrument ? Clock::now() : Clock::time_point{};
+        try {
+            if constexpr (std::is_void_v<decltype(fn(
+                              std::forward<decltype(args)>(args)...))>) {
+                fn(std::forward<decltype(args)>(args)...);
+                if (instrument) latency->observe(elapsed_ns(t0));
+                if (advice_observer_) advice_observer_(id, nullptr);
+            } else {
+                auto result = fn(std::forward<decltype(args)>(args)...);
+                if (instrument) latency->observe(elapsed_ns(t0));
+                if (advice_observer_) advice_observer_(id, nullptr);
+                return result;
+            }
+        } catch (const std::exception& e) {
+            if (advice_observer_) advice_observer_(id, &e);
+            throw;
         }
     };
 

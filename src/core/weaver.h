@@ -46,6 +46,16 @@ public:
     const WeaveReport* report(AspectId id) const;
     std::size_t woven_count() const { return woven_.size(); }
 
+    /// Per-advice outcome observer: fires after every advice execution with
+    /// nullptr on success or the escaping exception on failure (which then
+    /// propagates unchanged). One observer per weaver — the adaptation
+    /// service uses it to quarantine extensions whose advice keeps
+    /// crashing. Pass nullptr to detach. Applies to hooks woven after the
+    /// call as well as existing ones (hooks capture the weaver, which
+    /// outlives them in the node stack).
+    using AdviceObserver = std::function<void(AspectId, const std::exception*)>;
+    void set_advice_observer(AdviceObserver fn) { advice_observer_ = std::move(fn); }
+
     rt::Runtime& runtime() { return runtime_; }
 
 private:
@@ -61,6 +71,7 @@ private:
     rt::Runtime::ObserverId observer_;
     IdGenerator<AspectId> ids_;
     std::map<AspectId, Woven> woven_;
+    AdviceObserver advice_observer_;
 };
 
 }  // namespace pmp::prose

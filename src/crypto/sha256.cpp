@@ -93,7 +93,6 @@ void Sha256::update(std::span<const std::uint8_t> data) {
 
 Digest Sha256::finalize() {
     assert(!finalized_);
-    finalized_ = true;
 
     std::uint64_t bit_length = total_bytes_ * 8;
     const std::uint8_t pad_byte = 0x80;
@@ -109,6 +108,9 @@ Digest Sha256::finalize() {
         length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - i * 8));
     }
     update({length_bytes, 8});
+    // Flag only after the internal padding updates above, so their own
+    // entry assertion still holds; callers must not update() past here.
+    finalized_ = true;
 
     Digest out;
     for (int i = 0; i < 8; ++i) {

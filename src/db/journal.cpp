@@ -1,0 +1,115 @@
+#include "db/journal.h"
+
+#include <array>
+
+#include "obs/metrics.h"
+
+namespace pmp::db {
+
+namespace {
+
+// Frame layout: [u32 payload length][u32 crc32(payload)][payload].
+constexpr std::size_t kFrameHeader = 8;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+void append_frame(Bytes& out, const Bytes& payload) {
+    append_u32(out, static_cast<std::uint32_t>(payload.size()));
+    append_u32(out, crc32(payload));
+    append(out, payload);
+}
+
+/// Decode one frame at `data[pos...]`. Returns the decoded value and
+/// advances pos, or nullopt on a truncated / corrupt / undecodable frame
+/// (pos untouched).
+std::optional<rt::Value> read_frame(std::span<const std::uint8_t> data, std::size_t& pos) {
+    if (data.size() - pos < kFrameHeader) return std::nullopt;
+    ByteReader reader(data.subspan(pos));
+    std::uint32_t len = reader.read_u32();
+    std::uint32_t crc = reader.read_u32();
+    if (reader.remaining() < len) return std::nullopt;  // torn tail write
+    std::span<const std::uint8_t> payload = reader.read(len);
+    if (crc32(payload) != crc) return std::nullopt;
+    try {
+        rt::Value v = rt::Value::decode(payload);
+        pos += kFrameHeader + len;
+        return v;
+    } catch (const std::exception&) {
+        return std::nullopt;  // CRC collision or hostile bytes: treat as corrupt
+    }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::uint8_t b : data) {
+        c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+Journal::Journal(std::shared_ptr<JournalStorage> storage) : storage_(std::move(storage)) {
+    if (!storage_) storage_ = std::make_shared<JournalStorage>();
+}
+
+Journal::Restored Journal::restore() const {
+    Restored out;
+    if (!storage_->snapshot.empty()) {
+        std::size_t pos = 0;
+        out.snapshot = read_frame(storage_->snapshot, pos);
+        if (!out.snapshot) out.snapshot_corrupt = true;
+    }
+    std::span<const std::uint8_t> wal(storage_->wal);
+    std::size_t pos = 0;
+    while (pos < wal.size()) {
+        std::optional<rt::Value> v = read_frame(wal, pos);
+        if (!v) {
+            // First bad frame: everything after it is unreadable too (frames
+            // are not self-synchronising), so stop and report the loss.
+            out.dropped_bytes = wal.size() - pos;
+            out.tail_corrupt = true;
+            break;
+        }
+        out.wal.push_back(std::move(*v));
+    }
+    auto& reg = obs::Registry::global();
+    reg.counter("db.journal.restores", storage_->name).inc();
+    reg.counter("db.journal.restored_records", storage_->name)
+        .inc(static_cast<std::uint64_t>(out.wal.size()));
+    if (out.dropped_bytes > 0) {
+        reg.counter("db.journal.dropped_bytes", storage_->name)
+            .inc(static_cast<std::uint64_t>(out.dropped_bytes));
+    }
+    return out;
+}
+
+void Journal::append(const rt::Value& record) {
+    if (!powered_) return;
+    append_frame(storage_->wal, record.encode());
+    ++wal_records_;
+    obs::Registry::global().counter("db.journal.appends", storage_->name).inc();
+}
+
+void Journal::compact(const rt::Value& state) {
+    if (!powered_) return;
+    Bytes snap;
+    append_frame(snap, state.encode());
+    storage_->snapshot = std::move(snap);
+    storage_->wal.clear();
+    wal_records_ = 0;
+    obs::Registry::global().counter("db.journal.compactions", storage_->name).inc();
+}
+
+}  // namespace pmp::db

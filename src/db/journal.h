@@ -1,0 +1,86 @@
+// Append-only journal: write-ahead log plus compacting snapshot.
+//
+// The paper's production-hall database — and the extension base's policy
+// set and adapted-node book — must survive a base-station restart. The
+// Journal provides that durability in the simulated world: records are
+// framed with a CRC and appended to a byte medium (`JournalStorage`) that
+// outlives the node object holding the Journal. A restarted node builds a
+// fresh Journal over the same storage and restores: snapshot first, then
+// the WAL records in order. A torn write at the tail (the process died
+// mid-append) or a corrupted tail is dropped and reported; everything
+// before it is recovered intact.
+//
+// Crash modelling: power_off() simulates the instant the process dies —
+// writes issued after it never reach the medium, which is how a crash
+// between "send install" and "record activity" is expressed without
+// unwinding the C++ call stack.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "rt/value.h"
+
+namespace pmp::db {
+
+/// The durable medium. Held by shared_ptr from outside the node object so
+/// it survives the node's destruction — the simulated disk.
+struct JournalStorage {
+    std::string name;  ///< obs label, typically the node label
+    Bytes snapshot;    ///< last compacted snapshot (one frame; empty = none)
+    Bytes wal;         ///< CRC-framed records appended since the snapshot
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Exposed so tests can build
+/// hand-crafted frames.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+class Journal {
+public:
+    /// Builds a journal over `storage` (created if null). Does not touch
+    /// the medium: call restore() to read, append()/compact() to write.
+    explicit Journal(std::shared_ptr<JournalStorage> storage);
+
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    struct Restored {
+        std::optional<rt::Value> snapshot;  ///< absent if none / corrupt
+        std::vector<rt::Value> wal;         ///< valid records, in append order
+        std::size_t dropped_bytes = 0;      ///< trailing wal bytes discarded
+        bool snapshot_corrupt = false;
+        bool tail_corrupt = false;  ///< wal ended in a torn or damaged frame
+    };
+
+    /// Decode the medium. Total: never throws. A truncated or corrupt tail
+    /// is dropped (torn final write = normal crash debris); a corrupt
+    /// snapshot yields no snapshot but still replays the WAL.
+    Restored restore() const;
+
+    /// Append one record frame to the WAL. Dropped silently when powered
+    /// off (the process died; the write never reached the disk).
+    void append(const rt::Value& record);
+
+    /// Atomically replace the snapshot with `state` and truncate the WAL.
+    void compact(const rt::Value& state);
+
+    /// Process death: every write after this instant is lost.
+    void power_off() { powered_ = false; }
+    bool powered() const { return powered_; }
+
+    /// Frames appended since construction or the last compact() — the
+    /// compaction-threshold input.
+    std::size_t wal_records() const { return wal_records_; }
+
+    const std::shared_ptr<JournalStorage>& storage() const { return storage_; }
+
+private:
+    std::shared_ptr<JournalStorage> storage_;
+    bool powered_ = true;
+    std::size_t wal_records_ = 0;
+};
+
+}  // namespace pmp::db

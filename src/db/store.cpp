@@ -14,6 +14,7 @@ std::uint64_t EventStore::append(std::string source, SimTime at, rt::Value data)
     rec.at = at;
     rec.data = std::move(data);
     records_.push_back(std::move(rec));
+    if (append_hook_) append_hook_(records_.back());
     return records_.back().seq;
 }
 
@@ -56,11 +57,38 @@ Bytes EventStore::snapshot() const {
 
 EventStore EventStore::restore(std::span<const std::uint8_t> snapshot) {
     EventStore store;
-    rt::Value v = rt::Value::decode(snapshot);
+    rt::Value v;
+    try {
+        v = rt::Value::decode(snapshot);
+    } catch (const Error&) {
+        throw;  // already typed (ParseError etc.)
+    } catch (const std::exception& e) {
+        // A hostile length prefix can trip the allocator or a container
+        // guard; keep the escape typed.
+        throw Error(std::string("event store snapshot: ") + e.what());
+    }
+    if (!v.is_list()) {
+        throw Error("event store snapshot: expected a list of records, got " +
+                    std::string(rt::Value::kind_name(v.kind())));
+    }
     for (const rt::Value& rec : v.as_list()) {
+        if (!rec.is_dict()) {
+            throw Error("event store snapshot: record is not a dict");
+        }
         const rt::Dict& d = rec.as_dict();
-        store.append(d.at("source").as_str(), SimTime{d.at("at_ns").as_int()},
-                     d.at("data"));
+        const rt::Value* source = d.find("source");
+        const rt::Value* at_ns = d.find("at_ns");
+        const rt::Value* data = d.find("data");
+        if (!source || !source->is_str()) {
+            throw Error("event store snapshot: record missing string 'source'");
+        }
+        if (!at_ns || !at_ns->is_int()) {
+            throw Error("event store snapshot: record missing int 'at_ns'");
+        }
+        if (!data) {
+            throw Error("event store snapshot: record missing 'data'");
+        }
+        store.append(source->as_str(), SimTime{at_ns->as_int()}, *data);
     }
     return store;
 }

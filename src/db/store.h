@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,10 +51,20 @@ public:
     /// Serialize the whole store (canonical Value encoding) — the hall's
     /// database surviving a base-station restart.
     Bytes snapshot() const;
+    /// Rebuild from snapshot() bytes. Malformed or hostile input raises a
+    /// typed pmp::Error describing what was wrong — never an unstructured
+    /// escape from the decoder.
     static EventStore restore(std::span<const std::uint8_t> snapshot);
+
+    /// Observer invoked after every append — how the extension base
+    /// journals hall records as they arrive. Pass nullptr to detach.
+    void set_append_hook(std::function<void(const Record&)> fn) {
+        append_hook_ = std::move(fn);
+    }
 
 private:
     std::vector<Record> records_;  // seq == index + 1
+    std::function<void(const Record&)> append_hook_;
 };
 
 /// Replays a queried range in order, preserving relative timing — the

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "obs/trace.h"
+#include "sim/failpoint.h"
 
 namespace pmp::midas {
 
@@ -10,19 +11,41 @@ using rt::List;
 using rt::Value;
 
 ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
-                             const crypto::KeyStore& keys, BaseConfig config)
+                             const crypto::KeyStore& keys, BaseConfig config,
+                             std::shared_ptr<db::Journal> journal,
+                             db::EventStore* hall_store)
     : rpc_(rpc),
       registrar_(registrar),
       keys_(keys),
       config_(std::move(config)),
+      journal_(std::move(journal)),
+      hall_store_(hall_store),
       installs_sent_c_("midas.base.installs_sent", config_.issuer),
       install_failures_c_("midas.base.install_failures", config_.issuer),
       keepalives_sent_c_("midas.base.keepalives_sent", config_.issuer),
       keepalive_failures_c_("midas.base.keepalive_failures", config_.issuer),
       nodes_dropped_c_("midas.base.nodes_dropped", config_.issuer),
       nodes_handed_off_c_("midas.base.nodes_handed_off", config_.issuer),
+      recoveries_c_("midas.base.recoveries", config_.issuer),
       adapted_nodes_g_("midas.base.adapted_nodes", config_.issuer),
+      epoch_g_("midas.base.epoch", config_.issuer),
       backoff_rng_(config_.backoff_seed) {
+    if (journal_) {
+        recover();
+        // Journal hall records as they arrive — installed only after the
+        // recovery replay above, or the replayed events would be written
+        // back into the WAL they just came from.
+        if (hall_store_) {
+            hall_store_->set_append_hook([this](const db::Record& rec) {
+                this->journal(BaseDurableState::rec_event(rec.source, rec.at, rec.data));
+            });
+        }
+        // Persist the adopted epoch, then fold everything into a fresh
+        // snapshot so the next restart replays a bounded WAL.
+        journal_->append(BaseDurableState::rec_epoch(epoch_));
+        compact_journal();
+    }
+    epoch_g_->set(static_cast<std::int64_t>(epoch_));
     watch_token_ = registrar_.watch_local(
         "midas.adaptation",
         [this](const disco::ServiceItem& item, bool appeared) { on_service(item, appeared); });
@@ -31,8 +54,88 @@ ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
 }
 
 ExtensionBase::~ExtensionBase() {
+    if (hall_store_) hall_store_->set_append_hook(nullptr);
     registrar_.unwatch_local(watch_token_);
     rpc_.router().simulator().cancel(keepalive_timer_);
+}
+
+void ExtensionBase::recover() {
+    BaseDurableState st = BaseDurableState::replay(journal_->restore());
+    const bool had_life = st.epoch > 0;
+    epoch_ = st.epoch + 1;
+    std::uint64_t span = 0;
+    if (had_life) {
+        recoveries_c_.inc();
+        span = obs::TraceBuffer::global().begin_span(
+            "midas.recovery", "base.recover",
+            {{"issuer", config_.issuer}, {"epoch", std::to_string(epoch_)}});
+    }
+
+    last_version_ = st.last_version;
+    for (const auto& [name, sealed] : st.policies) {
+        try {
+            auto [pkg, sig] = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
+            policy_[name] = Policy{std::move(pkg), sealed};
+        } catch (const std::exception& e) {
+            // CRC-valid but schema-invalid (should not happen): drop the
+            // one policy rather than refuse to boot.
+            log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
+                     "recovered policy '", name, "' unreadable: ", e.what());
+        }
+    }
+    for (const auto& [label, entry] : st.book) {
+        AdaptedNode an;
+        an.node = NodeId{entry.node};
+        an.label = label;
+        an.installed = entry.installed;
+        an.since = entry.since;
+        an.recovered = true;
+        adapted_.emplace(an.node, std::move(an));
+    }
+    adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
+    if (hall_store_) {
+        for (const auto& ev : st.events) hall_store_->append(ev.source, ev.at, ev.data);
+    }
+
+    if (had_life) {
+        record("recover", "", "");
+        log_info(rpc_.router().simulator().now(), "base@" + config_.issuer,
+                 "recovered journal: epoch ", epoch_, ", ", policy_.size(), " policies, ",
+                 adapted_.size(), " adapted nodes, ", st.events.size(), " hall records");
+        obs::TraceBuffer::global().end_span(
+            span, {{"policies", std::to_string(policy_.size())},
+                   {"nodes", std::to_string(adapted_.size())},
+                   {"events", std::to_string(st.events.size())},
+                   {"skipped", std::to_string(st.skipped_records)}});
+    }
+}
+
+void ExtensionBase::journal(const rt::Value& rec) {
+    if (!journal_) return;
+    journal_->append(rec);
+    if (journal_->wal_records() >= config_.journal_compact_threshold) compact_journal();
+}
+
+void ExtensionBase::compact_journal() {
+    if (!journal_) return;
+    BaseDurableState st;
+    st.epoch = epoch_;
+    st.last_version = last_version_;
+    for (const auto& [name, policy] : policy_) st.policies[name] = policy.sealed;
+    for (const auto& [_, a] : adapted_) {
+        BaseDurableState::BookEntry entry;
+        entry.node = a.node.value;
+        entry.label = a.label;
+        entry.since = a.since;
+        entry.installed = a.installed;
+        st.book[a.label] = std::move(entry);
+    }
+    if (hall_store_) {
+        for (const db::Record& rec : hall_store_->query(db::Query{})) {
+            st.events.push_back(BaseDurableState::Event{rec.source, rec.at, rec.data});
+        }
+    }
+    journal_->compact(st.to_snapshot());
 }
 
 void ExtensionBase::record(const std::string& event, const std::string& node_label,
@@ -51,8 +154,14 @@ void ExtensionBase::add_extension(ExtensionPackage pkg) {
     Policy policy{pkg, pkg.seal(keys_, config_.issuer)};
     policy_[pkg.name] = std::move(policy);
     record("policy-add", "", pkg.name);
+    // Journal after the mutation: a threshold-triggered compaction inside
+    // journal() snapshots live state, which must already include this add.
+    journal(BaseDurableState::rec_policy_add(pkg.name, pkg.version,
+                                             policy_.at(pkg.name).sealed));
+    sim::FailPoints::hit(config_.issuer, "policy.recorded");
 
     for (auto& [node, adapted] : adapted_) {
+        if (adapted.probation) continue;
         std::set<std::string> visiting;
         install_on(node, pkg.name, visiting);
     }
@@ -63,6 +172,7 @@ void ExtensionBase::remove_extension(const std::string& name) {
     if (it == policy_.end()) return;
     policy_.erase(it);
     record("policy-remove", "", name);
+    journal(BaseDurableState::rec_policy_remove(name));
 
     for (auto& [node, adapted] : adapted_) {
         auto ext_it = adapted.installed.find(name);
@@ -99,14 +209,27 @@ void ExtensionBase::on_service(const disco::ServiceItem& item, bool appeared) {
 }
 
 void ExtensionBase::adapt_node(NodeId node, const std::string& label) {
-    auto [it, fresh] = adapted_.emplace(
-        node, AdaptedNode{node, label, {}, {}, 0, rpc_.router().simulator().now()});
+    SimTime now = rpc_.router().simulator().now();
+    auto [it, fresh] = adapted_.emplace(node, AdaptedNode{node, label, {}, {}, 0, now});
     it->second.failures = 0;
+    bool restamped = false;
+    if (it->second.recovered) {
+        // The node re-registered after our restart: its presence here is
+        // fresh evidence, so the claim stamp moves to now and any pending
+        // federation probation is moot.
+        it->second.recovered = false;
+        it->second.probation = false;
+        it->second.since = now;
+        restamped = true;
+    }
     adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
     if (fresh) {
         record("adapt", label, "");
-        log_info(rpc_.router().simulator().now(), "base@" + config_.issuer,
-                 "adapting node ", label);
+        log_info(now, "base@" + config_.issuer, "adapting node ", label);
+    }
+    if (fresh || restamped) {
+        journal(BaseDurableState::rec_adapt(node.value, label, it->second.since));
+        sim::FailPoints::hit(config_.issuer, "adapt.recorded");
     }
     for (const auto& [name, _] : policy_) {
         std::set<std::string> visiting;
@@ -123,10 +246,38 @@ bool ExtensionBase::release_node(const std::string& label) {
         log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
                  label, " handed off to a neighbouring base");
         adapted_.erase(it);
+        journal(BaseDurableState::rec_node_gone(label));
         adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
         return true;
     }
     return false;
+}
+
+std::vector<std::pair<std::string, SimTime>> ExtensionBase::begin_probation() {
+    std::vector<std::pair<std::string, SimTime>> out;
+    for (auto& [_, a] : adapted_) {
+        if (!a.recovered) continue;
+        a.probation = true;
+        out.emplace_back(a.label, a.since);
+    }
+    return out;
+}
+
+bool ExtensionBase::confirm_node(const std::string& label) {
+    for (auto& [_, a] : adapted_) {
+        if (a.label != label) continue;
+        a.probation = false;
+        a.recovered = false;
+        return true;
+    }
+    return false;
+}
+
+std::optional<SimTime> ExtensionBase::claim_stamp_of(const std::string& label) const {
+    for (const auto& [_, a] : adapted_) {
+        if (a.label == label) return a.since;
+    }
+    return std::nullopt;
 }
 
 void ExtensionBase::install_on(NodeId node, const std::string& name,
@@ -154,7 +305,8 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
     rpc_.call_async(
         node, "adaptation", "install",
-        {Value{policy_it->second.sealed}, Value{lease_ms}},
+        {Value{policy_it->second.sealed}, Value{lease_ms},
+         Value{static_cast<std::int64_t>(epoch_)}},
         [this, node, name, push_span](Value result, std::exception_ptr error) {
             obs::TraceBuffer::global().end_span(push_span, {{"ok", error ? "false" : "true"}});
             auto adapted_it = adapted_.find(node);
@@ -176,10 +328,17 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
                 return;
             }
             adapted_it->second.retry.erase(name);
-            adapted_it->second.installed[name] =
+            std::uint64_t ext =
                 static_cast<std::uint64_t>(result.as_dict().at("ext").as_int());
+            adapted_it->second.installed[name] = ext;
             record("install", adapted_it->second.label, name);
+            journal(BaseDurableState::rec_install(node.value, adapted_it->second.label,
+                                                  name, ext));
+            sim::FailPoints::hit(config_.issuer, "install.recorded");
         });
+    // "After install sent, before activity recorded" — the canonical
+    // crash-point: the package is on the air, nothing is journaled yet.
+    sim::FailPoints::hit(config_.issuer, "install.sent");
 }
 
 Duration ExtensionBase::install_backoff_for(int attempts) {
@@ -197,6 +356,10 @@ void ExtensionBase::keepalive_tick() {
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
     SimTime now = rpc_.router().simulator().now();
     for (auto& [node, adapted] : adapted_) {
+        // A probation entry is a journal-recovered node the federation has
+        // not yet confirmed: a neighbour may have adapted it while we were
+        // down, so no traffic until the claim settles.
+        if (adapted.probation) continue;
         // Retry policy extensions whose install never succeeded (the radio
         // may have eaten the package or the reply) — but at most one
         // attempt in flight per extension, and only once its backoff
@@ -217,7 +380,8 @@ void ExtensionBase::keepalive_tick() {
             NodeId node_id = node;
             rpc_.call_async(
                 node, "adaptation", "keepalive",
-                {Value{static_cast<std::int64_t>(ext)}, Value{lease_ms}},
+                {Value{static_cast<std::int64_t>(ext)}, Value{lease_ms},
+                 Value{static_cast<std::int64_t>(epoch_)}},
                 [this, node_id, name](Value result, std::exception_ptr error) {
                     auto it = adapted_.find(node_id);
                     if (it == adapted_.end()) return;
@@ -231,9 +395,10 @@ void ExtensionBase::keepalive_tick() {
                     it->second.failures = 0;
                     if (!result.as_bool()) {
                         // Receiver no longer knows the extension (expired
-                        // there, or restarted). Drop the stale id — keeping
-                        // it would re-enter this branch every tick and storm
-                        // the node with installs — and let the backoff-gated
+                        // there, restarted, or it detected our restart via
+                        // the epoch). Drop the stale id — keeping it would
+                        // re-enter this branch every tick and storm the
+                        // node with installs — and let the backoff-gated
                         // retry loop re-install.
                         it->second.installed.erase(name);
                         std::set<std::string> visiting;
@@ -249,10 +414,12 @@ void ExtensionBase::drop_node(NodeId node) {
     auto it = adapted_.find(node);
     if (it == adapted_.end()) return;
     nodes_dropped_c_.inc();
-    record("node-gone", it->second.label, "");
+    std::string label = it->second.label;
+    record("node-gone", label, "");
     log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
-             it->second.label, " left; stopping keep-alives");
+             label, " left; stopping keep-alives");
     adapted_.erase(it);
+    journal(BaseDurableState::rec_node_gone(label));
     adapted_nodes_g_->set(static_cast<std::int64_t>(adapted_.size()));
 }
 

@@ -17,7 +17,10 @@
 
 #include "common/rng.h"
 #include "crypto/trust.h"
+#include "db/journal.h"
+#include "db/store.h"
 #include "disco/registrar.h"
+#include "midas/durable.h"
 #include "midas/package.h"
 #include "obs/metrics.h"
 
@@ -38,14 +41,24 @@ struct BaseConfig {
     Duration install_backoff_max = seconds(10);
     double install_backoff_jitter = 0.2;
     std::uint64_t backoff_seed = 0x51ee7ULL;  ///< jitter rng stream
+    /// WAL frames between snapshot compactions (when journaling).
+    std::size_t journal_compact_threshold = 256;
 };
 
 class ExtensionBase {
 public:
     /// `registrar` is the lookup service this base watches (usually running
     /// on the same node). `keys` must hold a signing key for config.issuer.
+    ///
+    /// With a `journal` the base becomes durable: the policy set, the
+    /// adapted-node book and (if `hall_store` is given) every hall record
+    /// are journaled as they change, and a base constructed over a journal
+    /// with prior state recovers it under a bumped epoch — see
+    /// docs/recovery.md. Without a journal behaviour is unchanged.
     ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
-                  const crypto::KeyStore& keys, BaseConfig config);
+                  const crypto::KeyStore& keys, BaseConfig config,
+                  std::shared_ptr<db::Journal> journal = nullptr,
+                  db::EventStore* hall_store = nullptr);
     ~ExtensionBase();
 
     ExtensionBase(const ExtensionBase&) = delete;
@@ -79,6 +92,8 @@ public:
         std::map<std::string, RetryState> retry;
         int failures = 0;
         SimTime since;
+        bool recovered = false;  ///< restored from the journal, not yet re-seen
+        bool probation = false;  ///< federation claim pending; no traffic yet
     };
     std::size_t adapted_count() const { return adapted_.size(); }
     std::vector<AdaptedNode> adapted() const;
@@ -111,6 +126,23 @@ public:
     void on_adapt(std::function<void(const AdaptedNode&)> fn) { on_adapt_ = std::move(fn); }
     bool release_node(const std::string& label);
 
+    /// Epoch of this base's life. Starts at 1; a recovery from a journal
+    /// with prior state bumps it. Carried on install/keepalive RPCs so
+    /// receivers can tell a restarted base from the one that leased them.
+    std::uint64_t epoch() const { return epoch_; }
+
+    /// Recovery support (see midas::Federation). begin_probation() gates
+    /// every journal-recovered book entry out of the keep-alive loop and
+    /// returns their (label, since) stamps; the federation claims each to
+    /// its neighbours and then either confirm_node()s it (traffic resumes)
+    /// or release_node()s it (a neighbour adapted it more recently while
+    /// this base was down). A base without a federation never enters
+    /// probation: recovered entries re-adapt on the first keep-alive tick.
+    std::vector<std::pair<std::string, SimTime>> begin_probation();
+    bool confirm_node(const std::string& label);
+    /// Claim stamp (adaptation time) of a held node, or nullopt.
+    std::optional<SimTime> claim_stamp_of(const std::string& label) const;
+
 private:
     struct Policy {
         ExtensionPackage pkg;
@@ -127,11 +159,19 @@ private:
     void drop_node(NodeId node);
     void record(const std::string& event, const std::string& node_label,
                 const std::string& extension);
+    /// Recover journaled state (epoch bump, policy set, book, hall events).
+    void recover();
+    void journal(const rt::Value& rec);
+    /// Serialize live state and compact the journal.
+    void compact_journal();
 
     rt::RpcEndpoint& rpc_;
     disco::Registrar& registrar_;
     const crypto::KeyStore& keys_;
     BaseConfig config_;
+    std::shared_ptr<db::Journal> journal_;
+    db::EventStore* hall_store_ = nullptr;
+    std::uint64_t epoch_ = 1;
 
     std::map<std::string, Policy> policy_;
     std::map<std::string, std::uint32_t> last_version_;
@@ -145,7 +185,9 @@ private:
     obs::OwnedCounter keepalive_failures_c_;
     obs::OwnedCounter nodes_dropped_c_;
     obs::OwnedCounter nodes_handed_off_c_;
+    obs::OwnedCounter recoveries_c_;
     obs::OwnedGauge adapted_nodes_g_;
+    obs::OwnedGauge epoch_g_;
 
     Rng backoff_rng_;
     std::uint64_t watch_token_ = 0;

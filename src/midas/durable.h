@@ -1,0 +1,101 @@
+// Durable-state record formats for MIDAS (see docs/recovery.md).
+//
+// The journal (db::Journal) frames and checksums opaque rt::Values; this
+// module defines what MIDAS actually writes into those frames and how a
+// restarted node folds snapshot + WAL back into live state. Records are
+// dicts tagged with an "op" key; unknown or malformed records are skipped
+// (counted) rather than fatal, so a newer node can always read an older
+// journal.
+//
+// Base journal ops:
+//   epoch         {epoch}                       — adopted at (re)start
+//   policy-add    {name, version, sealed}       — sealed signed package
+//   policy-remove {name}
+//   adapt         {node, label, since_ns}       — adapted-node book entry
+//   install       {node, label, name, ext}      — remote ext id recorded
+//   node-gone     {label}                       — dropped or handed off
+//   event         {source, at_ns, data}         — hall EventStore record
+//
+// Receiver journal ops:
+//   install       {name, version, issuer}       — manifest entry
+//   withdraw      {name}
+//   quarantine    {name, version}               — survives restarts
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "db/journal.h"
+#include "rt/value.h"
+
+namespace pmp::midas {
+
+/// The extension base's durable state, replayed from its journal.
+struct BaseDurableState {
+    std::uint64_t epoch = 0;  ///< 0 = journal held no prior life
+
+    std::map<std::string, std::uint32_t> last_version;
+    std::map<std::string, Bytes> policies;  ///< name -> sealed package
+
+    struct BookEntry {
+        std::uint64_t node = 0;  ///< NodeId value at crash time
+        std::string label;
+        SimTime since;
+        std::map<std::string, std::uint64_t> installed;  ///< name -> remote ext
+    };
+    std::map<std::string, BookEntry> book;  ///< keyed by node label
+
+    struct Event {
+        std::string source;
+        SimTime at;
+        rt::Value data;
+    };
+    std::vector<Event> events;
+
+    std::size_t skipped_records = 0;  ///< malformed/unknown records ignored
+
+    /// Fold snapshot + WAL into state. Total: never throws.
+    static BaseDurableState replay(const db::Journal::Restored& restored);
+
+    /// Serialize for db::Journal::compact().
+    rt::Value to_snapshot() const;
+
+    // Record builders (the write side of the formats above).
+    static rt::Value rec_epoch(std::uint64_t epoch);
+    static rt::Value rec_policy_add(const std::string& name, std::uint32_t version,
+                                    const Bytes& sealed);
+    static rt::Value rec_policy_remove(const std::string& name);
+    static rt::Value rec_adapt(std::uint64_t node, const std::string& label, SimTime since);
+    static rt::Value rec_install(std::uint64_t node, const std::string& label,
+                                 const std::string& name, std::uint64_t ext);
+    static rt::Value rec_node_gone(const std::string& label);
+    static rt::Value rec_event(const std::string& source, SimTime at, const rt::Value& data);
+};
+
+/// The adaptation service's durable state: the installed-extension
+/// manifest as of the crash (for diagnosis — extensions are NOT
+/// resurrected; the normal adaptation path re-extends the node) and the
+/// quarantine list (which IS enforced again after restart).
+struct ReceiverDurableState {
+    struct ManifestEntry {
+        std::string name;
+        std::uint32_t version = 0;
+        std::string issuer;
+    };
+    std::vector<ManifestEntry> manifest;
+    std::vector<std::pair<std::string, std::uint32_t>> quarantined;  ///< (name, version)
+    std::size_t skipped_records = 0;
+
+    static ReceiverDurableState replay(const db::Journal::Restored& restored);
+    rt::Value to_snapshot() const;
+
+    static rt::Value rec_install(const std::string& name, std::uint32_t version,
+                                 const std::string& issuer);
+    static rt::Value rec_withdraw(const std::string& name);
+    static rt::Value rec_quarantine(const std::string& name, std::uint32_t version);
+};
+
+}  // namespace pmp::midas

@@ -12,13 +12,27 @@ Federation::Federation(rt::RpcEndpoint& rpc, ExtensionBase& base, std::string na
     if (!runtime.find_type("Roaming")) {
         runtime.register_type(
             rt::TypeInfo::Builder("Roaming")
-                .method("claimed", TypeKind::kBool,
-                        {{"node_label", TypeKind::kStr}, {"by", TypeKind::kStr}},
+                .method("claimed", TypeKind::kInt,
+                        {{"node_label", TypeKind::kStr},
+                         {"by", TypeKind::kStr},
+                         {"since_ns", TypeKind::kInt}},
                         [this](rt::ServiceObject&, List& args) -> Value {
                             ++stats_.claims_received;
-                            bool released = base_.release_node(args[0].as_str());
-                            if (released) ++stats_.releases;
-                            return Value{released};
+                            const std::string& label = args[0].as_str();
+                            const std::string& by = args[1].as_str();
+                            SimTime theirs{args[2].as_int()};
+                            auto ours = base_.claim_stamp_of(label);
+                            if (!ours) return Value{std::int64_t{0}};
+                            // The fresher adaptation wins; ties break by
+                            // base name so both sides reach the same
+                            // verdict without another round-trip.
+                            bool yield = theirs.ns > ours->ns ||
+                                         (theirs.ns == ours->ns && by > name_);
+                            if (yield) {
+                                if (base_.release_node(label)) ++stats_.releases;
+                                return Value{std::int64_t{1}};
+                            }
+                            return Value{std::int64_t{2}};
                         })
                 .build());
     }
@@ -30,10 +44,48 @@ Federation::Federation(rt::RpcEndpoint& rpc, ExtensionBase& base, std::string na
         for (NodeId neighbor : neighbors_) {
             ++stats_.claims_sent;
             rpc_.call_async(neighbor, "roaming", "claimed",
-                            {Value{node.label}, Value{name_}},
+                            {Value{node.label}, Value{name_}, Value{node.since.ns}},
                             [](Value, std::exception_ptr) {});
         }
     });
+
+    // Recovered book entries go through probation: claim each to the
+    // neighbours and only resume keep-alives for the ones nobody else
+    // adapted while we were down. Deferred one tick so the node's setup
+    // code can add_neighbor() after constructing the federation.
+    probation_timer_ = rpc_.router().simulator().schedule_after(Duration{0}, [this]() {
+        for (const auto& [label, since] : base_.begin_probation()) {
+            if (neighbors_.empty()) {
+                base_.confirm_node(label);
+                ++stats_.recoveries_confirmed;
+            } else {
+                claim_recovered(label, since);
+            }
+        }
+    });
+}
+
+Federation::~Federation() { rpc_.router().simulator().cancel(probation_timer_); }
+
+void Federation::claim_recovered(const std::string& label, SimTime since) {
+    auto pending = std::make_shared<int>(static_cast<int>(neighbors_.size()));
+    auto keep = std::make_shared<bool>(true);
+    for (NodeId neighbor : neighbors_) {
+        ++stats_.claims_sent;
+        rpc_.call_async(
+            neighbor, "roaming", "claimed", {Value{label}, Value{name_}, Value{since.ns}},
+            [this, label, pending, keep](Value result, std::exception_ptr error) {
+                // An unreachable neighbour can't out-claim us; only an
+                // explicit kept-newer verdict costs us the node.
+                if (!error && result.is_int() && result.as_int() == 2) *keep = false;
+                if (--*pending > 0) return;
+                if (*keep) {
+                    if (base_.confirm_node(label)) ++stats_.recoveries_confirmed;
+                } else {
+                    if (base_.release_node(label)) ++stats_.recoveries_ceded;
+                }
+            });
+    }
 }
 
 void Federation::add_neighbor(NodeId base_node) { neighbors_.push_back(base_node); }

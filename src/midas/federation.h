@@ -9,8 +9,19 @@
 // activity log records the handoff, so an operator can follow a robot
 // across halls.
 //
+// Claims carry the adaptation stamp (when the claimer adapted the node),
+// and the receiver answers with a verdict instead of a bool, which is what
+// makes recovery safe: a base restarting from its journal re-claims every
+// recovered book entry, and if a neighbour adapted the node *while the
+// claimer was down* the neighbour's newer stamp wins — the recovered base
+// releases its stale entry and no node is ever adapted by two bases at
+// once. Stamp ties (virtual time makes them possible) break by base name.
+//
 // Remote interface (object "roaming"):
-//   claimed(node_label str, by str) -> bool
+//   claimed(node_label str, by str, since_ns int) -> int
+//     0 = not held here; 1 = was held, released to the claimer;
+//     2 = held with a newer (or tied-and-winning) stamp — claimer must
+//         release its own entry.
 #pragma once
 
 #include "midas/base.h"
@@ -20,8 +31,15 @@ namespace pmp::midas {
 class Federation {
 public:
     /// Attaches to the base's adapt events and exports the "roaming"
-    /// endpoint on the same node.
+    /// endpoint on the same node. If the base recovered book entries from
+    /// a journal, they are claimed to the neighbours one simulator tick
+    /// after construction (so add_neighbor() calls get in first) and
+    /// confirmed or released per the verdicts.
     Federation(rt::RpcEndpoint& rpc, ExtensionBase& base, std::string name);
+    ~Federation();
+
+    Federation(const Federation&) = delete;
+    Federation& operator=(const Federation&) = delete;
 
     /// Declare a neighbouring base (call add_wire on the network first so
     /// the claim can actually travel).
@@ -31,15 +49,20 @@ public:
         std::uint64_t claims_sent = 0;
         std::uint64_t claims_received = 0;
         std::uint64_t releases = 0;
+        std::uint64_t recoveries_confirmed = 0;  ///< probation -> ours again
+        std::uint64_t recoveries_ceded = 0;      ///< probation -> neighbour's
     };
     const Stats& stats() const { return stats_; }
 
 private:
+    void claim_recovered(const std::string& label, SimTime since);
+
     rt::RpcEndpoint& rpc_;
     ExtensionBase& base_;
     std::string name_;
     std::vector<NodeId> neighbors_;
     std::shared_ptr<rt::ServiceObject> self_object_;
+    sim::TimerId probation_timer_;
     Stats stats_;
 };
 

@@ -21,20 +21,25 @@ NodeStack::NodeStack(net::Network& network, const std::string& label, net::Posit
 }
 
 MobileNode::MobileNode(net::Network& network, const std::string& label, net::Position pos,
-                       double range, ReceiverConfig receiver_config)
+                       double range, ReceiverConfig receiver_config,
+                       std::shared_ptr<db::JournalStorage> durable)
     : NodeStack(network, label, pos, range) {
     if (receiver_config.node_label.empty()) receiver_config.node_label = label;
+    if (durable) journal_ = std::make_shared<db::Journal>(std::move(durable));
     receiver_ = std::make_unique<AdaptationService>(rpc(), weaver(), trust_, discovery(),
-                                                    std::move(receiver_config));
+                                                    std::move(receiver_config), journal_);
 }
 
 BaseStation::BaseStation(net::Network& network, const std::string& label, net::Position pos,
                          double range, BaseConfig base_config,
-                         disco::RegistrarConfig registrar_config)
+                         disco::RegistrarConfig registrar_config,
+                         std::shared_ptr<db::JournalStorage> durable)
     : NodeStack(network, label, pos, range) {
     registrar_ = std::make_unique<disco::Registrar>(router(), rpc(), registrar_config);
     collector_ = std::make_unique<Collector>(rpc(), store_);
-    base_ = std::make_unique<ExtensionBase>(rpc(), *registrar_, keys_, std::move(base_config));
+    if (durable) journal_ = std::make_shared<db::Journal>(std::move(durable));
+    base_ = std::make_unique<ExtensionBase>(rpc(), *registrar_, keys_, std::move(base_config),
+                                            journal_, journal_ ? &store_ : nullptr);
 }
 
 Peer::Peer(net::Network& network, const std::string& label, net::Position pos, double range,

@@ -50,35 +50,52 @@ private:
 };
 
 /// A mobile device that can be adapted by proactive environments.
+///
+/// Pass a `durable` storage (a shared "disk" that outlives the object —
+/// see db::JournalStorage) to make the receiver's quarantine list and
+/// installed manifest survive a crash–restart: rebuild the node over the
+/// same storage and it recovers them.
 class MobileNode : public NodeStack {
 public:
     MobileNode(net::Network& network, const std::string& label, net::Position pos,
-               double range, ReceiverConfig receiver_config = {});
+               double range, ReceiverConfig receiver_config = {},
+               std::shared_ptr<db::JournalStorage> durable = nullptr);
 
     crypto::TrustStore& trust() { return trust_; }
     AdaptationService& receiver() { return *receiver_; }
+    /// The receiver's journal (null when constructed without storage).
+    const std::shared_ptr<db::Journal>& journal() const { return journal_; }
 
 private:
     crypto::TrustStore trust_;
+    std::shared_ptr<db::Journal> journal_;
     std::unique_ptr<AdaptationService> receiver_;
 };
 
 /// A base station: the proactive environment of one physical space.
+///
+/// With a `durable` storage the base journals its policy set, adapted-node
+/// book and the hall database; a BaseStation rebuilt over the same storage
+/// recovers all three under a bumped epoch (docs/recovery.md).
 class BaseStation : public NodeStack {
 public:
     BaseStation(net::Network& network, const std::string& label, net::Position pos,
                 double range, BaseConfig base_config,
-                disco::RegistrarConfig registrar_config = {});
+                disco::RegistrarConfig registrar_config = {},
+                std::shared_ptr<db::JournalStorage> durable = nullptr);
 
     crypto::KeyStore& keys() { return keys_; }
     disco::Registrar& registrar() { return *registrar_; }
     ExtensionBase& base() { return *base_; }
     Collector& collector() { return *collector_; }
     db::EventStore& store() { return store_; }
+    /// The base's journal (null when constructed without storage).
+    const std::shared_ptr<db::Journal>& journal() const { return journal_; }
 
 private:
     crypto::KeyStore keys_;
     db::EventStore store_;
+    std::shared_ptr<db::Journal> journal_;
     std::unique_ptr<disco::Registrar> registrar_;
     std::unique_ptr<Collector> collector_;
     std::unique_ptr<ExtensionBase> base_;

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "obs/trace.h"
+#include "sim/failpoint.h"
 
 namespace pmp::midas {
 
@@ -13,12 +14,14 @@ using rt::Value;
 
 AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver,
                                      crypto::TrustStore& trust,
-                                     disco::DiscoveryClient& discovery, ReceiverConfig config)
+                                     disco::DiscoveryClient& discovery, ReceiverConfig config,
+                                     std::shared_ptr<db::Journal> journal)
     : rpc_(rpc),
       weaver_(weaver),
       trust_(trust),
       discovery_(discovery),
       config_(std::move(config)),
+      journal_(std::move(journal)),
       host_builtins_(script::BuiltinRegistry::with_core()),
       installs_c_("midas.installs", config_.node_label),
       replacements_c_("midas.replacements", config_.node_label),
@@ -28,7 +31,16 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
       expirations_c_("midas.lease.expirations", config_.node_label),
       renewals_c_("midas.lease.renewals", config_.node_label),
       revocations_c_("midas.revocations", config_.node_label),
+      quarantined_c_("midas.receiver.quarantined", config_.node_label),
       extensions_g_("midas.extensions", config_.node_label) {
+    if (journal_) recover();
+
+    // Protocol machinery, not telemetry: the weaver reports every advice
+    // outcome and repeated script failures quarantine the extension.
+    weaver_.set_advice_observer([this](AspectId aspect, const std::exception* error) {
+        on_advice_outcome(aspect, error);
+    });
+
     // Node facilities every extension may request.
     host_builtins_.add("sys.now_ms", "", [this](List&) -> Value {
         return Value{rpc_.router().simulator().now().ns / 1'000'000};
@@ -61,8 +73,100 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
 }
 
 AdaptationService::~AdaptationService() {
+    *alive_ = false;
+    // Detach the observer before withdrawing: shutdown advice runs during
+    // withdraw_all and must not count toward quarantine.
+    weaver_.set_advice_observer(nullptr);
     discovery_.off_registrar(registrar_token_);
     withdraw_all(prose::WithdrawReason::kExplicit);
+}
+
+void AdaptationService::recover() {
+    ReceiverDurableState st = ReceiverDurableState::replay(journal_->restore());
+    for (const auto& q : st.quarantined) quarantined_.insert(q);
+    recovered_manifest_ = std::move(st.manifest);
+    if (!quarantined_.empty() || !recovered_manifest_.empty()) {
+        obs::TraceBuffer::global().instant(
+            "midas.recovery", "receiver.recover",
+            {{"node", config_.node_label},
+             {"manifest", std::to_string(recovered_manifest_.size())},
+             {"quarantined", std::to_string(quarantined_.size())},
+             {"skipped", std::to_string(st.skipped_records)}});
+        log_info(rpc_.router().simulator().now(), "midas@" + config_.node_label,
+                 "recovered journal: ", recovered_manifest_.size(),
+                 " extensions were installed, ", quarantined_.size(), " quarantined");
+    }
+    // Nothing is installed in this life yet; fold the journal down to the
+    // quarantine list (the only part enforced again).
+    compact_journal();
+}
+
+void AdaptationService::journal(const rt::Value& rec) {
+    if (!journal_) return;
+    journal_->append(rec);
+    if (journal_->wal_records() >= 256) compact_journal();
+}
+
+void AdaptationService::compact_journal() {
+    if (!journal_) return;
+    ReceiverDurableState st;
+    for (const auto& [_, entry] : installed_) {
+        st.manifest.push_back(ReceiverDurableState::ManifestEntry{
+            entry.info.name, entry.info.version, entry.info.issuer});
+    }
+    for (const auto& q : quarantined_) st.quarantined.push_back(q);
+    journal_->compact(st.to_snapshot());
+}
+
+void AdaptationService::on_advice_outcome(AspectId aspect, const std::exception* error) {
+    ExtensionId ext{};
+    bool ours = false;
+    for (const auto& [id, entry] : installed_) {
+        if (entry.info.aspect == aspect) {
+            ext = id;
+            ours = true;
+            break;
+        }
+    }
+    if (!ours) return;  // hand-woven aspects are not leased code
+    if (!error) {
+        advice_failures_.erase(ext);
+        return;
+    }
+    // Broken or runaway extension code counts; AccessDenied is this node's
+    // own capability policy saying no — the script is fine.
+    bool counts = dynamic_cast<const ScriptError*>(error) != nullptr ||
+                  dynamic_cast<const ResourceExhausted*>(error) != nullptr;
+    if (!counts) return;
+    if (++advice_failures_[ext] < config_.quarantine_after) return;
+    if (!pending_quarantine_.insert(ext).second) return;
+    // Deferred: this observer fires inside the failing advice dispatch;
+    // withdrawing the aspect here would destroy the hook list the weaver
+    // is still iterating.
+    rpc_.router().simulator().schedule_after(Duration{0}, [this, ext, alive = alive_]() {
+        if (!*alive) return;
+        pending_quarantine_.erase(ext);
+        quarantine(ext);
+    });
+}
+
+void AdaptationService::quarantine(ExtensionId id) {
+    auto it = installed_.find(id);
+    if (it == installed_.end()) return;  // withdrawn in the meantime
+    Installed info = it->second.info;
+    quarantined_.insert({info.name, info.version});
+    quarantined_c_.inc();
+    obs::TraceBuffer::global().instant(
+        "midas.receiver", "pkg.quarantine",
+        {{"node", config_.node_label},
+         {"pkg", info.name},
+         {"version", std::to_string(info.version)}});
+    log_warn(rpc_.router().simulator().now(), "midas@" + config_.node_label,
+             "quarantining '", info.name, "' v", info.version,
+             " after ", config_.quarantine_after, " consecutive advice failures");
+    withdraw(id, prose::WithdrawReason::kQuarantined);
+    journal(ReceiverDurableState::rec_quarantine(info.name, info.version));
+    emit("quarantine", info);
 }
 
 void AdaptationService::register_at(NodeId registrar) {
@@ -71,9 +175,12 @@ void AdaptationService::register_at(NodeId registrar) {
     // registration attempt itself fails while the registrar is still
     // around, try again shortly — otherwise the node would silently stop
     // being adaptable until it left and re-entered the cell.
-    auto retry_if_still_there = [this, registrar]() {
+    auto retry_if_still_there = [this, registrar, alive = alive_]() {
+        if (!*alive) return;
         advertisements_.erase(registrar);
-        rpc_.router().simulator().schedule_after(milliseconds(500), [this, registrar]() {
+        rpc_.router().simulator().schedule_after(milliseconds(500),
+                                                 [this, registrar, alive]() {
+            if (!*alive) return;
             if (advertisements_.contains(registrar)) return;  // re-registered already
             for (NodeId known : discovery_.registrars()) {
                 if (known == registrar) {
@@ -115,17 +222,23 @@ void AdaptationService::build_service_object() {
         auto type =
             rt::TypeInfo::Builder("AdaptationService")
                 .method("install", TypeKind::kDict,
-                        {{"pkg", TypeKind::kBlob}, {"lease_ms", TypeKind::kInt}},
+                        {{"pkg", TypeKind::kBlob},
+                         {"lease_ms", TypeKind::kInt},
+                         {"epoch", TypeKind::kInt}},
                         [this](rt::ServiceObject&, List& args) -> Value {
                             return do_install(rpc_.current_caller(), args[0].as_blob(),
-                                              args[1].as_int());
+                                              args[1].as_int(),
+                                              static_cast<std::uint64_t>(args[2].as_int()));
                         })
                 .method("keepalive", TypeKind::kBool,
-                        {{"ext", TypeKind::kInt}, {"lease_ms", TypeKind::kInt}},
+                        {{"ext", TypeKind::kInt},
+                         {"lease_ms", TypeKind::kInt},
+                         {"epoch", TypeKind::kInt}},
                         [this](rt::ServiceObject&, List& args) -> Value {
                             return Value{do_keepalive(
                                 static_cast<std::uint64_t>(args[0].as_int()),
-                                args[1].as_int())};
+                                args[1].as_int(),
+                                static_cast<std::uint64_t>(args[2].as_int()))};
                         })
                 .method("revoke", TypeKind::kBool, {{"ext", TypeKind::kInt}},
                         [this](rt::ServiceObject&, List& args) -> Value {
@@ -152,7 +265,7 @@ void AdaptationService::emit(const std::string& event, const Installed& entry) {
 }
 
 rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
-                                        std::int64_t lease_ms) {
+                                        std::int64_t lease_ms, std::uint64_t epoch) {
     SimTime now = rpc_.router().simulator().now();
     auto& trace = obs::TraceBuffer::global();
     ExtensionPackage pkg;
@@ -187,6 +300,19 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     }
     trace.end_span(verify_span, {{"ok", "true"}, {"pkg", pkg.name}, {"issuer", sig.issuer}});
 
+    // Quarantined code stays out until a *newer* version arrives — checked
+    // after the signature so a forged package can't probe the list, before
+    // anything is compiled.
+    if (quarantined_.contains({pkg.name, pkg.version})) {
+        rejections_c_.inc();
+        trace.instant("midas.receiver", "pkg.refuse_quarantined",
+                      {{"node", config_.node_label},
+                       {"pkg", pkg.name},
+                       {"version", std::to_string(pkg.version)}});
+        throw Error("extension '" + pkg.name + "' v" + std::to_string(pkg.version) +
+                    " is quarantined on this node");
+    }
+
     // Capability policy: every requested capability must be grantable for
     // this issuer.
     const auto caps_it = issuer_caps_.find(sig.issuer);
@@ -204,9 +330,12 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     if (auto it = by_name_.find(pkg.name); it != by_name_.end()) {
         Entry& existing = installed_.at(it->second);
         if (pkg.version <= existing.info.version) {
-            // Idempotent re-install: refresh the lease only.
+            // Idempotent re-install: refresh the lease only. The epoch
+            // moves too — a restarted base that re-pushes the same
+            // version has re-adopted the lease under its new life.
             refreshes_c_.inc();
             existing.info.base = base;
+            if (epoch != 0) existing.info.base_epoch = epoch;
             arm_expiry(existing.info.id, lease);
             emit("refresh", existing.info);
             Dict out{{"ext", Value{static_cast<std::int64_t>(existing.info.id.value)}},
@@ -295,13 +424,17 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
 
     Entry entry;
     entry.info = Installed{id, pkg.name, pkg.version, sig.issuer, base, aspect,
-                           now + lease};
+                           now + lease, epoch};
     entry.wire_owner = wire_owner;
     installed_.emplace(id, std::move(entry));
     by_name_[pkg.name] = id;
     arm_expiry(id, lease);
     installs_c_.inc();
     extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
+    journal(ReceiverDurableState::rec_install(pkg.name, pkg.version, sig.issuer));
+    // Crash-point: the extension is woven and journaled, the reply not yet
+    // on the air — the installing base will see a timeout for a success.
+    sim::FailPoints::hit(config_.node_label, "install.applied");
     trace.instant("midas.receiver", "pkg.install",
                   {{"node", config_.node_label},
                    {"pkg", pkg.name},
@@ -335,10 +468,31 @@ void AdaptationService::arm_expiry(ExtensionId id, Duration lease) {
     });
 }
 
-bool AdaptationService::do_keepalive(std::uint64_t ext, std::int64_t lease_ms) {
+bool AdaptationService::do_keepalive(std::uint64_t ext, std::int64_t lease_ms,
+                                     std::uint64_t epoch) {
     ExtensionId id{ext};
     auto it = installed_.find(id);
     if (it == installed_.end()) return false;
+    if (epoch != 0 && it->second.info.base_epoch != 0 &&
+        epoch != it->second.info.base_epoch) {
+        // The base restarted since it leased this extension: the ext id it
+        // recovered belongs to its previous life. Withdraw the stale lease
+        // (shutdown advice runs first) and answer false — the recovered
+        // base drops the id and re-installs through its normal retry path,
+        // so the extension comes back exactly once.
+        Installed info = it->second.info;
+        obs::TraceBuffer::global().instant(
+            "midas.receiver", "lease.stale_epoch",
+            {{"node", config_.node_label},
+             {"pkg", info.name},
+             {"leased_epoch", std::to_string(info.base_epoch)},
+             {"seen_epoch", std::to_string(epoch)}});
+        log_info(rpc_.router().simulator().now(), "midas@" + config_.node_label,
+                 "base epoch moved ", info.base_epoch, " -> ", epoch,
+                 "; withdrawing stale '", info.name, "'");
+        withdraw(id, prose::WithdrawReason::kBaseRestarted);
+        return false;
+    }
     renewals_c_.inc();
     obs::TraceBuffer::global().instant(
         "midas.receiver", "lease.renew",
@@ -378,9 +532,14 @@ void AdaptationService::withdraw(ExtensionId id, prose::WithdrawReason reason) {
     if (it->second.wire_owner != 0) {
         rpc_.remove_wire_filters(it->second.wire_owner);
     }
-    by_name_.erase(it->second.info.name);
+    std::string name = it->second.info.name;
+    by_name_.erase(name);
     installed_.erase(it);
+    advice_failures_.erase(id);
     extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
+    // After the erase: a compaction inside journal() snapshots the live
+    // manifest, which must no longer list this extension.
+    journal(ReceiverDurableState::rec_withdraw(name));
 }
 
 void AdaptationService::withdraw_all(prose::WithdrawReason reason) {

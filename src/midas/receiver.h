@@ -17,10 +17,16 @@
 //     name arrives, and revokes on explicit request.
 //
 // Remote interface (object "adaptation"):
-//   install(pkg blob, lease_ms int) -> {ext int, lease_ms int}
-//   keepalive(ext int, lease_ms int) -> bool
+//   install(pkg blob, lease_ms int, epoch int) -> {ext int, lease_ms int}
+//   keepalive(ext int, lease_ms int, epoch int) -> bool
 //   revoke(ext int) -> bool
 //   list() -> [ {ext, name, version, issuer} ]
+//
+// `epoch` identifies the base's life (0 = epochless transports such as the
+// tuple-space puller). A keep-alive whose epoch differs from the one the
+// lease was granted under means the base restarted: the stale lease is
+// withdrawn (shutdown advice runs) and `false` tells the recovered base to
+// re-install — exactly once, through its normal retry path.
 #pragma once
 
 #include <set>
@@ -28,7 +34,9 @@
 #include "core/script_aspect.h"
 #include "core/weaver.h"
 #include "crypto/trust.h"
+#include "db/journal.h"
 #include "disco/lookup.h"
+#include "midas/durable.h"
 #include "midas/package.h"
 #include "obs/metrics.h"
 
@@ -43,13 +51,25 @@ struct ReceiverConfig {
     /// with diagnostics (undefined names, unknown builtins, bad arity...)
     /// before anything is compiled or woven.
     bool static_check = true;
+    /// Quarantine an extension after this many *consecutive* advice
+    /// failures (ScriptError / ResourceExhausted — broken or runaway code;
+    /// AccessDenied is the node's own policy saying no and never counts).
+    /// The extension is withdrawn and re-installs of the same
+    /// (name, version) are refused until a newer version arrives.
+    int quarantine_after = 3;
 };
 
 class AdaptationService {
 public:
+    /// With a `journal` the service becomes durable: the installed
+    /// manifest and the quarantine list are journaled, and a restart
+    /// recovers the quarantine list (enforced again) plus the crash-time
+    /// manifest (for diagnosis — extensions are NOT resurrected; the
+    /// normal adaptation path re-extends the node).
     AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver,
                       crypto::TrustStore& trust, disco::DiscoveryClient& discovery,
-                      ReceiverConfig config);
+                      ReceiverConfig config,
+                      std::shared_ptr<db::Journal> journal = nullptr);
     ~AdaptationService();
 
     AdaptationService(const AdaptationService&) = delete;
@@ -73,6 +93,7 @@ public:
         NodeId base;
         AspectId aspect;
         SimTime expires;
+        std::uint64_t base_epoch = 0;  ///< base's life when leased (0 = epochless)
     };
 
     std::vector<Installed> installed() const;
@@ -82,12 +103,22 @@ public:
     /// the tuple-space puller, which fetches packages itself and installs
     /// them in-process). `origin` is where owner.post will reach back to.
     rt::Value install_from(NodeId origin, const Bytes& sealed, std::int64_t lease_ms) {
-        return do_install(origin, sealed, lease_ms);
+        return do_install(origin, sealed, lease_ms, /*epoch=*/0);
     }
     bool keepalive_local(std::uint64_t ext, std::int64_t lease_ms) {
-        return do_keepalive(ext, lease_ms);
+        return do_keepalive(ext, lease_ms, /*epoch=*/0);
     }
     bool revoke_local(std::uint64_t ext) { return do_revoke(ext); }
+
+    /// Quarantine state: (name, version) pairs refused at install.
+    bool is_quarantined(const std::string& name, std::uint32_t version) const {
+        return quarantined_.contains({name, version});
+    }
+    /// Manifest recovered from the journal at construction — what was
+    /// installed when the previous life ended (empty without a journal).
+    const std::vector<ReceiverDurableState::ManifestEntry>& recovered_manifest() const {
+        return recovered_manifest_;
+    }
 
     /// Withdraw everything from a given base (or all) locally.
     void withdraw_all(prose::WithdrawReason reason = prose::WithdrawReason::kExplicit);
@@ -106,7 +137,7 @@ public:
     Stats stats() const;
 
     /// Observation hook for examples/tests: event is one of "install",
-    /// "replace", "refresh", "expire", "revoke".
+    /// "replace", "refresh", "expire", "revoke", "quarantine".
     using EventFn = std::function<void(const std::string& event, const Installed&)>;
     void on_event(EventFn fn) { event_fn_ = std::move(fn); }
 
@@ -120,16 +151,31 @@ private:
     void withdraw(ExtensionId id, prose::WithdrawReason reason);
     void emit(const std::string& event, const Installed& entry);
 
-    rt::Value do_install(NodeId base, const Bytes& sealed, std::int64_t lease_ms);
-    bool do_keepalive(std::uint64_t ext, std::int64_t lease_ms);
+    rt::Value do_install(NodeId base, const Bytes& sealed, std::int64_t lease_ms,
+                         std::uint64_t epoch);
+    bool do_keepalive(std::uint64_t ext, std::int64_t lease_ms, std::uint64_t epoch);
     bool do_revoke(std::uint64_t ext);
     rt::Value do_list() const;
+
+    /// Weaver advice-outcome observer: counts consecutive failures per
+    /// extension and (deferred — we may be inside the failing dispatch)
+    /// quarantines past the threshold.
+    void on_advice_outcome(AspectId aspect, const std::exception* error);
+    void quarantine(ExtensionId id);
+    void recover();
+    void journal(const rt::Value& rec);
+    void compact_journal();
 
     rt::RpcEndpoint& rpc_;
     prose::Weaver& weaver_;
     crypto::TrustStore& trust_;
     disco::DiscoveryClient& discovery_;
     ReceiverConfig config_;
+    std::shared_ptr<db::Journal> journal_;
+    /// Liveness token for deferred work (quarantine withdrawals,
+    /// registration retries) parked in the simulator queue; those closures
+    /// hold a copy and bail if the node was torn down before they fired.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
     script::BuiltinRegistry host_builtins_;
     std::map<std::string, std::set<std::string>> issuer_caps_;
@@ -142,6 +188,11 @@ private:
     IdGenerator<ExtensionId> ids_;
     std::map<ExtensionId, Entry> installed_;
     std::map<std::string, ExtensionId> by_name_;
+
+    std::set<std::pair<std::string, std::uint32_t>> quarantined_;
+    std::map<ExtensionId, int> advice_failures_;   ///< consecutive, reset on success
+    std::set<ExtensionId> pending_quarantine_;     ///< withdrawal scheduled
+    std::vector<ReceiverDurableState::ManifestEntry> recovered_manifest_;
 
     std::map<NodeId, std::shared_ptr<disco::LeasedResource>> advertisements_;
     std::uint64_t registrar_token_ = 0;
@@ -157,6 +208,7 @@ private:
     obs::OwnedCounter expirations_c_;
     obs::OwnedCounter renewals_c_;
     obs::OwnedCounter revocations_c_;
+    obs::OwnedCounter quarantined_c_;
     obs::OwnedGauge extensions_g_;
 
     EventFn event_fn_;

@@ -1,0 +1,81 @@
+#include "midas/supervisor.h"
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pmp::midas {
+
+Supervisor::~Supervisor() {
+    for (sim::TimerId id : timers_) network_.simulator().cancel(id);
+}
+
+sim::TimerId Supervisor::defer(Duration delay, sim::Simulator::Callback fn) {
+    sim::TimerId id = network_.simulator().schedule_after(delay, std::move(fn));
+    timers_.push_back(id);
+    return id;
+}
+
+void Supervisor::manage(const std::string& label, Lifecycle lifecycle) {
+    Managed& m = managed_[label];
+    m.lifecycle = std::move(lifecycle);
+    m.lifecycle.start();
+    m.alive = true;
+}
+
+void Supervisor::crash(const std::string& label, Duration down_for) {
+    auto it = managed_.find(label);
+    if (it == managed_.end() || !it->second.alive) return;
+    Managed& m = it->second;
+    m.alive = false;
+    ++stats_.crashes;
+    obs::Registry::global().counter("midas.supervisor.crashes", label).inc();
+    obs::TraceBuffer::global().instant(
+        "midas.recovery", "node.crash",
+        {{"node", label},
+         {"down_ms", std::to_string(down_for.count() / 1'000'000)}});
+    log_warn(network_.simulator().now(), "supervisor", "crashing node ", label,
+             " for ", down_for.count() / 1'000'000, " ms");
+
+    // Power first, then radio: nothing after this instant is journaled or
+    // transmitted. Frames already sent still arrive at their receivers.
+    m.lifecycle.power_cut();
+    network_.remove_node(m.lifecycle.node_id());
+    // The node may be executing this very crash (a fail-point inside one
+    // of its handlers): destroy the object on the next tick, never
+    // mid-call.
+    defer(Duration{0}, [this, label]() {
+        auto it = managed_.find(label);
+        if (it != managed_.end() && !it->second.alive) it->second.lifecycle.kill();
+    });
+    defer(down_for, [this, label]() { restart(label); });
+}
+
+void Supervisor::restart(const std::string& label) {
+    auto it = managed_.find(label);
+    if (it == managed_.end() || it->second.alive) return;
+    ++stats_.restarts;
+    obs::Registry::global().counter("midas.supervisor.restarts", label).inc();
+    std::uint64_t span = obs::TraceBuffer::global().begin_span(
+        "midas.recovery", "node.restart", {{"node", label}});
+    log_info(network_.simulator().now(), "supervisor", "restarting node ", label);
+    it->second.lifecycle.start();
+    it->second.alive = true;
+    obs::TraceBuffer::global().end_span(span, {});
+}
+
+void Supervisor::apply(const net::CrashPlan& plan, std::uint64_t seed) {
+    // expand_crashes folds plan.events in alongside the expanded windows.
+    for (const net::CrashEvent& ev : net::expand_crashes(plan, seed)) {
+        sim::TimerId id = network_.simulator().schedule_at(
+            ev.at, [this, ev]() { crash(ev.node, ev.down_for); });
+        timers_.push_back(id);
+    }
+}
+
+bool Supervisor::alive(const std::string& label) const {
+    auto it = managed_.find(label);
+    return it != managed_.end() && it->second.alive;
+}
+
+}  // namespace pmp::midas

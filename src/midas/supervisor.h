@@ -1,0 +1,89 @@
+// Crash–restart supervision for whole nodes.
+//
+// A Supervisor owns the *lifecycle* of node objects (it does not own the
+// objects themselves — the callbacks do): it can crash a managed node at
+// any instant — including from inside the node's own code via a fail-point
+// (sim::FailPoints) — and restart it after a downtime. A crash is the
+// power-cord model:
+//
+//   1. power_cut(): the node's journals stop accepting writes — anything
+//      not yet journaled is lost, exactly like a real power cut;
+//   2. Network::remove_node(): wires, in-flight deliveries to the node and
+//      its scheduled callbacks die atomically (frames it already sent are
+//      still delivered — they left the radio);
+//   3. kill(), deferred one simulator tick: the C++ object is destroyed.
+//      Destructors run (shutdown advice fires on the dead node's weaver)
+//      but none of it reaches the network or the journal;
+//   4. after `down_for`, start() rebuilds the node — typically over the
+//      same JournalStorage, which is where epoch-based recovery begins.
+//
+// apply() schedules a whole net::CrashPlan (deterministic per seed), which
+// is how the chaos suite mixes crash faults with radio faults.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/network.h"
+
+namespace pmp::midas {
+
+class Supervisor {
+public:
+    /// The four verbs a managed node must provide. `start` must leave the
+    /// node fully constructed (and is also called by manage()); `node_id`
+    /// reports the live network id; `power_cut` flips journals to
+    /// powered-off; `kill` destroys the node object.
+    struct Lifecycle {
+        std::function<void()> start;
+        std::function<NodeId()> node_id;
+        std::function<void()> power_cut;
+        std::function<void()> kill;
+    };
+
+    explicit Supervisor(net::Network& network) : network_(network) {}
+    ~Supervisor();
+
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    /// Register a node and start() it immediately.
+    void manage(const std::string& label, Lifecycle lifecycle);
+
+    /// Crash `label` now; restart after `down_for`. Safe to call from
+    /// inside the crashing node's own handlers (fail-point actions): the
+    /// object is destroyed on the next simulator tick, never mid-call.
+    /// No-op if the node is unknown or already down.
+    void crash(const std::string& label, Duration down_for);
+
+    /// Schedule every crash in `plan` (windows expanded with `seed`).
+    /// Events hitting a node that is already down are skipped.
+    void apply(const net::CrashPlan& plan, std::uint64_t seed);
+
+    bool alive(const std::string& label) const;
+
+    struct Stats {
+        std::uint64_t crashes = 0;
+        std::uint64_t restarts = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    void restart(const std::string& label);
+    sim::TimerId defer(Duration delay, sim::Simulator::Callback fn);
+
+    struct Managed {
+        Lifecycle lifecycle;
+        bool alive = false;
+    };
+
+    net::Network& network_;
+    std::map<std::string, Managed> managed_;
+    std::vector<sim::TimerId> timers_;  // cancelled on destruction
+    Stats stats_;
+};
+
+}  // namespace pmp::midas

@@ -1,5 +1,8 @@
 #include "net/fault.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace pmp::net {
 
 namespace {
@@ -29,7 +32,42 @@ bool cuts(const PartitionWindow& w, NodeId from, NodeId to, SimTime now) {
     return matches(w.side_b, from) && matches(w.side_a, to);
 }
 
+/// FNV-1a over the node label, so window streams key off the stable name
+/// rather than a NodeId that changes across restarts.
+std::uint64_t hash_label(const std::string& s) {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
 }  // namespace
+
+std::vector<CrashEvent> expand_crashes(const CrashPlan& plan, std::uint64_t seed) {
+    std::vector<CrashEvent> out = plan.events;
+    for (std::size_t i = 0; i < plan.windows.size(); ++i) {
+        const CrashWindow& w = plan.windows[i];
+        if (w.rate_per_sec <= 0 || w.until <= w.from) continue;
+        Rng rng(mix(seed ^ mix(hash_label(w.node)) ^ mix(i + 1)));
+        SimTime t = w.from;
+        while (true) {
+            // Exponential inter-arrival gap; 1-u keeps log()'s argument > 0.
+            double u = rng.next_double();
+            double gap_sec = -std::log(1.0 - u) / w.rate_per_sec;
+            t = t + Duration{static_cast<std::int64_t>(gap_sec * 1e9)};
+            if (t >= w.until) break;
+            out.push_back(CrashEvent{w.node, t, w.down_for});
+            // The node is down (and uncrashable) until it restarts.
+            t = t + w.down_for;
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const CrashEvent& a, const CrashEvent& b) {
+        return a.at != b.at ? a.at < b.at : a.node < b.node;
+    });
+    return out;
+}
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), seed_(seed) {}

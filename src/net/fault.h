@@ -16,6 +16,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,42 @@ struct FaultPlan {
     /// message.
     std::vector<PartitionWindow> partitions;
 };
+
+/// One scheduled process crash: the node (by label — ids change across
+/// restarts) dies at `at` and restarts `down_for` later.
+struct CrashEvent {
+    std::string node;
+    SimTime at;
+    Duration down_for = seconds(1);
+};
+
+/// Probabilistic crashes: within [from, until) the node crashes at Poisson
+/// rate `rate_per_sec`, each outage lasting `down_for`. Expanded into
+/// concrete CrashEvents up front (see expand_crashes) so the schedule is a
+/// pure function of the seed — crashes never consume RNG state that the
+/// link-fault streams depend on.
+struct CrashWindow {
+    std::string node;
+    SimTime from;
+    SimTime until;
+    double rate_per_sec = 0.0;
+    Duration down_for = seconds(1);
+};
+
+/// Process-level fault script, consumed by midas::Supervisor. Named
+/// crash-points ("after install sent, before activity recorded") are armed
+/// separately through sim::FailPoints — they fire on code-path hits, not
+/// at scheduled instants.
+struct CrashPlan {
+    std::vector<CrashEvent> events;
+    std::vector<CrashWindow> windows;
+};
+
+/// Deterministically pre-expand a plan's windows into concrete events and
+/// merge them with the scheduled ones, sorted by time. Each window draws
+/// from its own RNG stream keyed by (seed, node label, window index), so
+/// editing one window never shifts another's crash times.
+std::vector<CrashEvent> expand_crashes(const CrashPlan& plan, std::uint64_t seed);
 
 /// Per-delivery verdict machinery. Owned by the Network once a plan is
 /// installed; tests may also drive one directly.

@@ -102,10 +102,12 @@ void Network::remove_node(NodeId id) {
     auto* node = find(id);
     if (!node || node->removed) return;
     // Bumping the epoch invalidates in-flight deliveries without having
-    // to chase down their timers.
+    // to chase down their timers. The handler/tap std::functions are NOT
+    // destroyed here: remove_node may be running *inside* the node's own
+    // handler (a crash-point firing mid-dispatch), and freeing the closure
+    // under its own feet is UB. The `removed` flag keeps them from ever
+    // running again; compact() frees them on a fresh event.
     ++node->epoch;
-    node->handler = nullptr;
-    node->tap = nullptr;
     node->range = 0;
     node->removed = true;
     std::erase_if(wires_, [id](const auto& w) { return w.first == id || w.second == id; });
@@ -216,8 +218,14 @@ void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch,
             return;
         }
         // Radio check at delivery time: the receiver may have roamed out of
-        // range while the message was in flight.
-        if (!in_contact(msg.from, msg.to)) {
+        // range while the message was in flight. If the *sender* died
+        // mid-flight the frame already left its radio, so it still arrives
+        // — the physics a crash-point like "install sent, then the base
+        // dies" depends on. (With the sender gone we can no longer compute
+        // range, so such frames deliver unconditionally.)
+        const NodeState* sender = find(msg.from);
+        bool sender_gone = !sender || sender->removed;
+        if (!sender_gone && !in_contact(msg.from, msg.to)) {
             dropped_out_of_range_.inc();
             return;
         }

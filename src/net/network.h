@@ -90,8 +90,11 @@ public:
     NodeId add_node(const std::string& name, Position pos, double range);
 
     /// Remove a node from the air (simulates power-off / crash). Pending
-    /// deliveries to it are dropped; the entry itself is compacted once its
-    /// in-flight deliveries have drained, so churn does not grow `nodes_`.
+    /// deliveries to it are dropped; frames it already sent are still in
+    /// flight and deliver (they left the radio before the power died). The
+    /// entry itself is compacted once its in-flight deliveries have
+    /// drained, so churn does not grow `nodes_`. Safe to call from inside
+    /// the node's own receive handler (crash-points fire mid-dispatch).
     void remove_node(NodeId id);
 
     /// Attached node entries, including tombstones awaiting compaction

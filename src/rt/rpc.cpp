@@ -43,6 +43,14 @@ RpcEndpoint::RpcEndpoint(net::MessageRouter& router, Runtime& runtime)
     router_.route(kCtlReplyKind, [this](const net::Message& m) { on_reply(m, true); });
 }
 
+RpcEndpoint::~RpcEndpoint() {
+    *alive_ = false;
+    for (auto& [id, p] : pending_) {
+        router_.simulator().cancel(p.timeout_timer);
+        obs::TraceBuffer::global().end_span(p.span, {{"outcome", "abandoned"}});
+    }
+}
+
 void RpcEndpoint::exempt_from_filters(const std::string& prefix) {
     exempt_prefixes_.push_back(prefix);
 }
@@ -129,7 +137,9 @@ void RpcEndpoint::call_once(NodeId target, const std::string& object,
     if (!sent) {
         // Out of radio range at send time: fail fast instead of waiting out
         // the timeout.
-        router_.simulator().schedule_after(Duration{0}, [this, call_id]() {
+        router_.simulator().schedule_after(Duration{0}, [this, call_id,
+                                                         alive = alive_]() {
+            if (!*alive) return;
             auto it = pending_.find(call_id);
             if (it == pending_.end()) return;
             auto pending = std::move(it->second);
@@ -160,6 +170,7 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
     // the call immediately; retrying an application error cannot help.
     struct Attempt {
         RpcEndpoint* self;
+        std::shared_ptr<bool> alive;  ///< self is dangling once this clears
         NodeId target;
         std::string object;
         std::string method;
@@ -179,7 +190,10 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
                         Duration delay = state->next_backoff;
                         state->next_backoff *= 2;
                         state->self->router_.simulator().schedule_after(
-                            delay, [state]() { state->fire(state); });
+                            delay, [state]() {
+                                if (!*state->alive) return;
+                                state->fire(state);
+                            });
                         return;
                     }
                     state->on_reply(std::move(result), error);
@@ -187,8 +201,8 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
         }
     };
     auto state = std::make_shared<Attempt>(
-        Attempt{this, target, object, method, std::move(args), options, std::move(on_reply),
-                options.retries, options.retry_backoff});
+        Attempt{this, alive_, target, object, method, std::move(args), options,
+                std::move(on_reply), options.retries, options.retry_backoff});
     state->fire(state);
 }
 

@@ -39,6 +39,14 @@ public:
     /// Attaches to the node's router under kinds "rpc.call" / "rpc.reply".
     RpcEndpoint(net::MessageRouter& router, Runtime& runtime);
 
+    /// Cancels every pending call's timeout timer and invalidates deferred
+    /// work (retry backoffs, unreachable notifications) still sitting in
+    /// the simulator queue. A node object may be destroyed mid-call — a
+    /// crash–restart under midas::Supervisor does exactly that — while the
+    /// simulation keeps running, so nothing scheduled here may touch the
+    /// endpoint afterwards.
+    ~RpcEndpoint();
+
     /// Make an instance callable from remote nodes. Objects are never
     /// implicitly exported.
     void export_object(const std::string& instance_name);
@@ -124,6 +132,10 @@ private:
 
     net::MessageRouter& router_;
     Runtime& runtime_;
+    /// Liveness token for closures the endpoint parks in the simulator
+    /// queue but does not track by timer id. They hold a copy and bail if
+    /// the endpoint died before they fired.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     std::set<std::string> exported_;
     std::unordered_map<std::uint64_t, Pending> pending_;
     std::uint64_t next_call_ = 0;

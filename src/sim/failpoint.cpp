@@ -1,0 +1,37 @@
+#include "sim/failpoint.h"
+
+namespace pmp::sim {
+
+FailPoints& FailPoints::global() {
+    static FailPoints instance;
+    return instance;
+}
+
+std::uint64_t FailPoints::arm(std::string node, std::string point, int hit, Action action) {
+    std::uint64_t token = ++next_token_;
+    armed_.push_back(
+        Armed{token, std::move(node), std::move(point), hit < 1 ? 1 : hit, std::move(action)});
+    return token;
+}
+
+void FailPoints::disarm(std::uint64_t token) {
+    std::erase_if(armed_, [token](const Armed& a) { return a.token == token; });
+}
+
+void FailPoints::clear() { armed_.clear(); }
+
+void FailPoints::fire(const std::string& node, const std::string& point) {
+    for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+        if (it->node != node || it->point != point) continue;
+        if (--it->remaining > 0) return;
+        // Detach before running: the action may crash the node, tearing
+        // down the very code path we are being called from, and may arm
+        // new points of its own.
+        Action action = std::move(it->action);
+        armed_.erase(it);
+        action();
+        return;
+    }
+}
+
+}  // namespace pmp::sim

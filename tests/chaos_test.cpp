@@ -6,7 +6,10 @@
 // outlive their base, and the same seed must replay the identical run.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "midas/node.h"
+#include "midas/supervisor.h"
 
 namespace pmp::midas {
 namespace {
@@ -158,6 +161,196 @@ TEST(ChaosSoak, BlackedOutNodeRecoversItsPolicy) {
     // After the heal the ordinary discovery + adaptation loop must bring
     // the policy back without any operator involvement.
     ASSERT_TRUE(w.run_until([&] { return w.converged(); }));
+}
+
+// ---------------------------------------------------------------------------
+// Crash chaos: the same hostile radio PLUS process crashes. Hall A runs
+// durable (journal + epoch recovery) under a Supervisor; one robot crashes
+// and restarts as a fresh, memory-less device. The promise is unchanged —
+// convergence, not uptime — with two additions: the restarted hall's
+// database must retain everything journaled before the power cut, and the
+// whole run (crashes included) must replay bit-identically per seed.
+
+struct CrashChaosWorld {
+    sim::Simulator sim;
+    net::Network net;
+    Supervisor sup;
+    std::shared_ptr<db::JournalStorage> disk_a;
+    std::unique_ptr<BaseStation> hall_a;
+    std::unique_ptr<BaseStation> hall_b;
+    std::vector<std::unique_ptr<MobileNode>> robots;
+
+    explicit CrashChaosWorld(std::uint64_t seed)
+        : net(sim, net::NetworkConfig{}, seed),
+          sup(net),
+          disk_a(std::make_shared<db::JournalStorage>()) {
+        disk_a->name = "hallA";
+        robots.resize(3);
+
+        sup.manage("hallA", Supervisor::Lifecycle{
+                                [this]() {
+                                    BaseConfig bc;
+                                    bc.issuer = "hallA";
+                                    hall_a = std::make_unique<BaseStation>(
+                                        net, "hallA", net::Position{0, 0}, 120.0, bc,
+                                        disco::RegistrarConfig{}, disk_a);
+                                    hall_a->keys().add_key("hallA", to_bytes("ka"));
+                                },
+                                [this]() { return hall_a->id(); },
+                                [this]() {
+                                    if (hall_a && hall_a->journal())
+                                        hall_a->journal()->power_off();
+                                },
+                                [this]() { hall_a.reset(); },
+                            });
+        BaseConfig bcb;
+        bcb.issuer = "hallB";
+        hall_b =
+            std::make_unique<BaseStation>(net, "hallB", net::Position{300, 0}, 120.0, bcb);
+        hall_b->keys().add_key("hallB", to_bytes("kb"));
+
+        const net::Position spots[] = {{10, 0}, {20, 10}, {310, 0}};
+        auto make_robot = [&](int i) {
+            auto robot = std::make_unique<MobileNode>(net, "robot" + std::to_string(i),
+                                                      spots[i], 120.0);
+            robot->trust().trust("hallA", to_bytes("ka"));
+            robot->trust().trust("hallB", to_bytes("kb"));
+            return robot;
+        };
+        robots[0] = make_robot(0);
+        robots[2] = make_robot(2);
+        // robot1 is supervised: its crash loses all volatile state (no
+        // journal) and its restart is a brand-new device with a new id.
+        sup.manage("robot1", Supervisor::Lifecycle{
+                                 [this, make_robot]() { robots[1] = make_robot(1); },
+                                 [this]() { return robots[1]->id(); },
+                                 []() {},
+                                 [this]() { robots[1].reset(); },
+                             });
+
+        hall_a->base().add_extension(policy_pkg("hallA/policy"));
+        hall_b->base().add_extension(policy_pkg("hallB/policy"));
+
+        // The radio misbehaves exactly like the plain chaos soak.
+        net::FaultPlan plan;
+        plan.loss = 0.05;
+        plan.burst_enter = 0.02;
+        plan.burst_exit = 0.3;
+        plan.delay_jitter = milliseconds(10);
+        plan.duplicate = 0.1;
+        plan.reorder = 0.05;
+        plan.partitions.push_back(net::PartitionWindow{SimTime::zero() + seconds(8),
+                                                       SimTime::zero() + seconds(12),
+                                                       {robots[0]->id()},
+                                                       {}});
+        net.set_fault_plan(plan, seed * 1000003ULL + 17);
+
+        // And on top of it, the power misbehaves: hall A dies mid-run,
+        // robot1 dies once on schedule and again at random in a late
+        // Poisson window. All faults are over by t=19s.
+        net::CrashPlan crashes;
+        crashes.events.push_back(
+            net::CrashEvent{"hallA", SimTime::zero() + seconds(6), milliseconds(2500)});
+        crashes.events.push_back(
+            net::CrashEvent{"robot1", SimTime::zero() + seconds(9), milliseconds(1500)});
+        crashes.windows.push_back(net::CrashWindow{"robot1", SimTime::zero() + seconds(14),
+                                                   SimTime::zero() + seconds(18), 0.25,
+                                                   seconds(1)});
+        sup.apply(crashes, seed * 7919ULL + 3);
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(60)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        return pred();
+    }
+
+    /// Every in-range node holds exactly its hall's policy.
+    bool converged() {
+        for (int i = 0; i < 3; ++i) {
+            if (!robots[i] || robots[i]->receiver().installed_count() != 1) return false;
+        }
+        return robots[0]->receiver().installed()[0].name == "hallA/policy" &&
+               robots[1]->receiver().installed()[0].name == "hallA/policy" &&
+               robots[2]->receiver().installed()[0].name == "hallB/policy";
+    }
+};
+
+std::uint64_t chaos_seed_base() {
+    // CI sweeps disjoint seed ranges by exporting PMP_CHAOS_SEED_BASE.
+    if (const char* env = std::getenv("PMP_CHAOS_SEED_BASE")) {
+        return std::strtoull(env, nullptr, 10);
+    }
+    return 1;
+}
+
+TEST(CrashChaos, ConvergesAndHallDbSurvivesAcrossSeeds) {
+    const std::uint64_t base = chaos_seed_base();
+    for (std::uint64_t seed = base; seed < base + 20; ++seed) {
+        CrashChaosWorld w(seed);
+        ASSERT_TRUE(w.run_until([&] { return w.converged(); })) << "seed " << seed;
+
+        // Hall activity lands in the database (and so in the journal)
+        // before the power cut at t=6s.
+        for (std::int64_t i = 1; i <= 5; ++i) {
+            w.hall_a->store().append("op", w.sim.now(), Value{i});
+        }
+
+        // Ride out every scheduled fault: blackout, both crashes, the
+        // Poisson window. Then the platform must re-converge and hold.
+        w.sim.run_until(SimTime::zero() + seconds(20));
+        ASSERT_TRUE(w.run_until([&] { return w.converged(); })) << "seed " << seed;
+        w.sim.run_for(seconds(5));
+        ASSERT_TRUE(w.run_until([&] { return w.converged(); }, seconds(30)))
+            << "seed " << seed;
+
+        // Hall A really died and recovered, under a bumped epoch.
+        EXPECT_GE(w.sup.stats().crashes, 2u) << "seed " << seed;
+        EXPECT_EQ(w.sup.stats().restarts, w.sup.stats().crashes) << "seed " << seed;
+        ASSERT_TRUE(w.hall_a != nullptr);
+        EXPECT_GE(w.hall_a->base().epoch(), 2u) << "seed " << seed;
+
+        // The hall database retains every record journaled before the
+        // crash, in order.
+        ASSERT_EQ(w.hall_a->store().size(), 5u) << "seed " << seed;
+        for (std::uint64_t i = 1; i <= 5; ++i) {
+            EXPECT_EQ(w.hall_a->store().at(i).data.as_int(),
+                      static_cast<std::int64_t>(i))
+                << "seed " << seed;
+        }
+        EXPECT_LE(w.net.stats().delivered, w.net.stats().sent) << "seed " << seed;
+    }
+}
+
+TEST(CrashChaos, SameSeedReplaysIdenticallyWithCrashes) {
+    auto fingerprint = [](std::uint64_t seed) {
+        CrashChaosWorld w(seed);
+        w.sim.run_for(seconds(4));  // fixed instant, before the first crash
+        for (std::int64_t i = 1; i <= 3; ++i) {
+            w.hall_a->store().append("op", w.sim.now(), Value{i});
+        }
+        w.sim.run_for(seconds(21));
+        net::NetworkStats s = w.net.stats();
+        return std::tuple{s.sent,
+                          s.delivered,
+                          s.fault_dropped_loss,
+                          s.fault_dropped_burst,
+                          s.fault_dropped_partition,
+                          s.fault_duplicated,
+                          s.fault_reordered,
+                          w.sup.stats().crashes,
+                          w.sup.stats().restarts,
+                          w.hall_a->base().epoch(),
+                          w.hall_a->store().size(),
+                          w.robots[0]->receiver().stats().installs,
+                          w.robots[2]->receiver().stats().refreshes,
+                          w.hall_b->base().stats().keepalives_sent};
+    };
+    EXPECT_EQ(fingerprint(7), fingerprint(7));
+    EXPECT_NE(fingerprint(7), fingerprint(8));
 }
 
 }  // namespace

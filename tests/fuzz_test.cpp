@@ -5,6 +5,8 @@
 
 #include "common/rng.h"
 #include "core/pointcut.h"
+#include "db/journal.h"
+#include "db/store.h"
 #include "midas/package.h"
 #include "script/parser.h"
 #include "tspace/tuplespace.h"
@@ -129,6 +131,60 @@ TEST_P(FuzzSweep, TemplateDecodeNeverCrashes) {
         try {
             rt::Value v = rt::Value::decode(std::span<const std::uint8_t>(garbage));
             tspace::Template::from_value(v);
+        } catch (const Error&) {
+        }
+    }
+}
+
+TEST_P(FuzzSweep, JournalRestoreIsTotal) {
+    // restore() is the recovery entry point: whatever the disk holds —
+    // garbage, torn writes, flipped bits — it must return, never throw.
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        auto disk = std::make_shared<db::JournalStorage>();
+        disk->snapshot = random_bytes(rng, 96);
+        disk->wal = random_bytes(rng, 192);
+        db::Journal::Restored restored = db::Journal(disk).restore();
+        // Whatever survived must be well-formed enough to re-encode.
+        for (const rt::Value& rec : restored.wal) (void)rec.encode();
+    }
+    // Mutated real journals: valid frames with a single flipped bit.
+    for (int i = 0; i < 200; ++i) {
+        auto disk = std::make_shared<db::JournalStorage>();
+        db::Journal j(disk);
+        j.compact(rt::Value{std::int64_t{7}});
+        for (std::int64_t n = 0; n < 4; ++n) j.append(rt::Value{n});
+        Bytes& target = (rng.next_below(2) == 0 && !disk->snapshot.empty())
+                            ? disk->snapshot
+                            : disk->wal;
+        if (target.empty()) continue;
+        target[rng.next_below(target.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+        (void)db::Journal(disk).restore();
+    }
+}
+
+TEST_P(FuzzSweep, EventStoreRestoreThrowsOnlyTypedErrors) {
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        Bytes garbage = random_bytes(rng, 96);
+        try {
+            db::EventStore::restore(std::span<const std::uint8_t>(garbage));
+        } catch (const Error&) {  // ParseError or TypeError, both fine
+        }
+    }
+    // Mutated real snapshots: structurally valid encodings with damage.
+    db::EventStore store;
+    for (std::int64_t n = 1; n <= 5; ++n) {
+        store.append("robot", SimTime{n * 1000}, rt::Value{n});
+    }
+    Bytes good = store.snapshot();
+    for (int i = 0; i < 300; ++i) {
+        Bytes bad = good;
+        bad[rng.next_below(bad.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+        try {
+            db::EventStore::restore(std::span<const std::uint8_t>(bad));
         } catch (const Error&) {
         }
     }

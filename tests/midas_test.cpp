@@ -312,7 +312,7 @@ TEST_F(MidasTest, LeaseGrantIsClampedByReceiver) {
     sim_.run_for(seconds(2));  // let discovery settle
     Value reply = base_->rpc().call_sync(
         robot_->id(), "adaptation", "install",
-        {Value{sealed}, Value{std::int64_t{3600 * 1000}}});
+        {Value{sealed}, Value{std::int64_t{3600 * 1000}}, Value{std::int64_t{1}}});
     EXPECT_LE(reply.as_dict().at("lease_ms").as_int(), 5000);
 }
 
@@ -324,7 +324,8 @@ TEST_F(MidasTest, ReinstallSameVersionIsRefresh) {
     pkg.version = robot_->receiver().installed()[0].version;  // same version
     Bytes sealed = pkg.seal(base_->keys(), "hall-a");
     Value reply = base_->rpc().call_sync(robot_->id(), "adaptation", "install",
-                                         {Value{sealed}, Value{std::int64_t{1000}}});
+                                         {Value{sealed}, Value{std::int64_t{1000}},
+                                          Value{std::int64_t{1}}});
     EXPECT_EQ(static_cast<std::uint64_t>(reply.as_dict().at("ext").as_int()),
               robot_->receiver().installed()[0].id.value);
     EXPECT_GE(robot_->receiver().stats().refreshes, 1u);
@@ -335,7 +336,8 @@ TEST_F(MidasTest, ReinstallSameVersionIsRefresh) {
 TEST_F(MidasTest, KeepaliveForUnknownExtensionReportsFalse) {
     sim_.run_for(seconds(2));
     Value reply = base_->rpc().call_sync(robot_->id(), "adaptation", "keepalive",
-                                         {Value{9999}, Value{std::int64_t{1000}}});
+                                         {Value{9999}, Value{std::int64_t{1000}},
+                                          Value{std::int64_t{1}}});
     EXPECT_FALSE(reply.as_bool());
 }
 
