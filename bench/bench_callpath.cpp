@@ -15,6 +15,8 @@
 // dispatch cost on the robot with and without the woven extensions.
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include <chrono>
 #include <cstdio>
 
@@ -148,7 +150,8 @@ double ms(Duration d) { return static_cast<double>(d.count()) / 1e6; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = pmp::bench::strip_smoke(argc, argv);
     printf("=== E5 / Fig 2: adapted remote call path ===\n\n");
 
     // Unadapted baseline.
@@ -195,8 +198,8 @@ int main() {
            "at call granularity (paper: interception cost << functionality cost).\n");
 
     // Wall-clock dispatch cost on the robot, adapted vs not.
-    auto measure_dispatch = [](World& w, const char* label) {
-        constexpr int kCalls = 200'000;
+    auto measure_dispatch = [smoke](World& w, const char* label) {
+        const int kCalls = smoke ? 2'000 : 200'000;
         w.robot->rpc();  // touch
         auto start = std::chrono::steady_clock::now();
         for (int i = 0; i < kCalls; ++i) {

@@ -5,6 +5,8 @@
 // range, listing sources, and replay-cursor iteration.
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include "db/store.h"
 
 namespace {
@@ -100,4 +102,4 @@ BENCHMARK(BM_ReplayCursor)->Arg(4'000)->Arg(40'000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pmp::bench::run_main(argc, argv); }

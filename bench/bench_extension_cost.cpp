@@ -14,6 +14,8 @@
 //   persistence — after advice: append the state change to an event store
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include <cstdio>
 #include <map>
 
@@ -174,7 +176,7 @@ private:
 }  // namespace
 
 int main(int argc, char** argv) {
-    benchmark::Initialize(&argc, argv);
+    pmp::bench::init(argc, argv);
     benchmark::ConsoleReporter console;
     PaperReport paper;
     class Tee : public benchmark::BenchmarkReporter {

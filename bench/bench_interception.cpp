@@ -15,6 +15,8 @@
 //   woven_around    — do-nothing around advice (proceed() chain)
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include "core/script_aspect.h"
 #include "core/weaver.h"
 
@@ -179,7 +181,7 @@ private:
 }  // namespace
 
 int main(int argc, char** argv) {
-    benchmark::Initialize(&argc, argv);
+    pmp::bench::init(argc, argv);
     benchmark::ConsoleReporter console;
     PaperReport paper;
     // Run everything through the console reporter first, then re-run the

@@ -10,7 +10,12 @@
 //   keep-alive traffic — radio messages per node-second while resident
 // and, separately, the policy-replacement latency (add_extension of a new
 // version -> replacement observed on the node).
+#include <benchmark/benchmark.h>
+
+#include "smoke.h"
+
 #include <cstdio>
+#include <vector>
 #include <functional>
 
 #include "midas/node.h"
@@ -123,11 +128,13 @@ struct RecoveryWorld {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = pmp::bench::strip_smoke(argc, argv);
     printf("=== E9: lease period vs revocation latency and keep-alive cost ===\n\n");
     printf("%-12s %22s %26s\n", "lease", "revocation latency", "keepalive msgs/node-sec");
 
-    for (auto lease_ms : {250, 500, 1000, 2000, 5000}) {
+    for (auto lease_ms : smoke ? std::vector<int>{500}
+                               : std::vector<int>{250, 500, 1000, 2000, 5000}) {
         World w{milliseconds(lease_ms)};
         if (!w.run_until([&] { return w.robot->receiver().installed_count() == 1; })) {
             printf("%-12d FATAL: install failed\n", lease_ms);
@@ -137,7 +144,7 @@ int main() {
         // Resident phase: count keep-alive traffic over 20 virtual seconds.
         w.net.reset_stats();
         SimTime resident_start = w.sim.now();
-        w.sim.run_for(seconds(20));
+        w.sim.run_for(seconds(smoke ? 2 : 20));
         double resident_secs =
             static_cast<double>((w.sim.now() - resident_start).count()) / 1e9;
         double msgs_per_sec = static_cast<double>(w.net.stats().delivered) / resident_secs;
@@ -161,7 +168,7 @@ int main() {
 
     // Policy replacement latency (independent of leaving).
     printf("policy replacement latency (new version pushed to a resident node):\n");
-    for (auto lease_ms : {500, 2000}) {
+    for (auto lease_ms : smoke ? std::vector<int>{500} : std::vector<int>{500, 2000}) {
         World w{milliseconds(lease_ms)};
         if (!w.run_until([&] { return w.robot->receiver().installed_count() == 1; })) {
             continue;
@@ -187,7 +194,8 @@ int main() {
     printf("\n=== fault sweep: lease churn vs radio loss (lease 1000 ms) ===\n\n");
     printf("%-10s %14s %16s %14s\n", "loss", "expirations/min", "availability %",
            "installs sent");
-    for (double loss : {0.0, 0.10, 0.25, 0.40}) {
+    for (double loss : smoke ? std::vector<double>{0.10}
+                             : std::vector<double>{0.0, 0.10, 0.25, 0.40}) {
         World w{milliseconds(1000)};
         net::FaultPlan plan;
         plan.loss = loss;
@@ -203,7 +211,7 @@ int main() {
         std::uint64_t installs0 = w.hall->base().stats().installs_sent;
         int installed_samples = 0, total_samples = 0;
         SimTime sweep_start = w.sim.now();
-        while (w.sim.now() - sweep_start < seconds(60)) {
+        while (w.sim.now() - sweep_start < seconds(smoke ? 5 : 60)) {
             w.sim.run_for(milliseconds(100));
             ++total_samples;
             if (w.robot->receiver().installed_count() == 1) ++installed_samples;
@@ -229,8 +237,8 @@ int main() {
     printf("\n=== recovery: base restart -> full re-adaptation ===\n\n");
     printf("%-16s %8s %22s %14s\n", "keepalive", "fleet", "recovery latency",
            "epoch after");
-    for (auto ka_ms : {200, 400, 800}) {
-        for (int fleet : {1, 4, 16}) {
+    for (auto ka_ms : smoke ? std::vector<int>{400} : std::vector<int>{200, 400, 800}) {
+        for (int fleet : smoke ? std::vector<int>{4} : std::vector<int>{1, 4, 16}) {
             RecoveryWorld w{milliseconds(ka_ms), fleet};
             if (!w.run_until([&] { return w.fleet_converged(); })) {
                 printf("%-16d %8d FATAL: initial adaptation failed\n", ka_ms, fleet);

@@ -12,6 +12,10 @@
 //
 // reporting records stored, radio messages, bytes on air, and virtual
 // drawing time.
+#include <benchmark/benchmark.h>
+
+#include "smoke.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -134,8 +138,9 @@ void report(const char* label, Scenario& s, Duration took) {
 
 }  // namespace
 
-int main() {
-    constexpr int kStrokes = 100;
+int main(int argc, char** argv) {
+    const bool smoke = pmp::bench::strip_smoke(argc, argv);
+    const int kStrokes = smoke ? 10 : 100;
     printf("=== E6 / Fig 3b: hardware monitoring extension "
            "(%d plotter strokes; ~3 motor actions each) ===\n\n",
            kStrokes);
@@ -163,7 +168,7 @@ int main() {
         Duration took = s.draw(kStrokes);
         report("per-action post", s, took);
     }
-    for (int batch : {10, 50}) {
+    for (int batch : smoke ? std::vector<int>{10} : std::vector<int>{10, 50}) {
         Scenario s;
         ExtensionPackage pkg;
         pkg.name = "hall/monitoring";
@@ -199,7 +204,7 @@ int main() {
 
     // --- what does watching cost? The same monitored scenario, wall-clock,
     // with the obs layer recording vs. compiled-in-but-idle.
-    auto monitored_run_wall = [](bool obs_on) {
+    auto monitored_run_wall = [kStrokes](bool obs_on) {
         obs::set_enabled(obs_on);
         auto t0 = std::chrono::steady_clock::now();
         Scenario s;
@@ -218,7 +223,7 @@ int main() {
     printf("\n=== obs instrumentation cost on this scenario (wall-clock, best of 5) ===\n");
     double idle = 1e9, enabled = 1e9;
     monitored_run_wall(true);  // warm-up
-    for (int i = 0; i < 5; ++i) {
+    for (int i = 0; i < (smoke ? 1 : 5); ++i) {
         idle = std::min(idle, monitored_run_wall(false));
         enabled = std::min(enabled, monitored_run_wall(true));
     }

@@ -9,6 +9,8 @@
 // control, batching) are made of.
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include "script/check.h"
 #include "script/interp.h"
 #include "script/parser.h"
@@ -148,4 +150,4 @@ BENCHMARK(BM_StaticCheckLargeScript);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pmp::bench::run_main(argc, argv); }

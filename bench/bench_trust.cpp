@@ -7,6 +7,8 @@
 // issuer) that must stay cheap under attack.
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include "crypto/sha256.h"
 #include "midas/package.h"
 
@@ -120,4 +122,4 @@ BENCHMARK(BM_RejectUntrustedIssuer);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pmp::bench::run_main(argc, argv); }

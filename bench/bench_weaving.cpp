@@ -6,6 +6,8 @@
 // how many join points the runtime exposes.
 #include <benchmark/benchmark.h>
 
+#include "smoke.h"
+
 #include "core/script_aspect.h"
 #include "core/weaver.h"
 
@@ -119,4 +121,4 @@ BENCHMARK(BM_PointcutParse);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pmp::bench::run_main(argc, argv); }

@@ -1,0 +1,56 @@
+// --smoke: CI-grade token runs of the bench binaries.
+//
+// A benchmark that only runs on a release engineer's laptop rots; CI runs
+// every bench with `--smoke` so a binary that crashes, hangs, or trips a
+// sanitizer is caught on the PR that broke it. Smoke mode proves the
+// binaries execute end to end — the numbers it prints are meaningless.
+//
+//   google-benchmark mains:  int main(int argc, char** argv) {
+//                                return pmp::bench::run_main(argc, argv);
+//                            }
+//   custom mains:            const bool smoke = pmp::bench::strip_smoke(argc, argv);
+//                            ...collapse repeat/scale constants when set...
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+namespace pmp::bench {
+
+/// Remove `--smoke` from argv if present; returns whether it was there.
+inline bool strip_smoke(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+            --argc;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Initialize google-benchmark, honouring `--smoke`: the flag collapses
+/// every measurement to a token window. For benches that drive
+/// RunSpecifiedBenchmarks themselves (custom reporters).
+inline void init(int argc, char** argv) {
+    static char min_time[] = "--benchmark_min_time=0.001";
+    std::vector<char*> args(argv, argv + argc);
+    if (strip_smoke(argc, argv)) {
+        args.assign(argv, argv + argc);
+        args.insert(args.begin() + 1, min_time);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN().
+inline int run_main(int argc, char** argv) {
+    init(argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace pmp::bench

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/time.h"
+
 namespace pmp {
 
 /// Root of all platform exceptions.
@@ -71,6 +73,29 @@ public:
 
 /// The script sandbox exceeded a resource budget (step count, recursion).
 class ResourceExhausted : public Error {
+public:
+    using Error::Error;
+};
+
+/// The callee shed this call at admission (its inbound queues are full or
+/// its rate budget is spent). Distinct from RemoteError because the node is
+/// alive and answering — the caller should back off and retry, and
+/// `retry_after` carries the callee's estimate of when capacity returns
+/// (zero = no estimate). The rpc retry machinery honors it.
+class Overloaded : public Error {
+public:
+    explicit Overloaded(const std::string& what, Duration retry_after = Duration{0})
+        : Error(what), retry_after_(retry_after) {}
+    Duration retry_after() const { return retry_after_; }
+
+private:
+    Duration retry_after_;
+};
+
+/// An advice entry overran its virtual-time watchdog deadline (the
+/// governor's per-entry wall bound — deliberately not a ResourceExhausted:
+/// the sandbox budget caps work per invocation, the deadline caps latency).
+class DeadlineExceeded : public Error {
 public:
     using Error::Error;
 };

@@ -1,11 +1,32 @@
 #include "common/log.h"
 
 #include <iostream>
+#include <map>
+#include <utility>
 
 #include "obs/component.h"
 #include "obs/metrics.h"
 
 namespace pmp {
+
+namespace {
+
+// Per-(component family, level) storm accounting. Keyed by family, not the
+// full component, so "midas@robot:1:1" and "midas@robot:1:2" throttle
+// independently of each other only up to the family cap — a fleet-wide
+// storm from one subsystem is still one storm.
+struct StormSlot {
+    SimTime window_start{};
+    std::size_t emitted = 0;
+    std::size_t suppressed = 0;
+};
+
+std::map<std::pair<std::string, int>, StormSlot>& storm_slots() {
+    static std::map<std::pair<std::string, int>, StormSlot> slots;
+    return slots;
+}
+
+}  // namespace
 
 Log& Log::instance() {
     static Log log;
@@ -13,6 +34,13 @@ Log& Log::instance() {
 }
 
 void Log::set_sink(Sink sink) { instance().sink_ = std::move(sink); }
+
+void Log::set_storm_guard(std::size_t max_lines, Duration window) {
+    auto& log = instance();
+    log.storm_max_lines_ = max_lines;
+    log.storm_window_ = window.count() > 0 ? window : seconds(1);
+    storm_slots().clear();
+}
 
 void Log::write(LogLevel level, SimTime when, const std::string& component,
                 const std::string& message) {
@@ -23,15 +51,39 @@ void Log::write(LogLevel level, SimTime when, const std::string& component,
     // "midas.receiver", so a log line and its metrics carry the same id.
     auto& components = obs::ComponentRegistry::global();
     std::string canonical = components.canonical(component);
-    components.id(components.family(component));
-    obs::Registry::global().counter("log.lines", components.family(component)).inc();
-    std::string line = "[" + to_string(when) + "] " + kNames[static_cast<int>(level)] + " " +
-                       canonical + ": " + message;
-    if (log.sink_) {
-        log.sink_(level, line);
-    } else {
-        std::cerr << line << '\n';
+    std::string family = components.family(component);
+    components.id(family);
+    obs::Registry::global().counter("log.lines", family).inc();
+
+    auto emit = [&](const std::string& text) {
+        std::string line = "[" + to_string(when) + "] " +
+                           kNames[static_cast<int>(level)] + " " + canonical + ": " + text;
+        if (log.sink_) {
+            log.sink_(level, line);
+        } else {
+            std::cerr << line << '\n';
+        }
+    };
+
+    if (log.storm_max_lines_ > 0) {
+        StormSlot& slot = storm_slots()[{family, static_cast<int>(level)}];
+        // `when` moving backwards (a fresh simulation after a long one, in
+        // the same process) also rolls the window.
+        if (when < slot.window_start || when >= slot.window_start + log.storm_window_) {
+            if (slot.suppressed > 0) {
+                emit("(" + std::to_string(slot.suppressed) +
+                     " similar lines suppressed in the last window)");
+            }
+            slot = StormSlot{when, 0, 0};
+        }
+        if (slot.emitted >= log.storm_max_lines_) {
+            ++slot.suppressed;
+            obs::Registry::global().counter("log.suppressed", family).inc();
+            return;
+        }
+        ++slot.emitted;
     }
+    emit(message);
 }
 
 }  // namespace pmp

@@ -28,6 +28,15 @@ public:
     /// restore the default.
     static void set_sink(Sink sink);
 
+    /// Storm suppression: at most `max_lines` lines per (component family,
+    /// level) per `window` of virtual time; the rest are counted, and the
+    /// next line in a fresh window is preceded by a one-line "(N similar
+    /// lines suppressed)" summary. An overloaded node must not drown its
+    /// own diagnosis — nor slow itself down stringifying lines nobody can
+    /// read. `max_lines = 0` disables. Resets the per-family accounting
+    /// (tests restore the default by calling it again).
+    static void set_storm_guard(std::size_t max_lines, Duration window = seconds(1));
+
     static void write(LogLevel level, SimTime when, const std::string& component,
                       const std::string& message);
 
@@ -36,6 +45,8 @@ private:
 
     LogLevel level_ = LogLevel::kWarn;
     Sink sink_;
+    std::size_t storm_max_lines_ = 128;
+    Duration storm_window_ = seconds(1);
 };
 
 namespace detail {

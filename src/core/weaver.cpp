@@ -75,29 +75,39 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     ++woven.report.methods_matched;
                     switch (binding.kind) {
                         case AdviceKind::kBefore:
-                            method->add_entry_hook(
-                                id.value, binding.priority,
-                                [timed, fn = binding.before](rt::CallFrame& f) { timed(fn, f); });
+                            method->add_entry_hook(id.value, binding.priority,
+                                                   [this, id, timed,
+                                                    fn = binding.before](rt::CallFrame& f) {
+                                                       if (!allows(id)) return;
+                                                       timed(fn, f);
+                                                   });
                             break;
                         case AdviceKind::kAfter:
-                            method->add_exit_hook(
-                                id.value, binding.priority,
-                                [timed, fn = binding.after](rt::CallFrame& f) { timed(fn, f); });
+                            method->add_exit_hook(id.value, binding.priority,
+                                                  [this, id, timed,
+                                                   fn = binding.after](rt::CallFrame& f) {
+                                                      if (!allows(id)) return;
+                                                      timed(fn, f);
+                                                  });
                             break;
                         case AdviceKind::kAfterThrowing:
                             method->add_error_hook(
                                 id.value, binding.priority,
-                                [timed, fn = binding.after_throwing](rt::CallFrame& f,
-                                                                     std::exception_ptr e) {
+                                [this, id, timed, fn = binding.after_throwing](
+                                    rt::CallFrame& f, std::exception_ptr e) {
+                                    if (!allows(id)) return;
                                     timed(fn, f, e);
                                 });
                             break;
                         default:
                             method->add_around_hook(
                                 id.value, binding.priority,
-                                [timed, fn = binding.around](
+                                [this, id, timed, fn = binding.around](
                                     rt::CallFrame& f,
                                     const std::function<rt::Value()>& proceed) {
+                                    // A gated around must not swallow the
+                                    // underlying call.
+                                    if (!allows(id)) return proceed();
                                     return timed(fn, f, proceed);
                                 });
                             break;
@@ -109,7 +119,8 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     if (!binding.pointcut.matches_field_set(type, field.decl())) continue;
                     ++woven.report.fields_matched;
                     field.add_set_hook(id.value, binding.priority,
-                                       [timed, fn = binding.field_set](auto&&... args) {
+                                       [this, id, timed, fn = binding.field_set](auto&&... args) {
+                                           if (!allows(id)) return;
                                            timed(fn, std::forward<decltype(args)>(args)...);
                                        });
                 }
@@ -119,7 +130,8 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     if (!binding.pointcut.matches_field_get(type, field.decl())) continue;
                     ++woven.report.fields_matched;
                     field.add_get_hook(id.value, binding.priority,
-                                       [timed, fn = binding.field_get](auto&&... args) {
+                                       [this, id, timed, fn = binding.field_get](auto&&... args) {
+                                           if (!allows(id)) return;
                                            timed(fn, std::forward<decltype(args)>(args)...);
                                        });
                 }

@@ -56,6 +56,18 @@ public:
     using AdviceObserver = std::function<void(AspectId, const std::exception*)>;
     void set_advice_observer(AdviceObserver fn) { advice_observer_ = std::move(fn); }
 
+    /// Per-dispatch gate: consulted before running any advice of an aspect.
+    /// Returning false skips the advice for this join point — before/after/
+    /// error/field hooks become no-ops and around advice passes straight
+    /// through to proceed(), so the application call itself is untouched.
+    /// One gate per weaver; the MIDAS receiver's resource governor uses it
+    /// to suspend an over-budget extension without unweaving it (withdrawal
+    /// runs shutdown advice and loses extension state — too heavy for a
+    /// condition that clears at the next lease window). Pass nullptr to
+    /// detach. Cost on the hot path when unset: one empty-function check.
+    using DispatchGate = std::function<bool(AspectId)>;
+    void set_dispatch_gate(DispatchGate fn) { dispatch_gate_ = std::move(fn); }
+
     rt::Runtime& runtime() { return runtime_; }
 
 private:
@@ -66,12 +78,14 @@ private:
 
     void weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven);
     void on_type_registered(rt::TypeInfo& type);
+    bool allows(AspectId id) const { return !dispatch_gate_ || dispatch_gate_(id); }
 
     rt::Runtime& runtime_;
     rt::Runtime::ObserverId observer_;
     IdGenerator<AspectId> ids_;
     std::map<AspectId, Woven> woven_;
     AdviceObserver advice_observer_;
+    DispatchGate dispatch_gate_;
 };
 
 }  // namespace pmp::prose

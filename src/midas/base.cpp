@@ -1,5 +1,6 @@
 #include "midas/base.h"
 
+#include "common/error.h"
 #include "common/log.h"
 #include "obs/trace.h"
 #include "sim/failpoint.h"
@@ -29,7 +30,10 @@ ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
       recoveries_c_("midas.base.recoveries", config_.issuer),
       adapted_nodes_g_("midas.base.adapted_nodes", config_.issuer),
       epoch_g_("midas.base.epoch", config_.issuer),
-      backoff_rng_(config_.backoff_seed) {
+      backoff_rng_(config_.backoff_seed),
+      breaker_(rpc.router().simulator(), config_.issuer,
+               rt::BreakerConfig{config_.breaker_threshold, config_.breaker_open_period,
+                                 config_.breaker_open_max}) {
     if (journal_) {
         recover();
         // Journal hall records as they arrive — installed only after the
@@ -242,6 +246,7 @@ bool ExtensionBase::release_node(const std::string& label) {
     for (auto it = adapted_.begin(); it != adapted_.end(); ++it) {
         if (it->second.label != label) continue;
         nodes_handed_off_c_.inc();
+        breaker_.forget(it->second.node);
         record("handoff", label, "");
         log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
                  label, " handed off to a neighbouring base");
@@ -296,6 +301,17 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
         install_on(node, implied, visiting);
     }
 
+    if (!breaker_.allow(node)) {
+        // Breaker open toward this node: keep the package off the air. The
+        // retry ledger re-arms for the next keep-alive tick, by which time
+        // the cool-down may have elapsed (allow() then grants the probe).
+        if (auto pre = adapted_.find(node); pre != adapted_.end()) {
+            RetryState& rs = pre->second.retry[name];
+            ++rs.attempts;
+            rs.next_at = rpc_.router().simulator().now() + config_.keepalive_period;
+        }
+        return;
+    }
     installs_sent_c_.inc();
     if (auto pre = adapted_.find(node); pre != adapted_.end()) {
         pre->second.retry[name].in_flight = true;
@@ -303,11 +319,18 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
     std::uint64_t push_span = obs::TraceBuffer::global().begin_span(
         "midas.base", "pkg.push", {{"issuer", config_.issuer}, {"pkg", name}});
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
+    // One keep-alive period per attempt, with transport retries: a lost
+    // install *ack* must surface and re-send well inside the lease the node
+    // already started counting down, or the node pays for our blindness
+    // with an expiration (the re-send lands as a refresh and re-arms it).
+    // The default 2s-one-shot call would eat the whole lease first.
     rpc_.call_async(
         node, "adaptation", "install",
         {Value{policy_it->second.sealed}, Value{lease_ms},
          Value{static_cast<std::int64_t>(epoch_)}},
-        [this, node, name, push_span](Value result, std::exception_ptr error) {
+        rt::CallOptions{.timeout = config_.keepalive_period, .retries = 2},
+        [this, node, name, push_span](Value result, std::exception_ptr error,
+                                      bool transport) {
             obs::TraceBuffer::global().end_span(push_span, {{"ok", error ? "false" : "true"}});
             auto adapted_it = adapted_.find(node);
             if (adapted_it == adapted_.end()) return;
@@ -316,17 +339,28 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
             if (error) {
                 install_failures_c_.inc();
                 ++rs.attempts;
-                rs.next_at =
-                    rpc_.router().simulator().now() + install_backoff_for(rs.attempts);
+                Duration backoff = install_backoff_for(rs.attempts);
+                bool overloaded = false;
                 try {
                     std::rethrow_exception(error);
+                } catch (const Overloaded& e) {
+                    // The receiver is alive but shedding installs: honor
+                    // its retry-after hint if it is the later bound.
+                    overloaded = true;
+                    if (e.retry_after() > backoff) backoff = e.retry_after();
+                    log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
+                             "install of '", name, "' on ", adapted_it->second.label,
+                             " shed: ", e.what());
                 } catch (const std::exception& e) {
                     log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
                              "install of '", name, "' on ", adapted_it->second.label,
                              " failed: ", e.what());
                 }
+                rs.next_at = rpc_.router().simulator().now() + backoff;
+                breaker_.on_failure(node, transport || overloaded);
                 return;
             }
+            breaker_.on_success(node);
             adapted_it->second.retry.erase(name);
             std::uint64_t ext =
                 static_cast<std::uint64_t>(result.as_dict().at("ext").as_int());
@@ -355,11 +389,29 @@ Duration ExtensionBase::install_backoff_for(int attempts) {
 void ExtensionBase::keepalive_tick() {
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
     SimTime now = rpc_.router().simulator().now();
+    // Re-adopt orphans the registrar still vouches for. A radio burst can
+    // eat enough keep-alives to drop a perfectly healthy node, and no new
+    // appearance edge will ever fire for it while its service registration
+    // stays continuously renewed — drop_node() would orphan it forever. A
+    // live registration is positive evidence the node is up and in range,
+    // so adoption is safe; a genuinely dead node stops renewing and falls
+    // out of lookup() within its registrar lease.
+    for (const disco::ServiceItem& item : registrar_.lookup("midas.adaptation")) {
+        if (adapted_.contains(item.provider)) continue;
+        const Value* label_v = item.attributes.find("node");
+        adapt_node(item.provider,
+                   label_v && label_v->is_str() ? label_v->as_str() : item.id.str());
+    }
     for (auto& [node, adapted] : adapted_) {
         // A probation entry is a journal-recovered node the federation has
         // not yet confirmed: a neighbour may have adapted it while we were
         // down, so no traffic until the claim settles.
         if (adapted.probation) continue;
+        // Breaker open toward this node: skip the whole tick for it — that
+        // is the point (stop hammering a drowning receiver). Skipped ticks
+        // do NOT count as keep-alive failures; only real answers (or their
+        // absence) may drop a node.
+        if (!breaker_.allow(node)) continue;
         // Retry policy extensions whose install never succeeded (the radio
         // may have eaten the package or the reply) — but at most one
         // attempt in flight per extension, and only once its backoff
@@ -382,16 +434,27 @@ void ExtensionBase::keepalive_tick() {
                 node, "adaptation", "keepalive",
                 {Value{static_cast<std::int64_t>(ext)}, Value{lease_ms},
                  Value{static_cast<std::int64_t>(epoch_)}},
-                [this, node_id, name](Value result, std::exception_ptr error) {
+                rt::CallOptions{.timeout = config_.keepalive_period},
+                [this, node_id, name](Value result, std::exception_ptr error,
+                                      bool transport) {
                     auto it = adapted_.find(node_id);
                     if (it == adapted_.end()) return;
                     if (error) {
                         keepalive_failures_c_.inc();
+                        bool overloaded = false;
+                        try {
+                            std::rethrow_exception(error);
+                        } catch (const Overloaded&) {
+                            overloaded = true;
+                        } catch (...) {
+                        }
+                        breaker_.on_failure(node_id, transport || overloaded);
                         if (++it->second.failures > config_.max_keepalive_failures) {
                             drop_node(node_id);
                         }
                         return;
                     }
+                    breaker_.on_success(node_id);
                     it->second.failures = 0;
                     if (!result.as_bool()) {
                         // Receiver no longer knows the extension (expired
@@ -404,8 +467,7 @@ void ExtensionBase::keepalive_tick() {
                         std::set<std::string> visiting;
                         install_on(node_id, name, visiting);
                     }
-                },
-                /*timeout=*/config_.keepalive_period);
+                });
         }
     }
 }
@@ -414,6 +476,7 @@ void ExtensionBase::drop_node(NodeId node) {
     auto it = adapted_.find(node);
     if (it == adapted_.end()) return;
     nodes_dropped_c_.inc();
+    breaker_.forget(node);
     std::string label = it->second.label;
     record("node-gone", label, "");
     log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",

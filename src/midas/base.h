@@ -23,6 +23,7 @@
 #include "midas/durable.h"
 #include "midas/package.h"
 #include "obs/metrics.h"
+#include "rt/breaker.h"
 
 namespace pmp::midas {
 
@@ -43,6 +44,17 @@ struct BaseConfig {
     std::uint64_t backoff_seed = 0x51ee7ULL;  ///< jitter rng stream
     /// WAL frames between snapshot compactions (when journaling).
     std::size_t journal_compact_threshold = 256;
+    /// Caller-side circuit breaker over the install / keep-alive paths:
+    /// after `breaker_threshold` consecutive Overloaded-or-timeout failures
+    /// toward one node, traffic to it is short-circuited for a doubling
+    /// cool-down (breaker_open_period .. breaker_open_max), then a single
+    /// half-open probe decides. <= 0 disables. The default threshold sits
+    /// above max_keepalive_failures so a plainly dead node is dropped by
+    /// the keep-alive ledger before its breaker ever opens; the breaker
+    /// earns its keep against *alive but drowning* receivers.
+    int breaker_threshold = 4;
+    Duration breaker_open_period = seconds(1);
+    Duration breaker_open_max = seconds(8);
 };
 
 class ExtensionBase {
@@ -190,6 +202,7 @@ private:
     obs::OwnedGauge epoch_g_;
 
     Rng backoff_rng_;
+    rt::CircuitBreaker breaker_;
     std::uint64_t watch_token_ = 0;
     sim::TimerId keepalive_timer_;
     std::function<void(const AdaptedNode&)> on_adapt_;

@@ -1,4 +1,7 @@
 #include "midas/receiver.h"
+
+#include <algorithm>
+
 #include "midas/channel.h"
 #include "script/check.h"
 
@@ -32,6 +35,11 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
       renewals_c_("midas.lease.renewals", config_.node_label),
       revocations_c_("midas.revocations", config_.node_label),
       quarantined_c_("midas.receiver.quarantined", config_.node_label),
+      governor_throttles_c_("recv.governor.throttles", config_.node_label),
+      governor_suspends_c_("recv.governor.suspends", config_.node_label),
+      governor_skipped_c_("recv.governor.skipped", config_.node_label),
+      governor_watchdog_c_("recv.governor.watchdog_trips", config_.node_label),
+      governor_quarantines_c_("recv.governor.quarantines", config_.node_label),
       extensions_g_("midas.extensions", config_.node_label) {
     if (journal_) recover();
 
@@ -40,6 +48,12 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
     weaver_.set_advice_observer([this](AspectId aspect, const std::exception* error) {
         on_advice_outcome(aspect, error);
     });
+    // The governor's enforcement point: consulted before every advice
+    // dispatch. Only installed when a budget is configured, so an
+    // ungoverned node pays nothing on its hot path.
+    if (governor_enabled()) {
+        weaver_.set_dispatch_gate([this](AspectId aspect) { return governor_allows(aspect); });
+    }
 
     // Node facilities every extension may request.
     host_builtins_.add("sys.now_ms", "", [this](List&) -> Value {
@@ -74,9 +88,11 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
 
 AdaptationService::~AdaptationService() {
     *alive_ = false;
-    // Detach the observer before withdrawing: shutdown advice runs during
-    // withdraw_all and must not count toward quarantine.
+    // Detach the observer and gate before withdrawing: shutdown advice runs
+    // during withdraw_all and must not count toward quarantine — nor be
+    // skipped by a suspended extension's gate.
     weaver_.set_advice_observer(nullptr);
+    weaver_.set_dispatch_gate(nullptr);
     discovery_.off_registrar(registrar_token_);
     withdraw_all(prose::WithdrawReason::kExplicit);
 }
@@ -119,23 +135,21 @@ void AdaptationService::compact_journal() {
 }
 
 void AdaptationService::on_advice_outcome(AspectId aspect, const std::exception* error) {
-    ExtensionId ext{};
-    bool ours = false;
-    for (const auto& [id, entry] : installed_) {
-        if (entry.info.aspect == aspect) {
-            ext = id;
-            ours = true;
-            break;
-        }
-    }
-    if (!ours) return;  // hand-woven aspects are not leased code
+    auto at = by_aspect_.find(aspect);
+    if (at == by_aspect_.end()) return;  // hand-woven aspects are not leased code
+    ExtensionId ext = at->second;
     if (!error) {
         advice_failures_.erase(ext);
         return;
     }
-    // Broken or runaway extension code counts; AccessDenied is this node's
-    // own capability policy saying no — the script is fine.
-    bool counts = dynamic_cast<const ScriptError*>(error) != nullptr ||
+    // Broken or runaway extension code counts — a script fault, a blown
+    // sandbox budget, or a tripped watchdog deadline all mean the code
+    // cannot be trusted to run. AccessDenied is this node's own capability
+    // policy saying no — the script is fine — and never counts.
+    const bool watchdog = dynamic_cast<const DeadlineExceeded*>(error) != nullptr;
+    if (watchdog) governor_watchdog_c_.inc();
+    bool counts = watchdog ||
+                  dynamic_cast<const ScriptError*>(error) != nullptr ||
                   dynamic_cast<const ResourceExhausted*>(error) != nullptr;
     if (!counts) return;
     if (++advice_failures_[ext] < config_.quarantine_after) return;
@@ -148,6 +162,115 @@ void AdaptationService::on_advice_outcome(AspectId aspect, const std::exception*
         pending_quarantine_.erase(ext);
         quarantine(ext);
     });
+}
+
+bool AdaptationService::governor_allows(AspectId aspect) {
+    auto at = by_aspect_.find(aspect);
+    if (at == by_aspect_.end()) return true;  // not leased code; not governed
+    auto gt = governor_.find(at->second);
+    if (gt == governor_.end()) return true;
+    GovernorState& st = gt->second;
+    switch (st.mode) {
+        case GovernorMode::kSuspended:
+            governor_skipped_c_.inc();
+            return false;
+        case GovernorMode::kThrottled:
+            if (st.throttle_counter++ % static_cast<std::uint64_t>(
+                                            std::max(config_.governor_throttle_keep, 1)) != 0) {
+                governor_skipped_c_.inc();
+                return false;
+            }
+            break;
+        case GovernorMode::kNormal:
+            break;
+    }
+    ++st.window_invocations;
+    if (config_.governor_invocation_budget != 0) {
+        const double budget = static_cast<double>(config_.governor_invocation_budget);
+        if (static_cast<double>(st.window_invocations) >
+            budget * config_.governor_suspend_factor) {
+            governor_escalate(at->second, st, GovernorMode::kSuspended);
+            // This dispatch was already granted; suspension bites from the
+            // next one.
+        } else if (st.window_invocations > config_.governor_invocation_budget) {
+            governor_escalate(at->second, st, GovernorMode::kThrottled);
+        }
+    }
+    return true;
+}
+
+void AdaptationService::governor_charge(ExtensionId id, std::uint64_t steps) {
+    auto gt = governor_.find(id);
+    if (gt == governor_.end()) return;
+    GovernorState& st = gt->second;
+    st.window_steps += steps;
+    if (config_.governor_step_budget == 0) return;
+    const double budget = static_cast<double>(config_.governor_step_budget);
+    if (static_cast<double>(st.window_steps) > budget * config_.governor_suspend_factor) {
+        governor_escalate(id, st, GovernorMode::kSuspended);
+    } else if (st.window_steps > config_.governor_step_budget) {
+        governor_escalate(id, st, GovernorMode::kThrottled);
+    }
+}
+
+void AdaptationService::governor_escalate(ExtensionId id, GovernorState& st,
+                                          GovernorMode to) {
+    if (st.mode >= to) return;  // the ladder only climbs within a window
+    st.mode = to;
+    auto it = installed_.find(id);
+    const std::string name = it != installed_.end() ? it->second.info.name : "?";
+    const char* rung = to == GovernorMode::kSuspended ? "suspend" : "throttle";
+    const char* verb = to == GovernorMode::kSuspended ? "suspending" : "throttling";
+    if (to == GovernorMode::kSuspended) {
+        governor_suspends_c_.inc();
+    } else {
+        governor_throttles_c_.inc();
+    }
+    obs::TraceBuffer::global().instant(
+        "midas.receiver", std::string("governor.") + rung,
+        {{"node", config_.node_label},
+         {"pkg", name},
+         {"steps", std::to_string(st.window_steps)},
+         {"invocations", std::to_string(st.window_invocations)}});
+    log_warn(rpc_.router().simulator().now(), "midas@" + config_.node_label,
+             "governor: ", verb, " '", name, "' (", st.window_steps, " steps, ",
+             st.window_invocations, " invocations this lease window)");
+}
+
+void AdaptationService::governor_window_reset(ExtensionId id) {
+    auto gt = governor_.find(id);
+    if (gt == governor_.end()) return;
+    GovernorState& st = gt->second;
+    if (st.mode == GovernorMode::kSuspended) {
+        ++st.suspended_streak;
+        if (config_.governor_quarantine_after > 0 &&
+            st.suspended_streak >= config_.governor_quarantine_after &&
+            pending_quarantine_.insert(id).second) {
+            // An extension that stays pinned at the top of the ladder
+            // window after window isn't having a bad moment — it is what
+            // it is. Hand it to the quarantine path (deferred: the reset
+            // runs inside do_install/do_keepalive, which still use the
+            // entry afterwards).
+            governor_quarantines_c_.inc();
+            rpc_.router().simulator().schedule_after(Duration{0},
+                                                     [this, id, alive = alive_]() {
+                if (!*alive) return;
+                pending_quarantine_.erase(id);
+                quarantine(id);
+            });
+        }
+    } else {
+        st.suspended_streak = 0;
+    }
+    st.window_steps = 0;
+    st.window_invocations = 0;
+    st.throttle_counter = 0;
+    st.mode = GovernorMode::kNormal;
+}
+
+AdaptationService::GovernorMode AdaptationService::governor_mode(ExtensionId id) const {
+    auto gt = governor_.find(id);
+    return gt == governor_.end() ? GovernorMode::kNormal : gt->second.mode;
 }
 
 void AdaptationService::quarantine(ExtensionId id) {
@@ -353,6 +476,15 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     sandbox.capabilities.insert(pkg.capabilities.begin(), pkg.capabilities.end());
     sandbox.step_budget = config_.script_step_budget;
     sandbox.max_recursion = config_.script_max_recursion;
+    if (config_.governor_advice_deadline.count() > 0 &&
+        config_.governor_step_cost.count() > 0) {
+        // Virtual-time watchdog, priced in steps: an advice entry may run
+        // for at most deadline/step_cost interpreter steps before being
+        // killed with DeadlineExceeded.
+        sandbox.deadline_steps = static_cast<std::uint64_t>(
+            config_.governor_advice_deadline.count() / config_.governor_step_cost.count());
+        if (sandbox.deadline_steps == 0) sandbox.deadline_steps = 1;
+    }
 
     // Per-extension builtins: owner.post reaches back to whatever node
     // installed this extension (the base station or a peer).
@@ -413,6 +545,14 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
         }
         prose::ScriptAspect compiled(pkg.name, pkg.script, std::move(bindings),
                                      std::move(sandbox), builtins, pkg.config);
+        if (governor_enabled()) {
+            // Charge every outermost advice invocation's step count to this
+            // extension's lease-window account. The interpreter lives in
+            // the shared aspect, which the receiver withdraws before dying,
+            // so `this` outlives the observer.
+            compiled.interpreter().set_step_observer(
+                [this, id](std::uint64_t steps) { governor_charge(id, steps); });
+        }
         aspect = weaver_.weave(compiled.aspect());
     } catch (...) {
         // The top level may have installed wire filters before compilation
@@ -428,6 +568,8 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     entry.wire_owner = wire_owner;
     installed_.emplace(id, std::move(entry));
     by_name_[pkg.name] = id;
+    by_aspect_[aspect] = id;
+    if (governor_enabled()) governor_.emplace(id, GovernorState{});
     arm_expiry(id, lease);
     installs_c_.inc();
     extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
@@ -451,6 +593,9 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
 
 void AdaptationService::arm_expiry(ExtensionId id, Duration lease) {
     auto& entry = installed_.at(id);
+    // Every lease renewal opens a fresh governor window (and settles the
+    // old one — a window that ended suspended feeds the quarantine streak).
+    governor_window_reset(id);
     rpc_.router().simulator().cancel(entry.expiry_timer);
     entry.info.expires = rpc_.router().simulator().now() + lease;
     entry.expiry_timer = rpc_.router().simulator().schedule_after(lease, [this, id]() {
@@ -534,8 +679,10 @@ void AdaptationService::withdraw(ExtensionId id, prose::WithdrawReason reason) {
     }
     std::string name = it->second.info.name;
     by_name_.erase(name);
+    by_aspect_.erase(it->second.info.aspect);
     installed_.erase(it);
     advice_failures_.erase(id);
+    governor_.erase(id);
     extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
     // After the erase: a compaction inside journal() snapshots the live
     // manifest, which must no longer list this extension.

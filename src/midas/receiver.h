@@ -52,11 +52,33 @@ struct ReceiverConfig {
     /// before anything is compiled or woven.
     bool static_check = true;
     /// Quarantine an extension after this many *consecutive* advice
-    /// failures (ScriptError / ResourceExhausted — broken or runaway code;
-    /// AccessDenied is the node's own policy saying no and never counts).
-    /// The extension is withdrawn and re-installs of the same
-    /// (name, version) are refused until a newer version arrives.
+    /// failures (ScriptError / ResourceExhausted / DeadlineExceeded —
+    /// broken or runaway code; AccessDenied is the node's own policy
+    /// saying no and never counts). The extension is withdrawn and
+    /// re-installs of the same (name, version) are refused until a newer
+    /// version arrives.
     int quarantine_after = 3;
+
+    /// --- Resource governor (all off by default — seed behavior) ---
+    /// Cumulative budgets per lease window: the window is the span between
+    /// lease renewals, so a base that keeps an extension alive also keeps
+    /// re-filling its allowance. An extension that exceeds a budget is
+    /// *throttled* (1 in governor_throttle_keep dispatches runs); past
+    /// governor_suspend_factor × budget it is *suspended* (all advice
+    /// skipped, application calls pass through untouched). A window that
+    /// ends suspended counts toward a streak; governor_quarantine_after
+    /// consecutive suspended windows escalate to the quarantine path.
+    std::uint64_t governor_step_budget = 0;        ///< interpreter steps / window (0 = off)
+    std::uint64_t governor_invocation_budget = 0;  ///< advice invocations / window (0 = off)
+    double governor_suspend_factor = 2.0;
+    int governor_throttle_keep = 4;       ///< throttled: run 1 in N dispatches
+    int governor_quarantine_after = 2;    ///< suspended windows before quarantine (0 = never)
+    /// Per-invocation watchdog deadline, priced into interpreter steps at
+    /// governor_step_cost per step (both must be nonzero to arm). An advice
+    /// entry that overruns is killed with DeadlineExceeded, which counts
+    /// toward quarantine like any other runaway.
+    Duration governor_advice_deadline{0};
+    Duration governor_step_cost = microseconds(1);
 };
 
 class AdaptationService {
@@ -143,6 +165,10 @@ public:
 
     const ReceiverConfig& config() const { return config_; }
 
+    /// Resource-governor degradation ladder, per extension.
+    enum class GovernorMode { kNormal, kThrottled, kSuspended };
+    GovernorMode governor_mode(ExtensionId id) const;
+
 private:
     void build_service_object();
     void register_at(NodeId registrar);
@@ -162,6 +188,16 @@ private:
     /// quarantines past the threshold.
     void on_advice_outcome(AspectId aspect, const std::exception* error);
     void quarantine(ExtensionId id);
+
+    /// Resource governor (see ReceiverConfig). governor_allows is the
+    /// weaver dispatch gate; governor_charge is the interpreter's step
+    /// observer; the window resets wherever the lease is renewed.
+    bool governor_enabled() const {
+        return config_.governor_step_budget != 0 || config_.governor_invocation_budget != 0;
+    }
+    bool governor_allows(AspectId aspect);
+    void governor_charge(ExtensionId id, std::uint64_t steps);
+    void governor_window_reset(ExtensionId id);
     void recover();
     void journal(const rt::Value& rec);
     void compact_journal();
@@ -188,6 +224,17 @@ private:
     IdGenerator<ExtensionId> ids_;
     std::map<ExtensionId, Entry> installed_;
     std::map<std::string, ExtensionId> by_name_;
+    std::map<AspectId, ExtensionId> by_aspect_;
+
+    struct GovernorState {
+        std::uint64_t window_steps = 0;
+        std::uint64_t window_invocations = 0;
+        std::uint64_t throttle_counter = 0;
+        GovernorMode mode = GovernorMode::kNormal;
+        int suspended_streak = 0;  ///< consecutive windows that ended suspended
+    };
+    std::map<ExtensionId, GovernorState> governor_;
+    void governor_escalate(ExtensionId id, GovernorState& st, GovernorMode to);
 
     std::set<std::pair<std::string, std::uint32_t>> quarantined_;
     std::map<ExtensionId, int> advice_failures_;   ///< consecutive, reset on success
@@ -209,6 +256,11 @@ private:
     obs::OwnedCounter renewals_c_;
     obs::OwnedCounter revocations_c_;
     obs::OwnedCounter quarantined_c_;
+    obs::OwnedCounter governor_throttles_c_;
+    obs::OwnedCounter governor_suspends_c_;
+    obs::OwnedCounter governor_skipped_c_;
+    obs::OwnedCounter governor_watchdog_c_;
+    obs::OwnedCounter governor_quarantines_c_;
     obs::OwnedGauge extensions_g_;
 
     EventFn event_fn_;

@@ -6,7 +6,7 @@
 namespace pmp::net {
 
 MessageRouter::MessageRouter(Network& network, NodeId self)
-    : network_(network), self_(self) {
+    : network_(network), self_(self), admission_(network.simulator()) {
     network_.set_handler(self_, [this](const Message& msg) { dispatch(msg); });
 }
 

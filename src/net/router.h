@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "net/admission.h"
 #include "net/network.h"
 
 namespace pmp::net {
@@ -31,11 +32,19 @@ public:
     Network& network() { return network_; }
     sim::Simulator& simulator() { return network_.simulator(); }
 
+    /// The node's inbound admission gate. The router hosts it (one per
+    /// node); protocols that execute caller-driven work — rpc dispatch,
+    /// chiefly — classify and offer their work here. Reconfigure with
+    /// `admission().set_config(...)` (soaks tighten it; the defaults are
+    /// sized to be invisible to well-behaved fleets).
+    AdmissionQueue& admission() { return admission_; }
+
 private:
     void dispatch(const Message& msg);
 
     Network& network_;
     NodeId self_;
+    AdmissionQueue admission_;
     std::unordered_map<std::string, Handler> handlers_;
 };
 

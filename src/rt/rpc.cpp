@@ -25,6 +25,10 @@ struct RpcMetrics {
     obs::Counter& garbled = obs::Registry::global().counter("rpc.garbled");
     obs::Counter& retries = obs::Registry::global().counter("rpc.retries");
     obs::Counter& dup_calls = obs::Registry::global().counter("rpc.dup_calls");
+    obs::Counter& shed = obs::Registry::global().counter("rpc.shed");
+    obs::Counter& overload_retries = obs::Registry::global().counter("rpc.overload_retries");
+    obs::Counter& reply_cache_evictions =
+        obs::Registry::global().counter("rpc.reply_cache_evictions");
     obs::Histogram& roundtrip_ms = obs::Registry::global().histogram(
         "rpc.roundtrip_ms", {}, obs::Histogram::latency_ms_bounds());
 };
@@ -36,7 +40,9 @@ RpcMetrics& metrics() {
 }  // namespace
 
 RpcEndpoint::RpcEndpoint(net::MessageRouter& router, Runtime& runtime)
-    : router_(router), runtime_(runtime) {
+    : router_(router),
+      runtime_(runtime),
+      reply_cache_size_g_("rpc.reply_cache_size", router.network().name_of(router.self())) {
     router_.route(kCallKind, [this](const net::Message& m) { on_call(m, false); });
     router_.route(kReplyKind, [this](const net::Message& m) { on_reply(m, false); });
     router_.route(kCtlCallKind, [this](const net::Message& m) { on_call(m, true); });
@@ -164,10 +170,22 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
 void RpcEndpoint::call_async(NodeId target, const std::string& object,
                              const std::string& method, List args, CallOptions options,
                              ReplyHandler on_reply) {
+    call_async(target, object, method, std::move(args), options,
+               RichReplyHandler([on_reply = std::move(on_reply)](
+                                    Value result, std::exception_ptr error, bool) {
+                   on_reply(std::move(result), error);
+               }));
+}
+
+void RpcEndpoint::call_async(NodeId target, const std::string& object,
+                             const std::string& method, List args, CallOptions options,
+                             RichReplyHandler on_reply) {
     // Retry driver: each transport failure re-issues the call (fresh call
     // id, same payload) after an exponentially growing delay, until the
     // budget is spent. Remote answers — results *and* error replies — end
-    // the call immediately; retrying an application error cannot help.
+    // the call immediately, with one exception: an Overloaded reply is the
+    // callee asking to be called back later, so it is retried too, no
+    // earlier than its retry-after hint.
     struct Attempt {
         RpcEndpoint* self;
         std::shared_ptr<bool> alive;  ///< self is dangling once this clears
@@ -176,7 +194,7 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
         std::string method;
         List args;
         CallOptions options;
-        ReplyHandler on_reply;
+        RichReplyHandler on_reply;
         int tries_left;
         Duration next_backoff;
 
@@ -184,19 +202,32 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
             self->call_once(
                 target, object, method, args, options.timeout,
                 [state](Value result, std::exception_ptr error, bool transport) {
-                    if (error && transport && state->tries_left > 0) {
-                        --state->tries_left;
-                        metrics().retries.inc();
+                    if (error && state->tries_left > 0) {
+                        bool retryable = transport;
                         Duration delay = state->next_backoff;
-                        state->next_backoff *= 2;
-                        state->self->router_.simulator().schedule_after(
-                            delay, [state]() {
-                                if (!*state->alive) return;
-                                state->fire(state);
-                            });
-                        return;
+                        if (!retryable) {
+                            try {
+                                std::rethrow_exception(error);
+                            } catch (const Overloaded& o) {
+                                retryable = true;
+                                metrics().overload_retries.inc();
+                                if (o.retry_after() > delay) delay = o.retry_after();
+                            } catch (...) {
+                            }
+                        }
+                        if (retryable) {
+                            --state->tries_left;
+                            metrics().retries.inc();
+                            state->next_backoff *= 2;
+                            state->self->router_.simulator().schedule_after(
+                                delay, [state]() {
+                                    if (!*state->alive) return;
+                                    state->fire(state);
+                                });
+                            return;
+                        }
                     }
-                    state->on_reply(std::move(result), error);
+                    state->on_reply(std::move(result), error, transport);
                 });
         }
     };
@@ -227,12 +258,30 @@ Value RpcEndpoint::call_sync(NodeId target, const std::string& object,
 }
 
 Bytes RpcEndpoint::encode_error(std::uint64_t call_id, const std::string& etype,
-                                const std::string& message) {
+                                const std::string& message, Duration retry_after) {
     Dict reply{{"id", Value{static_cast<std::int64_t>(call_id)}},
                {"ok", Value{false}},
                {"etype", Value{etype}},
                {"emsg", Value{message}}};
+    if (retry_after.count() > 0) {
+        // Milliseconds on the wire; sub-ms hints round up so "soon" never
+        // degenerates to "immediately".
+        auto ms = (retry_after.count() + 999'999) / 1'000'000;
+        reply.set("retry_ms", Value{static_cast<std::int64_t>(ms)});
+    }
     return Value{std::move(reply)}.encode();
+}
+
+net::AdmitClass RpcEndpoint::classify(const std::string& object,
+                                      const std::string& method) const {
+    // The exempt-prefix list *is* the node's control plane (adaptation
+    // service, registrar, discovery listeners, tuple space) — with one
+    // exception: extension installs ride the control channel but carry
+    // whole signed packages and a compile+weave, so they rank below the
+    // keep-alives that hold existing leases up.
+    if (object == "adaptation" && method == "install") return net::AdmitClass::kInstall;
+    if (is_exempt(object)) return net::AdmitClass::kControl;
+    return net::AdmitClass::kApp;
 }
 
 void RpcEndpoint::on_call(const net::Message& msg, bool control) {
@@ -255,14 +304,56 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
 
     // At-most-once: a duplicated radio frame (or a retry racing its own
     // late reply) must not re-execute the method. Re-send the cached wire
-    // reply verbatim instead.
+    // reply verbatim instead — it costs no dispatch, so it skips admission
+    // too (shedding a dup would punish the caller twice).
     ReplyCacheKey cache_key{msg.from.value, call_id};
     if (auto cached = reply_cache_.find(cache_key); cached != reply_cache_.end()) {
         metrics().dup_calls.inc();
         router_.send(msg.from, control ? kCtlReplyKind : kReplyKind, cached->second);
         return;
     }
+    if (inflight_.contains(cache_key)) {
+        // Duplicate of a call still parked in the admission queue: drop it;
+        // the original's reply is coming (or the caller's retry finds the
+        // cache).
+        metrics().dup_calls.inc();
+        return;
+    }
 
+    // Admission: classify and offer the dispatch work to the node's gate.
+    // Excess load is shed with a typed Overloaded error carrying the
+    // queue's own estimate of when to come back.
+    net::AdmitClass cls = classify(object_name, method);
+    List args = req.at("args").as_list();
+    auto decision = router_.admission().offer(
+        cls, [this, alive = alive_, from = msg.from, control, call_id, object_name, method,
+              args = std::move(args)]() mutable {
+            if (!*alive) return;
+            inflight_.erase(ReplyCacheKey{from.value, call_id});
+            execute_call(from, control, call_id, object_name, method, std::move(args));
+        });
+    if (!decision.admitted) {
+        metrics().shed.inc();
+        obs::TraceBuffer::global().instant(
+            "rt.rpc", "rpc.shed",
+            {{"obj", object_name}, {"class", net::to_string(cls)}});
+        Bytes reply = encode_error(call_id, "Overloaded",
+                                   "call shed at admission (" +
+                                       std::string(net::to_string(cls)) + " queue full)",
+                                   decision.retry_after);
+        if (!control) reply = apply_outbound(std::move(reply));
+        // Deliberately not cached: a retry should get a fresh admission
+        // decision, not a replay of "go away".
+        router_.send(msg.from, control ? kCtlReplyKind : kReplyKind, std::move(reply));
+        return;
+    }
+    if (decision.queued) inflight_.insert(cache_key);
+}
+
+void RpcEndpoint::execute_call(NodeId from, bool control, std::uint64_t call_id,
+                               const std::string& object_name, const std::string& method,
+                               List args) {
+    ReplyCacheKey cache_key{from.value, call_id};
     Bytes reply;
     if (control && !is_exempt(object_name)) {
         reply = encode_error(call_id, "AccessDenied",
@@ -275,13 +366,13 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
         if (!object) {
             reply = encode_error(call_id, "RemoteError", "object '" + object_name + "' is gone");
         } else {
-            current_caller_ = msg.from;
+            current_caller_ = from;
             struct CallerGuard {
                 NodeId& slot;
                 ~CallerGuard() { slot = NodeId{}; }
             } guard{current_caller_};
             try {
-                Value result = object->call(method, req.at("args").as_list());
+                Value result = object->call(method, std::move(args));
                 Dict ok{{"id", Value{static_cast<std::int64_t>(call_id)}},
                         {"ok", Value{true}},
                         {"result", std::move(result)}};
@@ -308,15 +399,19 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
     if (reply_cache_order_.size() > kReplyCacheCap) {
         reply_cache_.erase(reply_cache_order_.front());
         reply_cache_order_.pop_front();
+        metrics().reply_cache_evictions.inc();
     }
-    router_.send(msg.from, control ? kCtlReplyKind : kReplyKind, std::move(reply));
+    reply_cache_size_g_->set(static_cast<std::int64_t>(reply_cache_.size()));
+    router_.send(from, control ? kCtlReplyKind : kReplyKind, std::move(reply));
 }
 
-void RpcEndpoint::rethrow_remote(const std::string& etype, const std::string& message) {
+void RpcEndpoint::rethrow_remote(const std::string& etype, const std::string& message,
+                                 Duration retry_after) {
     if (etype == "AccessDenied") throw AccessDenied(message);
     if (etype == "TypeError") throw TypeError(message);
     if (etype == "ScriptError") throw ScriptError(message);
     if (etype == "RemoteError") throw RemoteError(message);
+    if (etype == "Overloaded") throw Overloaded(message, retry_after);
     throw Error(message);
 }
 
@@ -348,8 +443,10 @@ void RpcEndpoint::on_reply(const net::Message& msg, bool control) {
     if (ok) {
         pending.handler(rep.at("result"), nullptr, /*transport=*/false);
     } else {
+        Duration retry_after{0};
+        if (const Value* ms = rep.find("retry_ms")) retry_after = milliseconds(ms->as_int());
         try {
-            rethrow_remote(rep.at("etype").as_str(), rep.at("emsg").as_str());
+            rethrow_remote(rep.at("etype").as_str(), rep.at("emsg").as_str(), retry_after);
         } catch (...) {
             pending.handler(Value{}, std::current_exception(), /*transport=*/false);
         }

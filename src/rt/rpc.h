@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "net/router.h"
+#include "obs/metrics.h"
 #include "rt/runtime.h"
 
 namespace pmp::rt {
@@ -23,6 +24,12 @@ namespace pmp::rt {
 /// Result delivered to the caller: exactly one of `result` / `error` is
 /// meaningful; `error` is nullptr on success.
 using ReplyHandler = std::function<void(Value result, std::exception_ptr error)>;
+
+/// Enriched variant for callers that manage their own failure policy
+/// (circuit breakers, keep-alive ledgers): `transport` is true when the
+/// failure never produced a remote answer (timeout / unreachable) — the
+/// peer may be gone, as opposed to alive-and-refusing.
+using RichReplyHandler = std::function<void(Value result, std::exception_ptr error, bool transport)>;
 
 /// Per-call knobs. Retries apply only to *transport* failures (timeout,
 /// unreachable) — a remote error reply is the call's answer and is never
@@ -61,6 +68,12 @@ public:
     /// As above with full per-call control (transport retries + timeout).
     void call_async(NodeId target, const std::string& object, const std::string& method,
                     List args, CallOptions options, ReplyHandler on_reply);
+
+    /// As above, delivering the transport/remote distinction (see
+    /// RichReplyHandler). Retries behave identically; the flag describes
+    /// the *final* attempt.
+    void call_async(NodeId target, const std::string& object, const std::string& method,
+                    List args, CallOptions options, RichReplyHandler on_reply);
 
     /// Convenience for tests/examples running outside the event loop: pumps
     /// the simulator until the reply arrives, then returns the result or
@@ -101,18 +114,22 @@ public:
     bool is_exempt(const std::string& object) const;
 
 private:
-    /// Enriched internal handler: `transport` is true when the failure
-    /// never produced a remote answer (timeout / unreachable) — the only
-    /// failures a retry may help with.
-    using AttemptHandler = std::function<void(Value, std::exception_ptr, bool transport)>;
+    using AttemptHandler = RichReplyHandler;
 
     void call_once(NodeId target, const std::string& object, const std::string& method,
                    List args, Duration timeout, AttemptHandler on_done);
     void on_call(const net::Message& msg, bool control);
     void on_reply(const net::Message& msg, bool control);
+    /// Dispatch one admitted call and send (and cache) its reply.
+    void execute_call(NodeId from, bool control, std::uint64_t call_id,
+                      const std::string& object_name, const std::string& method, List args);
+    /// Admission priority of an inbound call (see net::AdmitClass): the
+    /// control plane (exempt objects) outranks installs outranks app calls.
+    net::AdmitClass classify(const std::string& object, const std::string& method) const;
     static Bytes encode_error(std::uint64_t call_id, const std::string& etype,
-                              const std::string& message);
-    [[noreturn]] static void rethrow_remote(const std::string& etype, const std::string& message);
+                              const std::string& message, Duration retry_after = Duration{0});
+    [[noreturn]] static void rethrow_remote(const std::string& etype, const std::string& message,
+                                            Duration retry_after);
 
     struct Pending {
         AttemptHandler handler;
@@ -152,6 +169,13 @@ private:
     using ReplyCacheKey = std::pair<std::uint64_t, std::uint64_t>;  // (caller, call id)
     std::map<ReplyCacheKey, Bytes> reply_cache_;
     std::deque<ReplyCacheKey> reply_cache_order_;
+    /// Calls admitted but still waiting in the node's admission queue. A
+    /// duplicate frame arriving meanwhile is dropped (not re-queued): the
+    /// original's reply is coming.
+    std::set<ReplyCacheKey> inflight_;
+    /// Level of the at-most-once cache, per node (satellite: the cache had
+    /// no eviction visibility).
+    obs::OwnedGauge reply_cache_size_g_;
 };
 
 }  // namespace pmp::rt

@@ -271,7 +271,15 @@ Interpreter::Interpreter(std::shared_ptr<const Program> program, Sandbox sandbox
     : program_(std::move(program)), sandbox_(std::move(sandbox)), builtins_(std::move(builtins)) {}
 
 void Interpreter::tick(int line) {
-    if (++steps_ > sandbox_.step_budget) {
+    ++steps_;
+    ++total_steps_;
+    // The watchdog deadline is usually far tighter than the sandbox budget,
+    // so check it first; both count from the same per-invocation steps_.
+    if (sandbox_.deadline_steps != 0 && steps_ > sandbox_.deadline_steps) {
+        throw DeadlineExceeded("advice overran its watchdog deadline at line " +
+                               std::to_string(line));
+    }
+    if (steps_ > sandbox_.step_budget) {
         throw ResourceExhausted("script exceeded step budget at line " + std::to_string(line));
     }
 }
@@ -294,7 +302,26 @@ void Interpreter::run_top_level() {
 rt::Value Interpreter::call(std::string_view name, rt::List args) {
     const FunctionDecl* fn = program_->find_function(name);
     if (!fn) throw ScriptError("no function '" + std::string(name) + "'");
+    if (call_nesting_ > 0) {
+        // Re-entrant call (host builtin calling back into script): one
+        // invocation for budget purposes, so don't reset the meter and
+        // don't report to the observer twice.
+        return call_function(*fn, std::move(args));
+    }
     steps_ = 0;
+    const std::uint64_t before = total_steps_;
+    ++call_nesting_;
+    // Report on every exit path — a throwing invocation burned steps too,
+    // and the governor must see them.
+    struct Guard {
+        Interpreter* self;
+        std::uint64_t before;
+        ~Guard() {
+            --self->call_nesting_;
+            self->last_call_steps_ = self->total_steps_ - before;
+            if (self->step_observer_) self->step_observer_(self->last_call_steps_);
+        }
+    } guard{this, before};
     return call_function(*fn, std::move(args));
 }
 

@@ -23,6 +23,12 @@ struct Sandbox {
     std::set<std::string> capabilities;
     std::uint64_t step_budget = 1'000'000;  ///< per entry-point invocation
     int max_recursion = 64;
+    /// Watchdog deadline, in steps, per entry-point invocation (0 = off).
+    /// Distinct from step_budget: the budget is the sandbox's generosity
+    /// bound (ResourceExhausted), the deadline is the governor's latency
+    /// bound priced from virtual time (DeadlineExceeded) — typically far
+    /// tighter, and counted toward quarantine by the MIDAS receiver.
+    std::uint64_t deadline_steps = 0;
 
     bool allows(const std::string& capability) const {
         return capability.empty() || capabilities.contains(capability);
@@ -84,6 +90,17 @@ public:
 
     const Sandbox& sandbox() const { return sandbox_; }
 
+    /// Fired once per *outermost* call() with the number of interpreter
+    /// steps that invocation consumed — including on throw, so runaway
+    /// invocations are charged too. The MIDAS receiver's resource governor
+    /// hangs its cumulative per-lease-window accounting here. The observer
+    /// runs inside the interpreter's unwind path and must not throw.
+    using StepObserver = std::function<void(std::uint64_t steps)>;
+    void set_step_observer(StepObserver fn) { step_observer_ = std::move(fn); }
+
+    /// Steps consumed by the most recent outermost call().
+    std::uint64_t last_call_steps() const { return last_call_steps_; }
+
 private:
     struct Scope {
         std::unordered_map<std::string, rt::Value> vars;
@@ -114,7 +131,11 @@ private:
     Scope globals_;
     std::vector<Scope> scopes_;  // current frame's lexical scopes
     std::uint64_t steps_ = 0;
+    std::uint64_t total_steps_ = 0;  ///< lifetime; never reset (accounting)
+    std::uint64_t last_call_steps_ = 0;
+    int call_nesting_ = 0;
     int depth_ = 0;
+    StepObserver step_observer_;
 };
 
 }  // namespace pmp::script

@@ -1,0 +1,64 @@
+// Token bucket on virtual time.
+//
+// The standard rate limiter, reformulated for the simulated clock: tokens
+// accrue as a pure function of elapsed virtual time, so refills cost no
+// simulator events and replay is bit-identical for a given call sequence.
+// Shared by rpc admission control (calls per second per node) and the log
+// storm guard (lines per window per component).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace pmp::sim {
+
+class TokenBucket {
+public:
+    /// `rate_per_sec` tokens accrue per virtual second, up to `burst`
+    /// banked. The bucket starts full. A zero rate means "unlimited":
+    /// try_take always succeeds.
+    TokenBucket(double rate_per_sec, double burst)
+        : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+    bool try_take(SimTime now, double n = 1.0) {
+        if (rate_ <= 0.0) return true;
+        refill(now);
+        if (tokens_ < n) return false;
+        tokens_ -= n;
+        return true;
+    }
+
+    /// How long until `n` tokens will have accrued (zero if available now).
+    /// Used to derive retry-after hints for shed calls.
+    Duration time_until(SimTime now, double n = 1.0) const {
+        if (rate_ <= 0.0) return Duration{0};
+        double have = tokens_at(now);
+        if (have >= n) return Duration{0};
+        double secs = (n - have) / rate_;
+        return Duration{static_cast<std::int64_t>(secs * 1e9) + 1};
+    }
+
+    double available(SimTime now) const { return tokens_at(now); }
+    double rate() const { return rate_; }
+    double burst() const { return burst_; }
+
+private:
+    void refill(SimTime now) {
+        tokens_ = tokens_at(now);
+        last_ = now;
+    }
+    double tokens_at(SimTime now) const {
+        if (now <= last_) return tokens_;
+        double accrued = (now - last_).count() / 1e9 * rate_;
+        double t = tokens_ + accrued;
+        return t > burst_ ? burst_ : t;
+    }
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    SimTime last_ = SimTime::zero();
+};
+
+}  // namespace pmp::sim

@@ -10,6 +10,8 @@
 
 #include "midas/node.h"
 #include "midas/supervisor.h"
+#include "obs/metrics.h"
+#include "robot/devices.h"
 
 namespace pmp::midas {
 namespace {
@@ -348,6 +350,218 @@ TEST(CrashChaos, SameSeedReplaysIdenticallyWithCrashes) {
                           w.robots[0]->receiver().stats().installs,
                           w.robots[2]->receiver().stats().refreshes,
                           w.hall_b->base().stats().keepalives_sent};
+    };
+    EXPECT_EQ(fingerprint(7), fingerprint(7));
+    EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+// ---------------------------------------------------------------------------
+// Overload chaos: an application storm at 10x the admission rate on top of
+// the usual lossy radio, plus a robot yanked mid-run so the hall's breaker
+// trips. The overload-protection promise (docs/overload.md): control
+// traffic survives — no healthy node ever loses a lease — excess load is
+// shed with typed errors rather than timeouts, the per-extension governor
+// throttles the advice the storm drives, and once the storm passes the
+// fleet re-converges within a few keep-alive periods. And, as always:
+// the same seed replays the identical run.
+
+std::uint64_t counter_now(const std::string& name, const std::string& label = "") {
+    return obs::Registry::global().counter(name, label).value();
+}
+
+struct OverloadChaosWorld {
+    sim::Simulator sim;
+    net::Network net;
+    std::unique_ptr<BaseStation> hall_a;
+    std::unique_ptr<BaseStation> hall_b;
+    std::vector<std::unique_ptr<MobileNode>> robots;
+    std::unique_ptr<MobileNode> victim;  ///< near hall A, yanked mid-run
+    std::unique_ptr<NodeStack> flood;    ///< the storm source
+    std::vector<std::shared_ptr<rt::ServiceObject>> motors;
+    /// Renewal-counter baselines at construction. Reading a counter via the
+    /// global registry pins its slot, so a later same-process world inherits
+    /// the previous world's total — established() must compare deltas, never
+    /// absolutes, or replay runs diverge.
+    std::uint64_t renew0[4] = {0, 0, 0, 0};
+
+    explicit OverloadChaosWorld(std::uint64_t seed)
+        : net(sim, net::NetworkConfig{}, seed) {
+        BaseConfig bca;
+        bca.issuer = "hallA";
+        bca.keepalive_period = milliseconds(400);
+        // Open fast toward the yanked robot — well before the base would
+        // give it up — so the soak provably exercises the breaker.
+        bca.breaker_threshold = 2;
+        bca.breaker_open_period = milliseconds(500);
+        bca.max_keepalive_failures = 4;
+        hall_a = std::make_unique<BaseStation>(net, "hallA", net::Position{0, 0}, 120.0, bca);
+        hall_a->keys().add_key("hallA", to_bytes("ka"));
+        BaseConfig bcb;
+        bcb.issuer = "hallB";
+        bcb.keepalive_period = milliseconds(400);
+        hall_b =
+            std::make_unique<BaseStation>(net, "hallB", net::Position{300, 0}, 120.0, bcb);
+        hall_b->keys().add_key("hallB", to_bytes("kb"));
+
+        // The robots police their own advice: ~8 admitted app calls land
+        // per 400ms lease window during the storm, so a budget of 8 keeps
+        // the governor throttling for the storm's whole duration. No
+        // quarantine — this is load, not malice.
+        ReceiverConfig rc;
+        rc.governor_invocation_budget = 8;
+        rc.governor_suspend_factor = 4.0;
+        rc.governor_throttle_keep = 4;
+        rc.governor_quarantine_after = 0;
+        const net::Position spots[] = {{10, 0}, {20, 10}, {310, 0}};
+        for (int i = 0; i < 3; ++i) {
+            auto robot = std::make_unique<MobileNode>(net, "robot" + std::to_string(i),
+                                                      spots[i], 120.0, rc);
+            robot->trust().trust("hallA", to_bytes("ka"));
+            robot->trust().trust("hallB", to_bytes("kb"));
+            // Tight admission, an order of magnitude below the storm: the
+            // overflow must shed, and control must still cut the line.
+            net::AdmissionConfig ac;
+            ac.rate_per_sec = 50.0;
+            ac.burst = 16.0;
+            ac.queue_cap = {16, 8, 24};
+            robot->router().admission().set_config(ac);
+            motors.push_back(robot::make_motor(robot->runtime(), "motor:" + std::to_string(i)));
+            robot->rpc().export_object("motor:" + std::to_string(i));
+            robots.push_back(std::move(robot));
+        }
+        victim = std::make_unique<MobileNode>(net, "victim", net::Position{30, 0}, 120.0);
+        victim->trust().trust("hallA", to_bytes("ka"));
+        flood = std::make_unique<NodeStack>(net, "flood", net::Position{15, 5}, 120.0);
+
+        hall_a->base().add_extension(policy_pkg("hallA/policy"));
+        hall_b->base().add_extension(policy_pkg("hallB/policy"));
+
+        // Background radio misbehaviour, continuous — no blackout windows;
+        // the storm is the event here.
+        net::FaultPlan plan;
+        plan.loss = 0.02;
+        plan.delay_jitter = milliseconds(5);
+        plan.duplicate = 0.05;
+        plan.reorder = 0.05;
+        net.set_fault_plan(plan, seed * 1000003ULL + 17);
+
+        for (int i = 0; i < 3; ++i) {
+            renew0[i] = counter_now("midas.lease.renewals", "robot" + std::to_string(i));
+        }
+        renew0[3] = counter_now("midas.lease.renewals", "victim");
+    }
+
+    bool run_until(const std::function<bool()>& pred, Duration timeout = seconds(60)) {
+        SimTime deadline = sim.now() + timeout;
+        while (sim.now() < deadline) {
+            if (pred()) return true;
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        return pred();
+    }
+
+    bool converged() {
+        return robots[0]->receiver().installed_count() == 1 &&
+               robots[1]->receiver().installed_count() == 1 &&
+               robots[2]->receiver().installed_count() == 1;
+    }
+
+    /// A node is "established" once it has seen a lease renewal: the base's
+    /// install rpc was acked and the node sits in the keep-alive rotation.
+    /// Installed-but-unrenewed is not enough — if the storm starts while
+    /// the install ack is still in flight, the base times out, never sends
+    /// keep-alives, and the node loses a lease through no fault of the
+    /// overload machinery (the invariant is about *healthy adapted* nodes).
+    bool established() {
+        auto ok = [this](MobileNode& n, const std::string& label, int i) {
+            return n.receiver().installed_count() == 1 &&
+                   counter_now("midas.lease.renewals", label) - renew0[i] >= 1;
+        };
+        return ok(*robots[0], "robot0", 0) && ok(*robots[1], "robot1", 1) &&
+               ok(*robots[2], "robot2", 2) && ok(*victim, "victim", 3);
+    }
+
+    /// Drive the whole scripted run: converge, yank the victim, then blast
+    /// robot0's motor at 500 calls/s for 5 virtual seconds and let three
+    /// keep-alive periods pass. Returns {ok, errors} seen by the flood.
+    std::pair<int, int> storm() {
+        if (!run_until([&] { return established(); }, seconds(5))) {
+            return {-1, -1};
+        }
+        net.remove_node(victim->id());
+        int ok = 0;
+        int errors = 0;
+        SimTime storm_end = sim.now() + seconds(5);
+        while (sim.now() < storm_end) {
+            for (int i = 0; i < 5; ++i) {
+                flood->rpc().call_async(
+                    robots[0]->id(), "motor:0", "rotate", {rt::Value{1.0}},
+                    [&](rt::Value, std::exception_ptr e) { ++(e ? errors : ok); });
+            }
+            sim.run_until(sim.now() + milliseconds(10));
+        }
+        sim.run_for(milliseconds(1200));  // 3 keep-alive periods of quiet
+        return {ok, errors};
+    }
+};
+
+TEST(OverloadChaos, ControlTrafficSurvivesStormsAcrossSeeds) {
+    const std::uint64_t base = chaos_seed_base();
+    for (std::uint64_t seed = base; seed < base + 20; ++seed) {
+        OverloadChaosWorld w(seed);
+        const std::uint64_t shed0 = counter_now("net.admission.shed");
+        const std::uint64_t opens0 = counter_now("rpc.breaker_opens", "hallA");
+        const std::uint64_t throttles0 = counter_now("recv.governor.throttles", "robot0");
+
+        auto [ok, errors] = w.storm();
+        ASSERT_GE(ok, 0) << "seed " << seed << ": fleet never converged pre-storm";
+
+        // The point of the whole subsystem: a 10x storm plus a dead peer
+        // never cost a healthy node its lease, and the fleet is converged
+        // again within three keep-alive periods of the storm ending.
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(w.robots[i]->receiver().stats().expirations, 0u)
+                << "seed " << seed << " robot" << i;
+        }
+        EXPECT_TRUE(w.converged()) << "seed " << seed;
+
+        // Every layer of protection demonstrably fired...
+        EXPECT_GT(counter_now("net.admission.shed") - shed0, 0u) << "seed " << seed;
+        EXPECT_GT(counter_now("rpc.breaker_opens", "hallA") - opens0, 0u)
+            << "seed " << seed;
+        EXPECT_GT(counter_now("recv.governor.throttles", "robot0") - throttles0, 0u)
+            << "seed " << seed;
+        EXPECT_GT(errors, 0) << "seed " << seed;  // sheds surfaced as typed errors
+        EXPECT_GT(ok, 0) << "seed " << seed;      // ...while service continued
+        // ...and the governor stood down once the storm passed.
+        ASSERT_EQ(w.robots[0]->receiver().installed_count(), 1u) << "seed " << seed;
+        EXPECT_EQ(w.robots[0]->receiver().governor_mode(
+                      w.robots[0]->receiver().installed()[0].id),
+                  AdaptationService::GovernorMode::kNormal)
+            << "seed " << seed;
+    }
+}
+
+TEST(OverloadChaos, SameSeedReplaysIdenticallyUnderStorm) {
+    auto fingerprint = [](std::uint64_t seed) {
+        OverloadChaosWorld w(seed);
+        const std::uint64_t shed0 = counter_now("net.admission.shed");
+        const std::uint64_t throttles0 = counter_now("recv.governor.throttles", "robot0");
+        auto [ok, errors] = w.storm();
+        net::NetworkStats s = w.net.stats();
+        return std::tuple{s.sent,
+                          s.delivered,
+                          s.fault_dropped_loss,
+                          s.fault_duplicated,
+                          s.fault_delayed,
+                          s.fault_reordered,
+                          counter_now("net.admission.shed") - shed0,
+                          counter_now("recv.governor.throttles", "robot0") - throttles0,
+                          w.robots[0]->receiver().stats().installs,
+                          w.robots[0]->receiver().stats().refreshes,
+                          w.hall_a->base().stats().keepalives_sent,
+                          ok,
+                          errors};
     };
     EXPECT_EQ(fingerprint(7), fingerprint(7));
     EXPECT_NE(fingerprint(7), fingerprint(8));

@@ -7,6 +7,7 @@
 #include "core/pointcut.h"
 #include "db/journal.h"
 #include "db/store.h"
+#include "midas/node.h"
 #include "midas/package.h"
 #include "script/parser.h"
 #include "tspace/tuplespace.h"
@@ -188,6 +189,73 @@ TEST_P(FuzzSweep, EventStoreRestoreThrowsOnlyTypedErrors) {
         } catch (const Error&) {
         }
     }
+}
+
+TEST_P(FuzzSweep, ReceiverInstallVerifyPathIsTotal) {
+    // The receiver's install path is the platform's widest attack surface:
+    // it takes whole signed packages off the radio. Garbage, oversized
+    // blobs, bit-flipped real packages and forged issuers must all come
+    // back as typed Errors with the rejection counters moving — and the
+    // node must still install a pristine package afterwards.
+    Rng rng(GetParam());
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, GetParam());
+    midas::MobileNode robot(net, "fuzzbot", {0, 0}, 50.0);
+    robot.trust().trust("hall", to_bytes("k"));
+    crypto::KeyStore keys;
+    keys.add_key("hall", to_bytes("k"));
+
+    const std::uint64_t rejections0 = robot.receiver().stats().rejections;
+    for (int i = 0; i < 150; ++i) {
+        Bytes garbage = random_bytes(rng, 512);
+        try {
+            robot.receiver().install_from(robot.id(), garbage, 1000);
+        } catch (const Error&) {
+        }
+    }
+    // Oversized: far past any real package, partially structured.
+    Bytes huge(256 * 1024, 0xA5);
+    for (int i = 0; i < 64; ++i) {
+        huge[rng.next_below(huge.size())] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    try {
+        robot.receiver().install_from(robot.id(), huge, 1000);
+    } catch (const Error&) {
+    }
+
+    midas::ExtensionPackage pkg;
+    pkg.name = "hall/fz";
+    pkg.script = "fun onEntry() { }";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    Bytes sealed = pkg.seal(keys, "hall");
+
+    // Bit-flipped real packages: either the MAC rejects them (Error) or
+    // the flips were non-semantic and the original installs — never a
+    // crash, never foreign exceptions.
+    for (int i = 0; i < 100; ++i) {
+        Bytes mutated = sealed;
+        for (std::uint64_t flips = 1 + rng.next_below(4); flips > 0; --flips) {
+            mutated[rng.next_below(mutated.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.next_below(255));
+        }
+        try {
+            robot.receiver().install_from(robot.id(), mutated, 1000);
+        } catch (const Error&) {
+        }
+    }
+
+    // A correctly sealed package from an issuer this node never trusted.
+    crypto::KeyStore rogue;
+    rogue.add_key("evil", to_bytes("zz"));
+    EXPECT_THROW(robot.receiver().install_from(robot.id(), pkg.seal(rogue, "evil"), 1000),
+                 Error);
+
+    EXPECT_GT(robot.receiver().stats().rejections, rejections0);
+
+    // The node is unharmed: a pristine install still succeeds.
+    robot.receiver().withdraw_all();
+    robot.receiver().install_from(robot.id(), sealed, 1000);
+    EXPECT_EQ(robot.receiver().installed_count(), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
