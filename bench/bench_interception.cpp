@@ -123,6 +123,53 @@ void BM_DispatchWovenScriptBefore(benchmark::State& state) {
 }
 BENCHMARK(BM_DispatchWovenScriptBefore);
 
+// Monitoring-extension workload for the script-engine ablation: the advice
+// does representative work (bump counters, read the join point and an
+// argument) rather than nothing, so the engine's per-statement cost shows.
+std::shared_ptr<prose::ScriptAspect> make_monitoring_aspect(script::EngineMode mode) {
+    return std::make_shared<prose::ScriptAspect>(
+        "monitor",
+        "let calls = 0;\n"
+        "let total = 0;\n"
+        "fun mix(h, i) {\n"
+        "  return (h * 31 + i) % 1000000007;\n"
+        "}\n"
+        "fun onEntry() {\n"
+        "  calls = calls + 1;\n"
+        "  let h = ctx.arg(0);\n"
+        "  let i = 0;\n"
+        "  while (i < 8) {\n"
+        "    h = mix(h, i);\n"
+        "    i = i + 1;\n"
+        "  }\n"
+        "  total = total + h;\n"
+        "}\n",
+        std::vector<prose::ScriptBinding>{
+            {prose::AdviceKind::kBefore, "call(* Target.poke(..))", "onEntry", 0}},
+        script::Sandbox{}, script::BuiltinRegistry::with_core(), rt::Value{}, mode);
+}
+
+void BM_ScriptAdviceTreeWalk(benchmark::State& state) {
+    // Ablation baseline: the same compiled aspect run on the reference
+    // tree-walking interpreter.
+    Fixture f;
+    f.weaver->weave(make_monitoring_aspect(script::EngineMode::kInterpreter)->aspect());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_ScriptAdviceTreeWalk);
+
+void BM_ScriptAdviceVm(benchmark::State& state) {
+    // The production path: monitoring advice on the bytecode VM.
+    Fixture f;
+    f.weaver->weave(make_monitoring_aspect(script::EngineMode::kVm)->aspect());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.method->invoke(*f.obj, {Value{1}}));
+    }
+}
+BENCHMARK(BM_ScriptAdviceVm);
+
 void BM_DispatchWovenNoopAround(benchmark::State& state) {
     Fixture f;
     auto aspect = std::make_shared<prose::Aspect>("around");
@@ -172,6 +219,29 @@ public:
                "%-34s             v1(JVMDI) vs v2(JIT) gap [PAG03])\n",
                "debugger-style dormant dispatch:", t("BM_DispatchDebuggerStyle"), plain,
                "");
+
+        // Script-engine ablation: the same monitoring advice on the
+        // reference tree-walking interpreter vs the bytecode VM.
+        double tree = t("BM_ScriptAdviceTreeWalk");
+        double vm = t("BM_ScriptAdviceVm");
+        printf("\n=== script-engine ablation (monitoring advice) ===\n");
+        printf("%-34s %10.1f ns\n", "tree-walk interpreter:", tree);
+        printf("%-34s %10.1f ns\n", "bytecode VM:", vm);
+        printf("%-34s %10.2fx\n", "speedup (target >= 2x):", vm > 0 ? tree / vm : 0);
+
+        // Pre-refactor reference (same container/flags, recorded before the
+        // compiled-dispatch PR: per-call hook-chain construction, vector
+        // hook slots, tree-walk-only script advice). The dormant rows are
+        // the regression guard: un-woven dispatch must not get slower.
+        printf("\n=== pre-refactor baseline (recorded, same build flags) ===\n");
+        printf("%-34s %10.1f ns (now %.1f ns)\n", "unhooked:", 29.6,
+               t("BM_DispatchUnhooked"));
+        printf("%-34s %10.1f ns (now %.1f ns)\n", "hooked, un-woven:", 32.8, plain);
+        printf("%-34s %10.1f ns (now %.1f ns)\n", "woven no-op before:", 108.6, woven);
+        printf("%-34s %10.1f ns (now %.1f ns)\n", "woven script before (tree-walk):",
+               200.8, t("BM_DispatchWovenScriptBefore"));
+        printf("%-34s %10.1f ns (now %.1f ns)\n", "woven no-op around:", 169.5,
+               t("BM_DispatchWovenNoopAround"));
     }
 
 private:

@@ -26,42 +26,66 @@ const char* withdraw_reason_name(WithdrawReason reason) {
 }
 
 Aspect& Aspect::before(const std::string& pointcut, rt::EntryHook fn, int priority) {
-    AdviceBinding b{AdviceKind::kBefore, Pointcut::parse(pointcut), priority,
+    return before(Pointcut::parse(pointcut), std::move(fn), priority);
+}
+
+Aspect& Aspect::after(const std::string& pointcut, rt::ExitHook fn, int priority) {
+    return after(Pointcut::parse(pointcut), std::move(fn), priority);
+}
+
+Aspect& Aspect::after_throwing(const std::string& pointcut, rt::ErrorHook fn, int priority) {
+    return after_throwing(Pointcut::parse(pointcut), std::move(fn), priority);
+}
+
+Aspect& Aspect::around(const std::string& pointcut, rt::AroundHook fn, int priority) {
+    return around(Pointcut::parse(pointcut), std::move(fn), priority);
+}
+
+Aspect& Aspect::on_field_set(const std::string& pointcut, rt::FieldSetHook fn, int priority) {
+    return on_field_set(Pointcut::parse(pointcut), std::move(fn), priority);
+}
+
+Aspect& Aspect::on_field_get(const std::string& pointcut, rt::FieldGetHook fn, int priority) {
+    return on_field_get(Pointcut::parse(pointcut), std::move(fn), priority);
+}
+
+Aspect& Aspect::before(Pointcut pointcut, rt::EntryHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kBefore, std::move(pointcut), priority,
                     std::move(fn), {}, {}, {}, {}, {}};
     bindings_.push_back(std::move(b));
     return *this;
 }
 
-Aspect& Aspect::after(const std::string& pointcut, rt::ExitHook fn, int priority) {
-    AdviceBinding b{AdviceKind::kAfter, Pointcut::parse(pointcut), priority,
+Aspect& Aspect::after(Pointcut pointcut, rt::ExitHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kAfter, std::move(pointcut), priority,
                     {}, std::move(fn), {}, {}, {}, {}};
     bindings_.push_back(std::move(b));
     return *this;
 }
 
-Aspect& Aspect::after_throwing(const std::string& pointcut, rt::ErrorHook fn, int priority) {
-    AdviceBinding b{AdviceKind::kAfterThrowing, Pointcut::parse(pointcut), priority,
+Aspect& Aspect::after_throwing(Pointcut pointcut, rt::ErrorHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kAfterThrowing, std::move(pointcut), priority,
                     {}, {}, std::move(fn), {}, {}, {}};
     bindings_.push_back(std::move(b));
     return *this;
 }
 
-Aspect& Aspect::around(const std::string& pointcut, rt::AroundHook fn, int priority) {
-    AdviceBinding b{AdviceKind::kAround, Pointcut::parse(pointcut), priority,
+Aspect& Aspect::around(Pointcut pointcut, rt::AroundHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kAround, std::move(pointcut), priority,
                     {}, {}, {}, std::move(fn), {}, {}};
     bindings_.push_back(std::move(b));
     return *this;
 }
 
-Aspect& Aspect::on_field_set(const std::string& pointcut, rt::FieldSetHook fn, int priority) {
-    AdviceBinding b{AdviceKind::kFieldSet, Pointcut::parse(pointcut), priority,
+Aspect& Aspect::on_field_set(Pointcut pointcut, rt::FieldSetHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kFieldSet, std::move(pointcut), priority,
                     {}, {}, {}, {}, std::move(fn), {}};
     bindings_.push_back(std::move(b));
     return *this;
 }
 
-Aspect& Aspect::on_field_get(const std::string& pointcut, rt::FieldGetHook fn, int priority) {
-    AdviceBinding b{AdviceKind::kFieldGet, Pointcut::parse(pointcut), priority,
+Aspect& Aspect::on_field_get(Pointcut pointcut, rt::FieldGetHook fn, int priority) {
+    AdviceBinding b{AdviceKind::kFieldGet, std::move(pointcut), priority,
                     {}, {}, {}, {}, {}, std::move(fn)};
     bindings_.push_back(std::move(b));
     return *this;

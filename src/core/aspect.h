@@ -72,6 +72,16 @@ public:
     Aspect& on_field_set(const std::string& pointcut, rt::FieldSetHook fn, int priority = 0);
     Aspect& on_field_get(const std::string& pointcut, rt::FieldGetHook fn, int priority = 0);
 
+    /// Pre-parsed overloads: callers that cache Pointcuts (e.g. the MIDAS
+    /// receiver, which sees the same pointcut source across many package
+    /// installs) skip the parse entirely. The string overloads delegate.
+    Aspect& before(Pointcut pointcut, rt::EntryHook fn, int priority = 0);
+    Aspect& after(Pointcut pointcut, rt::ExitHook fn, int priority = 0);
+    Aspect& after_throwing(Pointcut pointcut, rt::ErrorHook fn, int priority = 0);
+    Aspect& around(Pointcut pointcut, rt::AroundHook fn, int priority = 0);
+    Aspect& on_field_set(Pointcut pointcut, rt::FieldSetHook fn, int priority = 0);
+    Aspect& on_field_get(Pointcut pointcut, rt::FieldGetHook fn, int priority = 0);
+
     /// Install the shutdown procedure run at withdrawal.
     Aspect& on_withdraw(std::function<void(WithdrawReason)> fn);
 

@@ -1,0 +1,76 @@
+#include "core/matchplan.h"
+
+namespace pmp::prose {
+
+MatchPlan::MatchPlan()
+    : hits_(&obs::Registry::global().counter("prose.matchplan.hits")),
+      misses_(&obs::Registry::global().counter("prose.matchplan.misses")) {}
+
+void MatchPlan::note_type_registered() {
+    ++epoch_;
+    last_type_registration_ = epoch_;
+    // Entries stay in the table and are rebuilt on next touch (see
+    // entry_for); the glob memo is value-based and never goes stale, but
+    // clearing it here bounds its growth to the life of a type population.
+    memo_.clear();
+}
+
+MatchPlan::Entry& MatchPlan::entry_for(const Pointcut& pc, const rt::TypeInfo& type) {
+    auto [it, fresh] = table_.try_emplace({pc.source(), &type});
+    Entry& e = it->second;
+    if (!fresh && e.built_epoch < last_type_registration_) {
+        // Conservative: a type registered since this entry was built. The
+        // member model makes existing matches immutable, but rebuilding
+        // here keeps the plan correct even if that ever changes.
+        e = Entry{};
+    }
+    if (e.built_epoch < last_type_registration_ || fresh) e.built_epoch = epoch_;
+    return e;
+}
+
+const std::vector<rt::Method*>& MatchPlan::methods_for(const Pointcut& pc,
+                                                       rt::TypeInfo& type) {
+    Entry& e = entry_for(pc, type);
+    if (e.methods_built) {
+        hits_->inc();
+        return e.methods;
+    }
+    misses_->inc();
+    for (rt::Method* method : type.methods()) {
+        if (pc.matches_method(type, method->decl(), memo_)) e.methods.push_back(method);
+    }
+    e.methods_built = true;
+    return e.methods;
+}
+
+const std::vector<rt::Field*>& MatchPlan::fields_set_for(const Pointcut& pc,
+                                                         rt::TypeInfo& type) {
+    Entry& e = entry_for(pc, type);
+    if (e.set_built) {
+        hits_->inc();
+        return e.fields_set;
+    }
+    misses_->inc();
+    for (rt::Field& field : type.fields()) {
+        if (pc.matches_field_set(type, field.decl(), memo_)) e.fields_set.push_back(&field);
+    }
+    e.set_built = true;
+    return e.fields_set;
+}
+
+const std::vector<rt::Field*>& MatchPlan::fields_get_for(const Pointcut& pc,
+                                                         rt::TypeInfo& type) {
+    Entry& e = entry_for(pc, type);
+    if (e.get_built) {
+        hits_->inc();
+        return e.fields_get;
+    }
+    misses_->inc();
+    for (rt::Field& field : type.fields()) {
+        if (pc.matches_field_get(type, field.decl(), memo_)) e.fields_get.push_back(&field);
+    }
+    e.get_built = true;
+    return e.fields_get;
+}
+
+}  // namespace pmp::prose

@@ -1,0 +1,77 @@
+// MatchPlan: the weaver's compiled view of "which members does this
+// pointcut select on this type?".
+//
+// Without a plan, every weave re-evaluates every pointcut against every
+// member of every type — quadratic churn when a fleet pushes the same
+// extension to a hundred objects, or when late type registration re-weaves
+// every installed aspect. The plan caches match results per (pointcut
+// source, TypeInfo) and memoizes the underlying glob verdicts, so each
+// distinct (pattern, name) pair is matched once per node, not once per
+// weave.
+//
+// Validity is tracked by an epoch counter the Weaver bumps on weave,
+// withdraw and type registration. Member sets of a registered type never
+// change, so only type registration actually invalidates entries; weave/
+// withdraw bumps advance the epoch (visible in diagnostics, and the guard
+// that would catch a future mutation of the member model) without
+// discarding work.
+//
+// Cached Method*/Field* stay valid for the plan's lifetime: the Runtime
+// pins TypeInfos, which own their members at stable addresses, and the
+// Weaver (which owns the plan) never outlives its Runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pointcut.h"
+#include "obs/metrics.h"
+#include "rt/type.h"
+
+namespace pmp::prose {
+
+class MatchPlan {
+public:
+    MatchPlan();
+
+    /// Members of `type` selected by `pc`, cached. The three member kinds
+    /// are filled lazily and independently: a method pointcut used only
+    /// with before-advice never pays for field matching.
+    const std::vector<rt::Method*>& methods_for(const Pointcut& pc, rt::TypeInfo& type);
+    const std::vector<rt::Field*>& fields_set_for(const Pointcut& pc, rt::TypeInfo& type);
+    const std::vector<rt::Field*>& fields_get_for(const Pointcut& pc, rt::TypeInfo& type);
+
+    /// Epoch discipline (see file comment). The Weaver calls these.
+    void note_weave() { ++epoch_; }
+    void note_withdraw() { ++epoch_; }
+    void note_type_registered();
+
+    std::uint64_t epoch() const { return epoch_; }
+    std::size_t cached_entries() const { return table_.size(); }
+    std::size_t memo_size() const { return memo_.size(); }
+
+private:
+    struct Entry {
+        std::uint64_t built_epoch = 0;
+        bool methods_built = false;
+        bool set_built = false;
+        bool get_built = false;
+        std::vector<rt::Method*> methods;
+        std::vector<rt::Field*> fields_set;
+        std::vector<rt::Field*> fields_get;
+    };
+
+    Entry& entry_for(const Pointcut& pc, const rt::TypeInfo& type);
+
+    std::map<std::pair<std::string, const rt::TypeInfo*>, Entry> table_;
+    GlobMemo memo_;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t last_type_registration_ = 0;  ///< epoch of the newest type
+    obs::Counter* hits_;
+    obs::Counter* misses_;
+};
+
+}  // namespace pmp::prose

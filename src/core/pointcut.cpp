@@ -28,10 +28,26 @@ bool glob_match(std::string_view pattern, std::string_view text) {
     return p == pattern.size();
 }
 
+bool GlobMemo::match(std::string_view pattern, std::string_view text) {
+    std::string key;
+    key.reserve(pattern.size() + text.size() + 1);
+    key.append(pattern);
+    key.push_back('\0');  // member names never contain NUL
+    key.append(text);
+    auto [it, fresh] = memo_.try_emplace(std::move(key), false);
+    if (fresh) it->second = glob_match(pattern, text);
+    return it->second;
+}
+
 namespace {
 
 /// What a primitive matches against.
 enum class JoinKind { kMethod, kFieldSet, kFieldGet };
+
+/// Glob through the memo when one is supplied.
+inline bool glob(GlobMemo* memo, std::string_view pattern, std::string_view text) {
+    return memo ? memo->match(pattern, text) : glob_match(pattern, text);
+}
 
 struct SignaturePattern {
     std::string ret;                  // pattern over type-kind names
@@ -42,7 +58,7 @@ struct SignaturePattern {
     bool ellipsis = false;            // trailing '..'
     bool any_params = false;          // parameter list was exactly '..' or SIG is a field
 
-    bool match_params(const rt::MethodDecl& m) const {
+    bool match_params(const rt::MethodDecl& m, GlobMemo* memo) const {
         if (any_params) return true;
         if (ellipsis) {
             if (m.params.size() < params.size()) return false;
@@ -52,7 +68,7 @@ struct SignaturePattern {
         }
         for (std::size_t i = 0; i < params.size(); ++i) {
             if (i >= m.params.size()) return false;
-            if (!glob_match(params[i], rt::type_kind_name(m.params[i].type))) return false;
+            if (!glob(memo, params[i], rt::type_kind_name(m.params[i].type))) return false;
         }
         return true;
     }
@@ -63,10 +79,11 @@ using TypeChain = std::vector<std::string_view>;
 
 /// Class pattern match over a chain: plain patterns bind to the concrete
 /// class, '+' patterns to any ancestor.
-bool class_match(const std::string& pattern, bool subtypes, const TypeChain& chain) {
-    if (!subtypes) return glob_match(pattern, chain.front());
+bool class_match(const std::string& pattern, bool subtypes, const TypeChain& chain,
+                 GlobMemo* memo) {
+    if (!subtypes) return glob(memo, pattern, chain.front());
     for (std::string_view name : chain) {
-        if (glob_match(pattern, name)) return true;
+        if (glob(memo, pattern, name)) return true;
     }
     return false;
 }
@@ -86,32 +103,38 @@ struct Pointcut::Node {
     std::string type_pattern;
     bool within_subtypes = false;
 
-    bool eval_method(const TypeChain& chain, const rt::MethodDecl& m) const {
+    bool eval_method(const TypeChain& chain, const rt::MethodDecl& m, GlobMemo* memo) const {
         switch (op) {
-            case Op::kOr: return lhs->eval_method(chain, m) || rhs->eval_method(chain, m);
-            case Op::kAnd: return lhs->eval_method(chain, m) && rhs->eval_method(chain, m);
-            case Op::kNot: return !lhs->eval_method(chain, m);
-            case Op::kWithin: return class_match(type_pattern, within_subtypes, chain);
+            case Op::kOr:
+                return lhs->eval_method(chain, m, memo) || rhs->eval_method(chain, m, memo);
+            case Op::kAnd:
+                return lhs->eval_method(chain, m, memo) && rhs->eval_method(chain, m, memo);
+            case Op::kNot: return !lhs->eval_method(chain, m, memo);
+            case Op::kWithin: return class_match(type_pattern, within_subtypes, chain, memo);
             case Op::kPrim:
                 return join_kind == JoinKind::kMethod &&
-                       class_match(sig.cls, sig.cls_subtypes, chain) &&
-                       glob_match(sig.member, m.name) &&
-                       glob_match(sig.ret, rt::type_kind_name(m.returns)) &&
-                       sig.match_params(m);
+                       class_match(sig.cls, sig.cls_subtypes, chain, memo) &&
+                       glob(memo, sig.member, m.name) &&
+                       glob(memo, sig.ret, rt::type_kind_name(m.returns)) &&
+                       sig.match_params(m, memo);
         }
         return false;
     }
 
-    bool eval_field(const TypeChain& chain, const rt::FieldDecl& f, JoinKind want) const {
+    bool eval_field(const TypeChain& chain, const rt::FieldDecl& f, JoinKind want,
+                    GlobMemo* memo) const {
         switch (op) {
-            case Op::kOr: return lhs->eval_field(chain, f, want) || rhs->eval_field(chain, f, want);
+            case Op::kOr:
+                return lhs->eval_field(chain, f, want, memo) ||
+                       rhs->eval_field(chain, f, want, memo);
             case Op::kAnd:
-                return lhs->eval_field(chain, f, want) && rhs->eval_field(chain, f, want);
-            case Op::kNot: return !lhs->eval_field(chain, f, want);
-            case Op::kWithin: return class_match(type_pattern, within_subtypes, chain);
+                return lhs->eval_field(chain, f, want, memo) &&
+                       rhs->eval_field(chain, f, want, memo);
+            case Op::kNot: return !lhs->eval_field(chain, f, want, memo);
+            case Op::kWithin: return class_match(type_pattern, within_subtypes, chain, memo);
             case Op::kPrim:
-                return join_kind == want && class_match(sig.cls, sig.cls_subtypes, chain) &&
-                       glob_match(sig.member, f.name);
+                return join_kind == want && class_match(sig.cls, sig.cls_subtypes, chain, memo) &&
+                       glob(memo, sig.member, f.name);
         }
         return false;
     }
@@ -336,27 +359,42 @@ Pointcut Pointcut::parse(const std::string& source) {
 }
 
 bool Pointcut::matches_method(std::string_view type_name, const rt::MethodDecl& method) const {
-    return root_->eval_method(TypeChain{type_name}, method);
+    return root_->eval_method(TypeChain{type_name}, method, nullptr);
 }
 
 bool Pointcut::matches_field_set(std::string_view type_name, const rt::FieldDecl& field) const {
-    return root_->eval_field(TypeChain{type_name}, field, JoinKind::kFieldSet);
+    return root_->eval_field(TypeChain{type_name}, field, JoinKind::kFieldSet, nullptr);
 }
 
 bool Pointcut::matches_field_get(std::string_view type_name, const rt::FieldDecl& field) const {
-    return root_->eval_field(TypeChain{type_name}, field, JoinKind::kFieldGet);
+    return root_->eval_field(TypeChain{type_name}, field, JoinKind::kFieldGet, nullptr);
 }
 
 bool Pointcut::matches_method(const rt::TypeInfo& type, const rt::MethodDecl& method) const {
-    return root_->eval_method(chain_of(type), method);
+    return root_->eval_method(chain_of(type), method, nullptr);
 }
 
 bool Pointcut::matches_field_set(const rt::TypeInfo& type, const rt::FieldDecl& field) const {
-    return root_->eval_field(chain_of(type), field, JoinKind::kFieldSet);
+    return root_->eval_field(chain_of(type), field, JoinKind::kFieldSet, nullptr);
 }
 
 bool Pointcut::matches_field_get(const rt::TypeInfo& type, const rt::FieldDecl& field) const {
-    return root_->eval_field(chain_of(type), field, JoinKind::kFieldGet);
+    return root_->eval_field(chain_of(type), field, JoinKind::kFieldGet, nullptr);
+}
+
+bool Pointcut::matches_method(const rt::TypeInfo& type, const rt::MethodDecl& method,
+                              GlobMemo& memo) const {
+    return root_->eval_method(chain_of(type), method, &memo);
+}
+
+bool Pointcut::matches_field_set(const rt::TypeInfo& type, const rt::FieldDecl& field,
+                                 GlobMemo& memo) const {
+    return root_->eval_field(chain_of(type), field, JoinKind::kFieldSet, &memo);
+}
+
+bool Pointcut::matches_field_get(const rt::TypeInfo& type, const rt::FieldDecl& field,
+                                 GlobMemo& memo) const {
+    return root_->eval_field(chain_of(type), field, JoinKind::kFieldGet, &memo);
 }
 
 const std::string& Pointcut::source() const { return *source_; }

@@ -24,6 +24,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rt/type.h"
@@ -32,6 +33,21 @@ namespace pmp::prose {
 
 /// Glob match with '*' and '?'.
 bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Memoizes glob_match verdicts per (pattern, text) pair. During a plan
+/// build the same class/member patterns are tested against the same names
+/// over and over (every binding × every member of a type); results are
+/// pure functions of the two strings, so a verdict never goes stale.
+class GlobMemo {
+public:
+    bool match(std::string_view pattern, std::string_view text);
+
+    void clear() { memo_.clear(); }
+    std::size_t size() const { return memo_.size(); }
+
+private:
+    std::unordered_map<std::string, bool> memo_;
+};
 
 /// Parsed, matchable pointcut. Value type (cheap to copy via shared nodes).
 class Pointcut {
@@ -54,6 +70,15 @@ public:
     bool matches_method(const rt::TypeInfo& type, const rt::MethodDecl& method) const;
     bool matches_field_set(const rt::TypeInfo& type, const rt::FieldDecl& field) const;
     bool matches_field_get(const rt::TypeInfo& type, const rt::FieldDecl& field) const;
+
+    /// Memoized variants: identical verdicts, but every glob test is
+    /// routed through `memo` (used by MatchPlan during bulk weaves).
+    bool matches_method(const rt::TypeInfo& type, const rt::MethodDecl& method,
+                        GlobMemo& memo) const;
+    bool matches_field_set(const rt::TypeInfo& type, const rt::FieldDecl& field,
+                           GlobMemo& memo) const;
+    bool matches_field_get(const rt::TypeInfo& type, const rt::FieldDecl& field,
+                           GlobMemo& memo) const;
 
     /// Original source text (for packages, logs and round-trips).
     const std::string& source() const;

@@ -23,7 +23,7 @@ struct CurrentJoinPoint {
 };
 
 struct ScriptAspect::State {
-    std::unique_ptr<script::Interpreter> interp;
+    std::unique_ptr<script::Engine> engine;
     CurrentJoinPoint jp;
 
     rt::CallFrame& frame() {
@@ -42,7 +42,7 @@ struct ScriptAspect::State {
         CurrentJoinPoint saved = std::move(jp);
         jp = std::move(next);
         try {
-            Value out = interp->call(function, {});
+            Value out = engine->call(function, {});
             jp = std::move(saved);
             return out;
         } catch (...) {
@@ -180,19 +180,36 @@ void ScriptAspect::install_ctx_builtins(BuiltinRegistry& reg,
 
 ScriptAspect::ScriptAspect(std::string name, const std::string& source,
                            std::vector<ScriptBinding> bindings, script::Sandbox sandbox,
-                           const BuiltinRegistry& host_builtins, Value config)
+                           const BuiltinRegistry& host_builtins, Value config,
+                           script::EngineMode mode)
+    : ScriptAspect(std::move(name),
+                   script::compile(std::make_shared<const script::Program>(
+                       script::parse(source))),
+                   std::move(bindings), std::move(sandbox), host_builtins,
+                   std::move(config), mode) {}
+
+ScriptAspect::ScriptAspect(std::string name,
+                           std::shared_ptr<const script::CompiledUnit> unit,
+                           std::vector<ScriptBinding> bindings, script::Sandbox sandbox,
+                           const BuiltinRegistry& host_builtins, Value config,
+                           script::EngineMode mode)
     : state_(std::make_shared<State>()) {
-    auto program = std::make_shared<const script::Program>(script::parse(source));
+    std::shared_ptr<const script::Program> program = unit->program;
 
     // Compose the extension's view of the world: core library + host
     // facilities + join-point access.
     auto registry = std::make_shared<BuiltinRegistry>(host_builtins);
     install_ctx_builtins(*registry, state_);
 
-    state_->interp = std::make_unique<script::Interpreter>(program, std::move(sandbox),
-                                                           std::move(registry));
-    state_->interp->set_global("config", std::move(config));
-    state_->interp->run_top_level();
+    if (mode == script::EngineMode::kVm) {
+        state_->engine = std::make_unique<script::Vm>(std::move(unit), std::move(sandbox),
+                                                      std::move(registry));
+    } else {
+        state_->engine = std::make_unique<script::Interpreter>(program, std::move(sandbox),
+                                                               std::move(registry));
+    }
+    state_->engine->set_global("config", std::move(config));
+    state_->engine->run_top_level();
 
     aspect_ = std::make_shared<Aspect>(std::move(name));
     std::shared_ptr<State> state = state_;
@@ -202,10 +219,11 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
             throw ScriptError("extension script defines no function '" + binding.function + "'");
         }
         const std::string fn = binding.function;
+        Pointcut pc = binding.parsed ? *binding.parsed : Pointcut::parse(binding.pointcut);
         switch (binding.kind) {
             case AdviceKind::kBefore:
                 aspect_->before(
-                    binding.pointcut,
+                    std::move(pc),
                     [state, fn](rt::CallFrame& frame) {
                         CurrentJoinPoint jp;
                         jp.frame = &frame;
@@ -215,7 +233,7 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
                 break;
             case AdviceKind::kAfter:
                 aspect_->after(
-                    binding.pointcut,
+                    std::move(pc),
                     [state, fn](rt::CallFrame& frame) {
                         CurrentJoinPoint jp;
                         jp.frame = &frame;
@@ -225,7 +243,7 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
                 break;
             case AdviceKind::kAfterThrowing:
                 aspect_->after_throwing(
-                    binding.pointcut,
+                    std::move(pc),
                     [state, fn](rt::CallFrame& frame, std::exception_ptr error) {
                         CurrentJoinPoint jp;
                         jp.frame = &frame;
@@ -242,7 +260,7 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
                 break;
             case AdviceKind::kAround:
                 aspect_->around(
-                    binding.pointcut,
+                    std::move(pc),
                     [state, fn](rt::CallFrame& frame,
                                 const std::function<Value()>& proceed) -> Value {
                         CurrentJoinPoint jp;
@@ -258,7 +276,7 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
                 break;
             case AdviceKind::kFieldSet:
                 aspect_->on_field_set(
-                    binding.pointcut,
+                    std::move(pc),
                     [state, fn](rt::ServiceObject& self, const rt::FieldDecl& field,
                                 const Value& old_value, Value& new_value) {
                         CurrentJoinPoint jp;
@@ -272,7 +290,7 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
                 break;
             case AdviceKind::kFieldGet:
                 aspect_->on_field_get(
-                    binding.pointcut,
+                    std::move(pc),
                     [state, fn](rt::ServiceObject& self, const rt::FieldDecl& field,
                                 Value& value) {
                         CurrentJoinPoint jp;
@@ -291,7 +309,7 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
             // The shutdown procedure must not prevent withdrawal; a failing
             // script forfeits its last words.
             try {
-                state->interp->call("onShutdown",
+                state->engine->call("onShutdown",
                                     {Value{std::string(withdraw_reason_name(reason))}});
             } catch (const Error&) {
             }
@@ -299,6 +317,6 @@ ScriptAspect::ScriptAspect(std::string name, const std::string& source,
     }
 }
 
-script::Interpreter& ScriptAspect::interpreter() { return *state_->interp; }
+script::Engine& ScriptAspect::engine() { return *state_->engine; }
 
 }  // namespace pmp::prose

@@ -22,12 +22,16 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/aspect.h"
+#include "script/compile.h"
+#include "script/engine.h"
 #include "script/interp.h"
 #include "script/parser.h"
+#include "script/vm.h"
 
 namespace pmp::prose {
 
@@ -43,9 +47,17 @@ struct ScriptBinding {
     std::string pointcut;
     std::string function;
     int priority = 0;
+    /// Optionally pre-parsed (the MIDAS receiver caches Pointcuts by
+    /// source string); when set, `pointcut` is not parsed again.
+    std::optional<Pointcut> parsed;
 };
 
 /// Compiles script source into a weavable Aspect.
+///
+/// The advice hot path executes on the bytecode VM by default; the
+/// tree-walking Interpreter remains available as the reference engine
+/// (differential testing, debugging) via EngineMode::kInterpreter. Both
+/// engines are observably identical — results, typed errors, step counts.
 class ScriptAspect {
 public:
     /// Throws ParseError on bad source, ScriptError if a bound function is
@@ -57,13 +69,22 @@ public:
     /// global `config` before the top level runs.
     ScriptAspect(std::string name, const std::string& source,
                  std::vector<ScriptBinding> bindings, script::Sandbox sandbox,
-                 const script::BuiltinRegistry& host_builtins, rt::Value config = rt::Value{});
+                 const script::BuiltinRegistry& host_builtins, rt::Value config = rt::Value{},
+                 script::EngineMode mode = script::EngineMode::kVm);
+
+    /// Build from an already-compiled unit (the MIDAS receiver caches one
+    /// CompiledUnit per distinct script hash and shares it across installs;
+    /// compilation happens once, not per aspect instance).
+    ScriptAspect(std::string name, std::shared_ptr<const script::CompiledUnit> unit,
+                 std::vector<ScriptBinding> bindings, script::Sandbox sandbox,
+                 const script::BuiltinRegistry& host_builtins, rt::Value config = rt::Value{},
+                 script::EngineMode mode = script::EngineMode::kVm);
 
     /// The weavable product. One instance per ScriptAspect.
     const std::shared_ptr<Aspect>& aspect() const { return aspect_; }
 
-    /// Direct access to the extension's interpreter (tests, diagnostics).
-    script::Interpreter& interpreter();
+    /// Direct access to the extension's engine (tests, diagnostics).
+    script::Engine& engine();
 
 private:
     struct State;

@@ -70,9 +70,9 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
             case AdviceKind::kAfter:
             case AdviceKind::kAfterThrowing:
             case AdviceKind::kAround:
-                for (rt::Method* method : type.methods()) {
-                    if (!binding.pointcut.matches_method(type, method->decl())) continue;
+                for (rt::Method* method : plan_.methods_for(binding.pointcut, type)) {
                     ++woven.report.methods_matched;
+                    woven.hooked_methods.push_back(method);
                     switch (binding.kind) {
                         case AdviceKind::kBefore:
                             method->add_entry_hook(id.value, binding.priority,
@@ -115,25 +115,25 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                 }
                 break;
             case AdviceKind::kFieldSet:
-                for (rt::Field& field : type.fields()) {
-                    if (!binding.pointcut.matches_field_set(type, field.decl())) continue;
+                for (rt::Field* field : plan_.fields_set_for(binding.pointcut, type)) {
                     ++woven.report.fields_matched;
-                    field.add_set_hook(id.value, binding.priority,
-                                       [this, id, timed, fn = binding.field_set](auto&&... args) {
-                                           if (!allows(id)) return;
-                                           timed(fn, std::forward<decltype(args)>(args)...);
-                                       });
+                    woven.hooked_fields.push_back(field);
+                    field->add_set_hook(id.value, binding.priority,
+                                        [this, id, timed, fn = binding.field_set](auto&&... args) {
+                                            if (!allows(id)) return;
+                                            timed(fn, std::forward<decltype(args)>(args)...);
+                                        });
                 }
                 break;
             case AdviceKind::kFieldGet:
-                for (rt::Field& field : type.fields()) {
-                    if (!binding.pointcut.matches_field_get(type, field.decl())) continue;
+                for (rt::Field* field : plan_.fields_get_for(binding.pointcut, type)) {
                     ++woven.report.fields_matched;
-                    field.add_get_hook(id.value, binding.priority,
-                                       [this, id, timed, fn = binding.field_get](auto&&... args) {
-                                           if (!allows(id)) return;
-                                           timed(fn, std::forward<decltype(args)>(args)...);
-                                       });
+                    woven.hooked_fields.push_back(field);
+                    field->add_get_hook(id.value, binding.priority,
+                                        [this, id, timed, fn = binding.field_get](auto&&... args) {
+                                            if (!allows(id)) return;
+                                            timed(fn, std::forward<decltype(args)>(args)...);
+                                        });
                 }
                 break;
         }
@@ -146,8 +146,9 @@ AspectId Weaver::weave(std::shared_ptr<Aspect> aspect) {
                                                                {{"aspect", aspect->name()}});
     Clock::time_point t0 = Clock::now();
 
+    plan_.note_weave();
     AspectId id = ids_.next();
-    auto [it, _] = woven_.emplace(id, Woven{std::move(aspect), WeaveReport{}});
+    auto [it, _] = woven_.emplace(id, Woven{std::move(aspect), WeaveReport{}, {}, {}});
     for (const auto& type : runtime_.types()) {
         weave_into_type(*type, id, it->second);
     }
@@ -171,12 +172,14 @@ bool Weaver::withdraw(AspectId id, WithdrawReason reason) {
     Clock::time_point t0 = Clock::now();
 
     // Shutdown procedure first (paper: the extension is notified before
-    // leaving so it can reach a consistent state), then unhook.
+    // leaving so it can reach a consistent state), then unhook. Withdrawal
+    // is targeted: the weave recorded every member it hooked, so only
+    // those are touched (a member may appear once per matching binding —
+    // remove_hooks clears all of an owner's hooks, later visits no-op).
+    plan_.note_withdraw();
     it->second.aspect->notify_withdraw(reason);
-    for (const auto& type : runtime_.types()) {
-        for (rt::Method* method : type->methods()) method->remove_hooks(id.value);
-        for (rt::Field& field : type->fields()) field.remove_hooks(id.value);
-    }
+    for (rt::Method* method : it->second.hooked_methods) method->remove_hooks(id.value);
+    for (rt::Field* field : it->second.hooked_fields) field->remove_hooks(id.value);
     woven_.erase(it);
 
     reg.histogram("weaver.withdraw_ns").observe(elapsed_ns(t0));
@@ -203,6 +206,7 @@ const WeaveReport* Weaver::report(AspectId id) const {
 }
 
 void Weaver::on_type_registered(rt::TypeInfo& type) {
+    plan_.note_type_registered();
     for (auto& [id, woven] : woven_) {
         weave_into_type(type, id, woven);
     }

@@ -12,6 +12,7 @@
 
 #include "common/ids.h"
 #include "core/aspect.h"
+#include "core/matchplan.h"
 #include "rt/runtime.h"
 
 namespace pmp::prose {
@@ -70,10 +71,17 @@ public:
 
     rt::Runtime& runtime() { return runtime_; }
 
+    /// The weaver's pointcut-match cache (diagnostics, tests).
+    const MatchPlan& plan() const { return plan_; }
+
 private:
     struct Woven {
         std::shared_ptr<Aspect> aspect;
         WeaveReport report;
+        /// Every member this aspect hooked — withdraw walks exactly these
+        /// instead of sweeping every member of every type.
+        std::vector<rt::Method*> hooked_methods;
+        std::vector<rt::Field*> hooked_fields;
     };
 
     void weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven);
@@ -82,6 +90,7 @@ private:
 
     rt::Runtime& runtime_;
     rt::Runtime::ObserverId observer_;
+    MatchPlan plan_;
     IdGenerator<AspectId> ids_;
     std::map<AspectId, Woven> woven_;
     AdviceObserver advice_observer_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/sha256.h"
 #include "midas/channel.h"
 #include "script/check.h"
 
@@ -40,6 +41,9 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
       governor_skipped_c_("recv.governor.skipped", config_.node_label),
       governor_watchdog_c_("recv.governor.watchdog_trips", config_.node_label),
       governor_quarantines_c_("recv.governor.quarantines", config_.node_label),
+      compile_hits_c_("script.compile.cache_hits", config_.node_label),
+      compile_misses_c_("script.compile.cache_misses", config_.node_label),
+      pointcut_hits_c_("prose.pointcut.cache_hits", config_.node_label),
       extensions_g_("midas.extensions", config_.node_label) {
     if (journal_) recover();
 
@@ -522,13 +526,19 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
 
     std::vector<prose::ScriptBinding> bindings;
     for (const PackageBinding& b : pkg.bindings) {
-        bindings.push_back(prose::ScriptBinding{b.kind, b.pointcut, b.function, b.priority});
+        prose::ScriptBinding sb{b.kind, b.pointcut, b.function, b.priority, {}};
+        sb.parsed = pointcut_for(b.pointcut);
+        bindings.push_back(std::move(sb));
     }
 
     AspectId aspect;
     try {
+        // One parse + one bytecode compile per distinct script on this
+        // node; re-installs and fleet-wide pushes of the same extension
+        // hit the cache. The cached unit retains the Program, so the
+        // static check below never re-parses either.
+        std::shared_ptr<const script::CompiledUnit> unit = compiled_unit_for(pkg.script);
         if (config_.static_check) {
-            script::Program parsed = script::parse(pkg.script);
             // The checker sees the same world the script will: host and
             // per-extension builtins plus the ctx.* join-point builtins
             // that ScriptAspect adds during compilation.
@@ -537,20 +547,20 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
                 checkable.add(name, capability,
                               [](List&) -> Value { return Value{}; });
             }
-            auto diagnostics = script::check(parsed, checkable);
+            auto diagnostics = script::check(*unit->program, checkable);
             if (!diagnostics.empty()) {
                 throw ScriptError("extension '" + pkg.name + "' rejected by static check: " +
                                   script::format_diagnostics(diagnostics));
             }
         }
-        prose::ScriptAspect compiled(pkg.name, pkg.script, std::move(bindings),
+        prose::ScriptAspect compiled(pkg.name, std::move(unit), std::move(bindings),
                                      std::move(sandbox), builtins, pkg.config);
         if (governor_enabled()) {
             // Charge every outermost advice invocation's step count to this
             // extension's lease-window account. The interpreter lives in
             // the shared aspect, which the receiver withdraws before dying,
             // so `this` outlives the observer.
-            compiled.interpreter().set_step_observer(
+            compiled.engine().set_step_observer(
                 [this, id](std::uint64_t steps) { governor_charge(id, steps); });
         }
         aspect = weaver_.weave(compiled.aspect());
@@ -589,6 +599,35 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     Dict out{{"ext", Value{static_cast<std::int64_t>(id.value)}},
              {"lease_ms", Value{lease.count() / 1'000'000}}};
     return Value{std::move(out)};
+}
+
+std::shared_ptr<const script::CompiledUnit> AdaptationService::compiled_unit_for(
+    const std::string& script) {
+    // Keyed by content hash, not the (potentially large) source text; the
+    // digest also names the unit in traces. A failed parse/compile throws
+    // before insertion, so bad scripts are never cached.
+    std::string key = crypto::to_hex(crypto::Sha256::hash(script));
+    auto it = compile_cache_.find(key);
+    if (it != compile_cache_.end()) {
+        compile_hits_c_.inc();
+        return it->second;
+    }
+    compile_misses_c_.inc();
+    auto unit = script::compile(
+        std::make_shared<const script::Program>(script::parse(script)));
+    compile_cache_.emplace(std::move(key), unit);
+    return unit;
+}
+
+prose::Pointcut AdaptationService::pointcut_for(const std::string& source) {
+    auto it = pointcut_cache_.find(source);
+    if (it != pointcut_cache_.end()) {
+        pointcut_hits_c_.inc();
+        return it->second;
+    }
+    prose::Pointcut pc = prose::Pointcut::parse(source);
+    pointcut_cache_.emplace(source, pc);
+    return pc;
 }
 
 void AdaptationService::arm_expiry(ExtensionId id, Duration lease) {

@@ -216,6 +216,15 @@ private:
     script::BuiltinRegistry host_builtins_;
     std::map<std::string, std::set<std::string>> issuer_caps_;
 
+    /// Install-path caches, shared across packages. A fleet pushing the
+    /// same extension to many objects (or re-installing after lease churn)
+    /// compiles each distinct script and parses each distinct pointcut
+    /// exactly once per node.
+    std::map<std::string, std::shared_ptr<const script::CompiledUnit>> compile_cache_;
+    std::map<std::string, prose::Pointcut> pointcut_cache_;
+    std::shared_ptr<const script::CompiledUnit> compiled_unit_for(const std::string& script);
+    prose::Pointcut pointcut_for(const std::string& source);
+
     struct Entry {
         Installed info;
         sim::TimerId expiry_timer;
@@ -261,6 +270,9 @@ private:
     obs::OwnedCounter governor_skipped_c_;
     obs::OwnedCounter governor_watchdog_c_;
     obs::OwnedCounter governor_quarantines_c_;
+    obs::OwnedCounter compile_hits_c_;
+    obs::OwnedCounter compile_misses_c_;
+    obs::OwnedCounter pointcut_hits_c_;
     obs::OwnedGauge extensions_g_;
 
     EventFn event_fn_;

@@ -1,0 +1,150 @@
+// SmallVec: a tiny inline-storage vector for dispatch hook tables.
+//
+// Hook slots hold at most a couple of advice entries in practice (one
+// extension, occasionally two, per join point). Storing them inline keeps
+// the advice table in the same cache lines as the Method/Field that owns
+// it and spares a heap allocation per slot; past N entries it spills to
+// the heap like a normal vector. Deliberately minimal: exactly the
+// operations the dispatch and weave paths need (priority insert, owner
+// removal, iteration), no general-purpose API surface.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace pmp::rt {
+
+template <typename T, std::size_t N>
+class SmallVec {
+    static_assert(N > 0, "inline capacity must be at least 1");
+
+public:
+    SmallVec() noexcept : data_(inline_ptr()) {}
+
+    SmallVec(SmallVec&& other) noexcept : data_(inline_ptr()) { take(other); }
+
+    SmallVec& operator=(SmallVec&& other) noexcept {
+        if (this != &other) {
+            destroy();
+            take(other);
+        }
+        return *this;
+    }
+
+    SmallVec(const SmallVec&) = delete;
+    SmallVec& operator=(const SmallVec&) = delete;
+
+    ~SmallVec() { destroy(); }
+
+    T* begin() { return data_; }
+    T* end() { return data_ + size_; }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + size_; }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return cap_; }
+    bool inlined() const { return data_ == inline_ptr(); }
+
+    void push_back(T value) { insert(end(), std::move(value)); }
+
+    /// Insert before `pos` (a pointer into [begin(), end()]).
+    void insert(T* pos, T value) {
+        std::size_t at = static_cast<std::size_t>(pos - data_);
+        if (size_ == cap_) grow();
+        if (at == size_) {
+            new (data_ + size_) T(std::move(value));
+        } else {
+            // Shift the tail one slot right, back to front, then drop the
+            // new element into the hole.
+            new (data_ + size_) T(std::move(data_[size_ - 1]));
+            for (std::size_t i = size_ - 1; i > at; --i) data_[i] = std::move(data_[i - 1]);
+            data_[at] = std::move(value);
+        }
+        ++size_;
+    }
+
+    /// Remove every element matching `pred`; returns how many went.
+    template <typename Pred>
+    std::size_t remove_if(Pred pred) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (pred(data_[i])) continue;
+            if (kept != i) data_[kept] = std::move(data_[i]);
+            ++kept;
+        }
+        std::size_t removed = size_ - kept;
+        for (std::size_t i = kept; i < size_; ++i) data_[i].~T();
+        size_ = kept;
+        return removed;
+    }
+
+    void clear() {
+        for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+        size_ = 0;
+    }
+
+private:
+    T* inline_ptr() noexcept { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+    const T* inline_ptr() const noexcept {
+        return std::launder(reinterpret_cast<const T*>(inline_storage_));
+    }
+
+    void grow() {
+        std::size_t new_cap = cap_ * 2;
+        T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+        for (std::size_t i = 0; i < size_; ++i) {
+            new (fresh + i) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        release_heap();
+        data_ = fresh;
+        cap_ = new_cap;
+    }
+
+    /// Move-steal `other`'s contents; `other` is left empty but valid.
+    void take(SmallVec& other) noexcept {
+        if (!other.inlined()) {
+            data_ = other.data_;
+            size_ = other.size_;
+            cap_ = other.cap_;
+            other.data_ = other.inline_ptr();
+            other.size_ = 0;
+            other.cap_ = N;
+            return;
+        }
+        data_ = inline_ptr();
+        cap_ = N;
+        size_ = other.size_;
+        for (std::size_t i = 0; i < size_; ++i) {
+            new (data_ + i) T(std::move(other.data_[i]));
+            other.data_[i].~T();
+        }
+        other.size_ = 0;
+    }
+
+    void release_heap() {
+        if (!inlined()) {
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+        }
+    }
+
+    void destroy() {
+        clear();
+        release_heap();
+        data_ = inline_ptr();
+        cap_ = N;
+    }
+
+    alignas(T) std::byte inline_storage_[N * sizeof(T)];
+    T* data_;
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+}  // namespace pmp::rt

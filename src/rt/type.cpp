@@ -132,10 +132,15 @@ Value Method::invoke_debugger_style(ServiceObject& self, List args) {
 
 Value Method::invoke_hooked(ServiceObject& self, List& args) {
     CallFrame frame{self, *this, args, Value{}, Dict{}};
+    frame.result = run_advice_chain(0, frame, self, args);
+    return frame.result;
+}
 
-    // The innermost stage runs entry advice, the original handler and exit
-    // advice. Around advice wraps this core, outermost slot first.
-    auto core = [&]() -> Value {
+Value Method::run_advice_chain(std::size_t index, CallFrame& frame, ServiceObject& self,
+                               List& args) {
+    if (index == around_hooks_.size()) {
+        // The innermost stage: entry advice, the original handler, exit
+        // advice; error advice fires if any of those throw.
         try {
             for (auto& slot : entry_hooks_) slot.fn(frame);
             frame.result = handler_(self, args);
@@ -146,24 +151,29 @@ Value Method::invoke_hooked(ServiceObject& self, List& args) {
             throw;
         }
         return frame.result;
+    }
+
+    // Around advice at `index` wraps everything deeper in the table. Its
+    // proceed() continuation re-enters this function at index + 1, so the
+    // chain lives in the call stack instead of a per-dispatch tower of
+    // heap-allocated closures. The lambda captures one pointer to a
+    // stack-local context, which std::function keeps in its small-object
+    // buffer — dispatch stays allocation-free however deep the advice
+    // stack. The continuation is only valid during the hook call (as
+    // before: proceed must not be stashed past the join point).
+    struct Continuation {
+        Method* method;
+        CallFrame* frame;
+        ServiceObject* self;
+        List* args;
+        std::size_t next_index;
+    } cont{this, &frame, &self, &args, index + 1};
+    Continuation* ctx = &cont;
+    const std::function<Value()> proceed = [ctx]() -> Value {
+        return ctx->method->run_advice_chain(ctx->next_index, *ctx->frame, *ctx->self,
+                                             *ctx->args);
     };
-
-    if (around_hooks_.empty()) {
-        return core();
-    }
-
-    // Build the proceed() chain: each around hook's continuation invokes the
-    // next one; the last continuation is the core above.
-    std::function<Value()> next = core;
-    for (auto it = around_hooks_.rbegin(); it != around_hooks_.rend(); ++it) {
-        auto& hook = it->fn;
-        std::function<Value()> inner = std::move(next);
-        next = [&hook, &frame, inner = std::move(inner)]() -> Value {
-            return hook(frame, inner);
-        };
-    }
-    frame.result = next();
-    return frame.result;
+    return around_hooks_[index].fn(frame, proceed);
 }
 
 void Method::refresh_armed() {

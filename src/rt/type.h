@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rt/small_vec.h"
 #include "rt/value.h"
 
 namespace pmp::rt {
@@ -104,19 +105,27 @@ struct HookSlot {
     Fn fn;
 };
 
+/// Inline capacity of the per-member advice tables: up to this many hooks
+/// per slot live inside the Method/Field itself (no heap allocation, same
+/// cache lines as the minimal-hook flag). Real workloads rarely stack more
+/// than two advice entries on one join point; beyond that the table spills.
+inline constexpr std::size_t kInlineHookSlots = 2;
+
+/// Flat, priority-sorted advice table for one hook slot.
+template <typename Fn>
+using HookTable = SmallVec<HookSlot<Fn>, kInlineHookSlots>;
+
 namespace detail {
 template <typename Fn>
-void insert_by_priority(std::vector<HookSlot<Fn>>& slots, HookSlot<Fn> slot) {
+void insert_by_priority(HookTable<Fn>& slots, HookSlot<Fn> slot) {
     auto it = slots.begin();
     while (it != slots.end() && it->priority <= slot.priority) ++it;
     slots.insert(it, std::move(slot));
 }
 
 template <typename Fn>
-bool remove_owner(std::vector<HookSlot<Fn>>& slots, HookOwner owner) {
-    auto before = slots.size();
-    std::erase_if(slots, [owner](const HookSlot<Fn>& s) { return s.owner == owner; });
-    return slots.size() != before;
+bool remove_owner(HookTable<Fn>& slots, HookOwner owner) {
+    return slots.remove_if([owner](const HookSlot<Fn>& s) { return s.owner == owner; }) > 0;
 }
 }  // namespace detail
 
@@ -169,15 +178,19 @@ public:
 private:
     void validate(const List& args) const;
     Value invoke_hooked(ServiceObject& self, List& args);
+    /// Runs around_hooks_[index..] then the core (entry advice, handler,
+    /// exit advice; error advice on throw). proceed() continuations advance
+    /// `index` instead of building a per-call closure chain.
+    Value run_advice_chain(std::size_t index, CallFrame& frame, ServiceObject& self, List& args);
     void refresh_armed();
 
     MethodDecl decl_;
     MethodHandler handler_;
     bool armed_ = false;  ///< the minimal hook: tested on every call
-    std::vector<HookSlot<EntryHook>> entry_hooks_;
-    std::vector<HookSlot<ExitHook>> exit_hooks_;
-    std::vector<HookSlot<ErrorHook>> error_hooks_;
-    std::vector<HookSlot<AroundHook>> around_hooks_;
+    HookTable<EntryHook> entry_hooks_;
+    HookTable<ExitHook> exit_hooks_;
+    HookTable<ErrorHook> error_hooks_;
+    HookTable<AroundHook> around_hooks_;
 };
 
 /// A field with its hook slot. Values live per-instance in ServiceObject;
@@ -201,8 +214,8 @@ public:
 private:
     FieldDecl decl_;
     bool armed_ = false;
-    std::vector<HookSlot<FieldSetHook>> set_hooks_;
-    std::vector<HookSlot<FieldGetHook>> get_hooks_;
+    HookTable<FieldSetHook> set_hooks_;
+    HookTable<FieldGetHook> get_hooks_;
 };
 
 /// Class metadata: name, methods, fields. Shared by all instances of the

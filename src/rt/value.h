@@ -99,6 +99,10 @@ public:
     bool is_list() const { return kind() == Kind::kList; }
     bool is_dict() const { return kind() == Kind::kDict; }
 
+    /// Inline non-throwing accessor: nullptr unless the value is an Int.
+    /// For engine fast paths that cannot afford an out-of-line call.
+    const std::int64_t* if_int() const { return std::get_if<std::int64_t>(&v_); }
+
     /// Checked accessors; throw TypeError on kind mismatch.
     bool as_bool() const;
     std::int64_t as_int() const;

@@ -1,270 +1,16 @@
 #include "script/interp.h"
 
-#include <cmath>
-
 #include "common/error.h"
+#include "script/ops.h"
 
 namespace pmp::script {
 
+using ops::display;
+using ops::script_fail;
+using ops::want_str;
 using rt::Dict;
 using rt::List;
 using rt::Value;
-
-// ----------------------------------------------------- BuiltinRegistry ----
-
-void BuiltinRegistry::add(const std::string& name, const std::string& capability, Fn fn) {
-    entries_[name] = Entry{capability, std::move(fn)};
-}
-
-const BuiltinRegistry::Entry* BuiltinRegistry::find(const std::string& name) const {
-    auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : &it->second;
-}
-
-namespace {
-
-[[noreturn]] void script_fail(const std::string& what, int line) {
-    throw ScriptError(what + " (line " + std::to_string(line) + ")");
-}
-
-std::int64_t want_int(const Value& v, const char* what) {
-    if (!v.is_int()) throw ScriptError(std::string(what) + " expects an int");
-    return v.as_int();
-}
-
-const std::string& want_str(const Value& v, const char* what) {
-    if (!v.is_str()) throw ScriptError(std::string(what) + " expects a str");
-    return v.as_str();
-}
-
-/// Unquoted string rendering: strings print bare, everything else as
-/// Value::to_string. This is what str(x) and string concatenation produce.
-std::string display(const Value& v) {
-    return v.is_str() ? v.as_str() : v.to_string();
-}
-
-}  // namespace
-
-BuiltinRegistry BuiltinRegistry::with_core() {
-    BuiltinRegistry reg;
-
-    reg.add("len", "", [](List& args) -> Value {
-        if (args.size() != 1) throw ScriptError("len expects 1 arg");
-        const Value& v = args[0];
-        switch (v.kind()) {
-            case Value::Kind::kStr: return Value{static_cast<std::int64_t>(v.as_str().size())};
-            case Value::Kind::kBlob: return Value{static_cast<std::int64_t>(v.as_blob().size())};
-            case Value::Kind::kList: return Value{static_cast<std::int64_t>(v.as_list().size())};
-            case Value::Kind::kDict: return Value{static_cast<std::int64_t>(v.as_dict().size())};
-            default: throw ScriptError("len expects str/blob/list/dict");
-        }
-    });
-
-    reg.add("str", "", [](List& args) -> Value {
-        if (args.size() != 1) throw ScriptError("str expects 1 arg");
-        return Value{display(args[0])};
-    });
-
-    reg.add("int", "", [](List& args) -> Value {
-        if (args.size() != 1) throw ScriptError("int expects 1 arg");
-        const Value& v = args[0];
-        if (v.is_int()) return v;
-        if (v.is_real()) return Value{static_cast<std::int64_t>(v.as_real())};
-        if (v.is_bool()) return Value{static_cast<std::int64_t>(v.as_bool() ? 1 : 0)};
-        if (v.is_str()) {
-            try {
-                return Value{static_cast<std::int64_t>(std::stoll(v.as_str()))};
-            } catch (...) {
-                throw ScriptError("int: cannot parse '" + v.as_str() + "'");
-            }
-        }
-        throw ScriptError("int expects a number, bool or str");
-    });
-
-    reg.add("real", "", [](List& args) -> Value {
-        if (args.size() != 1) throw ScriptError("real expects 1 arg");
-        const Value& v = args[0];
-        if (v.is_number()) return Value{v.as_real()};
-        if (v.is_str()) {
-            try {
-                return Value{std::stod(v.as_str())};
-            } catch (...) {
-                throw ScriptError("real: cannot parse '" + v.as_str() + "'");
-            }
-        }
-        throw ScriptError("real expects a number or str");
-    });
-
-    reg.add("typeof", "", [](List& args) -> Value {
-        if (args.size() != 1) throw ScriptError("typeof expects 1 arg");
-        return Value{std::string(Value::kind_name(args[0].kind()))};
-    });
-
-    reg.add("push", "", [](List& args) -> Value {
-        if (args.size() != 2) throw ScriptError("push expects (list, value)");
-        if (!args[0].is_list()) throw ScriptError("push expects a list");
-        List out = args[0].as_list();
-        out.push_back(args[1]);
-        return Value{std::move(out)};
-    });
-
-    reg.add("concat", "", [](List& args) -> Value {
-        List out;
-        for (const Value& v : args) {
-            if (!v.is_list()) throw ScriptError("concat expects lists");
-            const List& l = v.as_list();
-            out.insert(out.end(), l.begin(), l.end());
-        }
-        return Value{std::move(out)};
-    });
-
-    reg.add("slice", "", [](List& args) -> Value {
-        if (args.size() != 3) throw ScriptError("slice expects (list, start, end)");
-        if (!args[0].is_list()) throw ScriptError("slice expects a list");
-        const List& l = args[0].as_list();
-        auto clamp = [&](std::int64_t i) {
-            if (i < 0) i = 0;
-            if (i > static_cast<std::int64_t>(l.size())) i = static_cast<std::int64_t>(l.size());
-            return static_cast<std::size_t>(i);
-        };
-        std::size_t start = clamp(want_int(args[1], "slice"));
-        std::size_t end = clamp(want_int(args[2], "slice"));
-        if (start > end) start = end;
-        return Value{List(l.begin() + start, l.begin() + end)};
-    });
-
-    reg.add("keys", "", [](List& args) -> Value {
-        if (args.size() != 1 || !args[0].is_dict()) throw ScriptError("keys expects a dict");
-        List out;
-        for (const auto& [k, _] : args[0].as_dict()) out.push_back(Value{k});
-        return Value{std::move(out)};
-    });
-
-    reg.add("contains", "", [](List& args) -> Value {
-        if (args.size() != 2) throw ScriptError("contains expects 2 args");
-        const Value& c = args[0];
-        if (c.is_list()) {
-            for (const Value& v : c.as_list()) {
-                if (v == args[1]) return Value{true};
-            }
-            return Value{false};
-        }
-        if (c.is_dict()) return Value{c.as_dict().contains(want_str(args[1], "contains"))};
-        if (c.is_str()) {
-            return Value{c.as_str().find(want_str(args[1], "contains")) != std::string::npos};
-        }
-        throw ScriptError("contains expects list/dict/str");
-    });
-
-    reg.add("remove", "", [](List& args) -> Value {
-        if (args.size() != 2 || !args[0].is_dict()) throw ScriptError("remove expects (dict, key)");
-        Dict out = args[0].as_dict();
-        out.erase(want_str(args[1], "remove"));
-        return Value{std::move(out)};
-    });
-
-    reg.add("range", "", [](List& args) -> Value {
-        std::int64_t lo = 0, hi = 0;
-        if (args.size() == 1) {
-            hi = want_int(args[0], "range");
-        } else if (args.size() == 2) {
-            lo = want_int(args[0], "range");
-            hi = want_int(args[1], "range");
-        } else {
-            throw ScriptError("range expects 1 or 2 args");
-        }
-        List out;
-        for (std::int64_t i = lo; i < hi; ++i) out.push_back(Value{i});
-        return Value{std::move(out)};
-    });
-
-    reg.add("abs", "", [](List& args) -> Value {
-        if (args.size() != 1 || !args[0].is_number()) throw ScriptError("abs expects a number");
-        if (args[0].is_int()) return Value{args[0].as_int() < 0 ? -args[0].as_int() : args[0].as_int()};
-        return Value{std::fabs(args[0].as_real())};
-    });
-
-    reg.add("min", "", [](List& args) -> Value {
-        if (args.size() < 2) throw ScriptError("min expects >= 2 args");
-        Value best = args[0];
-        for (std::size_t i = 1; i < args.size(); ++i) {
-            if (args[i].as_real() < best.as_real()) best = args[i];
-        }
-        return best;
-    });
-
-    reg.add("max", "", [](List& args) -> Value {
-        if (args.size() < 2) throw ScriptError("max expects >= 2 args");
-        Value best = args[0];
-        for (std::size_t i = 1; i < args.size(); ++i) {
-            if (args[i].as_real() > best.as_real()) best = args[i];
-        }
-        return best;
-    });
-
-    reg.add("floor", "", [](List& args) -> Value {
-        if (args.size() != 1 || !args[0].is_number()) throw ScriptError("floor expects a number");
-        return Value{static_cast<std::int64_t>(std::floor(args[0].as_real()))};
-    });
-
-    reg.add("sqrt", "", [](List& args) -> Value {
-        if (args.size() != 1 || !args[0].is_number()) throw ScriptError("sqrt expects a number");
-        return Value{std::sqrt(args[0].as_real())};
-    });
-
-    reg.add("substr", "", [](List& args) -> Value {
-        if (args.size() != 3) throw ScriptError("substr expects (str, start, len)");
-        const std::string& s = want_str(args[0], "substr");
-        std::int64_t start = want_int(args[1], "substr");
-        std::int64_t count = want_int(args[2], "substr");
-        if (start < 0 || start > static_cast<std::int64_t>(s.size()) || count < 0) {
-            throw ScriptError("substr out of range");
-        }
-        return Value{s.substr(static_cast<std::size_t>(start),
-                              static_cast<std::size_t>(count))};
-    });
-
-    reg.add("find", "", [](List& args) -> Value {
-        if (args.size() != 2) throw ScriptError("find expects (str, needle)");
-        auto pos = want_str(args[0], "find").find(want_str(args[1], "find"));
-        return Value{pos == std::string::npos ? std::int64_t{-1}
-                                              : static_cast<std::int64_t>(pos)};
-    });
-
-    reg.add("split", "", [](List& args) -> Value {
-        if (args.size() != 2) throw ScriptError("split expects (str, sep)");
-        const std::string& s = want_str(args[0], "split");
-        const std::string& sep = want_str(args[1], "split");
-        if (sep.empty()) throw ScriptError("split separator must be non-empty");
-        List out;
-        std::size_t pos = 0;
-        for (;;) {
-            std::size_t next = s.find(sep, pos);
-            if (next == std::string::npos) {
-                out.push_back(Value{s.substr(pos)});
-                return Value{std::move(out)};
-            }
-            out.push_back(Value{s.substr(pos, next - pos)});
-            pos = next + sep.size();
-        }
-    });
-
-    reg.add("join", "", [](List& args) -> Value {
-        if (args.size() != 2 || !args[0].is_list()) throw ScriptError("join expects (list, sep)");
-        const std::string& sep = want_str(args[1], "join");
-        std::string out;
-        const List& l = args[0].as_list();
-        for (std::size_t i = 0; i < l.size(); ++i) {
-            if (i) out += sep;
-            out += display(l[i]);
-        }
-        return Value{std::move(out)};
-    });
-
-    return reg;
-}
-
-// --------------------------------------------------------- Interpreter ----
 
 Interpreter::Interpreter(std::shared_ptr<const Program> program, Sandbox sandbox,
                          std::shared_ptr<const BuiltinRegistry> builtins)
@@ -273,15 +19,7 @@ Interpreter::Interpreter(std::shared_ptr<const Program> program, Sandbox sandbox
 void Interpreter::tick(int line) {
     ++steps_;
     ++total_steps_;
-    // The watchdog deadline is usually far tighter than the sandbox budget,
-    // so check it first; both count from the same per-invocation steps_.
-    if (sandbox_.deadline_steps != 0 && steps_ > sandbox_.deadline_steps) {
-        throw DeadlineExceeded("advice overran its watchdog deadline at line " +
-                               std::to_string(line));
-    }
-    if (steps_ > sandbox_.step_budget) {
-        throw ResourceExhausted("script exceeded step budget at line " + std::to_string(line));
-    }
+    ops::tick_check(sandbox_, steps_, line);
 }
 
 void Interpreter::run_top_level() {
@@ -437,15 +175,7 @@ void Interpreter::exec(const Stmt& stmt) {
             }
             return;
         case Stmt::Kind::kForIn: {
-            Value iterable = eval(*stmt.expr);
-            List items;
-            if (iterable.is_list()) {
-                items = iterable.as_list();
-            } else if (iterable.is_dict()) {
-                for (const auto& [k, _] : iterable.as_dict()) items.push_back(Value{k});
-            } else {
-                script_fail("for-in expects a list or dict", stmt.line);
-            }
+            List items = ops::foreach_items(eval(*stmt.expr), stmt.line);
             for (Value& item : items) {
                 scopes_.emplace_back();
                 scopes_.back().vars[stmt.name] = std::move(item);
@@ -484,38 +214,11 @@ Value* Interpreter::resolve_lvalue(const Expr& target) {
         case Expr::Kind::kIndex: {
             Value* base = resolve_lvalue(*target.lhs);
             Value idx = eval(*target.rhs);
-            if (base->is_list()) {
-                List& l = base->as_list();
-                std::int64_t i = want_int(idx, "index");
-                if (i == static_cast<std::int64_t>(l.size())) {
-                    l.push_back(Value{});  // l[len(l)] = v appends
-                    return &l.back();
-                }
-                if (i < 0 || i > static_cast<std::int64_t>(l.size())) {
-                    script_fail("list index " + std::to_string(i) + " out of range",
-                                target.line);
-                }
-                return &l[static_cast<std::size_t>(i)];
-            }
-            if (base->is_dict()) {
-                Dict& d = base->as_dict();
-                const std::string& key = want_str(idx, "dict index");
-                if (!d.contains(key)) d.set(key, Value{});
-                // set() keeps the vector sorted; find() returns a stable
-                // pointer valid until the next structural change.
-                return const_cast<Value*>(d.find(key));
-            }
-            script_fail("cannot index into " + std::string(Value::kind_name(base->kind())),
-                        target.line);
+            return ops::lval_index(base, idx, target.line);
         }
         case Expr::Kind::kMember: {
             Value* base = resolve_lvalue(*target.lhs);
-            if (!base->is_dict()) {
-                script_fail("member assignment needs a dict", target.line);
-            }
-            Dict& d = base->as_dict();
-            if (!d.contains(target.name)) d.set(target.name, Value{});
-            return const_cast<Value*>(d.find(target.name));
+            return ops::lval_member(base, target.name, target.line);
         }
         default: script_fail("expression is not assignable", target.line);
     }
@@ -533,45 +236,17 @@ Value Interpreter::eval(const Expr& expr) {
         case Expr::Kind::kUnary: {
             Value v = eval(*expr.lhs);
             if (expr.un_op == UnOp::kNot) return Value{!v.truthy()};
-            if (v.is_int()) return Value{-v.as_int()};
-            if (v.is_real()) return Value{-v.as_real()};
-            script_fail("unary '-' expects a number", expr.line);
+            return ops::negate(v, expr.line);
         }
         case Expr::Kind::kCall: return eval_call(expr);
         case Expr::Kind::kIndex: {
             Value base = eval(*expr.lhs);
             Value idx = eval(*expr.rhs);
-            if (base.is_list()) {
-                const List& l = base.as_list();
-                std::int64_t i = want_int(idx, "index");
-                if (i < 0 || i >= static_cast<std::int64_t>(l.size())) {
-                    script_fail("list index " + std::to_string(i) + " out of range",
-                                expr.line);
-                }
-                return l[static_cast<std::size_t>(i)];
-            }
-            if (base.is_dict()) {
-                const Value* v = base.as_dict().find(want_str(idx, "dict index"));
-                return v ? *v : Value{};  // missing keys read as null
-            }
-            if (base.is_str()) {
-                const std::string& s = base.as_str();
-                std::int64_t i = want_int(idx, "index");
-                if (i < 0 || i >= static_cast<std::int64_t>(s.size())) {
-                    script_fail("string index out of range", expr.line);
-                }
-                return Value{std::string(1, s[static_cast<std::size_t>(i)])};
-            }
-            script_fail("cannot index into " + std::string(Value::kind_name(base.kind())),
-                        expr.line);
+            return ops::index_get(base, idx, expr.line);
         }
         case Expr::Kind::kMember: {
             Value base = eval(*expr.lhs);
-            if (base.is_dict()) {
-                const Value* v = base.as_dict().find(expr.name);
-                return v ? *v : Value{};
-            }
-            script_fail("member access needs a dict", expr.line);
+            return ops::member_get(base, expr.name, expr.line);
         }
         case Expr::Kind::kListLit: {
             List out;
@@ -582,19 +257,18 @@ Value Interpreter::eval(const Expr& expr) {
         case Expr::Kind::kDictLit: {
             Dict out;
             for (const auto& [kexpr, vexpr] : expr.entries) {
+                // Fixed evaluation order (key, key check, value): both
+                // engines must agree, and unspecified C++ argument order
+                // must not decide which error a bad entry raises.
                 Value key = eval(*kexpr);
-                out.set(want_str(key, "dict key"), eval(*vexpr));
+                const std::string& k = want_str(key, "dict key");
+                out.set(k, eval(*vexpr));
             }
             return Value{std::move(out)};
         }
     }
     script_fail("internal: unknown expression kind", expr.line);
 }
-
-namespace {
-bool numeric_pair(const Value& a, const Value& b) { return a.is_number() && b.is_number(); }
-bool both_int(const Value& a, const Value& b) { return a.is_int() && b.is_int(); }
-}  // namespace
 
 Value Interpreter::eval_binary(const Expr& expr) {
     // Short-circuit forms first.
@@ -607,71 +281,7 @@ Value Interpreter::eval_binary(const Expr& expr) {
 
     Value a = eval(*expr.lhs);
     Value b = eval(*expr.rhs);
-    switch (expr.bin_op) {
-        case BinOp::kAdd:
-            if (both_int(a, b)) return Value{a.as_int() + b.as_int()};
-            if (numeric_pair(a, b)) return Value{a.as_real() + b.as_real()};
-            if (a.is_str() || b.is_str()) return Value{display(a) + display(b)};
-            if (a.is_list() && b.is_list()) {
-                List out = a.as_list();
-                const List& more = b.as_list();
-                out.insert(out.end(), more.begin(), more.end());
-                return Value{std::move(out)};
-            }
-            script_fail("'+' expects numbers, strings or lists", expr.line);
-        case BinOp::kSub:
-            if (both_int(a, b)) return Value{a.as_int() - b.as_int()};
-            if (numeric_pair(a, b)) return Value{a.as_real() - b.as_real()};
-            script_fail("'-' expects numbers", expr.line);
-        case BinOp::kMul:
-            if (both_int(a, b)) return Value{a.as_int() * b.as_int()};
-            if (numeric_pair(a, b)) return Value{a.as_real() * b.as_real()};
-            script_fail("'*' expects numbers", expr.line);
-        case BinOp::kDiv:
-            if (both_int(a, b)) {
-                if (b.as_int() == 0) script_fail("integer division by zero", expr.line);
-                return Value{a.as_int() / b.as_int()};
-            }
-            if (numeric_pair(a, b)) {
-                if (b.as_real() == 0.0) script_fail("division by zero", expr.line);
-                return Value{a.as_real() / b.as_real()};
-            }
-            script_fail("'/' expects numbers", expr.line);
-        case BinOp::kMod:
-            if (both_int(a, b)) {
-                if (b.as_int() == 0) script_fail("modulo by zero", expr.line);
-                return Value{a.as_int() % b.as_int()};
-            }
-            script_fail("'%' expects ints", expr.line);
-        case BinOp::kEq:
-            if (numeric_pair(a, b)) return Value{a.as_real() == b.as_real()};
-            return Value{a == b};
-        case BinOp::kNe:
-            if (numeric_pair(a, b)) return Value{a.as_real() != b.as_real()};
-            return Value{!(a == b)};
-        case BinOp::kLt:
-        case BinOp::kLe:
-        case BinOp::kGt:
-        case BinOp::kGe: {
-            int cmp;
-            if (numeric_pair(a, b)) {
-                double da = a.as_real(), db = b.as_real();
-                cmp = da < db ? -1 : (da > db ? 1 : 0);
-            } else if (a.is_str() && b.is_str()) {
-                cmp = a.as_str().compare(b.as_str());
-                cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
-            } else {
-                script_fail("comparison expects two numbers or two strings", expr.line);
-            }
-            switch (expr.bin_op) {
-                case BinOp::kLt: return Value{cmp < 0};
-                case BinOp::kLe: return Value{cmp <= 0};
-                case BinOp::kGt: return Value{cmp > 0};
-                default: return Value{cmp >= 0};
-            }
-        }
-        default: script_fail("internal: unknown binary op", expr.line);
-    }
+    return ops::binary(expr.bin_op, a, b, expr.line);
 }
 
 Value Interpreter::eval_call(const Expr& expr) {

@@ -1,65 +1,26 @@
-// AdviceScript interpreter and sandbox.
+// AdviceScript tree-walking interpreter — the reference implementation.
 //
-// Extension code arrives from the network, so it runs inside a sandbox
-// (paper §3.1, "addressing secure execution"): every host facility it can
-// touch is a registered builtin gated by a capability string, and the
-// interpreter enforces step and recursion budgets so a buggy or hostile
-// extension cannot wedge the node. The hosting layer (MIDAS receiver)
-// decides which capabilities a package gets.
+// The bytecode Vm (script/vm.h) is the hot path used in production; this
+// interpreter defines the semantics the Vm must reproduce bit-for-bit
+// (results, typed errors, step accounting). It stays wired behind the
+// differential-testing flag (EngineMode::kInterpreter) and the property
+// suite compares the two on random programs every build.
+//
+// The Sandbox / BuiltinRegistry contract lives in script/sandbox.h and is
+// shared by both engines; the shared runtime semantics live in
+// script/ops.h.
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "script/ast.h"
+#include "script/engine.h"
+#include "script/sandbox.h"
 
 namespace pmp::script {
-
-/// Execution limits and capability grants for one extension instance.
-struct Sandbox {
-    std::set<std::string> capabilities;
-    std::uint64_t step_budget = 1'000'000;  ///< per entry-point invocation
-    int max_recursion = 64;
-    /// Watchdog deadline, in steps, per entry-point invocation (0 = off).
-    /// Distinct from step_budget: the budget is the sandbox's generosity
-    /// bound (ResourceExhausted), the deadline is the governor's latency
-    /// bound priced from virtual time (DeadlineExceeded) — typically far
-    /// tighter, and counted toward quarantine by the MIDAS receiver.
-    std::uint64_t deadline_steps = 0;
-
-    bool allows(const std::string& capability) const {
-        return capability.empty() || capabilities.contains(capability);
-    }
-};
-
-/// Host functions callable from script. A builtin with an empty capability
-/// is part of the core library and always available; anything touching the
-/// node (logging, network, database, robot control, the current join
-/// point) declares the capability it needs.
-class BuiltinRegistry {
-public:
-    using Fn = std::function<rt::Value(rt::List& args)>;
-
-    struct Entry {
-        std::string capability;
-        Fn fn;
-    };
-
-    /// Register `name` (e.g. "net.post"); replaces an existing entry.
-    void add(const std::string& name, const std::string& capability, Fn fn);
-
-    const Entry* find(const std::string& name) const;
-
-    /// The core library: len, str, push, keys, range, math and string
-    /// helpers — no capabilities required.
-    static BuiltinRegistry with_core();
-
-private:
-    std::unordered_map<std::string, Entry> entries_;
-};
 
 /// Tree-walking evaluator over one Program.
 ///
@@ -67,39 +28,33 @@ private:
 /// extension's global state; advice entry points are then invoked with
 /// call(). Globals persist across calls — that is how, e.g., the
 /// monitoring extension accumulates a local buffer between interceptions.
-class Interpreter {
+class Interpreter final : public Engine {
 public:
     Interpreter(std::shared_ptr<const Program> program, Sandbox sandbox,
                 std::shared_ptr<const BuiltinRegistry> builtins);
 
     /// Execute top-level statements (global `let`s etc.). Call once.
-    void run_top_level();
+    void run_top_level() override;
 
-    bool has_function(std::string_view name) const {
+    bool has_function(std::string_view name) const override {
         return program_->find_function(name) != nullptr;
     }
 
     /// Invoke a named function. Throws ScriptError for script faults,
     /// AccessDenied for capability violations, ResourceExhausted for
     /// budget overruns.
-    rt::Value call(std::string_view name, rt::List args);
+    rt::Value call(std::string_view name, rt::List args) override;
 
     /// Read/write a global (tests and host glue).
-    const rt::Value* global(const std::string& name) const;
-    void set_global(const std::string& name, rt::Value value);
+    const rt::Value* global(const std::string& name) const override;
+    void set_global(const std::string& name, rt::Value value) override;
 
-    const Sandbox& sandbox() const { return sandbox_; }
+    const Sandbox& sandbox() const override { return sandbox_; }
 
-    /// Fired once per *outermost* call() with the number of interpreter
-    /// steps that invocation consumed — including on throw, so runaway
-    /// invocations are charged too. The MIDAS receiver's resource governor
-    /// hangs its cumulative per-lease-window accounting here. The observer
-    /// runs inside the interpreter's unwind path and must not throw.
-    using StepObserver = std::function<void(std::uint64_t steps)>;
-    void set_step_observer(StepObserver fn) { step_observer_ = std::move(fn); }
+    void set_step_observer(StepObserver fn) override { step_observer_ = std::move(fn); }
 
     /// Steps consumed by the most recent outermost call().
-    std::uint64_t last_call_steps() const { return last_call_steps_; }
+    std::uint64_t last_call_steps() const override { return last_call_steps_; }
 
 private:
     struct Scope {

@@ -1,0 +1,71 @@
+// AdviceScript sandbox policy and the builtin (host function) registry.
+//
+// Extension code arrives from the network, so it runs inside a sandbox
+// (paper §3.1, "addressing secure execution"): every host facility it can
+// touch is a registered builtin gated by a capability string, and the
+// execution engines enforce step and recursion budgets so a buggy or
+// hostile extension cannot wedge the node. The hosting layer (MIDAS
+// receiver) decides which capabilities a package gets.
+//
+// Both AdviceScript engines — the tree-walking Interpreter (reference
+// implementation) and the bytecode Vm (hot path) — share this contract.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "rt/value.h"
+
+namespace pmp::script {
+
+/// Execution limits and capability grants for one extension instance.
+struct Sandbox {
+    std::set<std::string> capabilities;
+    std::uint64_t step_budget = 1'000'000;  ///< per entry-point invocation
+    int max_recursion = 64;
+    /// Watchdog deadline, in steps, per entry-point invocation (0 = off).
+    /// Distinct from step_budget: the budget is the sandbox's generosity
+    /// bound (ResourceExhausted), the deadline is the governor's latency
+    /// bound priced from virtual time (DeadlineExceeded) — typically far
+    /// tighter, and counted toward quarantine by the MIDAS receiver.
+    std::uint64_t deadline_steps = 0;
+
+    bool allows(const std::string& capability) const {
+        return capability.empty() || capabilities.contains(capability);
+    }
+};
+
+/// Host functions callable from script. A builtin with an empty capability
+/// is part of the core library and always available; anything touching the
+/// node (logging, network, database, robot control, the current join
+/// point) declares the capability it needs.
+///
+/// Entries are stable once added: add() replaces the Entry in place, so an
+/// `Entry*` resolved at Vm construction stays valid (and picks up the new
+/// fn) for the registry's lifetime. Engines snapshot the registry via
+/// shared_ptr; entries must all be registered before an engine is built.
+class BuiltinRegistry {
+public:
+    using Fn = std::function<rt::Value(rt::List& args)>;
+
+    struct Entry {
+        std::string capability;
+        Fn fn;
+    };
+
+    /// Register `name` (e.g. "net.post"); replaces an existing entry.
+    void add(const std::string& name, const std::string& capability, Fn fn);
+
+    const Entry* find(const std::string& name) const;
+
+    /// The core library: len, str, push, keys, range, math and string
+    /// helpers — no capabilities required.
+    static BuiltinRegistry with_core();
+
+private:
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace pmp::script

@@ -1,0 +1,443 @@
+#include "script/vm.h"
+
+#include "common/error.h"
+#include "script/ops.h"
+
+namespace pmp::script {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+Vm::Vm(std::shared_ptr<const CompiledUnit> unit, Sandbox sandbox,
+       std::shared_ptr<const BuiltinRegistry> builtins)
+    : unit_(std::move(unit)), sandbox_(std::move(sandbox)), builtins_(std::move(builtins)) {
+    // Resolve every distinct builtin callee once. Unknown names stay as
+    // null entries and fail at execution time with the interpreter's
+    // message; capability verdicts are precomputed against the fixed
+    // sandbox so the hot loop does a single bool test.
+    resolved_.reserve(unit_->builtin_names.size());
+    for (const std::string& name : unit_->builtin_names) {
+        const BuiltinRegistry::Entry* entry = builtins_->find(name);
+        resolved_.push_back(ResolvedBuiltin{
+            entry, entry != nullptr && sandbox_.allows(entry->capability), &name});
+    }
+    step_limit_ = sandbox_.step_budget;
+    if (sandbox_.deadline_steps != 0 && sandbox_.deadline_steps < step_limit_) {
+        step_limit_ = sandbox_.deadline_steps;
+    }
+}
+
+void Vm::run_top_level() {
+    steps_ = 0;
+    invoke(unit_->top_level, {}, /*counts_depth=*/false);
+}
+
+Value Vm::call(std::string_view name, List args) {
+    const Chunk* chunk = unit_->find_function(name);
+    if (!chunk) throw ScriptError("no function '" + std::string(name) + "'");
+    if (call_nesting_ > 0) {
+        // Re-entrant call (host builtin calling back into script): one
+        // invocation for budget purposes, so don't reset the meter and
+        // don't report to the observer twice.
+        return invoke(*chunk, std::move(args), /*counts_depth=*/true);
+    }
+    steps_ = 0;
+    const std::uint64_t before = total_steps_;
+    ++call_nesting_;
+    // Report on every exit path — a throwing invocation burned steps too,
+    // and the governor must see them.
+    struct Guard {
+        Vm* self;
+        std::uint64_t before;
+        ~Guard() {
+            --self->call_nesting_;
+            self->last_call_steps_ = self->total_steps_ - before;
+            if (self->step_observer_) self->step_observer_(self->last_call_steps_);
+        }
+    } guard{this, before};
+    return invoke(*chunk, std::move(args), /*counts_depth=*/true);
+}
+
+const Value* Vm::global(const std::string& name) const {
+    auto it = globals_.find(name);
+    return it == globals_.end() ? nullptr : &it->second;
+}
+
+void Vm::set_global(const std::string& name, Value value) {
+    globals_[name] = std::move(value);
+}
+
+Value Vm::invoke(const Chunk& chunk, List args, bool counts_depth) {
+    if (static_cast<int>(args.size()) != chunk.n_params) {
+        throw ScriptError("function '" + chunk.name + "' expects " +
+                          std::to_string(chunk.n_params) + " args, got " +
+                          std::to_string(args.size()));
+    }
+    const std::size_t entry_frames = frames_.size();
+    const std::size_t entry_stack = stack_.size();
+    const std::size_t entry_lstack = lstack_.size();
+    try {
+        for (Value& a : args) stack_.push_back(std::move(a));
+        push_frame(chunk, args.size(), counts_depth);
+        return run(entry_frames);
+    } catch (...) {
+        unwind(entry_frames, entry_stack, entry_lstack);
+        throw;
+    }
+}
+
+void Vm::push_frame(const Chunk& chunk, std::size_t argc, bool counts_depth) {
+    if (counts_depth) {
+        if (++depth_ > sandbox_.max_recursion) {
+            --depth_;
+            throw ResourceExhausted("script recursion limit reached in '" + chunk.name +
+                                    "'");
+        }
+    }
+    std::vector<Value> slots = acquire_slots(static_cast<std::size_t>(chunk.n_slots));
+    for (std::size_t i = 0; i < argc; ++i) {
+        slots[i] = std::move(stack_[stack_.size() - argc + i]);
+    }
+    stack_.resize(stack_.size() - argc);
+    frames_.push_back(Frame{&chunk, 0, stack_.size(), std::move(slots), counts_depth});
+}
+
+void Vm::unwind(std::size_t entry_frames, std::size_t entry_stack,
+                std::size_t entry_lstack) {
+    while (frames_.size() > entry_frames) {
+        if (frames_.back().counts_depth) --depth_;
+        release_slots(std::move(frames_.back().slots));
+        frames_.pop_back();
+    }
+    stack_.resize(entry_stack);
+    lstack_.resize(entry_lstack);
+}
+
+std::vector<Value> Vm::acquire_slots(std::size_t n) {
+    std::vector<Value> slots;
+    if (!slot_pool_.empty()) {
+        slots = std::move(slot_pool_.back());
+        slot_pool_.pop_back();
+    }
+    slots.clear();
+    slots.resize(n);
+    return slots;
+}
+
+void Vm::release_slots(std::vector<Value> slots) {
+    slots.clear();
+    if (slot_pool_.size() < 64) slot_pool_.push_back(std::move(slots));
+}
+
+List& Vm::lease_args() {
+    if (arg_pool_top_ == arg_pool_.size()) {
+        arg_pool_.push_back(std::make_unique<List>());
+    }
+    return *arg_pool_[arg_pool_top_++];
+}
+
+/// RAII lease of a pooled builtin-argument list; entries are unique_ptrs
+/// so references stay valid when re-entrant calls grow the pool.
+struct Vm::ArgLease {
+    Vm& vm;
+    List& args;
+    explicit ArgLease(Vm& v) : vm(v), args(v.lease_args()) {}
+    ~ArgLease() {
+        args.clear();
+        --vm.arg_pool_top_;
+    }
+};
+
+Value Vm::run(std::size_t entry_frames) {
+    // The dispatch registers: the current frame's code, instruction pointer
+    // and local slots are cached in locals instead of re-read through
+    // frames_.back() on every instruction. `ip` is written back to the
+    // frame only at the points that can suspend this frame (script calls,
+    // builtins that may re-enter the VM); `reload` re-derives the cache
+    // after any operation that may have switched frames or reallocated
+    // frames_. A frame's slot buffer is heap-stable (pooled vector), so
+    // `slots` survives pushes and pops of other frames.
+    Frame* f;
+    const Insn* code;
+    Value* slots;
+    std::size_t ip;
+    auto reload = [&] {
+        f = &frames_.back();
+        code = f->chunk->code.data();
+        slots = f->slots.data();
+        ip = f->ip;
+    };
+    reload();
+    for (;;) {
+        const Insn in = code[ip++];
+        switch (in.op) {
+            case Op::kTick:
+                // Fast path: two increments and one compare. Past the
+                // precomputed limit, tick_check raises the correct typed
+                // error (deadline before budget, like the interpreter).
+                ++steps_;
+                ++total_steps_;
+                if (steps_ > step_limit_) [[unlikely]] {
+                    ops::tick_check(sandbox_, steps_, in.line);
+                }
+                break;
+            case Op::kConst: stack_.push_back(unit_->constants[in.a]); break;
+            case Op::kLoadLocal: stack_.push_back(slots[in.a]); break;
+            case Op::kStoreLocal:
+                slots[in.a] = std::move(stack_.back());
+                stack_.pop_back();
+                break;
+            case Op::kLoadGlobal: {
+                auto it = globals_.find(unit_->names[in.a]);
+                if (it == globals_.end()) {
+                    ops::script_fail("undefined variable '" + unit_->names[in.a] + "'",
+                                     in.line);
+                }
+                stack_.push_back(it->second);
+                break;
+            }
+            case Op::kLetGlobal:
+                globals_[unit_->names[in.a]] = std::move(stack_.back());
+                stack_.pop_back();
+                break;
+            case Op::kStoreGlobal: {
+                auto it = globals_.find(unit_->names[in.a]);
+                if (it == globals_.end()) {
+                    ops::script_fail("assignment to undeclared variable '" +
+                                         unit_->names[in.a] + "'",
+                                     in.line);
+                }
+                it->second = std::move(stack_.back());
+                stack_.pop_back();
+                break;
+            }
+            case Op::kPop: stack_.pop_back(); break;
+            case Op::kJump: ip = static_cast<std::size_t>(in.a); break;
+            case Op::kJumpIfFalse: {
+                const bool t = stack_.back().truthy();
+                stack_.pop_back();
+                if (!t) ip = static_cast<std::size_t>(in.a);
+                break;
+            }
+            case Op::kAndShort: {
+                const bool t = stack_.back().truthy();
+                stack_.pop_back();
+                if (!t) {
+                    stack_.push_back(Value{false});
+                    ip = static_cast<std::size_t>(in.a);
+                }
+                break;
+            }
+            case Op::kOrShort: {
+                const bool t = stack_.back().truthy();
+                stack_.pop_back();
+                if (t) {
+                    stack_.push_back(Value{true});
+                    ip = static_cast<std::size_t>(in.a);
+                }
+                break;
+            }
+            case Op::kToBool: stack_.back() = Value{stack_.back().truthy()}; break;
+            case Op::kNot: stack_.back() = Value{!stack_.back().truthy()}; break;
+            case Op::kNeg: stack_.back() = ops::negate(stack_.back(), in.line); break;
+            case Op::kBinary: {
+                // Int fast path, inline. Comparisons go through double like
+                // ops::binary does (numeric_pair + as_real), so results are
+                // bit-identical to the interpreter's; div/mod fall back on a
+                // zero divisor for the exact error message.
+                const std::size_t top = stack_.size();
+                const std::int64_t* ia = stack_[top - 2].if_int();
+                const std::int64_t* ib = stack_[top - 1].if_int();
+                if (ia && ib) {
+                    Value out;
+                    bool handled = true;
+                    switch (static_cast<BinOp>(in.a)) {
+                        case BinOp::kAdd: out = Value{*ia + *ib}; break;
+                        case BinOp::kSub: out = Value{*ia - *ib}; break;
+                        case BinOp::kMul: out = Value{*ia * *ib}; break;
+                        case BinOp::kDiv:
+                            if (*ib == 0) handled = false;
+                            else out = Value{*ia / *ib};
+                            break;
+                        case BinOp::kMod:
+                            if (*ib == 0) handled = false;
+                            else out = Value{*ia % *ib};
+                            break;
+                        case BinOp::kEq:
+                            out = Value{static_cast<double>(*ia) == static_cast<double>(*ib)};
+                            break;
+                        case BinOp::kNe:
+                            out = Value{static_cast<double>(*ia) != static_cast<double>(*ib)};
+                            break;
+                        case BinOp::kLt:
+                            out = Value{static_cast<double>(*ia) < static_cast<double>(*ib)};
+                            break;
+                        case BinOp::kLe:
+                            out = Value{static_cast<double>(*ia) <= static_cast<double>(*ib)};
+                            break;
+                        case BinOp::kGt:
+                            out = Value{static_cast<double>(*ia) > static_cast<double>(*ib)};
+                            break;
+                        case BinOp::kGe:
+                            out = Value{static_cast<double>(*ia) >= static_cast<double>(*ib)};
+                            break;
+                        default: handled = false; break;
+                    }
+                    if (handled) {
+                        stack_.pop_back();
+                        stack_.back() = std::move(out);
+                        break;
+                    }
+                }
+                Value b = std::move(stack_.back());
+                stack_.pop_back();
+                Value a = std::move(stack_.back());
+                stack_.pop_back();
+                stack_.push_back(ops::binary(static_cast<BinOp>(in.a), a, b, in.line));
+                break;
+            }
+            case Op::kIndexGet: {
+                Value idx = std::move(stack_.back());
+                stack_.pop_back();
+                Value base = std::move(stack_.back());
+                stack_.pop_back();
+                stack_.push_back(ops::index_get(base, idx, in.line));
+                break;
+            }
+            case Op::kMemberGet: {
+                Value base = std::move(stack_.back());
+                stack_.pop_back();
+                stack_.push_back(ops::member_get(base, unit_->names[in.a], in.line));
+                break;
+            }
+            case Op::kMakeList: {
+                const std::size_t n = static_cast<std::size_t>(in.a);
+                List out;
+                out.reserve(n);
+                for (std::size_t i = stack_.size() - n; i < stack_.size(); ++i) {
+                    out.push_back(std::move(stack_[i]));
+                }
+                stack_.resize(stack_.size() - n);
+                stack_.push_back(Value{std::move(out)});
+                break;
+            }
+            case Op::kNewDict: stack_.push_back(Value{Dict{}}); break;
+            case Op::kDictKeyCheck:
+                ops::want_str(stack_.back(), "dict key");
+                break;
+            case Op::kDictInsert: {
+                Value v = std::move(stack_.back());
+                stack_.pop_back();
+                Value k = std::move(stack_.back());
+                stack_.pop_back();
+                stack_.back().as_dict().set(k.as_str(), std::move(v));
+                break;
+            }
+            case Op::kCallFn:
+                f->ip = ip;
+                push_frame(unit_->functions[in.a], static_cast<std::size_t>(in.b),
+                           /*counts_depth=*/true);
+                reload();
+                break;
+            case Op::kCallBuiltin: {
+                const ResolvedBuiltin& rb = resolved_[in.a];
+                if (!rb.entry) {
+                    ops::script_fail("unknown function '" + *rb.name + "'", in.line);
+                }
+                if (!rb.allowed) {
+                    throw AccessDenied("extension lacks capability '" +
+                                       rb.entry->capability + "' required by " +
+                                       *rb.name);
+                }
+                const std::size_t n = static_cast<std::size_t>(in.b);
+                ArgLease lease(*this);
+                lease.args.reserve(n);
+                for (std::size_t i = stack_.size() - n; i < stack_.size(); ++i) {
+                    lease.args.push_back(std::move(stack_[i]));
+                }
+                stack_.resize(stack_.size() - n);
+                // The builtin may re-enter the VM (host callback into
+                // script), pushing frames and reallocating frames_.
+                f->ip = ip;
+                Value result = rb.entry->fn(lease.args);
+                stack_.push_back(std::move(result));
+                reload();
+                break;
+            }
+            case Op::kReturn:
+            case Op::kReturnNull: {
+                Value result;
+                if (in.op == Op::kReturn) {
+                    result = std::move(stack_.back());
+                    stack_.pop_back();
+                }
+                stack_.resize(f->stack_base);
+                const bool counted = f->counts_depth;
+                release_slots(std::move(f->slots));
+                frames_.pop_back();
+                if (counted) --depth_;
+                if (frames_.size() == entry_frames) return result;
+                stack_.push_back(std::move(result));
+                reload();
+                break;
+            }
+            case Op::kFail: throw ScriptError(unit_->names[in.a]);
+            case Op::kThrow: {
+                Value v = std::move(stack_.back());
+                stack_.pop_back();
+                throw ScriptError(ops::display(v) + " (line " + std::to_string(in.line) +
+                                  ")");
+            }
+            case Op::kLvalLocal: lstack_.push_back(&slots[in.a]); break;
+            case Op::kLvalGlobal: {
+                auto it = globals_.find(unit_->names[in.a]);
+                if (it == globals_.end()) {
+                    ops::script_fail("assignment to undeclared variable '" +
+                                         unit_->names[in.a] + "'",
+                                     in.line);
+                }
+                lstack_.push_back(&it->second);
+                break;
+            }
+            case Op::kLvalIndex: {
+                Value idx = std::move(stack_.back());
+                stack_.pop_back();
+                lstack_.back() = ops::lval_index(lstack_.back(), idx, in.line);
+                break;
+            }
+            case Op::kLvalMember:
+                lstack_.back() =
+                    ops::lval_member(lstack_.back(), unit_->names[in.a], in.line);
+                break;
+            case Op::kLvalStore: {
+                Value* target = lstack_.back();
+                lstack_.pop_back();
+                *target = std::move(stack_.back());
+                stack_.pop_back();
+                break;
+            }
+            case Op::kForPrep: {
+                Value iterable = std::move(stack_.back());
+                stack_.pop_back();
+                List items = ops::foreach_items(std::move(iterable), in.line);
+                slots[in.a] = Value{std::move(items)};
+                slots[in.a + 1] = Value{std::int64_t{0}};
+                break;
+            }
+            case Op::kForNext: {
+                const std::int64_t i = slots[in.b + 1].as_int();
+                List& items = slots[in.b].as_list();
+                if (i >= static_cast<std::int64_t>(items.size())) {
+                    ip = static_cast<std::size_t>(in.a);
+                } else {
+                    slots[in.b + 2] = std::move(items[static_cast<std::size_t>(i)]);
+                    slots[in.b + 1] = Value{i + 1};
+                }
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace pmp::script

@@ -211,8 +211,10 @@ struct CrashChaosWorld {
             std::make_unique<BaseStation>(net, "hallB", net::Position{300, 0}, 120.0, bcb);
         hall_b->keys().add_key("hallB", to_bytes("kb"));
 
-        const net::Position spots[] = {{10, 0}, {20, 10}, {310, 0}};
-        auto make_robot = [&](int i) {
+        // Captured by the supervised restart lifecycle below, which runs
+        // long after this constructor frame is gone — no reference captures.
+        auto make_robot = [this](int i) {
+            const net::Position spots[] = {{10, 0}, {20, 10}, {310, 0}};
             auto robot = std::make_unique<MobileNode>(net, "robot" + std::to_string(i),
                                                       spots[i], 120.0);
             robot->trust().trust("hallA", to_bytes("ka"));

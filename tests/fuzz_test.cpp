@@ -125,6 +125,40 @@ TEST_P(FuzzSweep, PointcutParserNeverCrashes) {
     }
 }
 
+// Exponential-time reference matcher: obviously correct, usable only on
+// tiny inputs. The production matcher must agree with it everywhere.
+bool glob_oracle(std::string_view p, std::string_view t) {
+    if (p.empty()) return t.empty();
+    if (p[0] == '*') {
+        return glob_oracle(p.substr(1), t) || (!t.empty() && glob_oracle(p, t.substr(1)));
+    }
+    if (t.empty()) return false;
+    if (p[0] == '?' || p[0] == t[0]) return glob_oracle(p.substr(1), t.substr(1));
+    return false;
+}
+
+TEST_P(FuzzSweep, GlobMatchAgreesWithOracleAndStaysLinear) {
+    Rng rng(GetParam());
+    const std::string alphabet = "ab*?";
+    for (int i = 0; i < 2000; ++i) {
+        std::string pattern = random_text(rng, 12, alphabet);
+        std::string text = random_text(rng, 12, "ab");
+        EXPECT_EQ(prose::glob_match(pattern, text), glob_oracle(pattern, text))
+            << "pattern='" << pattern << "' text='" << text << "'";
+    }
+
+    // Adversarial star-heavy patterns against long near-miss texts: a
+    // matcher with unbounded backtracking goes exponential here and the
+    // test times out; the two-pointer scan finishes instantly.
+    std::string almost(5000, 'a');
+    almost.push_back('b');
+    EXPECT_TRUE(prose::glob_match("*a*a*a*a*a*a*a*a*b", almost));
+    EXPECT_FALSE(prose::glob_match("*a*a*a*a*a*a*a*a*c", almost));
+    EXPECT_TRUE(prose::glob_match("*a*a*a*a*a*a*a*a*ab", almost));
+    EXPECT_FALSE(prose::glob_match("*a*a*a*a*a*a*a*a*bb", almost));
+    EXPECT_TRUE(prose::glob_match("a*a*a*a*", std::string(5000, 'a')));
+}
+
 TEST_P(FuzzSweep, TemplateDecodeNeverCrashes) {
     Rng rng(GetParam());
     for (int i = 0; i < 300; ++i) {

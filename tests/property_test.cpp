@@ -15,6 +15,10 @@
 #include "core/weaver.h"
 #include "midas/node.h"
 #include "robot/devices.h"
+#include "script/compile.h"
+#include "script/interp.h"
+#include "script/parser.h"
+#include "script/vm.h"
 
 namespace pmp {
 namespace {
@@ -213,6 +217,252 @@ TEST_P(LeaseSafety, NoExtensionOutlivesItsLeaseByMoreThanATick) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LeaseSafety, ::testing::Values(7, 17, 27));
+
+// ------------------------------------- engine differential (VM parity) ----
+//
+// Random well-formed AdviceScript programs run on both engines; results,
+// typed errors (type + message + line), step counts and global state must
+// be identical. Programs deliberately hit runtime type errors, unknown
+// functions, capability denials, step-budget exhaustion and watchdog
+// deadlines — the error paths are exactly where a compiled engine tends to
+// drift from its reference.
+
+/// Emits syntactically valid programs; semantic faults (type errors,
+/// unknown calls, infinite loops) are intentional outcomes, not bugs.
+class ProgramGen {
+public:
+    explicit ProgramGen(Rng& rng) : rng_(rng) {}
+
+    std::string program() {
+        src_.clear();
+        globals_ = {"g0", "g1"};
+        line("let g0 = " + std::to_string(rng_.next_in(-5, 20)) + ";");
+        line("let g1 = " + std::to_string(rng_.next_in(-5, 20)) + ";");
+        fn("f0", {"p0", "p1"});
+        fn("f1", {"p0"});
+        fn("main", {});
+        return src_;
+    }
+
+private:
+    void line(const std::string& s) { src_ += s + "\n"; }
+
+    void fn(const std::string& name, std::vector<std::string> params) {
+        vars_ = params;
+        line("fun " + name + "(" + join(params) + ") {");
+        int n = static_cast<int>(rng_.next_in(1, 5));
+        for (int i = 0; i < n; ++i) stmt(2);
+        line("  return " + expr(2) + ";");
+        line("}");
+    }
+
+    static std::string join(const std::vector<std::string>& xs) {
+        std::string out;
+        for (std::size_t i = 0; i < xs.size(); ++i) out += (i ? ", " : "") + xs[i];
+        return out;
+    }
+
+    void stmt(int depth) {
+        switch (rng_.next_below(depth > 0 ? 10 : 4)) {
+            case 0: {  // declare
+                std::string v = "v" + std::to_string(vars_.size());
+                line("  let " + v + " = " + expr(depth) + ";");
+                vars_.push_back(v);
+                break;
+            }
+            case 1:  // assign local or global
+                if (!vars_.empty() && rng_.chance(0.7)) {
+                    line("  " + pick(vars_) + " = " + expr(depth) + ";");
+                } else {
+                    line("  " + pick(globals_) + " = " + expr(depth) + ";");
+                }
+                break;
+            case 2:  // expression statement (often a call)
+                line("  " + call_expr() + ";");
+                break;
+            case 3:  // throw, rarely
+                if (rng_.chance(0.15)) line("  throw " + expr(0) + ";");
+                else line("  " + pick(globals_) + " = " + expr(depth) + ";");
+                break;
+            case 4: {  // if/else
+                line("  if (" + expr(depth - 1) + ") {");
+                stmt(depth - 1);
+                if (rng_.chance(0.5)) {
+                    line("  } else {");
+                    stmt(depth - 1);
+                }
+                line("  }");
+                break;
+            }
+            case 5: {  // bounded counting loop (occasionally unbounded)
+                std::string i = "v" + std::to_string(vars_.size());
+                vars_.push_back(i);
+                if (rng_.chance(0.12)) {
+                    // Unbounded: terminated by the sandbox (both engines
+                    // must burn identical steps before the typed error).
+                    line("  let " + i + " = 0;");
+                    line("  while (0 < 1) { " + i + " = " + i + " + 1; }");
+                } else {
+                    line("  let " + i + " = 0;");
+                    line("  while (" + i + " < " + std::to_string(rng_.next_in(1, 5)) +
+                         ") {");
+                    stmt(depth - 1);
+                    if (rng_.chance(0.2)) line("    if (" + i + " > 1) { break; }");
+                    line("    " + i + " = " + i + " + 1;");
+                    line("  }");
+                }
+                break;
+            }
+            case 6: {  // for-in over range or a fresh list
+                std::string k = "v" + std::to_string(vars_.size());
+                if (rng_.chance(0.5)) {
+                    line("  for (" + k + " in range(0, " +
+                         std::to_string(rng_.next_in(0, 4)) + ")) {");
+                } else {
+                    line("  for (" + k + " in [" + expr(0) + ", " + expr(0) + "]) {");
+                }
+                vars_.push_back(k);
+                stmt(depth - 1);
+                if (rng_.chance(0.2)) line("    continue;");
+                line("  }");
+                break;
+            }
+            default:
+                line("  " + pick(globals_) + " = " + expr(depth) + ";");
+                break;
+        }
+    }
+
+    std::string call_expr() {
+        switch (rng_.next_below(6)) {
+            case 0: return "f0(" + expr(0) + ", " + expr(0) + ")";
+            case 1: return "f1(" + expr(0) + ")";
+            case 2: return "f1(" + expr(0) + ", " + expr(0) + ")";  // arity mismatch
+            case 3: return "nosuch(" + expr(0) + ")";               // unknown function
+            case 4: return "priv(" + expr(0) + ")";                 // capability-gated
+            default: return "len(str(" + expr(0) + "))";
+        }
+    }
+
+    std::string expr(int depth) {
+        if (depth <= 0 || rng_.chance(0.35)) return atom();
+        switch (rng_.next_below(8)) {
+            case 0: return "(" + expr(depth - 1) + " " + binop() + " " + expr(depth - 1) + ")";
+            case 1: return "(-" + expr(depth - 1) + ")";
+            case 2: return "(!" + expr(depth - 1) + ")";
+            case 3: return "(" + expr(depth - 1) + " && " + expr(depth - 1) + ")";
+            case 4: return "(" + expr(depth - 1) + " || " + expr(depth - 1) + ")";
+            case 5: return call_expr();
+            case 6: return "[" + expr(depth - 1) + ", " + expr(depth - 1) + "]";
+            default: return atom();
+        }
+    }
+
+    std::string atom() {
+        switch (rng_.next_below(8)) {
+            case 0: return std::to_string(rng_.next_in(-3, 12));
+            case 1: return "\"s" + std::to_string(rng_.next_below(3)) + "\"";
+            case 2: return pick(globals_);
+            case 3: return rng_.chance(0.5) ? "true" : "false";
+            default: return vars_.empty() ? std::to_string(rng_.next_in(0, 9)) : pick(vars_);
+        }
+    }
+
+    std::string binop() {
+        static const char* ops[] = {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">="};
+        return ops[rng_.next_below(std::size(ops))];
+    }
+
+    std::string pick(const std::vector<std::string>& xs) {
+        return xs[rng_.next_below(xs.size())];
+    }
+
+    Rng& rng_;
+    std::string src_;
+    std::vector<std::string> vars_;
+    std::vector<std::string> globals_;
+};
+
+struct EngineOutcome {
+    bool threw = false;
+    std::string type;
+    std::string message;
+    std::string value;
+    std::uint64_t steps = 0;
+    std::string g0, g1;
+
+    bool operator==(const EngineOutcome&) const = default;
+};
+
+EngineOutcome run_engine(script::Engine& e) {
+    EngineOutcome out;
+    auto record = [&](const char* type, const std::string& msg) {
+        out.threw = true;
+        out.type = type;
+        out.message = msg;
+    };
+    try {
+        e.run_top_level();
+        out.value = e.call("main", {}).to_string();
+    } catch (const DeadlineExceeded& ex) {
+        record("DeadlineExceeded", ex.what());
+    } catch (const ResourceExhausted& ex) {
+        record("ResourceExhausted", ex.what());
+    } catch (const AccessDenied& ex) {
+        record("AccessDenied", ex.what());
+    } catch (const ScriptError& ex) {
+        record("ScriptError", ex.what());
+    }
+    out.steps = e.last_call_steps();
+    for (const char* g : {"g0", "g1"}) {
+        const Value* v = e.global(g);
+        (g[1] == '0' ? out.g0 : out.g1) = v ? v->to_string() : "<unset>";
+    }
+    return out;
+}
+
+class EngineDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineDifferential, RandomProgramsBehaveIdenticallyOnBothEngines) {
+    Rng rng(GetParam());
+    int interesting = 0;  // programs that threw a typed error somewhere
+    for (int i = 0; i < 60; ++i) {
+        ProgramGen gen(rng);
+        std::string source = gen.program();
+
+        script::Sandbox sandbox;
+        // Rotate budgets so exhaustion hits at different program points;
+        // sometimes arm the watchdog tighter than the budget.
+        sandbox.step_budget = static_cast<std::uint64_t>(rng.next_in(40, 4000));
+        if (rng.chance(0.3)) {
+            sandbox.deadline_steps = static_cast<std::uint64_t>(rng.next_in(20, 400));
+        }
+        auto registry = std::make_shared<script::BuiltinRegistry>(
+            script::BuiltinRegistry::with_core());
+        registry->add("priv", "net",
+                      [](List& args) -> Value { return args.empty() ? Value{} : args[0]; });
+        if (rng.chance(0.5)) sandbox.capabilities.insert("net");
+
+        auto program = std::make_shared<const script::Program>(script::parse(source));
+        script::Interpreter interp(program, sandbox, registry);
+        script::Vm vm(script::compile(program), sandbox, registry);
+
+        EngineOutcome a = run_engine(interp);
+        EngineOutcome b = run_engine(vm);
+        ASSERT_EQ(a, b) << "engines diverged (seed " << GetParam() << ", program " << i
+                        << "):\n--- interp: " << a.type << " '" << a.message
+                        << "' value=" << a.value << " steps=" << a.steps
+                        << "\n--- vm:     " << b.type << " '" << b.message
+                        << "' value=" << b.value << " steps=" << b.steps << "\n"
+                        << source;
+        if (a.threw) ++interesting;
+    }
+    // The sweep must actually exercise error paths, not just happy paths.
+    EXPECT_GT(interesting, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,
+                         ::testing::Values(31, 62, 93, 124, 155, 186));
 
 }  // namespace
 }  // namespace pmp

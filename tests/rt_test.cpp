@@ -399,5 +399,83 @@ TEST_F(RtTest, SignatureRendering) {
     EXPECT_EQ(sum.signature("Calc"), "int Calc.sum(..)");
 }
 
+// ----------------------------------------------------- SmallVec (hooks) ----
+
+TEST(SmallVecTest, StaysInlineUpToCapacityThenSpills) {
+    SmallVec<int, 2> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_TRUE(v.inlined());
+    EXPECT_EQ(v.size(), 2u);
+    v.push_back(3);
+    EXPECT_FALSE(v.inlined());
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v[1], 2);
+    EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVecTest, InsertAtArbitraryPositions) {
+    SmallVec<int, 2> v;
+    v.insert(v.end(), 30);
+    v.insert(v.begin(), 10);           // front, still inline
+    v.insert(v.begin() + 1, 20);       // middle, forces spill
+    v.insert(v.end(), 40);             // append after spill
+    std::vector<int> got(v.begin(), v.end());
+    EXPECT_EQ(got, (std::vector<int>{10, 20, 30, 40}));
+}
+
+TEST(SmallVecTest, RemoveIfCompactsAndCounts) {
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 6; ++i) v.push_back(i);
+    EXPECT_EQ(v.remove_if([](int x) { return x % 2 == 0; }), 3u);
+    std::vector<int> got(v.begin(), v.end());
+    EXPECT_EQ(got, (std::vector<int>{1, 3, 5}));
+    EXPECT_EQ(v.remove_if([](int) { return false; }), 0u);
+}
+
+TEST(SmallVecTest, MoveTransfersInlineAndHeapStates) {
+    SmallVec<std::string, 2> inline_v;
+    inline_v.push_back("a");
+    SmallVec<std::string, 2> moved_inline{std::move(inline_v)};
+    ASSERT_EQ(moved_inline.size(), 1u);
+    EXPECT_EQ(moved_inline[0], "a");
+    EXPECT_TRUE(inline_v.empty());
+
+    SmallVec<std::string, 2> heap_v;
+    for (int i = 0; i < 5; ++i) heap_v.push_back(std::to_string(i));
+    SmallVec<std::string, 2> moved_heap;
+    moved_heap = std::move(heap_v);
+    ASSERT_EQ(moved_heap.size(), 5u);
+    EXPECT_EQ(moved_heap[4], "4");
+    EXPECT_TRUE(heap_v.empty());
+    EXPECT_TRUE(heap_v.inlined());
+    heap_v.push_back("reuse");  // moved-from container stays usable
+    EXPECT_EQ(heap_v[0], "reuse");
+}
+
+// Around advice beyond the inline hook capacity must still chain correctly
+// (the proceed chain walks the spilled table by index).
+TEST_F(RtTest, DeepAroundStackBeyondInlineCapacity) {
+    Method* add = obj_->type().method("add");
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        add->add_around_hook(
+            static_cast<HookOwner>(100 + i), /*priority=*/i,
+            [i, &order](CallFrame&, const std::function<Value()>& proceed) -> Value {
+                order.push_back(i);
+                Value out = proceed();
+                order.push_back(-i);
+                return out;
+            });
+    }
+    Value result = add->invoke(*obj_, List{Value{std::int64_t{2}}});
+    EXPECT_EQ(result.as_int(), 2);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, -4, -3, -2, -1, 0}));
+    for (int i = 0; i < 5; ++i) add->remove_hooks(static_cast<HookOwner>(100 + i));
+    EXPECT_FALSE(add->woven());
+}
+
 }  // namespace
 }  // namespace pmp::rt

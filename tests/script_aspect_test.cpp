@@ -65,7 +65,7 @@ TEST_F(ScriptAspectTest, BeforeAdviceSeesJoinPoint) {
 
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     motor_->call("rotate", {Value{30.0}});
-    const Value* seen = sa->interpreter().global("seen");
+    const Value* seen = sa->engine().global("seen");
     ASSERT_NE(seen, nullptr);
     ASSERT_EQ(seen->as_list().size(), 1u);
     EXPECT_EQ(seen->as_list()[0].as_str(), "Motor.rotate@motor:x:30");
@@ -126,7 +126,7 @@ TEST_F(ScriptAspectTest, FieldSetAdviceObservesStateChanges) {
           {{AdviceKind::kFieldSet, "fieldset(Motor.position)", "onSet"}});
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     motor_->call("rotate", {Value{30.0}});
-    const Value* changes = sa->interpreter().global("changes");
+    const Value* changes = sa->engine().global("changes");
     ASSERT_EQ(changes->as_list().size(), 1u);
     const List& change = changes->as_list()[0].as_list();
     EXPECT_EQ(change[0].as_str(), "position");
@@ -152,7 +152,7 @@ TEST_F(ScriptAspectTest, AfterThrowingSeesError) {
           {{AdviceKind::kAfterThrowing, "call(* Flaky.*(..))", "onError"}});
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     EXPECT_THROW(flaky->call("boom", {}), Error);
-    EXPECT_EQ(sa->interpreter().global("msg")->as_str(), "kaput");
+    EXPECT_EQ(sa->engine().global("msg")->as_str(), "kaput");
 }
 
 TEST_F(ScriptAspectTest, ConfigIsVisibleToScript) {
@@ -186,7 +186,7 @@ TEST_F(ScriptAspectTest, TargetFieldAccessWithCapability) {
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     motor_->poke("position", Value{7.25});
     motor_->call("rotate", {Value{1.0}});
-    EXPECT_DOUBLE_EQ(sa->interpreter().global("snapshot")->as_real(), 7.25);
+    EXPECT_DOUBLE_EQ(sa->engine().global("snapshot")->as_real(), 7.25);
 }
 
 TEST_F(ScriptAspectTest, HostBuiltinAvailableUnderCapability) {
@@ -222,7 +222,7 @@ TEST_F(ScriptAspectTest, TopLevelRunsOnceAtCompile) {
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     motor_->call("rotate", {Value{1.0}});
     motor_->call("rotate", {Value{1.0}});
-    EXPECT_EQ(sa->interpreter().global("inits")->as_int(), 1);
+    EXPECT_EQ(sa->engine().global("inits")->as_int(), 1);
 }
 
 TEST_F(ScriptAspectTest, ShutdownRunsOnWithdrawWithReason) {
@@ -234,7 +234,7 @@ TEST_F(ScriptAspectTest, ShutdownRunsOnWithdrawWithReason) {
                         {{AdviceKind::kBefore, "call(* Motor.rotate(..))", "onEntry"}});
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     weaver_.withdraw(id, WithdrawReason::kLeaseExpired);
-    EXPECT_EQ(sa->interpreter().global("last_reason")->as_str(), "lease-expired");
+    EXPECT_EQ(sa->engine().global("last_reason")->as_str(), "lease-expired");
 }
 
 TEST_F(ScriptAspectTest, FaultyShutdownDoesNotBlockWithdrawal) {
@@ -269,7 +269,7 @@ TEST_F(ScriptAspectTest, StatePersistsAcrossInterceptions) {
           {{AdviceKind::kBefore, "call(* Motor.rotate(..))", "onEntry"}});
     std::shared_ptr<ScriptAspect> sa = keep_alive_.back();
     for (int i = 0; i < 5; ++i) motor_->call("rotate", {Value{1.0}});
-    EXPECT_EQ(sa->interpreter().global("count")->as_int(), 5);
+    EXPECT_EQ(sa->engine().global("count")->as_int(), 5);
 }
 
 TEST_F(ScriptAspectTest, ProceedOutsideAroundFails) {

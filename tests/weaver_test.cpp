@@ -235,5 +235,59 @@ TEST_F(WeaverTest, BadPointcutThrowsAtConstruction) {
     EXPECT_THROW(aspect->before("call(", [](CallFrame&) {}), ParseError);
 }
 
+TEST_F(WeaverTest, MatchPlanCachesPointcutMatchesAcrossWeaves) {
+    auto make = [] {
+        auto aspect = std::make_shared<Aspect>("cached");
+        aspect->before("call(* Motor.*(..))", [](CallFrame&) {});
+        return aspect;
+    };
+    AspectId first = weaver_.weave(make());
+    std::size_t entries_after_first = weaver_.plan().cached_entries();
+    EXPECT_GT(entries_after_first, 0u);
+
+    // Same pointcut, new aspect: the plan serves the cached member lists —
+    // no new entries, identical report.
+    AspectId second = weaver_.weave(make());
+    EXPECT_EQ(weaver_.plan().cached_entries(), entries_after_first);
+    EXPECT_EQ(weaver_.report(first)->methods_matched,
+              weaver_.report(second)->methods_matched);
+    weaver_.withdraw(first);
+    weaver_.withdraw(second);
+}
+
+TEST_F(WeaverTest, HundredAspectsWeaveIdenticallyAndWithdrawCleanly) {
+    // Acceptance sweep for the MatchPlan refactor: 100 aspects with the
+    // same bindings must produce identical WeaveReports (the plan must not
+    // change what matches), and withdrawing all of them must restore
+    // pristine dispatch.
+    std::vector<AspectId> ids;
+    for (int i = 0; i < 100; ++i) {
+        auto aspect = std::make_shared<Aspect>("a" + std::to_string(i));
+        aspect->before("call(* Motor.*(..))", [](CallFrame&) {});
+        aspect->around("call(int Sensor.read())",
+                       [](CallFrame&, const std::function<Value()>& proceed) -> Value {
+                           return proceed();
+                       });
+        aspect->on_field_set("fieldset(Motor.position)",
+                             [](ServiceObject&, const rt::FieldDecl&, const Value&,
+                                Value&) {});
+        ids.push_back(weaver_.weave(aspect));
+    }
+    const WeaveReport* first = weaver_.report(ids.front());
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->methods_matched, 3u);  // Motor.rotate, Motor.stop, Sensor.read
+    EXPECT_EQ(first->fields_matched, 1u);
+    for (AspectId id : ids) {
+        const WeaveReport* r = weaver_.report(id);
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r->methods_matched, first->methods_matched);
+        EXPECT_EQ(r->fields_matched, first->fields_matched);
+    }
+    for (AspectId id : ids) EXPECT_TRUE(weaver_.withdraw(id));
+    EXPECT_FALSE(motor_->type().method("rotate")->woven());
+    EXPECT_FALSE(sensor_->type().method("read")->woven());
+    EXPECT_EQ(weaver_.woven_count(), 0u);
+}
+
 }  // namespace
 }  // namespace pmp::prose
