@@ -1,0 +1,200 @@
+// trace_tool — offline causal-trace analysis (PR 6).
+//
+// Reads an observability snapshot dumped by `obs::to_json` (from a file or
+// stdin) and reconstructs what the platform actually did, causally:
+//
+//   trace_tool dump.json                 # causal trees, one per trace id
+//   trace_tool --critical dump.json      # the latency-bounding span chain
+//   trace_tool --attribution dump.json   # per-extension cost bills
+//   trace_tool --chrome out.json dump.json   # Chrome trace-event export
+//                                            # (chrome://tracing, Perfetto)
+//
+// The input is the same JSON monitor_tool and the soak tests emit; the
+// flight-recorder dumps journaled at quarantine serialize the same
+// TraceEvent fields, so a recovered dump pasted into a snapshot's "trace"
+// array reads identically.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "midas/node.h"
+#include "net/fault.h"
+#include "obs/export.h"
+#include "obs/profile.h"
+#include "robot/devices.h"
+
+using namespace pmp;
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: trace_tool [--tree|--critical|--attribution|--chrome OUT] "
+                 "[snapshot.json]\n"
+                 "       trace_tool --chaos-dump [seed]\n"
+                 "  reads an obs::to_json snapshot (stdin when no file is given);\n"
+                 "  --chaos-dump runs the Fig 2 install chain under duplication +\n"
+                 "  reordering faults and prints the resulting snapshot as JSON\n";
+    return 2;
+}
+
+/// Run one install → verify → weave → first-dispatch chain across a
+/// two-node hall under a chaotic radio, and print the traced snapshot.
+/// This is the same scenario the trace soak tests replay; piping its
+/// output back into trace_tool is the CI smoke for the whole loop.
+int chaos_dump(std::uint64_t seed) {
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, seed);
+    net::FaultPlan plan;
+    plan.duplicate = 0.30;
+    plan.reorder = 0.25;
+    plan.reorder_hold = milliseconds(5);
+    net.set_fault_plan(plan, seed);
+
+    midas::BaseConfig bc;
+    bc.issuer = "hall";
+    midas::BaseStation hall(net, "hall", {0, 0}, 100.0, bc);
+    hall.keys().add_key("hall", to_bytes("k"));
+    midas::MobileNode robot(net, "robot", {10, 0}, 100.0);
+    robot.trust().trust("hall", to_bytes("k"));
+    robot.receiver().allow_capabilities("hall", {"net", "target", "log"});
+    auto motor = robot::make_motor(robot.runtime(), "motor:x");
+
+    midas::ExtensionPackage pkg;
+    pkg.name = "hall/monitor";
+    pkg.script = "fun onEntry() { let x = 1 + 2; }";
+    pkg.bindings = {{prose::AdviceKind::kBefore, "call(* Motor.*(..))", "onEntry", 0}};
+    hall.base().add_extension(pkg);
+
+    SimTime deadline = sim.now() + seconds(20);
+    while (sim.now() < deadline && robot.receiver().installed_count() == 0) {
+        sim.run_until(sim.now() + milliseconds(100));
+    }
+    if (robot.receiver().installed_count() == 0) {
+        std::cerr << "trace_tool: install never completed under seed " << seed << "\n";
+        return 1;
+    }
+    motor->call("rotate", {rt::Value{1.0}});  // first advice dispatch
+    sim.run_for(milliseconds(200));
+
+    std::cout << obs::to_json(obs::snapshot()) << "\n";
+    return 0;
+}
+
+std::string read_input(const std::string& path) {
+    if (path.empty() || path == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        return ss.str();
+    }
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+double ms(pmp::Duration d) { return static_cast<double>(d.count()) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string mode = "--tree";
+    std::string chrome_out;
+    std::string input_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--chaos-dump") {
+            std::uint64_t seed = 42;
+            if (i + 1 < argc) seed = std::stoull(argv[i + 1]);
+            return chaos_dump(seed);
+        } else if (arg == "--tree" || arg == "--critical" || arg == "--attribution") {
+            mode = arg;
+        } else if (arg == "--chrome") {
+            mode = arg;
+            if (++i >= argc) return usage();
+            chrome_out = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        } else {
+            input_path = arg;
+        }
+    }
+
+    obs::Snapshot snap;
+    try {
+        snap = obs::snapshot_from_json(read_input(input_path));
+    } catch (const std::exception& e) {
+        std::cerr << "trace_tool: " << e.what() << "\n";
+        return 1;
+    }
+
+    if (mode == "--attribution") {
+        auto bills = obs::attribution_from(snap);
+        if (bills.empty()) {
+            std::cout << "no profile.* samples in snapshot (obs disabled, or nothing "
+                         "dispatched)\n";
+            return 0;
+        }
+        for (const obs::ExtensionCost& ext : bills) {
+            std::cout << ext.extension << ": " << ext.invocations << " advice calls, "
+                      << ext.total_ns / 1e6 << " ms total, " << ext.steps
+                      << " interpreter steps\n";
+            for (const obs::SiteCost& site : ext.sites) {
+                std::cout << "  " << site.pointcut << ": " << site.invocations
+                          << " calls, " << site.total_ns / 1e6 << " ms total, p95 "
+                          << site.p95_ns / 1e3 << " us\n";
+            }
+        }
+        return 0;
+    }
+
+    if (mode == "--chrome") {
+        std::string json = obs::to_chrome_trace(snap.trace);
+        if (chrome_out == "-") {
+            std::cout << json << "\n";
+        } else {
+            std::ofstream out(chrome_out);
+            if (!out) {
+                std::cerr << "trace_tool: cannot write '" << chrome_out << "'\n";
+                return 1;
+            }
+            out << json;
+            std::cout << "wrote " << json.size() << " bytes to " << chrome_out << "\n";
+        }
+        return 0;
+    }
+
+    std::vector<obs::TraceTree> trees = obs::build_trace_trees(snap.trace);
+    if (trees.empty()) {
+        std::cout << "no traced events in snapshot (" << snap.trace.size()
+                  << " events total)\n";
+        return 0;
+    }
+
+    if (mode == "--critical") {
+        for (const obs::TraceTree& tree : trees) {
+            auto path = obs::critical_path(tree);
+            if (path.empty()) continue;
+            std::cout << "trace " << tree.trace_id << " critical path ("
+                      << ms(path.front().total) << " ms):\n";
+            for (const obs::CriticalHop& hop : path) {
+                std::cout << "  #" << hop.span << " " << hop.component << " " << hop.name
+                          << "  total " << ms(hop.total) << " ms, self " << ms(hop.self)
+                          << " ms\n";
+            }
+        }
+        return 0;
+    }
+
+    for (const obs::TraceTree& tree : trees) {
+        std::cout << obs::render_tree(tree);
+    }
+    std::cout << trees.size() << " traces, " << snap.trace.size() << " events ("
+              << snap.trace_dropped << " evicted before the dump)\n";
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace pmp::prose {
@@ -42,19 +43,43 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
     // escaping exception, which is then rethrown unchanged. The observer
     // runs regardless of obs::enabled(): it is protocol machinery, not
     // telemetry.
-    auto timed = [this, id, calls, latency](const auto& fn, auto&&... args) -> decltype(auto) {
+    // `wp` is stable: woven_ is a node-based map and withdraw removes the
+    // hooks before erasing the entry, so no hook outlives its Woven.
+    auto timed = [this, id, calls, latency, wp = &woven](
+                     const obs::Profiler::Site& site, const auto& fn,
+                     auto&&... args) -> decltype(auto) {
         const bool instrument = obs::enabled();
-        if (instrument) calls->inc();
+        if (instrument) {
+            calls->inc();
+            if (!wp->first_dispatched) {
+                // First advice execution ever for this weave: mark it on
+                // the weave's own trace (install → weave → first dispatch
+                // is the chain the paper's Fig 2 walks through).
+                wp->first_dispatched = true;
+                auto& tb = obs::TraceBuffer::global();
+                obs::TraceBuffer::ContextScope scope(tb, wp->weave_ctx);
+                tb.instant("prose.weaver", "advice.first_dispatch",
+                           {{"aspect", wp->aspect->name()}});
+            }
+        }
         Clock::time_point t0 = instrument ? Clock::now() : Clock::time_point{};
         try {
             if constexpr (std::is_void_v<decltype(fn(
                               std::forward<decltype(args)>(args)...))>) {
                 fn(std::forward<decltype(args)>(args)...);
-                if (instrument) latency->observe(elapsed_ns(t0));
+                if (instrument) {
+                    double ns = elapsed_ns(t0);
+                    latency->observe(ns);
+                    site.record(ns);
+                }
                 if (advice_observer_) advice_observer_(id, nullptr);
             } else {
                 auto result = fn(std::forward<decltype(args)>(args)...);
-                if (instrument) latency->observe(elapsed_ns(t0));
+                if (instrument) {
+                    double ns = elapsed_ns(t0);
+                    latency->observe(ns);
+                    site.record(ns);
+                }
                 if (advice_observer_) advice_observer_(id, nullptr);
                 return result;
             }
@@ -65,6 +90,10 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
     };
 
     for (const AdviceBinding& binding : woven.aspect->bindings()) {
+        // Cost-attribution slot for this (extension, pointcut) pair — the
+        // profiler's unit of blame (copied by value into every hook).
+        obs::Profiler::Site site =
+            obs::Profiler::global().site(woven.aspect->name(), binding.pointcut.source());
         switch (binding.kind) {
             case AdviceKind::kBefore:
             case AdviceKind::kAfter:
@@ -76,39 +105,39 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     switch (binding.kind) {
                         case AdviceKind::kBefore:
                             method->add_entry_hook(id.value, binding.priority,
-                                                   [this, id, timed,
+                                                   [this, id, timed, site,
                                                     fn = binding.before](rt::CallFrame& f) {
                                                        if (!allows(id)) return;
-                                                       timed(fn, f);
+                                                       timed(site, fn, f);
                                                    });
                             break;
                         case AdviceKind::kAfter:
                             method->add_exit_hook(id.value, binding.priority,
-                                                  [this, id, timed,
+                                                  [this, id, timed, site,
                                                    fn = binding.after](rt::CallFrame& f) {
                                                       if (!allows(id)) return;
-                                                      timed(fn, f);
+                                                      timed(site, fn, f);
                                                   });
                             break;
                         case AdviceKind::kAfterThrowing:
                             method->add_error_hook(
                                 id.value, binding.priority,
-                                [this, id, timed, fn = binding.after_throwing](
+                                [this, id, timed, site, fn = binding.after_throwing](
                                     rt::CallFrame& f, std::exception_ptr e) {
                                     if (!allows(id)) return;
-                                    timed(fn, f, e);
+                                    timed(site, fn, f, e);
                                 });
                             break;
                         default:
                             method->add_around_hook(
                                 id.value, binding.priority,
-                                [this, id, timed, fn = binding.around](
+                                [this, id, timed, site, fn = binding.around](
                                     rt::CallFrame& f,
                                     const std::function<rt::Value()>& proceed) {
                                     // A gated around must not swallow the
                                     // underlying call.
                                     if (!allows(id)) return proceed();
-                                    return timed(fn, f, proceed);
+                                    return timed(site, fn, f, proceed);
                                 });
                             break;
                     }
@@ -119,9 +148,10 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     ++woven.report.fields_matched;
                     woven.hooked_fields.push_back(field);
                     field->add_set_hook(id.value, binding.priority,
-                                        [this, id, timed, fn = binding.field_set](auto&&... args) {
+                                        [this, id, timed, site,
+                                         fn = binding.field_set](auto&&... args) {
                                             if (!allows(id)) return;
-                                            timed(fn, std::forward<decltype(args)>(args)...);
+                                            timed(site, fn, std::forward<decltype(args)>(args)...);
                                         });
                 }
                 break;
@@ -130,9 +160,10 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
                     ++woven.report.fields_matched;
                     woven.hooked_fields.push_back(field);
                     field->add_get_hook(id.value, binding.priority,
-                                        [this, id, timed, fn = binding.field_get](auto&&... args) {
+                                        [this, id, timed, site,
+                                         fn = binding.field_get](auto&&... args) {
                                             if (!allows(id)) return;
-                                            timed(fn, std::forward<decltype(args)>(args)...);
+                                            timed(site, fn, std::forward<decltype(args)>(args)...);
                                         });
                 }
                 break;
@@ -149,6 +180,7 @@ AspectId Weaver::weave(std::shared_ptr<Aspect> aspect) {
     plan_.note_weave();
     AspectId id = ids_.next();
     auto [it, _] = woven_.emplace(id, Woven{std::move(aspect), WeaveReport{}, {}, {}});
+    it->second.weave_ctx = obs::TraceBuffer::global().context_of(span);
     for (const auto& type : runtime_.types()) {
         weave_into_type(*type, id, it->second);
     }

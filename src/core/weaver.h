@@ -13,6 +13,7 @@
 #include "common/ids.h"
 #include "core/aspect.h"
 #include "core/matchplan.h"
+#include "obs/trace.h"
 #include "rt/runtime.h"
 
 namespace pmp::prose {
@@ -82,6 +83,12 @@ private:
         /// instead of sweeping every member of every type.
         std::vector<rt::Method*> hooked_methods;
         std::vector<rt::Field*> hooked_fields;
+        /// Causal position of the weave span. The first advice execution
+        /// emits an `advice.first_dispatch` instant under this context, so
+        /// install → verify → weave → first dispatch reads as one tree even
+        /// though the dispatch happens on an unrelated application call.
+        obs::TraceContext weave_ctx;
+        bool first_dispatched = false;
     };
 
     void weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven);

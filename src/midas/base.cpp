@@ -318,6 +318,12 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
     }
     std::uint64_t push_span = obs::TraceBuffer::global().begin_span(
         "midas.base", "pkg.push", {{"issuer", config_.issuer}, {"pkg", name}});
+    // Everything this install causes — the rpc round-trip, the receiver's
+    // verify + weave, even the first advice dispatch on the far node —
+    // nests under the push span in one causal tree (ISSUE: the Fig 2
+    // install chain must reconstruct as a single trace across nodes).
+    obs::TraceBuffer::ContextScope push_scope(
+        obs::TraceBuffer::global(), obs::TraceBuffer::global().context_of(push_span));
     std::int64_t lease_ms = config_.extension_lease.count() / 1'000'000;
     // One keep-alive period per attempt, with transport retries: a lost
     // install *ack* must surface and re-send well inside the lease the node

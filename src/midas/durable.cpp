@@ -1,6 +1,7 @@
 #include "midas/durable.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pmp::midas {
 
@@ -213,6 +214,59 @@ Value ReceiverDurableState::rec_quarantine(const std::string& name, std::uint32_
                       {"version", Value{i64(version)}}}};
 }
 
+namespace {
+
+// TraceEvent <-> rt::Value. kv is an ordered list (duplicate keys are
+// legal in a trace payload), so it serializes as a list of {k, v} dicts
+// rather than a Dict.
+Value encode_trace_event(const obs::TraceEvent& ev) {
+    List kv;
+    for (const auto& [k, v] : ev.kv) {
+        kv.push_back(Value{Dict{{"k", Value{k}}, {"v", Value{v}}}});
+    }
+    return Value{Dict{{"at_ns", Value{ev.at.ns}},
+                      {"kind", Value{i64(static_cast<std::uint8_t>(ev.kind))}},
+                      {"span", Value{i64(ev.span)}},
+                      {"trace", Value{i64(ev.trace)}},
+                      {"parent", Value{i64(ev.parent)}},
+                      {"comp", Value{ev.component}},
+                      {"name", Value{ev.name}},
+                      {"kv", Value{std::move(kv)}}}};
+}
+
+obs::TraceEvent decode_trace_event(const Value& v) {
+    const Dict& d = v.as_dict();
+    auto kind_raw = u64(d.at("kind"));
+    if (kind_raw > static_cast<std::uint64_t>(obs::EventKind::kInstant)) {
+        throw std::runtime_error("flight record: unknown event kind");
+    }
+    obs::TraceEvent ev;
+    ev.at = SimTime{d.at("at_ns").as_int()};
+    ev.kind = static_cast<obs::EventKind>(kind_raw);
+    ev.span = u64(d.at("span"));
+    ev.trace = u64(d.at("trace"));
+    ev.parent = u64(d.at("parent"));
+    ev.component = str_at(d, "comp");
+    ev.name = str_at(d, "name");
+    for (const Value& pair : d.at("kv").as_list()) {
+        const Dict& pd = pair.as_dict();
+        ev.kv.emplace_back(str_at(pd, "k"), str_at(pd, "v"));
+    }
+    return ev;
+}
+
+}  // namespace
+
+Value ReceiverDurableState::rec_flight(const std::string& reason, SimTime at,
+                                       const std::vector<obs::TraceEvent>& events) {
+    List event_list;
+    for (const obs::TraceEvent& ev : events) event_list.push_back(encode_trace_event(ev));
+    return Value{Dict{{"op", Value{"flight"}},
+                      {"reason", Value{reason}},
+                      {"at_ns", Value{at.ns}},
+                      {"events", Value{std::move(event_list)}}}};
+}
+
 rt::Value ReceiverDurableState::to_snapshot() const {
     List manifest_list;
     for (const ManifestEntry& m : manifest) {
@@ -225,11 +279,29 @@ rt::Value ReceiverDurableState::to_snapshot() const {
         quarantine_list.push_back(
             Value{Dict{{"name", Value{name}}, {"version", Value{i64(version)}}}});
     }
+    List flight_list;
+    for (const FlightDump& f : flights) {
+        flight_list.push_back(rec_flight(f.reason, f.at, f.events));
+    }
     return Value{Dict{{"manifest", Value{std::move(manifest_list)}},
-                      {"quarantined", Value{std::move(quarantine_list)}}}};
+                      {"quarantined", Value{std::move(quarantine_list)}},
+                      {"flights", Value{std::move(flight_list)}}}};
 }
 
 namespace {
+
+void receiver_apply_flight(ReceiverDurableState& st, const Dict& d) {
+    ReceiverDurableState::FlightDump dump;
+    dump.reason = str_at(d, "reason");
+    dump.at = SimTime{d.at("at_ns").as_int()};
+    for (const Value& ev : d.at("events").as_list()) {
+        dump.events.push_back(decode_trace_event(ev));
+    }
+    st.flights.push_back(std::move(dump));
+    while (st.flights.size() > ReceiverDurableState::kMaxFlights) {
+        st.flights.erase(st.flights.begin());
+    }
+}
 
 void receiver_apply(ReceiverDurableState& st, const Value& rec) {
     const Dict& d = rec.as_dict();
@@ -250,6 +322,8 @@ void receiver_apply(ReceiverDurableState& st, const Value& rec) {
             st.quarantined.end()) {
             st.quarantined.push_back(std::move(key));
         }
+    } else if (op == "flight") {
+        receiver_apply_flight(st, d);
     } else {
         ++st.skipped_records;
     }
@@ -272,6 +346,12 @@ ReceiverDurableState ReceiverDurableState::replay(const db::Journal::Restored& r
                 const Dict& qd = q.as_dict();
                 st.quarantined.emplace_back(
                     str_at(qd, "name"), static_cast<std::uint32_t>(qd.at("version").as_int()));
+            }
+            // Older snapshots predate the flight-recorder records.
+            if (const Value* fl = d.find("flights")) {
+                for (const Value& f : fl->as_list()) {
+                    receiver_apply_flight(st, f.as_dict());
+                }
             }
         } catch (const std::exception&) {
             st = ReceiverDurableState{};

@@ -20,6 +20,8 @@
 //   install       {name, version, issuer}       — manifest entry
 //   withdraw      {name}
 //   quarantine    {name, version}               — survives restarts
+//   flight        {reason, at_ns, events}       — flight-recorder dump
+//                                                 (black box at quarantine)
 #pragma once
 
 #include <cstdint>
@@ -29,6 +31,7 @@
 
 #include "common/time.h"
 #include "db/journal.h"
+#include "obs/trace.h"
 #include "rt/value.h"
 
 namespace pmp::midas {
@@ -87,6 +90,18 @@ struct ReceiverDurableState {
     };
     std::vector<ManifestEntry> manifest;
     std::vector<std::pair<std::string, std::uint32_t>> quarantined;  ///< (name, version)
+
+    /// A flight-recorder dump journaled at quarantine time: the trace
+    /// events immediately preceding the decision, for post-mortem without
+    /// having caught the run live. Bounded (kMaxFlights, oldest dropped).
+    struct FlightDump {
+        std::string reason;
+        SimTime at;
+        std::vector<obs::TraceEvent> events;
+    };
+    static constexpr std::size_t kMaxFlights = 8;
+    std::vector<FlightDump> flights;
+
     std::size_t skipped_records = 0;
 
     static ReceiverDurableState replay(const db::Journal::Restored& restored);
@@ -96,6 +111,8 @@ struct ReceiverDurableState {
                                  const std::string& issuer);
     static rt::Value rec_withdraw(const std::string& name);
     static rt::Value rec_quarantine(const std::string& name, std::uint32_t version);
+    static rt::Value rec_flight(const std::string& reason, SimTime at,
+                                const std::vector<obs::TraceEvent>& events);
 };
 
 }  // namespace pmp::midas

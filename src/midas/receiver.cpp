@@ -7,6 +7,8 @@
 #include "script/check.h"
 
 #include "common/log.h"
+#include "obs/flight.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sim/failpoint.h"
 
@@ -105,6 +107,7 @@ void AdaptationService::recover() {
     ReceiverDurableState st = ReceiverDurableState::replay(journal_->restore());
     for (const auto& q : st.quarantined) quarantined_.insert(q);
     recovered_manifest_ = std::move(st.manifest);
+    flights_ = std::move(st.flights);
     if (!quarantined_.empty() || !recovered_manifest_.empty()) {
         obs::TraceBuffer::global().instant(
             "midas.recovery", "receiver.recover",
@@ -135,6 +138,7 @@ void AdaptationService::compact_journal() {
             entry.info.name, entry.info.version, entry.info.issuer});
     }
     for (const auto& q : quarantined_) st.quarantined.push_back(q);
+    st.flights = flights_;
     journal_->compact(st.to_snapshot());
 }
 
@@ -291,8 +295,19 @@ void AdaptationService::quarantine(ExtensionId id) {
     log_warn(rpc_.router().simulator().now(), "midas@" + config_.node_label,
              "quarantining '", info.name, "' v", info.version,
              " after ", config_.quarantine_after, " consecutive advice failures");
+    // Black box: freeze the flight recorder's tail — the events leading up
+    // to this decision — and journal it with the quarantine record, so the
+    // post-mortem survives a later crash-restart of this node.
+    const obs::FlightRecorder::Dump& dump = obs::FlightRecorder::global().dump(
+        config_.node_label, "quarantine:" + info.name, rpc_.router().simulator().now());
+    flights_.push_back(
+        ReceiverDurableState::FlightDump{dump.reason, dump.at, dump.events});
+    while (flights_.size() > ReceiverDurableState::kMaxFlights) {
+        flights_.erase(flights_.begin());
+    }
     withdraw(id, prose::WithdrawReason::kQuarantined);
     journal(ReceiverDurableState::rec_quarantine(info.name, info.version));
+    journal(ReceiverDurableState::rec_flight(dump.reason, dump.at, dump.events));
     emit("quarantine", info);
 }
 
@@ -555,14 +570,18 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
         }
         prose::ScriptAspect compiled(pkg.name, std::move(unit), std::move(bindings),
                                      std::move(sandbox), builtins, pkg.config);
-        if (governor_enabled()) {
-            // Charge every outermost advice invocation's step count to this
-            // extension's lease-window account. The interpreter lives in
-            // the shared aspect, which the receiver withdraws before dying,
-            // so `this` outlives the observer.
-            compiled.engine().set_step_observer(
-                [this, id](std::uint64_t steps) { governor_charge(id, steps); });
-        }
+        // One step observer, two consumers: the profiler's per-extension
+        // step counter is always fed (cost attribution is free — one
+        // counter bump per outermost advice return), and the governor's
+        // lease-window account only when budgets are armed. The interpreter
+        // lives in the shared aspect, which the receiver withdraws before
+        // dying, so `this` outlives the observer.
+        obs::Counter* steps_c = obs::Profiler::global().step_counter(pkg.name);
+        compiled.engine().set_step_observer(
+            [this, id, steps_c, governed = governor_enabled()](std::uint64_t steps) {
+                steps_c->inc(steps);
+                if (governed) governor_charge(id, steps);
+            });
         aspect = weaver_.weave(compiled.aspect());
     } catch (...) {
         // The top level may have installed wire filters before compilation

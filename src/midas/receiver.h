@@ -142,6 +142,13 @@ public:
         return recovered_manifest_;
     }
 
+    /// Flight-recorder dumps journaled at quarantine time, oldest first:
+    /// dumps recovered from previous lives followed by this life's. Bounded
+    /// by ReceiverDurableState::kMaxFlights.
+    const std::vector<ReceiverDurableState::FlightDump>& flight_dumps() const {
+        return flights_;
+    }
+
     /// Withdraw everything from a given base (or all) locally.
     void withdraw_all(prose::WithdrawReason reason = prose::WithdrawReason::kExplicit);
 
@@ -249,6 +256,7 @@ private:
     std::map<ExtensionId, int> advice_failures_;   ///< consecutive, reset on success
     std::set<ExtensionId> pending_quarantine_;     ///< withdrawal scheduled
     std::vector<ReceiverDurableState::ManifestEntry> recovered_manifest_;
+    std::vector<ReceiverDurableState::FlightDump> flights_;  ///< recovered + this life
 
     std::map<NodeId, std::shared_ptr<disco::LeasedResource>> advertisements_;
     std::uint64_t registrar_token_ = 0;

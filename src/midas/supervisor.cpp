@@ -1,6 +1,7 @@
 #include "midas/supervisor.h"
 
 #include "common/log.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -36,6 +37,12 @@ void Supervisor::crash(const std::string& label, Duration down_for) {
          {"down_ms", std::to_string(down_for.count() / 1'000'000)}});
     log_warn(network_.simulator().now(), "supervisor", "crashing node ", label,
              " for ", down_for.count() / 1'000'000, " ms");
+    // Freeze the flight recorder at the moment of impact: the events
+    // leading up to the crash, retrievable from the supervisor after the
+    // fact. In-memory only — under the power-cord model nothing can be
+    // journaled once the power is gone (quarantine dumps, by contrast, are
+    // journaled by the receiver while it is still alive).
+    obs::FlightRecorder::global().dump(label, "crash", network_.simulator().now());
 
     // Power first, then radio: nothing after this instant is journaled or
     // transmitted. Frames already sent still arrive at their receivers.

@@ -231,6 +231,10 @@ void Network::schedule_delivery(const Message& msg, std::uint64_t to_epoch,
         }
         delivered_.inc();
         bytes_delivered_.inc(msg.wire_size());
+        // The frame's causal context becomes ambient for the duration of
+        // the delivery: every span/instant the handler records joins the
+        // sender's trace.
+        obs::TraceBuffer::ContextScope scope(obs::TraceBuffer::global(), msg.trace);
         if (receiver.tap) receiver.tap(msg);
         receiver.handler(msg);
     });
@@ -285,6 +289,7 @@ std::size_t Network::broadcast(NodeId from, const std::string& kind, Bytes paylo
     std::size_t scheduled = 0;
     for (NodeId neighbor : neighbors(from)) {
         Message copy{from, neighbor, kind, payload};
+        copy.trace = obs::TraceBuffer::global().current();
         if (send(copy)) ++scheduled;
     }
     return scheduled;

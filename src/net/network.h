@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "net/fault.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace pmp::net {
@@ -43,6 +44,14 @@ struct Message {
     NodeId to;
     std::string kind;
     Bytes payload;
+    /// Causal context riding the datagram (a real radio would put a few
+    /// bytes of it in a header). The router stamps the sender's ambient
+    /// context here; delivery restores it around the receiving handler,
+    /// so cross-node chains share one trace. Observability metadata —
+    /// deliberately excluded from wire_size(). A duplicated frame copies
+    /// the whole Message, context included, so duplicates attach to the
+    /// original's trace.
+    obs::TraceContext trace;
 
     /// Approximate on-air size, used for the per-byte latency component.
     std::size_t wire_size() const { return kind.size() + payload.size() + 16; }

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pmp::net {
 
@@ -17,7 +18,11 @@ void MessageRouter::route(const std::string& kind, Handler handler) {
 void MessageRouter::unroute(const std::string& kind) { handlers_.erase(kind); }
 
 bool MessageRouter::send(NodeId to, const std::string& kind, Bytes payload) {
-    return network_.send(Message{self_, to, kind, std::move(payload)});
+    Message msg{self_, to, kind, std::move(payload)};
+    // Stamp the sender's causal position onto the frame; delivery on the
+    // far side restores it, which is how a trace crosses the radio.
+    msg.trace = obs::TraceBuffer::global().current();
+    return network_.send(msg);
 }
 
 std::size_t MessageRouter::broadcast(const std::string& kind, Bytes payload) {

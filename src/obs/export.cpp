@@ -92,6 +92,10 @@ std::string to_text(const Snapshot& snap) {
         for (const auto& ev : snap.trace) {
             out << "  [" << to_string(ev.at) << "] " << event_kind_name(ev.kind);
             if (ev.span != 0) out << " #" << ev.span;
+            if (ev.trace != 0) {
+                out << " t" << ev.trace;
+                if (ev.parent != 0) out << "<#" << ev.parent;
+            }
             if (!ev.component.empty()) out << " " << ev.component;
             if (!ev.name.empty()) out << " " << ev.name;
             for (const auto& [k, v] : ev.kv) out << " " << k << "=" << v;
@@ -174,7 +178,8 @@ std::string to_json(const Snapshot& snap) {
     json_array(out, snap.trace, [&](const TraceEvent& ev) {
         out << "{\"at_ns\":" << ev.at.ns << ",\"kind\":";
         json_string(out, event_kind_name(ev.kind));
-        out << ",\"span\":" << ev.span << ",\"component\":";
+        out << ",\"span\":" << ev.span << ",\"trace\":" << ev.trace
+            << ",\"parent\":" << ev.parent << ",\"component\":";
         json_string(out, ev.component);
         out << ",\"name\":";
         json_string(out, ev.name);
@@ -392,6 +397,8 @@ Snapshot snapshot_from_json(std::string_view json) {
                     if (k == "at_ns") ev.at.ns = cur.parse_i64();
                     else if (k == "kind") ev.kind = parse_event_kind(cur.parse_string(), cur);
                     else if (k == "span") ev.span = cur.parse_u64();
+                    else if (k == "trace") ev.trace = cur.parse_u64();
+                    else if (k == "parent") ev.parent = cur.parse_u64();
                     else if (k == "component") ev.component = cur.parse_string();
                     else if (k == "name") ev.name = cur.parse_string();
                     else if (k == "kv") {

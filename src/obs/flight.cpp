@@ -1,0 +1,49 @@
+#include "obs/flight.h"
+
+#include <utility>
+
+namespace pmp::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+FlightRecorder& FlightRecorder::global() {
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void FlightRecorder::observe(const TraceEvent& ev) {
+    if (size_ < ring_.size()) ++size_;
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % ring_.size();
+}
+
+std::vector<TraceEvent> FlightRecorder::tail() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    std::size_t start = size_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+const FlightRecorder::Dump& FlightRecorder::dump(std::string node, std::string reason,
+                                                 SimTime at) {
+    if (dumps_.size() >= kMaxDumps) dumps_.erase(dumps_.begin());
+    dumps_.push_back(Dump{std::move(node), std::move(reason), at, tail()});
+    return dumps_.back();
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+    ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+    head_ = 0;
+    size_ = 0;
+}
+
+void FlightRecorder::clear() {
+    head_ = 0;
+    size_ = 0;
+    dumps_.clear();
+}
+
+}  // namespace pmp::obs

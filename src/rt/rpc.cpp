@@ -116,8 +116,10 @@ void RpcEndpoint::call_once(NodeId target, const std::string& object,
                             AttemptHandler on_done) {
     std::uint64_t call_id = ++next_call_;
     metrics().calls_sent.inc();
-    std::uint64_t span = obs::TraceBuffer::global().begin_span(
-        "rt.rpc", "rpc.call", {{"obj", object}, {"method", method}});
+    auto& tracebuf = obs::TraceBuffer::global();
+    std::uint64_t span =
+        tracebuf.begin_span("rt.rpc", "rpc.call", {{"obj", object}, {"method", method}});
+    obs::TraceContext call_ctx = tracebuf.context_of(span);
     Dict request{{"id", Value{static_cast<std::int64_t>(call_id)}},
                  {"obj", Value{object}},
                  {"method", Value{method}},
@@ -125,20 +127,29 @@ void RpcEndpoint::call_once(NodeId target, const std::string& object,
     bool control = is_exempt(object);
     Bytes payload = Value{std::move(request)}.encode();
     if (!control) payload = apply_outbound(std::move(payload));
-    bool sent = router_.send(target, control ? kCtlCallKind : kCallKind, std::move(payload));
+    bool sent;
+    {
+        // The frame on the air carries the call span as its parent: the
+        // remote dispatch (and everything it causes) joins this trace.
+        obs::TraceBuffer::ContextScope scope(tracebuf, call_ctx);
+        sent = router_.send(target, control ? kCtlCallKind : kCallKind, std::move(payload));
+    }
 
     auto timer = router_.simulator().schedule_after(timeout, [this, call_id]() {
         auto it = pending_.find(call_id);
         if (it == pending_.end()) return;
         auto handler = std::move(it->second.handler);
+        obs::TraceContext ctx = it->second.ctx;
         metrics().timeouts.inc();
-        obs::TraceBuffer::global().end_span(it->second.span, {{"outcome", "timeout"}});
+        obs::TraceBuffer::global().end_span(
+            it->second.span, {{"outcome", "timeout"}, {"cause", "transport"}});
         pending_.erase(it);
+        obs::TraceBuffer::ContextScope scope(obs::TraceBuffer::global(), ctx);
         handler(Value{}, std::make_exception_ptr(RemoteError("rpc call timed out")),
                 /*transport=*/true);
     });
-    pending_.emplace(call_id,
-                     Pending{std::move(on_done), timer, router_.simulator().now(), span});
+    pending_.emplace(call_id, Pending{std::move(on_done), timer, router_.simulator().now(),
+                                      span, call_ctx});
 
     if (!sent) {
         // Out of radio range at send time: fail fast instead of waiting out
@@ -152,7 +163,9 @@ void RpcEndpoint::call_once(NodeId target, const std::string& object,
             pending_.erase(it);
             router_.simulator().cancel(pending.timeout_timer);
             metrics().unreachable.inc();
-            obs::TraceBuffer::global().end_span(pending.span, {{"outcome", "unreachable"}});
+            obs::TraceBuffer::global().end_span(
+                pending.span, {{"outcome", "unreachable"}, {"cause", "transport"}});
+            obs::TraceBuffer::ContextScope scope(obs::TraceBuffer::global(), pending.ctx);
             pending.handler(Value{},
                             std::make_exception_ptr(RemoteError("rpc target unreachable")),
                             /*transport=*/true);
@@ -197,8 +210,14 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
         RichReplyHandler on_reply;
         int tries_left;
         Duration next_backoff;
+        /// Where this call chain sits causally. Captured once at
+        /// call_async and restored around every attempt, so a retry fired
+        /// from a backoff timer attaches to the *same* trace as attempt
+        /// one instead of rooting a fresh one.
+        obs::TraceContext ctx;
 
         void fire(const std::shared_ptr<Attempt>& state) {
+            obs::TraceBuffer::ContextScope scope(obs::TraceBuffer::global(), ctx);
             self->call_once(
                 target, object, method, args, options.timeout,
                 [state](Value result, std::exception_ptr error, bool transport) {
@@ -231,9 +250,11 @@ void RpcEndpoint::call_async(NodeId target, const std::string& object,
                 });
         }
     };
+    obs::TraceContext ctx = obs::TraceBuffer::global().current();
+    if (!ctx.valid()) ctx = obs::TraceBuffer::global().new_root();
     auto state = std::make_shared<Attempt>(
         Attempt{this, alive_, target, object, method, std::move(args), options,
-                std::move(on_reply), options.retries, options.retry_backoff});
+                std::move(on_reply), options.retries, options.retry_backoff, ctx});
     state->fire(state);
 }
 
@@ -325,10 +346,15 @@ void RpcEndpoint::on_call(const net::Message& msg, bool control) {
     // queue's own estimate of when to come back.
     net::AdmitClass cls = classify(object_name, method);
     List args = req.at("args").as_list();
+    // The ambient context (the caller's rpc.call span, installed by the
+    // network delivery) must survive the admission queue: a dispatch
+    // admitted now but run later still belongs to the caller's trace.
+    obs::TraceContext ctx = obs::TraceBuffer::global().current();
     auto decision = router_.admission().offer(
-        cls, [this, alive = alive_, from = msg.from, control, call_id, object_name, method,
-              args = std::move(args)]() mutable {
+        cls, [this, alive = alive_, ctx, from = msg.from, control, call_id, object_name,
+              method, args = std::move(args)]() mutable {
             if (!*alive) return;
+            obs::TraceBuffer::ContextScope scope(obs::TraceBuffer::global(), ctx);
             inflight_.erase(ReplyCacheKey{from.value, call_id});
             execute_call(from, control, call_id, object_name, method, std::move(args));
         });
@@ -354,16 +380,28 @@ void RpcEndpoint::execute_call(NodeId from, bool control, std::uint64_t call_id,
                                const std::string& object_name, const std::string& method,
                                List args) {
     ReplyCacheKey cache_key{from.value, call_id};
+    // Callee-side half of the causal pair: rpc.call (caller) -> rpc.serve
+    // (callee). Opened under the caller's ambient context, so the serve
+    // span — and everything the dispatch does beneath it (verify, weave,
+    // advice) — hangs off the caller's rpc.call span in one tree.
+    auto& tracebuf = obs::TraceBuffer::global();
+    std::uint64_t serve_span = tracebuf.begin_span(
+        "rt.rpc", "rpc.serve", {{"obj", object_name}, {"method", method}});
+    obs::TraceBuffer::ContextScope serve_scope(tracebuf, tracebuf.context_of(serve_span));
+    const char* outcome = "ok";
     Bytes reply;
     if (control && !is_exempt(object_name)) {
+        outcome = "AccessDenied";
         reply = encode_error(call_id, "AccessDenied",
                              "object '" + object_name + "' requires the data channel");
     } else if (!exported_.contains(object_name)) {
+        outcome = "RemoteError";
         reply = encode_error(call_id, "RemoteError",
                              "object '" + object_name + "' is not exported");
     } else {
         auto object = runtime_.find_object(object_name);
         if (!object) {
+            outcome = "RemoteError";
             reply = encode_error(call_id, "RemoteError", "object '" + object_name + "' is gone");
         } else {
             current_caller_ = from;
@@ -378,17 +416,22 @@ void RpcEndpoint::execute_call(NodeId from, bool control, std::uint64_t call_id,
                         {"result", std::move(result)}};
                 reply = Value{std::move(ok)}.encode();
             } catch (const AccessDenied& e) {
+                outcome = "AccessDenied";
                 reply = encode_error(call_id, "AccessDenied", e.what());
             } catch (const TypeError& e) {
+                outcome = "TypeError";
                 reply = encode_error(call_id, "TypeError", e.what());
             } catch (const ScriptError& e) {
+                outcome = "ScriptError";
                 reply = encode_error(call_id, "ScriptError", e.what());
             } catch (const Error& e) {
+                outcome = "Error";
                 reply = encode_error(call_id, "Error", e.what());
             } catch (const std::exception& e) {
                 // Non-Error escapes (std::bad_alloc from a hostile package,
                 // a std::logic_error in host code) still become a proper
                 // error reply rather than unwinding into the router.
+                outcome = "Error";
                 reply = encode_error(call_id, "Error", e.what());
             }
         }
@@ -402,7 +445,10 @@ void RpcEndpoint::execute_call(NodeId from, bool control, std::uint64_t call_id,
         metrics().reply_cache_evictions.inc();
     }
     reply_cache_size_g_->set(static_cast<std::int64_t>(reply_cache_.size()));
+    // The reply frame is stamped while the serve span is ambient, so the
+    // wire hop back to the caller stays inside the tree.
     router_.send(from, control ? kCtlReplyKind : kReplyKind, std::move(reply));
+    tracebuf.end_span(serve_span, {{"outcome", outcome}});
 }
 
 void RpcEndpoint::rethrow_remote(const std::string& etype, const std::string& message,
@@ -438,7 +484,15 @@ void RpcEndpoint::on_reply(const net::Message& msg, bool control) {
     if (!ok) metrics().errors_returned.inc();
     Duration rtt = router_.simulator().now() - pending.sent_at;
     metrics().roundtrip_ms.observe(static_cast<double>(rtt.count()) / 1e6);
-    obs::TraceBuffer::global().end_span(pending.span, {{"outcome", ok ? "ok" : "error"}});
+    // Outcome attribution (satellite): ok / remote error type, with the
+    // callee's retry-after hint when it shed us.
+    obs::KeyValues end_kv{{"outcome", ok ? "ok" : "error"}};
+    if (!ok) {
+        if (const Value* etype = rep.find("etype")) end_kv.emplace_back("cause", etype->as_str());
+        if (const Value* ms = rep.find("retry_ms"))
+            end_kv.emplace_back("retry_ms", std::to_string(ms->as_int()));
+    }
+    obs::TraceBuffer::global().end_span(pending.span, std::move(end_kv));
 
     if (ok) {
         pending.handler(rep.at("result"), nullptr, /*transport=*/false);

@@ -17,6 +17,7 @@
 
 #include "net/router.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rt/runtime.h"
 
 namespace pmp::rt {
@@ -136,6 +137,10 @@ private:
         sim::TimerId timeout_timer;
         SimTime sent_at;           ///< virtual send time, for round-trip stats
         std::uint64_t span = 0;    ///< obs trace span covering the round-trip
+        /// The call's causal position ({trace, span}), restored around
+        /// handler invocations that fire from timers (timeout,
+        /// unreachable) so follow-up work stays on the call's trace.
+        obs::TraceContext ctx;
     };
     struct FilterSlot {
         HookOwner owner;
