@@ -7,12 +7,22 @@
 //   (b) time-to-adapt one node vs number of policy extensions
 //   (c) install latency vs extension package size (the radio is the
 //       bottleneck: bigger scripts take longer to ship)
+//   (d) control-plane frames over the base's backhaul at fleet scale,
+//       per-(node, extension) keep-alives vs one batched frame per cell
+//       per period (midas/cell.h, docs/federation.md) — measured to 10^4
+//       nodes, modeled to 10^6 from the measured per-cell constants
+//   (e) the base's per-tick adoption scan: the old allocating lookup()
+//       vs the in-place for_each() it was replaced with (wall time)
 #include <benchmark/benchmark.h>
 
 #include "smoke.h"
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "midas/node.h"
@@ -81,6 +91,179 @@ struct World {
     }
 };
 
+// ------------------------------------------------- fleet worlds (d, e) ----
+
+/// Messages crossing the base's backhaul during the measurement window.
+struct Traffic {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+};
+
+/// Discovery beacons are broadcast chatter, not per-node lease traffic;
+/// they are excluded from BOTH arms so the comparison is pure control
+/// plane (this is conservative: it favours the un-batched baseline, whose
+/// flat discovery scope broadcasts to the whole fleet).
+bool control_plane(const net::Message& m) { return m.kind.rfind("disco.", 0) != 0; }
+
+struct FleetNumbers {
+    bool converged = false;
+    double adapt_s = 0;             ///< time until every node holds the policy
+    double frames_node_period = 0;  ///< backhaul msgs / node / keep-alive period
+    double bytes_node_period = 0;
+    double msgs_sec_node = 0;
+    double scan_old_us = 0;  ///< registrar lookup() adoption scan (direct arm)
+    double scan_new_us = 0;  ///< registrar for_each() adoption scan (direct arm)
+};
+
+/// One fleet, one arm. cell_size == 0 wires every node straight to the
+/// base (the un-batched baseline: per-(node, extension) keep-alives cross
+/// the backhaul). cell_size > 0 groups nodes into radio cells of that size,
+/// each anchored by a CellStation wired to the base: only the batched
+/// frames cross the backhaul, the fan-out stays cell-local.
+FleetNumbers run_fleet(int n, int cell_size) {
+    sim::Simulator sim;
+    net::Network net{sim, net::NetworkConfig{}, 4242};
+
+    // One probe at power-on is enough here; at fleet scale the periodic
+    // probe broadcast is itself a control-plane storm (registrar beacons
+    // keep liveness fresh without it — see NodeStack).
+    disco::DiscoveryConfig quiet;
+    quiet.probe_period = seconds(3600);
+
+    BaseConfig bc;
+    bc.issuer = "hall";
+    bc.extension_lease = seconds(4);
+    bc.max_keepalive_failures = 4;
+    const double period_s =
+        static_cast<double>(bc.keepalive_period.count()) / 1e9;
+    const Duration window = bc.keepalive_period * 4;
+    const double periods = 4.0;
+
+    const bool direct = cell_size == 0;
+    auto hub = std::make_unique<BaseStation>(net, "hall", net::Position{0, -5000}, 1.0,
+                                             bc, disco::RegistrarConfig{}, nullptr, quiet);
+    hub->keys().add_key("hall", to_bytes("k"));
+    hub->base().add_extension(noop_package("hall/noop"));
+    // The hub's admission gate defaults to one-hall sizing (~2000 calls/s);
+    // at 10^4 direct nodes the renewal stream alone exceeds it and the gate
+    // sheds forever — the very failure mode the batched arm removes. Open
+    // it wide, identically for both arms: this section measures the wire
+    // frames each design costs, not the governor.
+    net::AdmissionConfig wide;
+    wide.rate_per_sec = 1e6;
+    wide.burst = 65536;
+    wide.queue_cap = {65536, 65536, 65536};
+    hub->router().admission().set_config(wide);
+
+    std::vector<std::unique_ptr<midas::CellStation>> stations;
+    const int cells = direct ? 0 : (n + cell_size - 1) / cell_size;
+    for (int c = 0; c < cells; ++c) {
+        auto st = std::make_unique<midas::CellStation>(
+            net, "cell:" + std::to_string(c), net::Position{1000.0 * c, 0.0}, 120.0,
+            midas::CellRelayConfig{}, disco::RegistrarConfig{}, quiet);
+        net.add_wire(hub->id(), st->id());
+        hub->base().attach_cell(st->label(), st->id());
+        stations.push_back(std::move(st));
+    }
+
+    std::vector<std::unique_ptr<MobileNode>> nodes;
+    nodes.reserve(static_cast<std::size_t>(n));
+    SimTime start = sim.now();
+    for (int i = 0; i < n; ++i) {
+        midas::ReceiverConfig rc;
+        net::Position pos;
+        if (direct) {
+            pos = {10.0 * (i % 100), 1000.0 + 10.0 * (i / 100)};
+        } else {
+            int c = i / cell_size, k = i % cell_size;
+            rc.cell = "cell:" + std::to_string(c);
+            pos = {1000.0 * c - 22.5 + 5.0 * (k % 10), -22.5 + 5.0 * (k / 10)};
+        }
+        auto node = std::make_unique<MobileNode>(net, "n" + std::to_string(i), pos,
+                                                 direct ? 1.0 : 60.0, rc, nullptr, quiet);
+        node->trust().trust("hall", to_bytes("k"));
+        if (direct) net.add_wire(hub->id(), node->id());
+        nodes.push_back(std::move(node));
+        // Stagger power-on: ten thousand devices do not boot in the same
+        // microsecond in any real hall, and the burst would only measure
+        // the admission queue.
+        if (i % 200 == 199) sim.run_until(sim.now() + milliseconds(20));
+    }
+
+    FleetNumbers out;
+    std::vector<const midas::AdaptationService*> waiting;
+    waiting.reserve(nodes.size());
+    for (const auto& node : nodes) waiting.push_back(&node->receiver());
+    SimTime deadline = sim.now() + seconds(120);
+    while (sim.now() < deadline) {
+        std::erase_if(waiting, [](const midas::AdaptationService* r) {
+            return r->installed_count() >= 1;
+        });
+        if (waiting.empty()) break;
+        sim.run_until(sim.now() + milliseconds(5));
+    }
+    out.converged = waiting.empty();
+    out.adapt_s = static_cast<double>((sim.now() - start).count()) / 1e9;
+    if (!out.converged) return out;
+
+    // Tap the backhaul: everything delivered to the base, plus everything
+    // the base sends to its wired peers (nodes or cell stations).
+    Traffic bh;
+    const NodeId hub_id = hub->id();
+    net.set_tap(hub_id, [&bh](const net::Message& m) {
+        if (control_plane(m)) {
+            ++bh.msgs;
+            bh.bytes += m.wire_size();
+        }
+    });
+    auto from_hub = [&bh, hub_id](const net::Message& m) {
+        if (m.from == hub_id && control_plane(m)) {
+            ++bh.msgs;
+            bh.bytes += m.wire_size();
+        }
+    };
+    if (direct) {
+        for (auto& node : nodes) net.set_tap(node->id(), from_hub);
+    } else {
+        for (auto& st : stations) net.set_tap(st->id(), from_hub);
+    }
+
+    sim.run_until(sim.now() + bc.keepalive_period);  // settle install replies
+    Traffic t0 = bh;
+    sim.run_until(sim.now() + window);
+    const double dm = static_cast<double>(bh.msgs - t0.msgs);
+    const double db = static_cast<double>(bh.bytes - t0.bytes);
+    out.frames_node_period = dm / n / periods;
+    out.bytes_node_period = db / n / periods;
+    out.msgs_sec_node = dm / n / (periods * period_s);
+
+    if (direct) {
+        // (e) the per-tick adoption scan over n live registrations: the old
+        // vector-building lookup() against the in-place for_each() that
+        // replaced it in ExtensionBase::keepalive_tick().
+        auto& reg = hub->registrar();
+        constexpr int kReps = 5;
+        auto t_old = std::chrono::steady_clock::now();
+        for (int r = 0; r < kReps; ++r) {
+            auto items = reg.lookup("midas.adaptation");
+            benchmark::DoNotOptimize(items);
+        }
+        auto t_mid = std::chrono::steady_clock::now();
+        std::size_t seen = 0;
+        for (int r = 0; r < kReps; ++r) {
+            reg.for_each("midas.adaptation",
+                         [&seen](const disco::ServiceItem&) { ++seen; });
+        }
+        auto t_end = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(seen);
+        out.scan_old_us =
+            std::chrono::duration<double, std::micro>(t_mid - t_old).count() / kReps;
+        out.scan_new_us =
+            std::chrono::duration<double, std::micro>(t_end - t_mid).count() / kReps;
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,9 +322,66 @@ int main(int argc, char** argv) {
                ok ? static_cast<double>((w.sim.now() - start).count()) / 1e6 : -1.0);
     }
 
+    const int kCell = 100;
+    printf("\n(d) control-plane frames over the base's backhaul, direct vs batched\n"
+           "    (keep-alive period 800 ms, lease 4 s, cells of %d, discovery\n"
+           "    beacons excluded from both arms):\n", kCell);
+    printf("%8s %8s %12s %18s %17s %14s\n", "nodes", "arm", "adapted in",
+           "frames/node/period", "bytes/node/period", "msgs/s/node");
+    struct FleetRow {
+        int n;
+        FleetNumbers direct, cell;
+    };
+    std::vector<FleetRow> fleet;
+    for (int n : smoke ? std::vector<int>{10'000} : std::vector<int>{1'000, 10'000}) {
+        FleetRow row{n, run_fleet(n, 0), run_fleet(n, kCell)};
+        for (auto [arm, r] : {std::pair{"direct", &row.direct}, {"cells", &row.cell}}) {
+            if (r->converged) {
+                printf("%8d %8s %10.1f s %18.3f %15.0f B %14.2f\n", n, arm,
+                       r->adapt_s, r->frames_node_period, r->bytes_node_period,
+                       r->msgs_sec_node);
+            } else {
+                printf("%8d %8s %12s\n", n, arm, "DID NOT CONVERGE");
+            }
+        }
+        fleet.push_back(row);
+    }
+    for (const FleetRow& row : fleet) {
+        if (!row.direct.converged || !row.cell.converged) continue;
+        printf("    %d nodes: %.0fx fewer backhaul frames per node per period "
+               "(batched vs direct)\n",
+               row.n, row.direct.frames_node_period / row.cell.frames_node_period);
+    }
+
+    if (!fleet.empty() && fleet.back().direct.converged && fleet.back().cell.converged) {
+        // Cells are independent radio neighbourhoods, so base-side load is
+        // linear in cell count; extrapolate from the largest measured tier.
+        const FleetNumbers& d = fleet.back().direct;
+        const FleetNumbers& c = fleet.back().cell;
+        const double per_cell_frames = c.frames_node_period * kCell;
+        printf("\n    MODELED from the measured constants above (not simulated):\n");
+        printf("%12s %22s %22s\n", "nodes", "direct: frames/s", "batched: frames/s");
+        for (double n : {1e5, 1e6}) {
+            printf("%12.0f %22.3g %22.3g\n", n, n * d.frames_node_period / 0.8,
+                   (n / kCell) * per_cell_frames / 0.8);
+        }
+    }
+
+    printf("\n(e) base per-tick adoption scan over N live registrations,\n"
+           "    old allocating lookup() vs the in-place for_each() that\n"
+           "    replaced it (wall time, direct world's registrar):\n");
+    printf("%8s %16s %16s\n", "nodes", "lookup() scan", "for_each scan");
+    for (const FleetRow& row : fleet) {
+        if (!row.direct.converged) continue;
+        printf("%8d %13.1f us %13.1f us\n", row.n, row.direct.scan_old_us,
+               row.direct.scan_new_us);
+    }
+
     printf("\nshape to check: (a) per-node cost stays roughly flat (the base\n"
            "pipelines installs); (b) per-extension cost is roughly constant;\n"
            "(c) latency grows with package size once serialization dominates\n"
-           "the fixed discovery+rpc cost.\n");
+           "the fixed discovery+rpc cost; (d) batched backhaul frames per node\n"
+           "per period sit >=10x below direct and stay flat as cells are added;\n"
+           "(e) for_each stays well under the allocating lookup() scan.\n");
     return 0;
 }

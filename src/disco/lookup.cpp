@@ -1,5 +1,6 @@
 #include "disco/lookup.h"
 
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace pmp::disco {
@@ -17,7 +18,29 @@ LeasedResource::LeasedResource(rt::RpcEndpoint& rpc, NodeId registrar, LeaseId l
       lease_(lease),
       duration_(duration),
       on_lost_(std::move(on_lost)) {
-    schedule_renewal(duration_ / 2);
+    schedule_renewal(renewal_phase());
+}
+
+Duration lease_renewal_phase(NodeId registrar, LeaseId lease, Duration duration) {
+    // Renew at half the lease, but with a deterministic per-lease phase
+    // offset: without it every lease granted in the same instant (a cell
+    // booting, a batch of extensions installing) renews in the same
+    // instant forever, and the registrar sees a thundering herd each
+    // period. The offset stays within duration/8 so the worst case (first
+    // renew at 5/8·d, retry at +1/4·d = 7/8·d) still lands inside the
+    // lease.
+    std::uint64_t h =
+        fnv1a64_mix(fnv1a64_mix(fnv1a64("lease-jitter"), registrar.value), lease.value);
+    std::int64_t span = duration.count() / 8;
+    std::int64_t offset = span > 0 ? static_cast<std::int64_t>(
+                                         h % static_cast<std::uint64_t>(2 * span + 1)) -
+                                         span
+                                   : 0;
+    return duration / 2 + Duration(offset);
+}
+
+Duration LeasedResource::renewal_phase() const {
+    return lease_renewal_phase(registrar_, lease_, duration_);
 }
 
 LeasedResource::~LeasedResource() {
@@ -50,7 +73,16 @@ void LeasedResource::renew(bool is_retry) {
             if (guard.expired() || !alive_) return;
             bool ok = !error && result.as_dict().at("ok").as_bool();
             if (ok) {
-                schedule_renewal(duration_ / 2);
+                schedule_renewal(renewal_phase());
+            } else if (!error && result.as_dict().contains("moved_to")) {
+                // The lease migrated to another shard (registrar
+                // rebalance): re-home and renew against the new
+                // registrar right away. Not a retry — the move is a
+                // redirect, not a failure.
+                const Dict& d = result.as_dict();
+                registrar_ = NodeId{static_cast<std::uint64_t>(d.at("moved_to").as_int())};
+                lease_ = LeaseId{static_cast<std::uint64_t>(d.at("moved_lease").as_int())};
+                renew(false);
             } else if (!is_retry) {
                 // One quick retry before giving up: a single lost message
                 // should not tear the adaptation down.

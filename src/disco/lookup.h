@@ -25,6 +25,14 @@ struct DiscoveryConfig {
     Duration lease_duration = seconds(2);     ///< requested for registrations/watches
 };
 
+/// Deterministic renewal phase for a lease of `duration` held at
+/// `registrar`: half the lease plus a per-lease offset within ±duration/8,
+/// derived by hashing (registrar, lease). Leases granted in the same
+/// instant therefore renew spread across a quarter-lease band instead of
+/// as a thundering herd, and the spread is stable under replay — same
+/// seed, same schedule.
+Duration lease_renewal_phase(NodeId registrar, LeaseId lease, Duration duration);
+
 /// A leased resource held at a remote registrar, kept alive by renewal.
 /// Destroy the handle (or call cancel()) to give the lease up cleanly.
 class LeasedResource {
@@ -48,6 +56,7 @@ private:
                    LostFn on_lost);
 
     void schedule_renewal(Duration delay);
+    Duration renewal_phase() const;
     void renew(bool is_retry);
     void mark_lost();
 

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "disco/shard.h"
 
 namespace pmp::disco {
 
@@ -92,6 +93,10 @@ void Registrar::build_service_object() {
                             return do_watch(rpc_.current_caller(), args[0].as_str(),
                                             args[1].as_str(), args[2].as_int());
                         })
+                .method("migrate", TypeKind::kList, {{"entries", TypeKind::kList}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            return do_migrate(rpc_.current_caller(), args[0].as_list());
+                        })
                 .build();
         runtime.register_type(type);
     }
@@ -113,6 +118,7 @@ Value Registrar::do_register(NodeId provider, const std::string& type, Dict attr
     ServiceId sid = reg.item.id;
     LeaseId lease = reg.lease;
     ServiceItem item = reg.item;
+    index_add(reg);
     services_.emplace(sid, std::move(reg));
     service_by_lease_.emplace(lease, sid);
 
@@ -134,6 +140,17 @@ Value Registrar::do_renew(std::uint64_t lease, std::int64_t duration_ms) {
         services_.at(it->second).expires = router_.simulator().now() + granted;
     } else if (auto wit = remote_watches_.find(lid); wit != remote_watches_.end()) {
         wit->second.expires = router_.simulator().now() + granted;
+    } else if (auto mit = moved_.find(lid); mit != moved_.end()) {
+        // The lease migrated to another shard: hand the holder its new
+        // home + new lease id; LeasedResource re-homes and renews there.
+        ++shard_stats_.moved_redirects;
+        Dict out{{"ok", Value{false}},
+                 {"duration_ms", Value{std::int64_t{0}}},
+                 {"moved_to",
+                  Value{static_cast<std::int64_t>(mit->second.new_home.value)}},
+                 {"moved_lease",
+                  Value{static_cast<std::int64_t>(mit->second.new_lease.value)}}};
+        return Value{std::move(out)};
     } else {
         Dict out{{"ok", Value{false}}, {"duration_ms", Value{std::int64_t{0}}}};
         return Value{std::move(out)};
@@ -152,15 +169,127 @@ bool Registrar::do_cancel(std::uint64_t lease) {
         if (sit != services_.end()) remove_registration(sit, /*notify=*/true);
         return true;
     }
+    if (auto mit = moved_.find(lid); mit != moved_.end()) {
+        // Forward the cancellation to the lease's new home, best effort.
+        ++shard_stats_.moved_redirects;
+        rpc_.call_async(mit->second.new_home, "registrar", "cancel",
+                        {Value{static_cast<std::int64_t>(mit->second.new_lease.value)}},
+                        [](Value, std::exception_ptr) {});
+        moved_.erase(mit);
+        return true;
+    }
     return remote_watches_.erase(lid) > 0;
 }
 
 Value Registrar::do_lookup(const std::string& type) const {
     List out;
-    for (const auto& [_, reg] : services_) {
-        if (reg.item.type == type) out.push_back(reg.item.to_value());
-    }
+    for_each(type, [&out](const ServiceItem& item) { out.push_back(item.to_value()); });
     return Value{std::move(out)};
+}
+
+void Registrar::for_each(const std::string& type,
+                         const std::function<void(const ServiceItem&)>& fn) const {
+    auto tit = by_type_.find(type);
+    if (tit == by_type_.end()) return;
+    for (ServiceId sid : tit->second) {
+        auto sit = services_.find(sid);
+        if (sit != services_.end()) fn(sit->second.item);
+    }
+}
+
+void Registrar::index_add(const Registration& reg) {
+    by_type_[reg.item.type].insert(reg.item.id);
+}
+
+void Registrar::index_remove(const Registration& reg) {
+    auto tit = by_type_.find(reg.item.type);
+    if (tit == by_type_.end()) return;
+    tit->second.erase(reg.item.id);
+    if (tit->second.empty()) by_type_.erase(tit);
+}
+
+void Registrar::rebalance(const HashRing& ring) {
+    // Group the leased registrations whose type now hashes elsewhere by
+    // their new owner, then ship one batched migrate RPC per target.
+    std::map<NodeId, std::vector<ServiceId>> outgoing;
+    for (const auto& [sid, reg] : services_) {
+        if (reg.expires == SimTime::max()) continue;  // permanent: shares fate
+        NodeId owner = ring.owner(reg.item.type);
+        if (!owner.valid() || owner == router_.self()) continue;
+        outgoing[owner].push_back(sid);
+    }
+    for (auto& [target, sids] : outgoing) migrate_batch(target, std::move(sids));
+}
+
+void Registrar::migrate_batch(NodeId target, std::vector<ServiceId> sids) {
+    SimTime now = router_.simulator().now();
+    List entries;
+    std::vector<ServiceId> shipped;
+    for (ServiceId sid : sids) {
+        auto sit = services_.find(sid);
+        if (sit == services_.end()) continue;
+        const Registration& reg = sit->second;
+        std::int64_t remaining_ms =
+            reg.expires <= now ? 0 : (reg.expires - now).count() / 1'000'000;
+        Dict entry{{"type", Value{reg.item.type}},
+                   {"attrs", Value{reg.item.attributes}},
+                   {"provider", Value{static_cast<std::int64_t>(reg.item.provider.value)}},
+                   {"remaining_ms", Value{remaining_ms}}};
+        entries.push_back(Value{std::move(entry)});
+        shipped.push_back(sid);
+    }
+    if (shipped.empty()) return;
+
+    rpc_.call_async(
+        target, "registrar", "migrate", {Value{std::move(entries)}},
+        [this, target, shipped = std::move(shipped)](Value reply, std::exception_ptr err) {
+            if (err) {
+                // Migration failed: the registrations stay home (their
+                // leases are still live here), and a later rebalance can
+                // retry. Nothing was lost.
+                log_debug(router_.simulator().now(), "registrar",
+                          "migrate batch to ", target.str(), " failed; keeping entries");
+                return;
+            }
+            const List& new_leases = reply.as_list();
+            SimTime forget_at = router_.simulator().now() + config_.moved_grace;
+            for (std::size_t i = 0; i < shipped.size() && i < new_leases.size(); ++i) {
+                auto sit = services_.find(shipped[i]);
+                if (sit == services_.end()) continue;  // expired/cancelled meanwhile
+                LeaseId old_lease = sit->second.lease;
+                LeaseId new_lease{
+                    static_cast<std::uint64_t>(new_leases[i].as_int())};
+                moved_[old_lease] = MovedLease{target, new_lease, forget_at};
+                remove_registration(sit, /*notify=*/true);
+                ++shard_stats_.migrated_out;
+            }
+        });
+}
+
+Value Registrar::do_migrate(NodeId source, const List& entries) {
+    SimTime now = router_.simulator().now();
+    List new_leases;
+    for (const Value& v : entries) {
+        const Dict& e = v.as_dict();
+        Registration reg;
+        reg.item = ServiceItem{service_ids_.next(),
+                               NodeId{static_cast<std::uint64_t>(e.at("provider").as_int())},
+                               e.at("type").as_str(), e.at("attrs").as_dict()};
+        reg.lease = lease_ids_.next();
+        reg.expires = now + clamp(e.at("remaining_ms").as_int());
+        ServiceId sid = reg.item.id;
+        LeaseId lease = reg.lease;
+        ServiceItem item = reg.item;
+        new_leases.push_back(Value{static_cast<std::int64_t>(lease.value)});
+        index_add(reg);
+        services_.emplace(sid, std::move(reg));
+        service_by_lease_.emplace(lease, sid);
+        ++shard_stats_.migrated_in;
+        notify_watchers(item, true);
+    }
+    log_debug(now, "registrar", "accepted ", new_leases.size(),
+              " migrated registrations from ", source.str());
+    return Value{std::move(new_leases)};
 }
 
 Value Registrar::do_watch(NodeId watcher, const std::string& type,
@@ -174,12 +303,11 @@ Value Registrar::do_watch(NodeId watcher, const std::string& type,
 
     // Jini semantics: a new watcher immediately learns about services that
     // are already present, delivered asynchronously as events.
-    for (const auto& [_, reg] : services_) {
-        if (reg.item.type != type) continue;
-        Dict event{{"type", Value{type}}, {"appeared", Value{true}}, {"item", reg.item.to_value()}};
+    for_each(type, [&](const ServiceItem& item) {
+        Dict event{{"type", Value{type}}, {"appeared", Value{true}}, {"item", item.to_value()}};
         rpc_.call_async(watcher, listener, "notify", {Value{std::move(event)}},
                         [](Value, std::exception_ptr) {});
-    }
+    });
 
     Dict out{{"lease", Value{static_cast<std::int64_t>(lease.value)}},
              {"duration_ms",
@@ -195,6 +323,7 @@ ServiceId Registrar::register_permanent(const std::string& type, rt::Dict attrib
     ServiceId sid = reg.item.id;
     ServiceItem item = reg.item;
     service_by_lease_.emplace(reg.lease, sid);
+    index_add(reg);
     services_.emplace(sid, std::move(reg));
     notify_watchers(item, true);
     return sid;
@@ -202,9 +331,7 @@ ServiceId Registrar::register_permanent(const std::string& type, rt::Dict attrib
 
 std::vector<ServiceItem> Registrar::lookup(const std::string& type) const {
     std::vector<ServiceItem> out;
-    for (const auto& [_, reg] : services_) {
-        if (reg.item.type == type) out.push_back(reg.item);
-    }
+    for_each(type, [&out](const ServiceItem& item) { out.push_back(item); });
     return out;
 }
 
@@ -213,9 +340,7 @@ std::uint64_t Registrar::watch_local(const std::string& type, WatchFn fn) {
     local_watches_.emplace(token, LocalWatch{type, std::move(fn)});
     // Catch up on already-present services, mirroring remote watch
     // semantics (but synchronously; the caller is local).
-    for (const auto& [_, reg] : services_) {
-        if (reg.item.type == type) local_watches_.at(token).fn(reg.item, true);
-    }
+    for_each(type, [&](const ServiceItem& item) { local_watches_.at(token).fn(item, true); });
     return token;
 }
 
@@ -239,6 +364,7 @@ void Registrar::remove_registration(std::map<ServiceId, Registration>::iterator 
                                     bool notify) {
     ServiceItem item = it->second.item;
     service_by_lease_.erase(it->second.lease);
+    index_remove(it->second);
     services_.erase(it);
     if (notify) notify_watchers(item, false);
 }
@@ -257,6 +383,8 @@ void Registrar::sweep() {
     }
     std::erase_if(remote_watches_,
                   [now](const auto& entry) { return entry.second.expires <= now; });
+    std::erase_if(moved_,
+                  [now](const auto& entry) { return entry.second.forget_at <= now; });
 }
 
 }  // namespace pmp::disco

@@ -28,10 +28,13 @@
 
 #include <functional>
 #include <map>
+#include <set>
 
 #include "rt/rpc.h"
 
 namespace pmp::disco {
+
+class HashRing;
 
 /// One registered service as seen in lookup results.
 struct ServiceItem {
@@ -48,6 +51,13 @@ struct RegistrarConfig {
     Duration max_lease = seconds(10);      ///< grants are clamped to this
     Duration sweep_period = milliseconds(250);  ///< expiry scan granularity
     Duration announce_period = seconds(1);  ///< "disco.here" beacon period
+    /// After a lease migrates to another shard, how long the old home
+    /// remembers the forwarding address. A client renews at duration/2, so
+    /// any live holder learns the new home well inside the grace window;
+    /// after it, a renew against the old home simply fails (and the holder
+    /// re-registers through its ring, which already points at the new
+    /// shard).
+    Duration moved_grace = seconds(30);
 };
 
 class Registrar {
@@ -61,6 +71,29 @@ public:
 
     /// Local (same-node) lookup.
     std::vector<ServiceItem> lookup(const std::string& type) const;
+
+    /// Allocation-free local iteration over one type's registrations (the
+    /// extension base's per-tick orphan scan runs here; at fleet scale the
+    /// vector-returning lookup() costs O(cell) allocations per tick).
+    void for_each(const std::string& type,
+                  const std::function<void(const ServiceItem&)>& fn) const;
+
+    /// Shard rebalance: batch-migrate every leased registration whose type
+    /// key hashes to another shard under `ring` (one RPC per target
+    /// registrar, remaining lease durations preserved). Call after a shard
+    /// joins the ring, or on the departing registrar — with a ring that no
+    /// longer contains it — before it leaves. Holders renewing against this
+    /// registrar are redirected to their lease's new home (see
+    /// RegistrarConfig::moved_grace). Permanent registrations never move:
+    /// they share fate with their host registrar.
+    void rebalance(const HashRing& ring);
+
+    struct ShardStats {
+        std::uint64_t migrated_out = 0;  ///< registrations shipped to another shard
+        std::uint64_t migrated_in = 0;   ///< registrations accepted from another shard
+        std::uint64_t moved_redirects = 0;  ///< renew/cancel answered with a forward
+    };
+    const ShardStats& shard_stats() const { return shard_stats_; }
 
     /// Register a service co-located with the registrar, without a lease:
     /// host and registrar share fate, so renewal would be a formality.
@@ -94,12 +127,22 @@ private:
         WatchFn fn;
     };
 
+    /// Forwarding address for a lease that migrated to another shard.
+    struct MovedLease {
+        NodeId new_home;
+        LeaseId new_lease;
+        SimTime forget_at;  ///< moved_grace after the migration
+    };
+
     void build_service_object();
     Duration clamp(std::int64_t duration_ms) const;
     void sweep();
     void announce();
     void notify_watchers(const ServiceItem& item, bool appeared);
     void remove_registration(std::map<ServiceId, Registration>::iterator it, bool notify);
+    void index_add(const Registration& reg);
+    void index_remove(const Registration& reg);
+    void migrate_batch(NodeId target, std::vector<ServiceId> sids);
 
     rt::Value do_register(NodeId provider, const std::string& type, rt::Dict attrs,
                           std::int64_t duration_ms);
@@ -108,6 +151,7 @@ private:
     rt::Value do_lookup(const std::string& type) const;
     rt::Value do_watch(NodeId watcher, const std::string& type, const std::string& listener,
                        std::int64_t duration_ms);
+    rt::Value do_migrate(NodeId source, const rt::List& entries);
 
     net::MessageRouter& router_;
     rt::RpcEndpoint& rpc_;
@@ -117,6 +161,11 @@ private:
     IdGenerator<LeaseId> lease_ids_;
     std::map<ServiceId, Registration> services_;
     std::map<LeaseId, ServiceId> service_by_lease_;
+    /// Type -> registrations of that type: lookups and the per-tick
+    /// for_each scan cost O(matching), not O(all registrations).
+    std::map<std::string, std::set<ServiceId>> by_type_;
+    std::map<LeaseId, MovedLease> moved_;  ///< migrated out; swept by grace
+    ShardStats shard_stats_;
     std::map<LeaseId, RemoteWatch> remote_watches_;
     std::map<std::uint64_t, LocalWatch> local_watches_;
     std::uint64_t next_local_watch_ = 0;

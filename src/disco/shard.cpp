@@ -1,0 +1,88 @@
+#include "disco/shard.h"
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace pmp::disco {
+
+void HashRing::add(const std::string& shard, NodeId node, int vnodes) {
+    if (vnodes < 1) vnodes = 1;
+    if (shards_.contains(shard)) remove(shard);
+    shards_[shard] = node;
+    vnodes_[shard] = vnodes;
+    for (int i = 0; i < vnodes; ++i) {
+        std::uint64_t point =
+            hash_avalanche(fnv1a64_mix(fnv1a64(shard), static_cast<std::uint64_t>(i)));
+        // Collisions between distinct shards are astronomically unlikely
+        // but must still be deterministic: first placement wins.
+        points_.emplace(point, Point{shard, node});
+    }
+}
+
+bool HashRing::remove(const std::string& shard) {
+    auto it = shards_.find(shard);
+    if (it == shards_.end()) return false;
+    int vnodes = vnodes_.at(shard);
+    for (int i = 0; i < vnodes; ++i) {
+        std::uint64_t point =
+            hash_avalanche(fnv1a64_mix(fnv1a64(shard), static_cast<std::uint64_t>(i)));
+        auto pit = points_.find(point);
+        if (pit != points_.end() && pit->second.shard == shard) points_.erase(pit);
+    }
+    shards_.erase(it);
+    vnodes_.erase(shard);
+    return true;
+}
+
+const std::string* HashRing::owner_shard(const std::string& key) const {
+    if (points_.empty()) return nullptr;
+    auto it = points_.lower_bound(hash_avalanche(fnv1a64(key)));
+    if (it == points_.end()) it = points_.begin();  // wrap around
+    return &it->second.shard;
+}
+
+NodeId HashRing::owner(const std::string& key) const {
+    if (points_.empty()) return NodeId{};
+    auto it = points_.lower_bound(hash_avalanche(fnv1a64(key)));
+    if (it == points_.end()) it = points_.begin();
+    return it->second.node;
+}
+
+NodeId HashRing::node_of(const std::string& shard) const {
+    auto it = shards_.find(shard);
+    return it == shards_.end() ? NodeId{} : it->second;
+}
+
+void ShardedLookup::lookup(const std::string& type, DiscoveryClient::LookupDone on_done) {
+    NodeId owner = ring_.owner(type);
+    if (!owner.valid()) {
+        on_done({}, std::make_exception_ptr(Error("sharded lookup: empty ring")));
+        return;
+    }
+    disco_.lookup(owner, type, std::move(on_done));
+}
+
+void ShardedLookup::register_service(const std::string& type, rt::Dict attributes,
+                                     LeasedResource::LostFn on_lost,
+                                     DiscoveryClient::RegisterDone on_done) {
+    NodeId owner = ring_.owner(type);
+    if (!owner.valid()) {
+        on_done(nullptr, std::make_exception_ptr(Error("sharded register: empty ring")));
+        return;
+    }
+    disco_.register_service(owner, type, std::move(attributes), std::move(on_lost),
+                            std::move(on_done));
+}
+
+void ShardedLookup::watch(const std::string& type, DiscoveryClient::EventFn on_event,
+                          LeasedResource::LostFn on_lost,
+                          DiscoveryClient::RegisterDone on_done) {
+    NodeId owner = ring_.owner(type);
+    if (!owner.valid()) {
+        on_done(nullptr, std::make_exception_ptr(Error("sharded watch: empty ring")));
+        return;
+    }
+    disco_.watch(owner, type, std::move(on_event), std::move(on_lost), std::move(on_done));
+}
+
+}  // namespace pmp::disco

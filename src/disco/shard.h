@@ -1,0 +1,92 @@
+// Consistent-hash sharded discovery (ROADMAP: million-node federation).
+//
+// One registrar per hall was the paper's deployment; at fleet scale a
+// single registrar becomes both a hot spot (every lookup, registration and
+// renewal lands on it) and a single point of failure. This module shards
+// the directory across many registrars with a consistent-hash ring:
+//
+//   * HashRing places shard names on a 64-bit ring (many virtual points
+//     per shard so load spreads evenly) and answers owner(key) — the
+//     registrar responsible for a service-type key. Every party that holds
+//     the same ring membership computes the same owner, with no
+//     coordination traffic.
+//   * ShardedLookup is the client-side router: lookup/register/watch calls
+//     are sent to the owning shard's registrar instead of a fixed one.
+//   * Lease migration keeps the ring elastic: when a shard joins (or is
+//     about to leave), each registrar calls rebalance(ring) and the
+//     registrations whose keys now hash elsewhere are transferred in one
+//     batched RPC per target, with their remaining lease durations intact.
+//     The old home remembers where each lease went for a grace period; a
+//     client renewing against the old home gets a "moved" verdict carrying
+//     the new home + new lease id, and its LeasedResource re-homes itself
+//     (disco/lookup.h). No renewal is ever silently dropped by a move.
+//
+// Ring membership itself is configuration (tests/scenarios construct the
+// ring), not a gossip protocol: the paper's proactive environments are
+// infrastructure, and infrastructure knows its own shape.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "disco/lookup.h"
+
+namespace pmp::disco {
+
+/// Consistent-hash ring of named shards. Value type: copy it, mutate the
+/// copy, hand it to Registrar::rebalance to enact the change.
+class HashRing {
+public:
+    static constexpr int kDefaultVnodes = 64;
+
+    /// Place `shard` (hosted by `node`) on the ring with `vnodes` virtual
+    /// points. Re-adding an existing shard replaces its node.
+    void add(const std::string& shard, NodeId node, int vnodes = kDefaultVnodes);
+    bool remove(const std::string& shard);
+    bool contains(const std::string& shard) const { return shards_.contains(shard); }
+
+    /// The registrar responsible for `key` (clockwise successor on the
+    /// ring). Invalid NodeId if the ring is empty.
+    NodeId owner(const std::string& key) const;
+    const std::string* owner_shard(const std::string& key) const;
+
+    NodeId node_of(const std::string& shard) const;
+    std::size_t shard_count() const { return shards_.size(); }
+    const std::map<std::string, NodeId>& shards() const { return shards_; }
+
+private:
+    struct Point {
+        std::string shard;
+        NodeId node;
+    };
+    std::map<std::uint64_t, Point> points_;
+    std::map<std::string, NodeId> shards_;
+    std::map<std::string, int> vnodes_;
+};
+
+/// Client-side shard-aware routing: the same DiscoveryClient operations,
+/// but addressed by key through the ring instead of to one fixed
+/// registrar. Holders keep the ring current via ring().
+class ShardedLookup {
+public:
+    explicit ShardedLookup(DiscoveryClient& disco) : disco_(disco) {}
+
+    HashRing& ring() { return ring_; }
+    const HashRing& ring() const { return ring_; }
+
+    /// The registrar that owns `type` under the current ring.
+    NodeId registrar_for(const std::string& type) const { return ring_.owner(type); }
+
+    void lookup(const std::string& type, DiscoveryClient::LookupDone on_done);
+    void register_service(const std::string& type, rt::Dict attributes,
+                          LeasedResource::LostFn on_lost,
+                          DiscoveryClient::RegisterDone on_done);
+    void watch(const std::string& type, DiscoveryClient::EventFn on_event,
+               LeasedResource::LostFn on_lost, DiscoveryClient::RegisterDone on_done);
+
+private:
+    DiscoveryClient& disco_;
+    HashRing ring_;
+};
+
+}  // namespace pmp::disco

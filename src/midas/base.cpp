@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "crypto/sha256.h"
+#include "midas/cell.h"
 #include "obs/trace.h"
 #include "sim/failpoint.h"
 
@@ -79,7 +81,9 @@ void ExtensionBase::recover() {
     for (const auto& [name, sealed] : st.policies) {
         try {
             auto [pkg, sig] = ExtensionPackage::open(std::span<const std::uint8_t>(sealed));
-            policy_[name] = Policy{std::move(pkg), sealed};
+            std::string hash = crypto::to_hex(crypto::Sha256::hash(
+                std::span<const std::uint8_t>(sealed)));
+            policy_[name] = Policy{std::move(pkg), sealed, std::move(hash)};
         } catch (const std::exception& e) {
             // CRC-valid but schema-invalid (should not happen): drop the
             // one policy rather than refuse to boot.
@@ -155,7 +159,14 @@ void ExtensionBase::add_extension(ExtensionPackage pkg) {
     if (pkg.version <= last) pkg.version = last + 1;
     last = pkg.version;
 
-    Policy policy{pkg, pkg.seal(keys_, config_.issuer)};
+    Policy policy{pkg, pkg.seal(keys_, config_.issuer), ""};
+    policy.hash = crypto::to_hex(
+        crypto::Sha256::hash(std::span<const std::uint8_t>(policy.sealed)));
+    // A changed package means a changed hash: every attached cell must
+    // ship the new blob once, so forget the superseded hash everywhere.
+    if (auto old = policy_.find(pkg.name); old != policy_.end()) {
+        for (auto& [_, cs] : cells_) cs.relay_has.erase(old->second.hash);
+    }
     policy_[pkg.name] = std::move(policy);
     record("policy-add", "", pkg.name);
     // Journal after the mutation: a threshold-triggered compaction inside
@@ -166,6 +177,14 @@ void ExtensionBase::add_extension(ExtensionPackage pkg) {
 
     for (auto& [node, adapted] : adapted_) {
         if (adapted.probation) continue;
+        if (cell_routed(adapted)) {
+            // The direct install path is bypassed for cell members. Drop
+            // the superseded extension id instead: the next frame's roster
+            // line reverts to an install of the new content hash and the
+            // relay replaces the package on the node.
+            adapted.installed.erase(pkg.name);
+            continue;
+        }
         std::set<std::string> visiting;
         install_on(node, pkg.name, visiting);
     }
@@ -205,17 +224,26 @@ std::vector<ExtensionBase::AdaptedNode> ExtensionBase::adapted() const {
 void ExtensionBase::on_service(const disco::ServiceItem& item, bool appeared) {
     const Value* label_v = item.attributes.find("node");
     std::string label = label_v && label_v->is_str() ? label_v->as_str() : item.id.str();
+    const Value* cell_v = item.attributes.find("cell");
     if (appeared) {
-        adapt_node(item.provider, label);
+        adapt_node(item.provider, label,
+                   cell_v && cell_v->is_str() ? cell_v->as_str() : "");
     }
     // Disappearance needs no action: keep-alives to the node will start
     // failing and drop_node() takes over — the same path as a crash.
 }
 
-void ExtensionBase::adapt_node(NodeId node, const std::string& label) {
+void ExtensionBase::adapt_node(NodeId node, const std::string& label,
+                               const std::string& cell) {
     SimTime now = rpc_.router().simulator().now();
     auto [it, fresh] = adapted_.emplace(node, AdaptedNode{node, label, {}, {}, 0, now});
     it->second.failures = 0;
+    if (!cell.empty()) {
+        it->second.cell = cell;
+        if (auto cit = cells_.find(cell); cit != cells_.end()) {
+            cit->second.members.insert(node);
+        }
+    }
     bool restamped = false;
     if (it->second.recovered) {
         // The node re-registered after our restart: its presence here is
@@ -247,6 +275,7 @@ bool ExtensionBase::release_node(const std::string& label) {
         if (it->second.label != label) continue;
         nodes_handed_off_c_.inc();
         breaker_.forget(it->second.node);
+        cell_forget(it->second);
         record("handoff", label, "");
         log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",
                  label, " handed off to a neighbouring base");
@@ -287,6 +316,11 @@ std::optional<SimTime> ExtensionBase::claim_stamp_of(const std::string& label) c
 
 void ExtensionBase::install_on(NodeId node, const std::string& name,
                                std::set<std::string>& visiting) {
+    if (auto a = adapted_.find(node); a != adapted_.end() && cell_routed(a->second)) {
+        // Batched cell: the roster sync ships installs — the next frame's
+        // diff turns every missing (node, pkg) into a put op for the relay.
+        return;
+    }
     auto policy_it = policy_.find(name);
     if (policy_it == policy_.end()) {
         log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
@@ -401,18 +435,25 @@ void ExtensionBase::keepalive_tick() {
     // stays continuously renewed — drop_node() would orphan it forever. A
     // live registration is positive evidence the node is up and in range,
     // so adoption is safe; a genuinely dead node stops renewing and falls
-    // out of lookup() within its registrar lease.
-    for (const disco::ServiceItem& item : registrar_.lookup("midas.adaptation")) {
-        if (adapted_.contains(item.provider)) continue;
+    // out of lookup() within its registrar lease. for_each iterates the
+    // type index in place: the old lookup() built a vector of ServiceItems
+    // (attribute dicts and all) per tick — O(cell) allocations every
+    // period even when nothing changed.
+    registrar_.for_each("midas.adaptation", [this](const disco::ServiceItem& item) {
+        if (adapted_.contains(item.provider)) return;
         const Value* label_v = item.attributes.find("node");
+        const Value* cell_v = item.attributes.find("cell");
         adapt_node(item.provider,
-                   label_v && label_v->is_str() ? label_v->as_str() : item.id.str());
-    }
+                   label_v && label_v->is_str() ? label_v->as_str() : item.id.str(),
+                   cell_v && cell_v->is_str() ? cell_v->as_str() : "");
+    });
     for (auto& [node, adapted] : adapted_) {
         // A probation entry is a journal-recovered node the federation has
         // not yet confirmed: a neighbour may have adapted it while we were
         // down, so no traffic until the claim settles.
         if (adapted.probation) continue;
+        // Batched cells run below, one frame per cell — not per node.
+        if (cell_routed(adapted)) continue;
         // Breaker open toward this node: skip the whole tick for it — that
         // is the point (stop hammering a drowning receiver). Skipped ticks
         // do NOT count as keep-alive failures; only real answers (or their
@@ -476,6 +517,261 @@ void ExtensionBase::keepalive_tick() {
                 });
         }
     }
+    for (auto& [cell, cs] : cells_) cell_tick(cell, cs);
+}
+
+// ------------------------------------------------- batched cell protocol ----
+
+void ExtensionBase::attach_cell(const std::string& cell, NodeId relay) {
+    CellState cs;
+    cs.relay = relay;
+    for (const auto& [node, a] : adapted_) {
+        if (a.cell == cell) cs.members.insert(node);
+    }
+    cells_[cell] = std::move(cs);
+    log_info(rpc_.router().simulator().now(), "base@" + config_.issuer,
+             "cell '", cell, "' attached; batching keep-alives via relay");
+}
+
+void ExtensionBase::detach_cell(const std::string& cell) {
+    if (cells_.erase(cell) == 0) return;
+    log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "cell '",
+             cell, "' detached; members fall back to direct keep-alives");
+}
+
+ExtensionBase::CellStats ExtensionBase::cell_stats(const std::string& cell) const {
+    auto it = cells_.find(cell);
+    return it == cells_.end() ? CellStats{} : it->second.stats;
+}
+
+std::string ExtensionBase::policy_hash(const std::string& name) const {
+    auto it = policy_.find(name);
+    return it == policy_.end() ? std::string{} : it->second.hash;
+}
+
+void ExtensionBase::cell_forget(const AdaptedNode& a) {
+    if (a.cell.empty()) return;
+    if (auto it = cells_.find(a.cell); it != cells_.end()) {
+        it->second.members.erase(a.node);
+    }
+}
+
+void ExtensionBase::cell_tick(const std::string& cell, CellState& cs) {
+    // At most one frame in flight: the call timeout equals the keep-alive
+    // period, so a slow relay simply halves the frame rate instead of
+    // stacking calls.
+    if (cs.in_flight) return;
+
+    // Desired roster: every (member, policy) pair, installed entries as
+    // keep-alive lines, missing ones as install lines named by content
+    // hash. This is plain local bookkeeping — the per-period network cost
+    // is the single frame below, whatever the cell size.
+    std::map<RosterKey, RosterEntry> desired;
+    List pause;
+    for (NodeId node : cs.members) {
+        auto ait = adapted_.find(node);
+        if (ait == adapted_.end()) continue;
+        const AdaptedNode& a = ait->second;
+        if (a.probation) continue;
+        if (!breaker_.allow(node)) {
+            // Breaker open: the entries stay on the roster (no churn) but
+            // the relay skips the node this round, and a skipped round
+            // never counts against it — PR 4 semantics, batched.
+            pause.push_back(Value{static_cast<std::int64_t>(node.value)});
+        }
+        for (const auto& [name, policy] : policy_) {
+            auto iit = a.installed.find(name);
+            if (iit != a.installed.end()) {
+                desired[{node.value, name}] = RosterEntry{iit->second, policy.hash};
+                keepalives_sent_c_.inc();
+            } else {
+                desired[{node.value, name}] = RosterEntry{0, policy.hash};
+            }
+        }
+    }
+
+    // Delta-encode against the last acknowledged roster.
+    List ops;
+    std::vector<std::string> blob_hashes;
+    Dict blobs;
+    for (const auto& [key, entry] : desired) {
+        auto sit = cs.synced.find(key);
+        if (sit != cs.synced.end() && sit->second == entry) continue;
+        ops.push_back(Value{Dict{{"op", Value{"put"}},
+                                 {"node", Value{static_cast<std::int64_t>(key.first)}},
+                                 {"name", Value{key.second}},
+                                 {"ext", Value{static_cast<std::int64_t>(entry.ext)}},
+                                 {"hash", Value{entry.hash}}}});
+        if (entry.ext == 0 && !cs.relay_has.contains(entry.hash) &&
+            !blobs.contains(entry.hash)) {
+            for (const auto& [_, policy] : policy_) {
+                if (policy.hash != entry.hash) continue;
+                blobs.set(entry.hash, Value{policy.sealed});
+                blob_hashes.push_back(entry.hash);
+                break;
+            }
+        }
+    }
+    for (const auto& [key, _] : cs.synced) {
+        if (desired.contains(key)) continue;
+        ops.push_back(Value{Dict{{"op", Value{"del"}},
+                                 {"node", Value{static_cast<std::int64_t>(key.first)}},
+                                 {"name", Value{key.second}}}});
+    }
+
+    std::uint64_t seq = ++cs.seq;
+    Dict frame{{"seq", Value{static_cast<std::int64_t>(seq)}},
+               {"base", Value{static_cast<std::int64_t>(cs.acked_seq)}},
+               {"epoch", Value{static_cast<std::int64_t>(epoch_)}},
+               {"lease_ms", Value{config_.extension_lease.count() / 1'000'000}},
+               {"ack", Value{static_cast<std::int64_t>(cs.record_seen)}},
+               {"pause", Value{std::move(pause)}},
+               {"ops", Value{std::move(ops)}},
+               {"blobs", Value{std::move(blobs)}}};
+    cs.pending = std::move(desired);
+    cs.pending_blobs = std::move(blob_hashes);
+    cs.in_flight = true;
+    ++cs.stats.frames_sent;
+
+    rpc_.call_async(
+        cs.relay, "midas.cell", "batch", {Value{std::move(frame)}},
+        rt::CallOptions{.timeout = config_.keepalive_period},
+        [this, cell, seq](Value result, std::exception_ptr error, bool) {
+            auto cit = cells_.find(cell);
+            if (cit == cells_.end()) return;
+            CellState& cs = cit->second;
+            cs.in_flight = false;
+            if (error) {
+                ++cs.stats.frame_failures;
+                // Relay link trouble tells us nothing about individual
+                // members, so no node's failure ledger moves. A relay
+                // that stays dark past the usual threshold costs the cell
+                // its batching: detach, fall back to direct keep-alives.
+                if (++cs.failures > config_.max_keepalive_failures) {
+                    log_warn(rpc_.router().simulator().now(),
+                             "base@" + config_.issuer, "cell '", cell,
+                             "' relay unresponsive; detaching");
+                    detach_cell(cell);
+                }
+                return;
+            }
+            cs.failures = 0;
+            process_cell_reply(cell, seq, result);
+        });
+}
+
+void ExtensionBase::process_cell_reply(const std::string& cell, std::uint64_t sent_seq,
+                                       const rt::Value& reply) {
+    auto cit = cells_.find(cell);
+    if (cit == cells_.end()) return;
+    CellState& cs = cit->second;
+    const Dict& r = reply.as_dict();
+
+    // 1. Liveness bitmap — the previous round's healthy keep-alives, one
+    // bit per entry of the roster version both sides agreed on. Absence of
+    // a bit is NOT a failure (the evidence may simply be a round behind or
+    // the reply before this one was lost); only explicit status records
+    // move failure ledgers.
+    std::uint64_t bitmap_seq = static_cast<std::uint64_t>(r.at("bitmap_seq").as_int());
+    if (bitmap_seq == cs.acked_seq && r.at("ok").is_blob()) {
+        const Bytes& bits = r.at("ok").as_blob();
+        std::size_t i = 0;
+        for (const auto& [key, _] : cs.synced) {
+            if (i / 8 < bits.size() && (bits[i / 8] >> (i % 8)) & 1) {
+                if (auto ait = adapted_.find(NodeId{key.first}); ait != adapted_.end()) {
+                    ait->second.failures = 0;
+                    breaker_.on_success(ait->second.node);
+                }
+            }
+            ++i;
+        }
+    }
+
+    // 2. Status records, applied at most once via the id high-water mark:
+    // a duplicated or retained-and-resent record can never double-count a
+    // failure or double-apply an install.
+    std::uint64_t seen0 = cs.record_seen;
+    std::uint64_t high = seen0;
+    for (const Value& sv : r.at("statuses").as_list()) {
+        const Dict& s = sv.as_dict();
+        std::uint64_t id = static_cast<std::uint64_t>(s.at("id").as_int());
+        if (id > high) high = id;
+        if (id <= seen0) continue;
+        ++cs.stats.statuses;
+        NodeId node{static_cast<std::uint64_t>(s.at("node").as_int())};
+        const std::string& name = s.at("name").as_str();
+        int code = static_cast<int>(s.at("code").as_int());
+        if (code == cellproto::kNeedBlob) {
+            // Relay lost the blob (typically a restart): mark the hash
+            // unsent so it rides the next frame.
+            cs.relay_has.erase(policy_hash(name));
+            continue;
+        }
+        auto ait = adapted_.find(node);
+        if (ait == adapted_.end()) continue;
+        AdaptedNode& a = ait->second;
+        switch (code) {
+            case cellproto::kInstalled: {
+                std::uint64_t ext = static_cast<std::uint64_t>(s.at("ext").as_int());
+                a.installed[name] = ext;
+                a.failures = 0;
+                breaker_.on_success(node);
+                installs_sent_c_.inc();
+                record("install", a.label, name);
+                journal(BaseDurableState::rec_install(node.value, a.label, name, ext));
+                break;
+            }
+            case cellproto::kRefused:
+                // The receiver answered — it is alive — but no longer
+                // honors the extension (lapsed there, or it spotted our
+                // epoch change). Same cure as the direct path: drop the
+                // stale id; the next frame re-installs.
+                a.failures = 0;
+                breaker_.on_success(node);
+                a.installed.erase(name);
+                break;
+            case cellproto::kTransportFail:
+            case cellproto::kShed:
+            case cellproto::kError:
+                keepalive_failures_c_.inc();
+                breaker_.on_failure(node, code != cellproto::kError);
+                if (++a.failures > config_.max_keepalive_failures) drop_node(node);
+                break;
+            default:
+                break;
+        }
+    }
+
+    // 3. Joins reported by the relay's registrar watch. adapt_node is
+    // idempotent, so replays are harmless; the id gate skips them anyway.
+    for (const Value& jv : r.at("joins").as_list()) {
+        const Dict& j = jv.as_dict();
+        std::uint64_t id = static_cast<std::uint64_t>(j.at("id").as_int());
+        if (id > high) high = id;
+        if (id <= seen0) continue;
+        ++cs.stats.joins;
+        adapt_node(NodeId{static_cast<std::uint64_t>(j.at("node").as_int())},
+                   j.at("label").as_str(), cell);
+    }
+    // adapt_node may mutate cells_ (it never erases, but re-find for form).
+    cit = cells_.find(cell);
+    if (cit == cells_.end()) return;
+    CellState& cs2 = cit->second;
+    cs2.record_seen = high;
+
+    // 4. Roster acknowledgement.
+    if (r.at("resync").as_bool()) {
+        ++cs2.stats.resyncs;
+        cs2.synced.clear();
+        cs2.acked_seq = 0;  // next frame is a full roster (delta from empty)
+        cs2.pending_blobs.clear();
+    } else {
+        cs2.synced = std::move(cs2.pending);
+        cs2.acked_seq = sent_seq;
+        cs2.stats.blobs_sent += cs2.pending_blobs.size();
+        for (std::string& h : cs2.pending_blobs) cs2.relay_has.insert(std::move(h));
+        cs2.pending_blobs.clear();
+    }
 }
 
 void ExtensionBase::drop_node(NodeId node) {
@@ -483,6 +779,7 @@ void ExtensionBase::drop_node(NodeId node) {
     if (it == adapted_.end()) return;
     nodes_dropped_c_.inc();
     breaker_.forget(node);
+    cell_forget(it->second);
     std::string label = it->second.label;
     record("node-gone", label, "");
     log_info(rpc_.router().simulator().now(), "base@" + config_.issuer, "node ",

@@ -106,6 +106,7 @@ public:
         SimTime since;
         bool recovered = false;  ///< restored from the journal, not yet re-seen
         bool probation = false;  ///< federation claim pending; no traffic yet
+        std::string cell;        ///< batched-lease cell, "" = direct path
     };
     std::size_t adapted_count() const { return adapted_.size(); }
     std::vector<AdaptedNode> adapted() const;
@@ -143,6 +144,29 @@ public:
     /// receivers can tell a restarted base from the one that leased them.
     std::uint64_t epoch() const { return epoch_; }
 
+    /// Batched lease protocol (see midas/cell.h and docs/federation.md).
+    /// After attach_cell, nodes whose adaptation advertisement carries
+    /// attrs["cell"] == `cell` — plus any member the relay reports — are
+    /// kept alive through ONE delta-encoded frame per period sent to the
+    /// CellRelay at `relay`, instead of per-(node, extension) RPCs. All
+    /// bookkeeping (adapted_, failure ledgers, epoch, breakers) behaves
+    /// exactly as on the direct path. If the relay stops answering for
+    /// more than max_keepalive_failures periods the cell detaches itself
+    /// and its nodes fall back to direct keep-alives.
+    void attach_cell(const std::string& cell, NodeId relay);
+    void detach_cell(const std::string& cell);
+
+    struct CellStats {
+        std::uint64_t frames_sent = 0;
+        std::uint64_t frame_failures = 0;  ///< batch call errors (relay link)
+        std::uint64_t resyncs = 0;         ///< full-roster resends
+        std::uint64_t statuses = 0;        ///< status records processed
+        std::uint64_t blobs_sent = 0;      ///< policy blobs shipped (1/hash/cell)
+        std::uint64_t joins = 0;           ///< members learned from the relay
+    };
+    /// Stats for an attached cell; zeros if unknown/detached.
+    CellStats cell_stats(const std::string& cell) const;
+
     /// Recovery support (see midas::Federation). begin_probation() gates
     /// every journal-recovered book entry out of the keep-alive loop and
     /// returns their (label, since) stamps; the federation claims each to
@@ -158,11 +182,43 @@ public:
 private:
     struct Policy {
         ExtensionPackage pkg;
-        Bytes sealed;  // cached signed bytes
+        Bytes sealed;      // cached signed bytes
+        std::string hash;  // SHA-256 of sealed (content-hash policy sync)
+    };
+
+    /// One (node, pkg) line of a cell roster as the base wants the relay
+    /// to see it. ext == 0 means "install the package with this hash".
+    struct RosterEntry {
+        std::uint64_t ext = 0;
+        std::string hash;
+        bool operator==(const RosterEntry&) const = default;
+    };
+    using RosterKey = std::pair<std::uint64_t, std::string>;
+    struct CellState {
+        NodeId relay;
+        std::set<NodeId> members;
+        std::map<RosterKey, RosterEntry> synced;   ///< roster as of acked_seq
+        std::map<RosterKey, RosterEntry> pending;  ///< roster sent, unacked
+        std::vector<std::string> pending_blobs;    ///< hashes riding the frame
+        std::set<std::string> relay_has;           ///< blobs acked by the relay
+        std::uint64_t seq = 0;
+        std::uint64_t acked_seq = 0;
+        std::uint64_t record_seen = 0;  ///< status/join id high-water mark
+        bool in_flight = false;
+        int failures = 0;  ///< consecutive batch-call failures (relay link)
+        CellStats stats;
     };
 
     void on_service(const disco::ServiceItem& item, bool appeared);
-    void adapt_node(NodeId node, const std::string& label);
+    void adapt_node(NodeId node, const std::string& label, const std::string& cell = "");
+    bool cell_routed(const AdaptedNode& a) const {
+        return !a.cell.empty() && cells_.contains(a.cell);
+    }
+    void cell_forget(const AdaptedNode& a);
+    void cell_tick(const std::string& cell, CellState& cs);
+    void process_cell_reply(const std::string& cell, std::uint64_t sent_seq,
+                            const rt::Value& reply);
+    std::string policy_hash(const std::string& name) const;
     /// Install `name` (prerequisites first) on an adapted node.
     void install_on(NodeId node, const std::string& name,
                     std::set<std::string>& visiting);
@@ -188,6 +244,7 @@ private:
     std::map<std::string, Policy> policy_;
     std::map<std::string, std::uint32_t> last_version_;
     std::map<NodeId, AdaptedNode> adapted_;
+    std::map<std::string, CellState> cells_;
     std::vector<Activity> activity_;
 
     // Registry-backed counters, labelled by issuer.

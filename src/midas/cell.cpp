@@ -1,0 +1,267 @@
+#include "midas/cell.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace pmp::midas {
+
+using rt::Dict;
+using rt::List;
+using rt::Value;
+
+namespace {
+/// Unacked records are retained for reliable delivery; if the base never
+/// acks (it died, or detached the cell), cap the queues rather than grow
+/// without bound. Oldest records go first — the base is gone anyway.
+constexpr std::size_t kMaxRetained = 4096;
+
+int classify(std::exception_ptr error, bool transport) {
+    try {
+        std::rethrow_exception(error);
+    } catch (const Overloaded&) {
+        return cellproto::kShed;
+    } catch (...) {
+    }
+    return transport ? cellproto::kTransportFail : cellproto::kError;
+}
+}  // namespace
+
+CellRelay::CellRelay(rt::RpcEndpoint& rpc, disco::Registrar* local_registrar,
+                     CellRelayConfig config)
+    : rpc_(rpc),
+      local_registrar_(local_registrar),
+      config_(std::move(config)),
+      frames_c_("midas.cell.frames", config_.cell),
+      fanout_c_("midas.cell.fanout_calls", config_.cell),
+      resyncs_c_("midas.cell.resyncs", config_.cell) {
+    build_service_object();
+    if (local_registrar_) {
+        // The relay, not the far-away base, watches the cell's registrar:
+        // newcomers surface to the base as join records in batch replies.
+        watch_token_ = local_registrar_->watch_local(
+            "midas.adaptation",
+            [this](const disco::ServiceItem& item, bool appeared) {
+                if (!appeared) return;
+                const Value* label = item.attributes.find("node");
+                joins_.push_back(Join{++next_record_id_, item.provider.value,
+                                      label && label->is_str() ? label->as_str()
+                                                               : item.id.str()});
+                if (joins_.size() > kMaxRetained) joins_.erase(joins_.begin());
+            });
+    }
+}
+
+CellRelay::~CellRelay() {
+    if (local_registrar_) local_registrar_->unwatch_local(watch_token_);
+}
+
+void CellRelay::build_service_object() {
+    using rt::TypeKind;
+    auto& runtime = rpc_.runtime();
+    if (!runtime.find_type("CellRelay")) {
+        auto type = rt::TypeInfo::Builder("CellRelay")
+                        .method("batch", TypeKind::kDict, {{"frame", TypeKind::kDict}},
+                                [this](rt::ServiceObject&, List& args) -> Value {
+                                    return do_batch(args[0]);
+                                })
+                        .build();
+        runtime.register_type(type);
+    }
+    self_object_ = runtime.create("CellRelay", "midas.cell");
+    rpc_.export_object("midas.cell");
+}
+
+void CellRelay::push_status(std::uint64_t node, const std::string& name, int code,
+                            std::uint64_t ext) {
+    pending_.push_back(Status{++next_record_id_, node, name, code, ext});
+    if (pending_.size() > kMaxRetained) pending_.erase(pending_.begin());
+}
+
+Value CellRelay::do_batch(const Value& frame_v) {
+    const Dict& frame = frame_v.as_dict();
+    ++stats_.frames;
+    frames_c_.inc();
+    std::uint64_t seq = static_cast<std::uint64_t>(frame.at("seq").as_int());
+    std::uint64_t base = static_cast<std::uint64_t>(frame.at("base").as_int());
+    std::uint64_t ack = static_cast<std::uint64_t>(frame.at("ack").as_int());
+    epoch_ = static_cast<std::uint64_t>(frame.at("epoch").as_int());
+    lease_ms_ = frame.at("lease_ms").as_int();
+
+    // Drop records the base has confirmed processing.
+    std::erase_if(pending_, [ack](const Status& s) { return s.id <= ack; });
+    std::erase_if(joins_, [ack](const Join& j) { return j.id <= ack; });
+
+    // Build the pipelined reply *before* applying this frame's ops: the
+    // liveness bitmap indexes the roster version the base last acked —
+    // both sides iterate the same sorted keys, so bit i means entry i.
+    Bytes bitmap((roster_.size() + 7) / 8, 0);
+    std::size_t i = 0;
+    for (const auto& [key, entry] : roster_) {
+        if (ok_accum_.contains(key)) bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        ++i;
+    }
+    ok_accum_.clear();
+    std::uint64_t bitmap_seq = applied_seq_;
+    List statuses;
+    for (const Status& s : pending_) {
+        statuses.push_back(Value{Dict{
+            {"id", Value{static_cast<std::int64_t>(s.id)}},
+            {"node", Value{static_cast<std::int64_t>(s.node)}},
+            {"name", Value{s.name}},
+            {"code", Value{static_cast<std::int64_t>(s.code)}},
+            {"ext", Value{static_cast<std::int64_t>(s.ext)}}}});
+    }
+    List joins;
+    for (const Join& j : joins_) {
+        joins.push_back(Value{Dict{{"id", Value{static_cast<std::int64_t>(j.id)}},
+                                   {"node", Value{static_cast<std::int64_t>(j.node)}},
+                                   {"label", Value{j.label}}}});
+    }
+
+    // Cache any policy blobs riding along (content-addressed; a repeat
+    // send of a known hash is a harmless overwrite with identical bytes).
+    if (const Value* bv = frame.find("blobs")) {
+        for (const auto& [hash, blob] : bv->as_dict()) {
+            blobs_[hash] = blob.as_blob();
+            for (auto& [_, entry] : roster_) {
+                if (entry.hash == hash) entry.need_blob_reported = false;
+            }
+        }
+    }
+
+    // Apply roster ops. base == 0 marks a full roster (delta from empty);
+    // anything else must extend exactly the state we hold, or the frame is
+    // refused with `resync` and the base resends in full. A stale frame
+    // (seq regression after a timeout-then-late-delivery) is refused the
+    // same way and its ops never touch the roster.
+    bool resync = false;
+    if (seq <= applied_seq_) {
+        resync = true;
+    } else if (base == 0) {
+        roster_.clear();
+    } else if (base != applied_seq_) {
+        resync = true;
+    }
+    if (resync) {
+        ++stats_.resyncs;
+        resyncs_c_.inc();
+    } else {
+        for (const Value& ov : frame.at("ops").as_list()) {
+            const Dict& op = ov.as_dict();
+            EntryKey key{static_cast<std::uint64_t>(op.at("node").as_int()),
+                         op.at("name").as_str()};
+            if (op.at("op").as_str() == "del") {
+                roster_.erase(key);
+                continue;
+            }
+            Entry& entry = roster_[key];
+            entry.ext = static_cast<std::uint64_t>(op.at("ext").as_int());
+            entry.hash = op.at("hash").as_str();
+            entry.need_blob_reported = false;
+        }
+        applied_seq_ = seq;
+
+        paused_.clear();
+        for (const Value& pv : frame.at("pause").as_list()) {
+            paused_.insert(static_cast<std::uint64_t>(pv.as_int()));
+        }
+        fan_out();
+    }
+
+    Dict reply{{"applied", Value{static_cast<std::int64_t>(applied_seq_)}},
+               {"resync", Value{resync}},
+               {"bitmap_seq", Value{static_cast<std::int64_t>(bitmap_seq)}},
+               {"ok", Value{std::move(bitmap)}},
+               {"statuses", Value{std::move(statuses)}},
+               {"joins", Value{std::move(joins)}}};
+    return Value{std::move(reply)};
+}
+
+void CellRelay::fan_out() {
+    for (auto& [key, entry] : roster_) {
+        if (paused_.contains(key.first)) continue;  // breaker open at the base
+        if (entry.in_flight) continue;
+        if (entry.cooldown > 0) {
+            --entry.cooldown;
+            continue;
+        }
+        NodeId node{key.first};
+        if (entry.ext != 0) {
+            ++stats_.fanout_calls;
+            fanout_c_.inc();
+            entry.in_flight = true;
+            rpc_.call_async(
+                node, "adaptation", "keepalive",
+                {Value{static_cast<std::int64_t>(entry.ext)}, Value{lease_ms_},
+                 Value{static_cast<std::int64_t>(epoch_)}},
+                rt::CallOptions{.timeout = config_.call_timeout},
+                [this, key, guard = std::weak_ptr<char>(token_)](
+                    Value result, std::exception_ptr error, bool transport) {
+                    if (guard.expired()) return;
+                    auto it = roster_.find(key);
+                    if (it == roster_.end()) return;
+                    Entry& e = it->second;
+                    e.in_flight = false;
+                    if (error) {
+                        // No backoff here: keep-alives stay on the fixed
+                        // per-period cadence exactly like the direct path
+                        // (backing off would stretch the gap past the
+                        // lease after two blips); dropping the node is the
+                        // base's ledger's call, not the relay's.
+                        push_status(key.first, key.second, classify(error, transport));
+                        return;
+                    }
+                    if (result.as_bool()) {
+                        ok_accum_.insert(key);
+                    } else {
+                        // Stale extension / epoch mismatch at the receiver.
+                        // Report and keep the entry untouched: the base
+                        // erases its bookkeeping and the next frame turns
+                        // this entry back into an install op.
+                        push_status(key.first, key.second, cellproto::kRefused);
+                    }
+                });
+        } else {
+            auto bit = blobs_.find(entry.hash);
+            if (bit == blobs_.end()) {
+                if (!entry.need_blob_reported) {
+                    entry.need_blob_reported = true;
+                    push_status(key.first, key.second, cellproto::kNeedBlob);
+                }
+                continue;
+            }
+            ++stats_.fanout_calls;
+            fanout_c_.inc();
+            entry.in_flight = true;
+            rpc_.call_async(
+                node, "adaptation", "install",
+                {Value{bit->second}, Value{lease_ms_},
+                 Value{static_cast<std::int64_t>(epoch_)}},
+                rt::CallOptions{.timeout = config_.call_timeout, .retries = 1},
+                [this, key, guard = std::weak_ptr<char>(token_)](
+                    Value result, std::exception_ptr error, bool transport) {
+                    if (guard.expired()) return;
+                    auto it = roster_.find(key);
+                    if (it == roster_.end()) return;
+                    Entry& e = it->second;
+                    e.in_flight = false;
+                    if (error) {
+                        push_status(key.first, key.second, classify(error, transport));
+                        e.penalty = e.penalty == 0
+                                        ? 1
+                                        : std::min(e.penalty * 2, config_.max_backoff_rounds);
+                        e.cooldown = e.penalty;
+                        return;
+                    }
+                    e.penalty = 0;
+                    e.ext = static_cast<std::uint64_t>(
+                        result.as_dict().at("ext").as_int());
+                    // Keep-alives start next round; the base's confirming
+                    // put op later carries the same ext and is a no-op.
+                    push_status(key.first, key.second, cellproto::kInstalled, e.ext);
+                });
+        }
+    }
+}
+
+}  // namespace pmp::midas

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "midas/base.h"
+#include "midas/cell.h"
 #include "midas/collector.h"
 #include "midas/receiver.h"
 
@@ -21,8 +22,12 @@ namespace pmp::midas {
 /// The stack every node shares.
 class NodeStack {
 public:
+    /// `disco_config` tunes the node's discovery client. Large fleets
+    /// stretch `probe_period`: a probe is a broadcast, and ten thousand
+    /// nodes probing twice a second is a control-plane storm all by itself
+    /// (registrar beacons keep liveness fresh without it).
     NodeStack(net::Network& network, const std::string& label, net::Position pos,
-              double range);
+              double range, disco::DiscoveryConfig disco_config = {});
 
     NodeId id() const { return id_; }
     const std::string& label() const { return label_; }
@@ -59,7 +64,8 @@ class MobileNode : public NodeStack {
 public:
     MobileNode(net::Network& network, const std::string& label, net::Position pos,
                double range, ReceiverConfig receiver_config = {},
-               std::shared_ptr<db::JournalStorage> durable = nullptr);
+               std::shared_ptr<db::JournalStorage> durable = nullptr,
+               disco::DiscoveryConfig disco_config = {});
 
     crypto::TrustStore& trust() { return trust_; }
     AdaptationService& receiver() { return *receiver_; }
@@ -82,7 +88,8 @@ public:
     BaseStation(net::Network& network, const std::string& label, net::Position pos,
                 double range, BaseConfig base_config,
                 disco::RegistrarConfig registrar_config = {},
-                std::shared_ptr<db::JournalStorage> durable = nullptr);
+                std::shared_ptr<db::JournalStorage> durable = nullptr,
+                disco::DiscoveryConfig disco_config = {});
 
     crypto::KeyStore& keys() { return keys_; }
     disco::Registrar& registrar() { return *registrar_; }
@@ -99,6 +106,26 @@ private:
     std::unique_ptr<disco::Registrar> registrar_;
     std::unique_ptr<Collector> collector_;
     std::unique_ptr<ExtensionBase> base_;
+};
+
+/// A cell anchor for federated deployments: a local registrar (the cell's
+/// discovery scope) plus a CellRelay that batches the cell's lease traffic
+/// toward a far-away ExtensionBase (midas/cell.h, docs/federation.md). It
+/// holds no policy of its own — it is cheap infrastructure, one per radio
+/// cell.
+class CellStation : public NodeStack {
+public:
+    CellStation(net::Network& network, const std::string& label, net::Position pos,
+                double range, CellRelayConfig relay_config = {},
+                disco::RegistrarConfig registrar_config = {},
+                disco::DiscoveryConfig disco_config = {});
+
+    disco::Registrar& registrar() { return *registrar_; }
+    CellRelay& relay() { return *relay_; }
+
+private:
+    std::unique_ptr<disco::Registrar> registrar_;
+    std::unique_ptr<CellRelay> relay_;
 };
 
 /// A symmetric peer: receives extensions from others and provides its own.

@@ -46,7 +46,10 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
       compile_hits_c_("script.compile.cache_hits", config_.node_label),
       compile_misses_c_("script.compile.cache_misses", config_.node_label),
       pointcut_hits_c_("prose.pointcut.cache_hits", config_.node_label),
+      cache_evictions_c_("midas.receiver.cache_evictions", config_.node_label),
       extensions_g_("midas.extensions", config_.node_label) {
+    compile_cache_.cap = config_.compile_cache_cap;
+    pointcut_cache_.cap = config_.pointcut_cache_cap;
     if (journal_) recover();
 
     // Protocol machinery, not telemetry: the weaver reports every advice
@@ -313,6 +316,7 @@ void AdaptationService::quarantine(ExtensionId id) {
 
 void AdaptationService::register_at(NodeId registrar) {
     Dict attrs{{"node", Value{config_.node_label}}};
+    if (!config_.cell.empty()) attrs.set("cell", Value{config_.cell});
     // If the advertisement is lost (renewals eaten by a lossy radio) or the
     // registration attempt itself fails while the registrar is still
     // around, try again shortly — otherwise the node would silently stop
@@ -626,26 +630,24 @@ std::shared_ptr<const script::CompiledUnit> AdaptationService::compiled_unit_for
     // digest also names the unit in traces. A failed parse/compile throws
     // before insertion, so bad scripts are never cached.
     std::string key = crypto::to_hex(crypto::Sha256::hash(script));
-    auto it = compile_cache_.find(key);
-    if (it != compile_cache_.end()) {
+    if (auto* cached = compile_cache_.get(key)) {
         compile_hits_c_.inc();
-        return it->second;
+        return *cached;
     }
     compile_misses_c_.inc();
     auto unit = script::compile(
         std::make_shared<const script::Program>(script::parse(script)));
-    compile_cache_.emplace(std::move(key), unit);
+    cache_evictions_c_.inc(compile_cache_.put(std::move(key), unit));
     return unit;
 }
 
 prose::Pointcut AdaptationService::pointcut_for(const std::string& source) {
-    auto it = pointcut_cache_.find(source);
-    if (it != pointcut_cache_.end()) {
+    if (auto* cached = pointcut_cache_.get(source)) {
         pointcut_hits_c_.inc();
-        return it->second;
+        return *cached;
     }
     prose::Pointcut pc = prose::Pointcut::parse(source);
-    pointcut_cache_.emplace(source, pc);
+    cache_evictions_c_.inc(pointcut_cache_.put(source, pc));
     return pc;
 }
 

@@ -29,6 +29,7 @@
 // re-install — exactly once, through its normal retry path.
 #pragma once
 
+#include <list>
 #include <set>
 
 #include "core/script_aspect.h"
@@ -44,7 +45,17 @@ namespace pmp::midas {
 
 struct ReceiverConfig {
     std::string node_label;                  ///< e.g. "robot:1:1"
+    /// Batched-lease cell this node belongs to ("" = none). Advertised as
+    /// attrs["cell"] so a base can route the node's keep-alives through
+    /// the cell's relay (see midas/cell.h).
+    std::string cell;
     Duration max_extension_lease = seconds(5);  ///< grants clamped to this
+    /// Bounds for the install-path compile/pointcut caches: one entry per
+    /// *distinct* script or pointcut source, evicted least-recently-used.
+    /// A long-lived node visited by many halls would otherwise grow these
+    /// maps without bound (every policy revision is a new content hash).
+    std::size_t compile_cache_cap = 64;
+    std::size_t pointcut_cache_cap = 128;
     std::uint64_t script_step_budget = 1'000'000;
     int script_max_recursion = 64;
     /// Run the static checker over incoming scripts and reject packages
@@ -226,11 +237,51 @@ private:
     /// Install-path caches, shared across packages. A fleet pushing the
     /// same extension to many objects (or re-installing after lease churn)
     /// compiles each distinct script and parses each distinct pointcut
-    /// exactly once per node.
-    std::map<std::string, std::shared_ptr<const script::CompiledUnit>> compile_cache_;
-    std::map<std::string, prose::Pointcut> pointcut_cache_;
+    /// exactly once per node — bounded LRU, so a node that outlives many
+    /// policy revisions holds only the ReceiverConfig caps' worth of them
+    /// (evictions surface as midas.receiver.cache_evictions).
+    template <typename V>
+    struct LruCache {
+        std::size_t cap = 0;  ///< 0 = unbounded
+        std::list<std::pair<std::string, V>> items;  // front = most recent
+        std::map<std::string, typename std::list<std::pair<std::string, V>>::iterator>
+            index;
+
+        V* get(const std::string& key) {
+            auto it = index.find(key);
+            if (it == index.end()) return nullptr;
+            items.splice(items.begin(), items, it->second);
+            return &it->second->second;
+        }
+        /// Inserts (or refreshes) and returns how many entries were evicted.
+        std::size_t put(const std::string& key, V value) {
+            if (auto it = index.find(key); it != index.end()) {
+                it->second->second = std::move(value);
+                items.splice(items.begin(), items, it->second);
+                return 0;
+            }
+            items.emplace_front(key, std::move(value));
+            index[key] = items.begin();
+            std::size_t evicted = 0;
+            while (cap > 0 && items.size() > cap) {
+                index.erase(items.back().first);
+                items.pop_back();
+                ++evicted;
+            }
+            return evicted;
+        }
+        std::size_t size() const { return items.size(); }
+    };
+    LruCache<std::shared_ptr<const script::CompiledUnit>> compile_cache_;
+    LruCache<prose::Pointcut> pointcut_cache_;
     std::shared_ptr<const script::CompiledUnit> compiled_unit_for(const std::string& script);
     prose::Pointcut pointcut_for(const std::string& source);
+
+public:
+    std::size_t compile_cache_size() const { return compile_cache_.size(); }
+    std::size_t pointcut_cache_size() const { return pointcut_cache_.size(); }
+
+private:
 
     struct Entry {
         Installed info;
@@ -281,6 +332,7 @@ private:
     obs::OwnedCounter compile_hits_c_;
     obs::OwnedCounter compile_misses_c_;
     obs::OwnedCounter pointcut_hits_c_;
+    obs::OwnedCounter cache_evictions_c_;
     obs::OwnedGauge extensions_g_;
 
     EventFn event_fn_;
