@@ -18,6 +18,7 @@ LeasedResource::LeasedResource(rt::RpcEndpoint& rpc, NodeId registrar, LeaseId l
       lease_(lease),
       duration_(duration),
       on_lost_(std::move(on_lost)) {
+    expires_ = rpc_.router().simulator().now() + duration_;
     schedule_renewal(renewal_phase());
 }
 
@@ -26,9 +27,10 @@ Duration lease_renewal_phase(NodeId registrar, LeaseId lease, Duration duration)
     // offset: without it every lease granted in the same instant (a cell
     // booting, a batch of extensions installing) renews in the same
     // instant forever, and the registrar sees a thundering herd each
-    // period. The offset stays within duration/8 so the worst case (first
-    // renew at 5/8·d, retry at +1/4·d = 7/8·d) still lands inside the
-    // lease.
+    // period. The offset stays within duration/8 so the worst case still
+    // lands inside the lease: first renew at 5/8·d, the slowest failure
+    // (a lost message, detected by the d/4 call timeout) at 7/8·d, and
+    // the first retry d/16 later at 15/16·d — leaving d/16 for its reply.
     std::uint64_t h =
         fnv1a64_mix(fnv1a64_mix(fnv1a64("lease-jitter"), registrar.value), lease.value);
     std::int64_t span = duration.count() / 8;
@@ -57,22 +59,23 @@ void LeasedResource::cancel() {
 }
 
 void LeasedResource::schedule_renewal(Duration delay) {
-    timer_ = rpc_.router().simulator().schedule_after(delay, [this]() { renew(false); });
+    timer_ = rpc_.router().simulator().schedule_after(delay, [this]() { renew(); });
 }
 
-void LeasedResource::renew(bool is_retry) {
+void LeasedResource::renew() {
     if (!alive_) return;
     std::int64_t want_ms = duration_.count() / 1'000'000;
     rpc_.call_async(
         registrar_, "registrar", "renew",
         {Value{static_cast<std::int64_t>(lease_.value)}, Value{want_ms}},
-        [this, is_retry, guard = std::weak_ptr<char>(token_)](Value result,
-                                                              std::exception_ptr error) {
+        [this, guard = std::weak_ptr<char>(token_)](Value result,
+                                                    std::exception_ptr error) {
             // The holder may drop the handle while the renew call is in
             // flight; the token expiring means `this` is gone.
             if (guard.expired() || !alive_) return;
             bool ok = !error && result.as_dict().at("ok").as_bool();
             if (ok) {
+                expires_ = rpc_.router().simulator().now() + duration_;
                 schedule_renewal(renewal_phase());
             } else if (!error && result.as_dict().contains("moved_to")) {
                 // The lease migrated to another shard (registrar
@@ -82,13 +85,31 @@ void LeasedResource::renew(bool is_retry) {
                 const Dict& d = result.as_dict();
                 registrar_ = NodeId{static_cast<std::uint64_t>(d.at("moved_to").as_int())};
                 lease_ = LeaseId{static_cast<std::uint64_t>(d.at("moved_lease").as_int())};
-                renew(false);
-            } else if (!is_retry) {
-                // One quick retry before giving up: a single lost message
-                // should not tear the adaptation down.
-                timer_ = rpc_.router().simulator().schedule_after(duration_ / 4,
-                                                                  [this]() { renew(true); });
+                renew();
+            } else if (error) {
+                // Transport failure — lost message, timeout, a partition
+                // blocking the path. The lease may still have most of its
+                // life left (an unreachable verdict comes back instantly),
+                // so giving up after a fixed retry count would tear down
+                // an adaptation over a blip shorter than the lease itself.
+                // Instead, retry on a short cadence until the budget the
+                // registrar granted is actually gone. The delay must stay
+                // well under the lease: a *timed-out* renew has already
+                // burned d/4 on the call timeout, and a positive-jitter
+                // lease (first renew at 5/8·d) then has only d/8 of slack
+                // — d/16 leaves the final retry's reply a d/16 margin.
+                Duration delay = duration_ / 16;
+                if (rpc_.router().simulator().now() + delay < expires_) {
+                    timer_ = rpc_.router().simulator().schedule_after(
+                        delay, [this]() { renew(); });
+                } else {
+                    mark_lost();
+                }
             } else {
+                // The registrar answered and refused: it no longer knows
+                // the lease (expired and swept, or the registrar
+                // restarted). Retrying cannot revive it — report the loss
+                // so the holder re-registers.
                 mark_lost();
             }
         },

@@ -57,13 +57,14 @@ private:
 
     void schedule_renewal(Duration delay);
     Duration renewal_phase() const;
-    void renew(bool is_retry);
+    void renew();
     void mark_lost();
 
     rt::RpcEndpoint& rpc_;
     NodeId registrar_;
     LeaseId lease_;
     Duration duration_;
+    SimTime expires_{};  ///< client-side estimate of the registrar's deadline
     LostFn on_lost_;
     sim::TimerId timer_;
     bool alive_ = true;

@@ -209,51 +209,81 @@ void Registrar::index_remove(const Registration& reg) {
 }
 
 void Registrar::rebalance(const HashRing& ring) {
-    // Group the leased registrations whose type now hashes elsewhere by
-    // their new owner, then ship one batched migrate RPC per target.
-    std::map<NodeId, std::vector<ServiceId>> outgoing;
+    // Group the leased registrations — and the remote watches, which must
+    // follow the registrations of their type or silently go deaf — whose
+    // type now hashes elsewhere by their new owner, then ship one batched
+    // migrate RPC per target.
+    std::map<NodeId, std::pair<std::vector<ServiceId>, std::vector<LeaseId>>> outgoing;
     for (const auto& [sid, reg] : services_) {
         if (reg.expires == SimTime::max()) continue;  // permanent: shares fate
         NodeId owner = ring.owner(reg.item.type);
         if (!owner.valid() || owner == router_.self()) continue;
-        outgoing[owner].push_back(sid);
+        outgoing[owner].first.push_back(sid);
     }
-    for (auto& [target, sids] : outgoing) migrate_batch(target, std::move(sids));
+    for (const auto& [lease, watch] : remote_watches_) {
+        NodeId owner = ring.owner(watch.type);
+        if (!owner.valid() || owner == router_.self()) continue;
+        outgoing[owner].second.push_back(lease);
+    }
+    for (auto& [target, batch] : outgoing) {
+        migrate_batch(target, std::move(batch.first), std::move(batch.second));
+    }
 }
 
-void Registrar::migrate_batch(NodeId target, std::vector<ServiceId> sids) {
+void Registrar::migrate_batch(NodeId target, std::vector<ServiceId> sids,
+                              std::vector<LeaseId> watch_leases) {
     SimTime now = router_.simulator().now();
     List entries;
     std::vector<ServiceId> shipped;
+    std::vector<LeaseId> shipped_watches;
     for (ServiceId sid : sids) {
         auto sit = services_.find(sid);
         if (sit == services_.end()) continue;
         const Registration& reg = sit->second;
         std::int64_t remaining_ms =
             reg.expires <= now ? 0 : (reg.expires - now).count() / 1'000'000;
-        Dict entry{{"type", Value{reg.item.type}},
+        Dict entry{{"kind", Value{"reg"}},
+                   {"type", Value{reg.item.type}},
                    {"attrs", Value{reg.item.attributes}},
                    {"provider", Value{static_cast<std::int64_t>(reg.item.provider.value)}},
                    {"remaining_ms", Value{remaining_ms}}};
         entries.push_back(Value{std::move(entry)});
         shipped.push_back(sid);
     }
-    if (shipped.empty()) return;
+    // Watch entries ride after the registrations; the reply's lease list
+    // is aligned to this order.
+    for (LeaseId lease : watch_leases) {
+        auto wit = remote_watches_.find(lease);
+        if (wit == remote_watches_.end()) continue;
+        const RemoteWatch& watch = wit->second;
+        std::int64_t remaining_ms =
+            watch.expires <= now ? 0 : (watch.expires - now).count() / 1'000'000;
+        Dict entry{{"kind", Value{"watch"}},
+                   {"type", Value{watch.type}},
+                   {"watcher", Value{static_cast<std::int64_t>(watch.watcher.value)}},
+                   {"listener", Value{watch.listener}},
+                   {"remaining_ms", Value{remaining_ms}}};
+        entries.push_back(Value{std::move(entry)});
+        shipped_watches.push_back(lease);
+    }
+    if (shipped.empty() && shipped_watches.empty()) return;
 
     rpc_.call_async(
         target, "registrar", "migrate", {Value{std::move(entries)}},
-        [this, target, shipped = std::move(shipped)](Value reply, std::exception_ptr err) {
+        [this, target, shipped = std::move(shipped),
+         shipped_watches = std::move(shipped_watches)](Value reply, std::exception_ptr err) {
             if (err) {
-                // Migration failed: the registrations stay home (their
-                // leases are still live here), and a later rebalance can
-                // retry. Nothing was lost.
+                // Migration failed: the registrations and watches stay
+                // home (their leases are still live here), and a later
+                // rebalance can retry. Nothing was lost.
                 log_debug(router_.simulator().now(), "registrar",
                           "migrate batch to ", target.str(), " failed; keeping entries");
                 return;
             }
             const List& new_leases = reply.as_list();
             SimTime forget_at = router_.simulator().now() + config_.moved_grace;
-            for (std::size_t i = 0; i < shipped.size() && i < new_leases.size(); ++i) {
+            std::size_t i = 0;
+            for (; i < shipped.size() && i < new_leases.size(); ++i) {
                 auto sit = services_.find(shipped[i]);
                 if (sit == services_.end()) continue;  // expired/cancelled meanwhile
                 LeaseId old_lease = sit->second.lease;
@@ -263,14 +293,51 @@ void Registrar::migrate_batch(NodeId target, std::vector<ServiceId> sids) {
                 remove_registration(sit, /*notify=*/true);
                 ++shard_stats_.migrated_out;
             }
+            for (std::size_t w = 0; w < shipped_watches.size() && i < new_leases.size();
+                 ++w, ++i) {
+                auto wit = remote_watches_.find(shipped_watches[w]);
+                if (wit == remote_watches_.end()) continue;
+                LeaseId new_lease{
+                    static_cast<std::uint64_t>(new_leases[i].as_int())};
+                moved_[wit->first] = MovedLease{target, new_lease, forget_at};
+                remote_watches_.erase(wit);
+                ++shard_stats_.watches_migrated_out;
+            }
         });
 }
 
 Value Registrar::do_migrate(NodeId source, const List& entries) {
     SimTime now = router_.simulator().now();
     List new_leases;
+    std::size_t regs = 0, watches = 0;
     for (const Value& v : entries) {
         const Dict& e = v.as_dict();
+        if (const Value* kind = e.find("kind"); kind && kind->as_str() == "watch") {
+            RemoteWatch watch{e.at("type").as_str(),
+                              NodeId{static_cast<std::uint64_t>(e.at("watcher").as_int())},
+                              e.at("listener").as_str(), lease_ids_.next(),
+                              now + clamp(e.at("remaining_ms").as_int())};
+            LeaseId lease = watch.lease;
+            std::string type = watch.type;
+            NodeId watcher = watch.watcher;
+            std::string listener = watch.listener;
+            remote_watches_.emplace(lease, std::move(watch));
+            ++shard_stats_.watches_migrated_in;
+            ++watches;
+            new_leases.push_back(Value{static_cast<std::int64_t>(lease.value)});
+            // Same catch-up as do_watch: services of the type may already
+            // live here (registered fresh, or migrated in an earlier
+            // batch). Duplicated appearance events are idempotent for
+            // watchers by contract.
+            for_each(type, [&](const ServiceItem& item) {
+                Dict event{{"type", Value{type}},
+                           {"appeared", Value{true}},
+                           {"item", item.to_value()}};
+                rpc_.call_async(watcher, listener, "notify", {Value{std::move(event)}},
+                                [](Value, std::exception_ptr) {});
+            });
+            continue;
+        }
         Registration reg;
         reg.item = ServiceItem{service_ids_.next(),
                                NodeId{static_cast<std::uint64_t>(e.at("provider").as_int())},
@@ -285,10 +352,11 @@ Value Registrar::do_migrate(NodeId source, const List& entries) {
         services_.emplace(sid, std::move(reg));
         service_by_lease_.emplace(lease, sid);
         ++shard_stats_.migrated_in;
+        ++regs;
         notify_watchers(item, true);
     }
-    log_debug(now, "registrar", "accepted ", new_leases.size(),
-              " migrated registrations from ", source.str());
+    log_debug(now, "registrar", "accepted ", regs, " migrated registrations and ",
+              watches, " watches from ", source.str());
     return Value{std::move(new_leases)};
 }
 

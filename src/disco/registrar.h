@@ -78,19 +78,24 @@ public:
     void for_each(const std::string& type,
                   const std::function<void(const ServiceItem&)>& fn) const;
 
-    /// Shard rebalance: batch-migrate every leased registration whose type
-    /// key hashes to another shard under `ring` (one RPC per target
-    /// registrar, remaining lease durations preserved). Call after a shard
-    /// joins the ring, or on the departing registrar — with a ring that no
-    /// longer contains it — before it leaves. Holders renewing against this
-    /// registrar are redirected to their lease's new home (see
-    /// RegistrarConfig::moved_grace). Permanent registrations never move:
-    /// they share fate with their host registrar.
+    /// Shard rebalance: batch-migrate every leased registration AND remote
+    /// watch whose type key hashes to another shard under `ring` (one RPC
+    /// per target registrar, remaining lease durations preserved). Call
+    /// after a shard joins the ring, or on the departing registrar — with
+    /// a ring that no longer contains it — before it leaves. Holders
+    /// renewing against this registrar are redirected to their lease's new
+    /// home (see RegistrarConfig::moved_grace). Watches must move with the
+    /// registrations: new registrations of the type route to the new
+    /// owner, so a watch left behind would keep renewing successfully yet
+    /// silently never fire again. Permanent registrations never move: they
+    /// share fate with their host registrar.
     void rebalance(const HashRing& ring);
 
     struct ShardStats {
         std::uint64_t migrated_out = 0;  ///< registrations shipped to another shard
         std::uint64_t migrated_in = 0;   ///< registrations accepted from another shard
+        std::uint64_t watches_migrated_out = 0;  ///< remote watches shipped out
+        std::uint64_t watches_migrated_in = 0;   ///< remote watches accepted
         std::uint64_t moved_redirects = 0;  ///< renew/cancel answered with a forward
     };
     const ShardStats& shard_stats() const { return shard_stats_; }
@@ -142,7 +147,8 @@ private:
     void remove_registration(std::map<ServiceId, Registration>::iterator it, bool notify);
     void index_add(const Registration& reg);
     void index_remove(const Registration& reg);
-    void migrate_batch(NodeId target, std::vector<ServiceId> sids);
+    void migrate_batch(NodeId target, std::vector<ServiceId> sids,
+                       std::vector<LeaseId> watch_leases);
 
     rt::Value do_register(NodeId provider, const std::string& type, rt::Dict attrs,
                           std::int64_t duration_ms);

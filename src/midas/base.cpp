@@ -236,7 +236,11 @@ void ExtensionBase::on_service(const disco::ServiceItem& item, bool appeared) {
 void ExtensionBase::adapt_node(NodeId node, const std::string& label,
                                const std::string& cell) {
     SimTime now = rpc_.router().simulator().now();
-    auto [it, fresh] = adapted_.emplace(node, AdaptedNode{node, label, {}, {}, 0, now});
+    AdaptedNode entry;
+    entry.node = node;
+    entry.label = label;
+    entry.since = now;
+    auto [it, fresh] = adapted_.emplace(node, std::move(entry));
     it->second.failures = 0;
     if (!cell.empty()) {
         it->second.cell = cell;
@@ -703,8 +707,16 @@ void ExtensionBase::process_cell_reply(const std::string& cell, std::uint64_t se
         int code = static_cast<int>(s.at("code").as_int());
         if (code == cellproto::kNeedBlob) {
             // Relay lost the blob (typically a restart): mark the hash
-            // unsent so it rides the next frame.
-            cs.relay_has.erase(policy_hash(name));
+            // unsent. Blobs only ride frames alongside put ops, and a
+            // fully synced roster emits no ops — so also un-sync every
+            // entry carrying the hash, forcing the next frame to re-emit
+            // their puts with the blob attached. Pending must be scrubbed
+            // too: step 4 below promotes it to synced on this very reply.
+            std::string hash = policy_hash(name);
+            cs.relay_has.erase(hash);
+            auto lost = [&hash](const auto& e) { return e.second.hash == hash; };
+            std::erase_if(cs.synced, lost);
+            std::erase_if(cs.pending, lost);
             continue;
         }
         auto ait = adapted_.find(node);
@@ -765,6 +777,13 @@ void ExtensionBase::process_cell_reply(const std::string& cell, std::uint64_t se
         cs2.synced.clear();
         cs2.acked_seq = 0;  // next frame is a full roster (delta from empty)
         cs2.pending_blobs.clear();
+        // A relay that outlived a detach/re-attach keeps its applied_seq_
+        // while our fresh CellState restarts at seq=0; without adopting
+        // the relay's high-water mark every frame would be refused as
+        // stale until seq catches up — one resync round per old frame,
+        // with no fan-out the whole time.
+        std::uint64_t applied = static_cast<std::uint64_t>(r.at("applied").as_int());
+        if (applied > cs2.seq) cs2.seq = applied;
     } else {
         cs2.synced = std::move(cs2.pending);
         cs2.acked_seq = sent_seq;

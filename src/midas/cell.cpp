@@ -84,8 +84,6 @@ Value CellRelay::do_batch(const Value& frame_v) {
     std::uint64_t seq = static_cast<std::uint64_t>(frame.at("seq").as_int());
     std::uint64_t base = static_cast<std::uint64_t>(frame.at("base").as_int());
     std::uint64_t ack = static_cast<std::uint64_t>(frame.at("ack").as_int());
-    epoch_ = static_cast<std::uint64_t>(frame.at("epoch").as_int());
-    lease_ms_ = frame.at("lease_ms").as_int();
 
     // Drop records the base has confirmed processing.
     std::erase_if(pending_, [ack](const Status& s) { return s.id <= ack; });
@@ -146,6 +144,11 @@ Value CellRelay::do_batch(const Value& frame_v) {
         ++stats_.resyncs;
         resyncs_c_.inc();
     } else {
+        // Adopt epoch/lease only from frames we accept: a refused stale
+        // frame (late delivery after a timeout made the base pipeline a
+        // newer one) must not roll these back under the next fan-out.
+        epoch_ = static_cast<std::uint64_t>(frame.at("epoch").as_int());
+        lease_ms_ = frame.at("lease_ms").as_int();
         for (const Value& ov : frame.at("ops").as_list()) {
             const Dict& op = ov.as_dict();
             EntryKey key{static_cast<std::uint64_t>(op.at("node").as_int()),

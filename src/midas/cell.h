@@ -93,6 +93,10 @@ public:
 
     std::size_t roster_size() const { return roster_.size(); }
     std::size_t cached_blobs() const { return blobs_.size(); }
+    /// Epoch / lease adopted from the last *accepted* frame (refused stale
+    /// frames leave them untouched); exposed for tests.
+    std::uint64_t epoch() const { return epoch_; }
+    std::int64_t lease_ms() const { return lease_ms_; }
 
     struct Stats {
         std::uint64_t frames = 0;        ///< batch frames processed

@@ -13,6 +13,7 @@
 #include "common/hash.h"
 #include "disco/shard.h"
 #include "midas/node.h"
+#include "net/fault.h"
 #include "obs/metrics.h"
 
 namespace pmp::midas {
@@ -111,8 +112,9 @@ TEST(RenewalJitter, SpreadIsBoundedDeterministicAndWide) {
         Duration p = disco::lease_renewal_phase(NodeId{42}, LeaseId{l}, lease);
         // Replay-stable: the phase is a pure function of (registrar, lease).
         EXPECT_EQ(p, disco::lease_renewal_phase(NodeId{42}, LeaseId{l}, lease));
-        // Bounded: worst case (renew at 5/8·d, one retry at +d/4) still
-        // lands at 7/8·d, inside the lease.
+        // Bounded: worst case (renew at 5/8·d, lost and timed out at
+        // 7/8·d, retried d/16 later) still lands at 15/16·d, inside the
+        // lease.
         EXPECT_GE(p.count(), lo) << "lease " << l;
         EXPECT_LE(p.count(), hi) << "lease " << l;
         phases.insert(p.count());
@@ -125,6 +127,60 @@ TEST(RenewalJitter, SpreadIsBoundedDeterministicAndWide) {
     EXPECT_GT(phases.size(), 64u);
     EXPECT_LT(min_seen, lease.count() / 2 - lease.count() / 16);
     EXPECT_GT(max_seen, lease.count() / 2 + lease.count() / 16);
+}
+
+TEST(RenewalJitter, LostRenewRetriesPromptlyInsideTheLease) {
+    // One registrar, one client, 16 leases with first-renewal phases
+    // spread over [3/8·d, 5/8·d] (d = 2 s). A 660 ms partition swallows
+    // every first renewal — each fails fast with *unreachable* (the
+    // network refuses the send), so the lease still has over half its
+    // life left when the failure lands. The holder must keep retrying on
+    // the d/16 cadence until the granted budget is gone: the window lifts
+    // well before any lease expires, so every one must recover. The
+    // regression this guards is the old fixed single retry, which landed
+    // back inside the partition and tore down all 16 leases over a blip
+    // a third the length of the lease.
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, 808);
+    NodeStack host(net, "reg", net::Position{0, 0}, 200.0);
+    disco::Registrar registrar(host.router(), host.rpc());
+    NodeStack client(net, "client", net::Position{10, 0}, 200.0);
+    sim.run_for(seconds(1));
+
+    int registered = 0;
+    int lost = 0;
+    std::vector<std::shared_ptr<disco::LeasedResource>> handles;
+    SimTime t_issue = sim.now();
+    for (int i = 0; i < 16; ++i) {
+        client.discovery().register_service(
+            host.id(), "svc/" + std::to_string(i), rt::Dict{}, [&lost] { ++lost; },
+            [&](std::shared_ptr<disco::LeasedResource> h, std::exception_ptr e) {
+                ASSERT_FALSE(e);
+                handles.push_back(std::move(h));
+                ++registered;
+            });
+    }
+    SimTime deadline = sim.now() + seconds(2);
+    while (sim.now() < deadline && registered < 16) {
+        sim.run_until(sim.now() + milliseconds(10));
+    }
+    ASSERT_EQ(registered, 16);
+    // The window math below assumes all grants happened within this slop.
+    ASSERT_LT(sim.now() - t_issue, milliseconds(100));
+
+    // First renewals fire in [750 ms, 1250 ms] after each grant. Black out
+    // the registrar across that whole band; every lease's expiry (grant +
+    // 2 s) falls safely after the window lifts, so the retry loop always
+    // gets at least one attempt on a healed network.
+    net::FaultPlan plan;
+    plan.partitions.push_back(net::PartitionWindow{
+        t_issue + milliseconds(700), t_issue + milliseconds(1360), {host.id()}, {}});
+    net.set_fault_plan(plan, 1);
+
+    sim.run_for(seconds(4));  // two lease lifetimes
+    EXPECT_EQ(lost, 0);
+    for (auto& h : handles) EXPECT_TRUE(h->alive());
+    EXPECT_EQ(registrar.registration_count(), 16u);
 }
 
 // --------------------------------------------- sharded discovery (live) ----
@@ -278,6 +334,77 @@ TEST(ShardedDiscovery, RebalanceMigratesLeasesAndRenewalsFollowTheMove) {
                   w.registrars[2]->registration_count(),
               16u);
     for (auto& h : handles) EXPECT_TRUE(h->alive());
+}
+
+TEST(ShardedDiscovery, RebalanceMigratesWatchesAndEventsFollowTheMove) {
+    // Start with a 2-shard ring; shard2 joins later.
+    ShardWorld w(505);
+    w.route->ring().remove("shard2");
+
+    const int kTypes = 12;
+    std::map<std::string, int> appeared;
+    int watching = 0;
+    int lost = 0;
+    std::vector<std::shared_ptr<disco::LeasedResource>> watch_handles;
+    for (int i = 0; i < kTypes; ++i) {
+        std::string type = "svc/type" + std::to_string(i);
+        w.route->watch(
+            type,
+            [&appeared, type](const disco::ServiceItem&, bool is_appear) {
+                if (is_appear) ++appeared[type];
+            },
+            /*on_lost=*/[&lost] { ++lost; },
+            [&](std::shared_ptr<disco::LeasedResource> h, std::exception_ptr e) {
+                ASSERT_FALSE(e);
+                watch_handles.push_back(std::move(h));
+                ++watching;
+            });
+    }
+    ASSERT_TRUE(w.run_until([&] { return watching == kTypes; }));
+
+    // shard2 joins and the old homes rebalance: the remote watches whose
+    // type now hashes to shard2 must follow the registrations there. The
+    // regression this guards: a watch left on the old owner keeps renewing
+    // successfully — do_renew still finds it — yet new registrations of
+    // its type route to the new owner, so it silently never fires again.
+    w.route->ring().add("shard2", w.hosts[2]->id());
+    w.registrars[0]->rebalance(w.route->ring());
+    w.registrars[1]->rebalance(w.route->ring());
+    ASSERT_TRUE(w.run_until([&] {
+        return w.registrars[2]->shard_stats().watches_migrated_in > 0 &&
+               w.registrars[0]->shard_stats().watches_migrated_out +
+                       w.registrars[1]->shard_stats().watches_migrated_out ==
+                   w.registrars[2]->shard_stats().watches_migrated_in;
+    }));
+
+    // Services of every type register through the new ring; every watcher
+    // must hear of its type appearing, wherever its watch now lives.
+    int registered = 0;
+    std::vector<std::shared_ptr<disco::LeasedResource>> reg_handles;
+    for (int i = 0; i < kTypes; ++i) {
+        w.route->register_service(
+            "svc/type" + std::to_string(i), rt::Dict{{"node", Value{"client"}}},
+            /*on_lost=*/[] {},
+            [&](std::shared_ptr<disco::LeasedResource> h, std::exception_ptr e) {
+                ASSERT_FALSE(e);
+                reg_handles.push_back(std::move(h));
+                ++registered;
+            });
+    }
+    ASSERT_TRUE(w.run_until([&] { return registered == kTypes; }));
+    ASSERT_TRUE(w.run_until([&] {
+        for (int i = 0; i < kTypes; ++i) {
+            if (appeared["svc/type" + std::to_string(i)] < 1) return false;
+        }
+        return true;
+    }));
+
+    // The watchers were never told about the move. Their renewals against
+    // the old home follow the moved forwarding entry exactly like service
+    // leases, and several lease lifetimes later nothing has lapsed.
+    w.sim.run_for(seconds(6));
+    EXPECT_EQ(lost, 0);
+    for (auto& h : watch_handles) EXPECT_TRUE(h->alive());
 }
 
 // -------------------------------------------------- receiver LRU caches ----
@@ -511,6 +638,161 @@ TEST(CellBatch, RelayDeathDetachesTheCellAndNodesFallBackToDirect) {
     std::uint64_t ka0 = hub.base().stats().keepalives_sent;
     sim.run_for(seconds(2));
     EXPECT_GT(hub.base().stats().keepalives_sent, ka0);
+}
+
+TEST(CellBatch, NeedBlobOnSyncedRosterForcesPutResendWithBlob) {
+    // A scripted relay stands in for a real one so the protocol corner is
+    // deterministic: the roster reaches full sync (no ops flowing), the
+    // blob was delivered — and THEN the relay claims it lost its blob
+    // cache (a restart), via a kNeedBlob status. Blobs only ride frames
+    // next to put ops, so erasing relay_has alone is not enough: the base
+    // must also un-sync the entries naming that hash, or no op is ever
+    // generated again and the install stalls forever.
+    sim::Simulator sim;
+    net::Network net(sim, net::NetworkConfig{}, 606);
+    BaseConfig bc = CellWorld::make_config();
+    BaseStation hub(net, "hub", net::Position{0, 0}, 200.0, bc);
+    hub.keys().add_key("hub", to_bytes("hk"));
+    NodeStack relayhost(net, "relayhost", net::Position{50, 0}, 200.0);
+    NodeStack member(net, "m0", net::Position{60, 0}, 200.0);
+
+    struct ScriptState {
+        std::uint64_t member = 0;
+        bool sent_join = false;
+        bool blob_delivered = false;
+        bool reported_need_blob = false;
+        bool reblobbed = false;  // a frame carried the blob again after the report
+    } script;
+    script.member = member.id().value;
+
+    auto& runtime = relayhost.rpc().runtime();
+    auto type =
+        rt::TypeInfo::Builder("ScriptedCellRelay")
+            .method("batch", rt::TypeKind::kDict, {{"frame", rt::TypeKind::kDict}},
+                    [&script](rt::ServiceObject&, rt::List& args) -> Value {
+                        const rt::Dict& frame = args[0].as_dict();
+                        std::int64_t seq = frame.at("seq").as_int();
+                        bool has_ops = !frame.at("ops").as_list().empty();
+                        bool has_blob = !frame.at("blobs").as_dict().empty();
+                        if (has_blob) {
+                            if (script.reported_need_blob) script.reblobbed = true;
+                            script.blob_delivered = true;
+                        }
+                        rt::List statuses;
+                        rt::List joins;
+                        if (!script.sent_join) {
+                            script.sent_join = true;
+                            joins.push_back(Value{rt::Dict{
+                                {"id", Value{std::int64_t{1}}},
+                                {"node",
+                                 Value{static_cast<std::int64_t>(script.member)}},
+                                {"label", Value{std::string("m0")}}}});
+                        } else if (script.blob_delivered && !has_ops &&
+                                   !script.reported_need_blob) {
+                            script.reported_need_blob = true;
+                            statuses.push_back(Value{rt::Dict{
+                                {"id", Value{std::int64_t{2}}},
+                                {"node",
+                                 Value{static_cast<std::int64_t>(script.member)}},
+                                {"name", Value{std::string("hub/policy")}},
+                                {"code",
+                                 Value{std::int64_t{cellproto::kNeedBlob}}},
+                                {"ext", Value{std::int64_t{0}}}}});
+                        }
+                        return Value{rt::Dict{
+                            {"applied", Value{seq}},
+                            {"resync", Value{false}},
+                            {"bitmap_seq", Value{seq}},
+                            {"ok", Value{Bytes{}}},
+                            {"statuses", Value{std::move(statuses)}},
+                            {"joins", Value{std::move(joins)}}}};
+                    })
+            .build();
+    runtime.register_type(type);
+    auto relay_object = runtime.create("ScriptedCellRelay", "midas.cell");
+    relayhost.rpc().export_object("midas.cell");
+
+    hub.base().attach_cell("cell-x", relayhost.id());
+    hub.base().add_extension(policy_pkg("hub/policy"));
+
+    SimTime deadline = sim.now() + seconds(20);
+    while (sim.now() < deadline && !script.reblobbed) {
+        sim.run_until(sim.now() + milliseconds(100));
+    }
+    EXPECT_TRUE(script.reported_need_blob);
+    // The regression: without the un-sync, desired == synced after the
+    // report, no frame ever carries an op again, and the blob never comes.
+    EXPECT_TRUE(script.reblobbed);
+}
+
+TEST(CellBatch, ReattachToSurvivingRelayResyncsInOneRound) {
+    // The relay outlives a detach/re-attach (e.g. a transient backhaul
+    // partition makes the base give up on the cell, then re-adopt it).
+    // The fresh CellState restarts at seq 0 while the relay still holds
+    // its applied high-water mark — the base must adopt it from the first
+    // resync reply. The regression: counting up one seq per period until
+    // it passes the relay's mark, with no fan-out the whole time, which
+    // outlasts the 4 s extension lease and expires every healthy member.
+    CellWorld w(707, 6);
+    ASSERT_TRUE(w.run_until([&] { return w.converged(); }));
+    // Let the relay's applied_seq_ climb well past lease/period.
+    w.sim.run_for(seconds(8));
+    ASSERT_EQ(w.expirations(), 0u);
+    std::uint64_t resyncs0 = w.anchor->relay().stats().resyncs;
+
+    w.hub->base().detach_cell("cell-east");
+    w.hub->base().attach_cell("cell-east", w.anchor->id());
+
+    w.sim.run_for(seconds(6));
+    EXPECT_TRUE(w.converged());
+    EXPECT_EQ(w.expirations(), 0u);
+    EXPECT_EQ(w.hub->base().stats().nodes_dropped, 0u);
+    // Recovery cost one resync round (plus slack for a boundary tick),
+    // not applied_seq_ rounds.
+    EXPECT_LE(w.anchor->relay().stats().resyncs - resyncs0, 2u);
+}
+
+TEST(CellBatch, StaleFrameLeavesRelayEpochAndLeaseUntouched) {
+    CellWorld w(808, 4);
+    ASSERT_TRUE(w.run_until([&] { return w.converged(); }));
+    std::uint64_t epoch0 = w.anchor->relay().epoch();
+    std::int64_t lease0 = w.anchor->relay().lease_ms();
+    ASSERT_GT(lease0, 0);
+    std::uint64_t resyncs0 = w.anchor->relay().stats().resyncs;
+
+    // A late-delivered old frame (possible when a timeout makes the base
+    // pipeline a newer frame behind a delayed one): stale seq, a
+    // rolled-back epoch and a poisonous 1 ms lease. It must be refused
+    // with resync AND leave the relay's adopted epoch/lease untouched —
+    // the regression assigned them before the staleness check, handing
+    // the next fan-out round stale values for every receiver.
+    rt::Dict frame{{"seq", Value{std::int64_t{1}}},
+                   {"base", Value{std::int64_t{0}}},
+                   {"epoch", Value{std::int64_t{4242}}},
+                   {"lease_ms", Value{std::int64_t{1}}},
+                   {"ack", Value{std::int64_t{0}}},
+                   {"pause", Value{rt::List{}}},
+                   {"ops", Value{rt::List{}}},
+                   {"blobs", Value{rt::Dict{}}}};
+    bool replied = false;
+    bool resync = false;
+    w.hub->rpc().call_async(w.anchor->id(), "midas.cell", "batch",
+                            {Value{std::move(frame)}},
+                            [&](Value result, std::exception_ptr error) {
+                                ASSERT_FALSE(error);
+                                replied = true;
+                                resync = result.as_dict().at("resync").as_bool();
+                            });
+    ASSERT_TRUE(w.run_until([&] { return replied; }, seconds(5)));
+    EXPECT_TRUE(resync);
+    EXPECT_EQ(w.anchor->relay().stats().resyncs, resyncs0 + 1);
+    EXPECT_EQ(w.anchor->relay().epoch(), epoch0);
+    EXPECT_EQ(w.anchor->relay().lease_ms(), lease0);
+
+    // And the cell rides on unharmed.
+    w.sim.run_for(seconds(3));
+    EXPECT_TRUE(w.converged());
+    EXPECT_EQ(w.expirations(), 0u);
 }
 
 // -------------------------------------------------- batched-frame chaos ----
