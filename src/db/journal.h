@@ -10,10 +10,25 @@
 // mid-append) or a corrupted tail is dropped and reported; everything
 // before it is recovered intact.
 //
+// Group commit (docs/storage.md): with a non-zero `JournalConfig`, append()
+// buffers records and flushes them as one CRC-framed multi-record batch
+// when the buffer reaches `batch_bytes` or `batch_ms` of virtual time has
+// passed since the first buffered record. A power cut mid-batch loses only
+// the unflushed group — never a previously flushed frame — and restore()
+// replays batch and per-record frames transparently, interleaved in any
+// order.
+//
+// Incremental snapshots: with `snapshot_chunk_bytes` set, compact() writes
+// the snapshot as a chain of CRC-framed chunk records (one manifest frame
+// plus N chunk frames, each independently verifiable) and keeps the
+// previous complete chain in `JournalStorage::snapshot_prev`. A corrupt
+// chunk degrades recovery to the previous chain (`snapshot_fallback`)
+// instead of discarding the snapshot wholesale.
+//
 // Crash modelling: power_off() simulates the instant the process dies —
-// writes issued after it never reach the medium, which is how a crash
-// between "send install" and "record activity" is expressed without
-// unwinding the C++ call stack.
+// writes issued after it never reach the medium (and buffered batch
+// records are torn away), which is how a crash between "send install" and
+// "record activity" is expressed without unwinding the C++ call stack.
 #pragma once
 
 #include <memory>
@@ -23,26 +38,51 @@
 
 #include "common/bytes.h"
 #include "rt/value.h"
+#include "sim/simulator.h"
 
 namespace pmp::db {
 
 /// The durable medium. Held by shared_ptr from outside the node object so
 /// it survives the node's destruction — the simulated disk.
 struct JournalStorage {
-    std::string name;  ///< obs label, typically the node label
-    Bytes snapshot;    ///< last compacted snapshot (one frame; empty = none)
-    Bytes wal;         ///< CRC-framed records appended since the snapshot
+    std::string name;   ///< obs label, typically the node label
+    Bytes snapshot;     ///< last compacted snapshot (frame or chunk chain)
+    Bytes snapshot_prev;  ///< previous complete chunk chain (fallback)
+    Bytes wal;          ///< CRC-framed records appended since the snapshot
 };
 
 /// CRC-32 (IEEE 802.3, reflected) over `data`. Exposed so tests can build
 /// hand-crafted frames.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
+/// Group-commit and snapshot-chunking knobs. The all-zero default is the
+/// seed behavior: one frame per record, one monolithic snapshot frame.
+struct JournalConfig {
+    /// Flush the pending batch once its payload reaches this size. 0
+    /// disables size-based batching.
+    std::size_t batch_bytes = 0;
+    /// Flush at most this long (virtual time) after the first buffered
+    /// record. Requires a simulator; 0 disables the timer.
+    Duration batch_ms = Duration{0};
+    /// Emit snapshots as a manifest + chunks of this size. 0 keeps the
+    /// single-frame snapshot.
+    std::size_t snapshot_chunk_bytes = 0;
+
+    bool batching() const { return batch_bytes > 0 || batch_ms.count() > 0; }
+};
+
 class Journal {
 public:
     /// Builds a journal over `storage` (created if null). Does not touch
     /// the medium: call restore() to read, append()/compact() to write.
     explicit Journal(std::shared_ptr<JournalStorage> storage);
+
+    /// Group-commit variant. `sim` drives the batch_ms flush timer; it may
+    /// be null, in which case only size-based flushing applies.
+    Journal(std::shared_ptr<JournalStorage> storage, JournalConfig config,
+            sim::Simulator* sim = nullptr);
+
+    ~Journal();
 
     Journal(const Journal&) = delete;
     Journal& operator=(const Journal&) = delete;
@@ -51,36 +91,62 @@ public:
         std::optional<rt::Value> snapshot;  ///< absent if none / corrupt
         std::vector<rt::Value> wal;         ///< valid records, in append order
         std::size_t dropped_bytes = 0;      ///< trailing wal bytes discarded
-        bool snapshot_corrupt = false;
+        bool snapshot_corrupt = false;      ///< no usable chain at all
+        bool snapshot_fallback = false;     ///< current chain bad; prev used
         bool tail_corrupt = false;  ///< wal ended in a torn or damaged frame
     };
 
     /// Decode the medium. Total: never throws. A truncated or corrupt tail
     /// is dropped (torn final write = normal crash debris); a corrupt
-    /// snapshot yields no snapshot but still replays the WAL.
+    /// snapshot falls back to the previous chunk chain if one exists, else
+    /// yields no snapshot but still replays the WAL. Batch frames replay
+    /// transparently as their member records.
     Restored restore() const;
 
-    /// Append one record frame to the WAL. Dropped silently when powered
-    /// off (the process died; the write never reached the disk).
+    /// Append one record. Without batching, writes one frame immediately.
+    /// With batching, buffers into the pending group (see flush()). Dropped
+    /// silently when powered off (the process died; the write never reached
+    /// the disk).
     void append(const rt::Value& record);
 
-    /// Atomically replace the snapshot with `state` and truncate the WAL.
+    /// Write the pending batch, if any, as one multi-record frame.
+    void flush();
+
+    /// Atomically replace the snapshot with `state` and truncate the WAL
+    /// (buffered records are folded into `state` by the caller and are
+    /// discarded). Chunked mode retires the current chain to
+    /// `snapshot_prev`.
     void compact(const rt::Value& state);
 
-    /// Process death: every write after this instant is lost.
-    void power_off() { powered_ = false; }
+    /// Process death: every write after this instant is lost, including
+    /// the buffered batch (torn-group semantics).
+    void power_off();
     bool powered() const { return powered_; }
 
-    /// Frames appended since construction or the last compact() — the
-    /// compaction-threshold input.
+    /// Records appended since construction or the last compact(), buffered
+    /// or flushed — the compaction-threshold input.
     std::size_t wal_records() const { return wal_records_; }
+
+    /// Records currently buffered and not yet flushed (tests).
+    std::size_t pending_records() const { return pending_count_; }
 
     const std::shared_ptr<JournalStorage>& storage() const { return storage_; }
 
 private:
+    void arm_flush_timer();
+    void cancel_flush_timer();
+
     std::shared_ptr<JournalStorage> storage_;
+    JournalConfig config_;
+    sim::Simulator* sim_ = nullptr;
     bool powered_ = true;
     std::size_t wal_records_ = 0;
+
+    Bytes pending_;                 ///< batch payload under construction
+    std::size_t pending_count_ = 0;
+    sim::TimerId flush_timer_{};
+    bool flush_armed_ = false;
+    std::uint64_t chain_counter_ = 0;  ///< chunk-chain ids within this life
 };
 
 }  // namespace pmp::db

@@ -34,6 +34,16 @@ struct Query {
     std::size_t limit = SIZE_MAX;
 };
 
+/// Retention policy: the hall event log must not grow without bound
+/// across epochs. Zero fields are unlimited. When a cap is exceeded the
+/// oldest records are trimmed (counter `db.eventstore.compactions`);
+/// sequence numbers are never reused — trimmed seqs simply no longer
+/// resolve.
+struct Retention {
+    std::size_t max_records = 0;  ///< keep at most this many records
+    std::size_t max_bytes = 0;    ///< keep at most ~this many payload bytes
+};
+
 /// Append-only event store with per-source indexing.
 class EventStore {
 public:
@@ -47,6 +57,17 @@ public:
 
     std::size_t size() const { return records_.size(); }
     const Record& at(std::uint64_t seq) const;
+
+    /// Install a retention policy (label tags the compaction counter,
+    /// typically the owning node's label). Applies immediately and on
+    /// every subsequent append.
+    void set_retention(Retention retention, std::string label = {});
+    const Retention& retention() const { return retention_; }
+
+    /// Sequence number of the oldest retained record, or base_seq()+1 ==
+    /// next assigned seq when empty. Seqs at or below base_seq() were
+    /// trimmed by retention.
+    std::uint64_t base_seq() const { return base_seq_; }
 
     /// Serialize the whole store (canonical Value encoding) — the hall's
     /// database surviving a base-station restart.
@@ -63,7 +84,16 @@ public:
     }
 
 private:
-    std::vector<Record> records_;  // seq == index + 1
+    void apply_retention();
+    static std::size_t approx_size(const Record& rec);
+
+    std::vector<Record> records_;  // seq == base_seq_ + index + 1
+    std::uint64_t base_seq_ = 0;   // seqs <= base_seq_ were trimmed
+    Retention retention_;
+    std::string label_;
+    std::vector<std::size_t> sizes_;  // parallel to records_; only kept
+                                      // while byte retention is active
+    std::size_t bytes_ = 0;
     std::function<void(const Record&)> append_hook_;
 };
 

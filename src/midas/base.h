@@ -44,6 +44,18 @@ struct BaseConfig {
     std::uint64_t backoff_seed = 0x51ee7ULL;  ///< jitter rng stream
     /// WAL frames between snapshot compactions (when journaling).
     std::size_t journal_compact_threshold = 256;
+    /// Group-commit / chunked-snapshot knobs applied to the base's journal
+    /// (docs/storage.md). All-zero keeps the seed per-record behavior.
+    db::JournalConfig journal;
+    /// Chunk size for the streaming catch-up image served under the
+    /// "midas.catchup" object (docs/recovery.md). The image is policy-only
+    /// — its size tracks the policy set, not the fleet — so catch-up bytes
+    /// per restarted node stay flat as the federation grows.
+    std::size_t catchup_chunk_bytes = 4096;
+    /// Hall event-store retention installed when journaling (see
+    /// db::Retention). Zero fields are unlimited — the seed behavior.
+    std::size_t hall_retention_records = 0;
+    std::size_t hall_retention_bytes = 0;
     /// Caller-side circuit breaker over the install / keep-alive paths:
     /// after `breaker_threshold` consecutive Overloaded-or-timeout failures
     /// toward one node, traffic to it is short-circuited for a doubling
@@ -179,6 +191,27 @@ public:
     /// Claim stamp (adaptation time) of a held node, or nullopt.
     std::optional<SimTime> claim_stamp_of(const std::string& label) const;
 
+    /// Streaming catch-up server (docs/recovery.md). The base exports a
+    /// "midas.catchup" object serving its durable policy image in bounded
+    /// CRC-summed chunks:
+    ///   manifest() -> {chain, epoch, lease_ms, base, total, crc,
+    ///                  chunks, chunk_bytes}
+    ///   chunk(chain, index) -> {data} | {stale: true}
+    /// The image is rebuilt lazily whenever the policy set changes (the
+    /// chain id bumps, so a reader mid-stream detects staleness and
+    /// restarts on the new chain; a partition mid-stream resumes on the
+    /// same chain from its cursor).
+    struct CatchupStats {
+        std::uint64_t manifests = 0;    ///< manifest requests served
+        std::uint64_t chunks = 0;       ///< chunk requests served
+        std::uint64_t stale = 0;        ///< chunk requests for a retired chain
+        std::uint64_t bytes_served = 0; ///< chunk payload bytes shipped
+        std::uint64_t rebuilds = 0;     ///< image (re)encodings
+    };
+    const CatchupStats& catchup_stats() const { return catchup_stats_; }
+    /// Current chain id (bumps on every policy change); tests.
+    std::uint64_t catchup_chain() const { return catchup_chain_; }
+
 private:
     struct Policy {
         ExtensionPackage pkg;
@@ -232,6 +265,11 @@ private:
     void journal(const rt::Value& rec);
     /// Serialize live state and compact the journal.
     void compact_journal();
+    /// Catch-up server internals.
+    void build_catchup_object();
+    void refresh_catchup_image();  ///< re-encode if a policy change dirtied it
+    rt::Value catchup_manifest();
+    rt::Value catchup_chunk(std::uint64_t chain, std::int64_t index);
 
     rt::RpcEndpoint& rpc_;
     disco::Registrar& registrar_;
@@ -263,6 +301,15 @@ private:
     std::uint64_t watch_token_ = 0;
     sim::TimerId keepalive_timer_;
     std::function<void(const AdaptedNode&)> on_adapt_;
+
+    // Catch-up image: the encoded policy-only state, chunk-sliced on
+    // demand. Dirty until the first manifest request after a policy change.
+    Bytes catchup_image_;
+    std::uint64_t catchup_chain_ = 0;
+    std::uint32_t catchup_crc_ = 0;
+    bool catchup_dirty_ = true;
+    CatchupStats catchup_stats_;
+    std::shared_ptr<rt::ServiceObject> catchup_object_;
 };
 
 }  // namespace pmp::midas

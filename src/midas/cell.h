@@ -74,6 +74,16 @@ struct CellRelayConfig {
     Duration call_timeout = milliseconds(700);
     /// Cap on the exponential round-skip backoff for failing entries.
     int max_backoff_rounds = 16;
+    /// Catch-up proxy (docs/recovery.md): how long a cached manifest stays
+    /// fresh before the next reader triggers an upstream refetch, and the
+    /// retry hint handed to readers while a chunk is still being fetched
+    /// from the base. The relay answers catch-up reads from its cache so a
+    /// whole cell restarting after a power cut costs the backhaul one image
+    /// fetch, not one per node.
+    Duration catchup_manifest_ttl = seconds(2);
+    Duration catchup_retry = milliseconds(150);
+    /// Timeout for the relay's upstream catch-up fetches.
+    Duration catchup_timeout = seconds(1);
 };
 
 /// The cell-side half of the batched lease protocol. Exports a "midas.cell"
@@ -102,6 +112,9 @@ public:
         std::uint64_t frames = 0;        ///< batch frames processed
         std::uint64_t resyncs = 0;       ///< frames refused on seq mismatch
         std::uint64_t fanout_calls = 0;  ///< local install/keepalive RPCs
+        std::uint64_t catchup_hits = 0;      ///< catch-up reads served from cache
+        std::uint64_t catchup_waits = 0;     ///< reads answered "retry" while fetching
+        std::uint64_t catchup_upstream = 0;  ///< upstream manifest/chunk fetches
     };
     const Stats& stats() const { return stats_; }
 
@@ -134,6 +147,16 @@ private:
     void push_status(std::uint64_t node, const std::string& name, int code,
                      std::uint64_t ext = 0);
 
+    /// Catch-up proxy: cache-or-fetch replies for the cell's readers. A
+    /// miss kicks exactly one upstream fetch per key and answers with a
+    /// retry hint; the reader polls back and hits the cache.
+    void build_catchup_proxy();
+    rt::Value proxy_manifest();
+    rt::Value proxy_chunk(std::uint64_t chain, std::int64_t index);
+    rt::Value not_ready() const;
+    void fetch_manifest_upstream();
+    void fetch_chunk_upstream(std::uint64_t chain, std::int64_t index);
+
     rt::RpcEndpoint& rpc_;
     disco::Registrar* local_registrar_;
     CellRelayConfig config_;
@@ -157,6 +180,17 @@ private:
     Stats stats_;
     std::uint64_t watch_token_ = 0;
     std::shared_ptr<rt::ServiceObject> self_object_;
+
+    // Catch-up proxy state. The base's address is learned from the first
+    // accepted batch frame (the relay never configures it statically).
+    NodeId base_node_{};
+    rt::Value manifest_cache_;            ///< last upstream manifest dict
+    SimTime manifest_fresh_until_{};      ///< TTL stamp for manifest_cache_
+    bool manifest_fetching_ = false;
+    std::uint64_t cached_chain_ = 0;      ///< chain the chunk cache belongs to
+    std::map<std::int64_t, Bytes> chunk_cache_;   ///< index -> payload
+    std::set<std::int64_t> chunk_fetching_;       ///< upstream fetch in flight
+    std::shared_ptr<rt::ServiceObject> catchup_object_;
     // Liveness token for in-flight fan-out replies (see disco::LeasedResource).
     std::shared_ptr<char> token_ = std::make_shared<char>('\0');
 };

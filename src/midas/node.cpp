@@ -17,6 +17,7 @@ NodeStack::NodeStack(net::Network& network, const std::string& label, net::Posit
     rpc_->exempt_from_filters("registrar");
     rpc_->exempt_from_filters("disco.listener:");
     rpc_->exempt_from_filters("midas.cell");
+    rpc_->exempt_from_filters("midas.catchup");
     weaver_ = std::make_unique<prose::Weaver>(*runtime_);
     discovery_ = std::make_unique<disco::DiscoveryClient>(*router_, *rpc_, disco_config);
 }
@@ -27,9 +28,17 @@ MobileNode::MobileNode(net::Network& network, const std::string& label, net::Pos
                        disco::DiscoveryConfig disco_config)
     : NodeStack(network, label, pos, range, disco_config) {
     if (receiver_config.node_label.empty()) receiver_config.node_label = label;
-    if (durable) journal_ = std::make_shared<db::Journal>(std::move(durable));
+    if (durable) {
+        journal_ = std::make_shared<db::Journal>(std::move(durable), receiver_config.journal,
+                                                 &network.simulator());
+    }
     receiver_ = std::make_unique<AdaptationService>(rpc(), weaver(), trust_, discovery(),
                                                     std::move(receiver_config), journal_);
+}
+
+void MobileNode::enable_catchup(CatchupConfig config) {
+    if (catchup_) return;
+    catchup_ = std::make_unique<CatchupClient>(rpc(), *receiver_, discovery(), config);
 }
 
 BaseStation::BaseStation(net::Network& network, const std::string& label, net::Position pos,
@@ -40,7 +49,10 @@ BaseStation::BaseStation(net::Network& network, const std::string& label, net::P
     : NodeStack(network, label, pos, range, disco_config) {
     registrar_ = std::make_unique<disco::Registrar>(router(), rpc(), registrar_config);
     collector_ = std::make_unique<Collector>(rpc(), store_);
-    if (durable) journal_ = std::make_shared<db::Journal>(std::move(durable));
+    if (durable) {
+        journal_ = std::make_shared<db::Journal>(std::move(durable), base_config.journal,
+                                                 &network.simulator());
+    }
     base_ = std::make_unique<ExtensionBase>(rpc(), *registrar_, keys_, std::move(base_config),
                                             journal_, journal_ ? &store_ : nullptr);
 }

@@ -50,6 +50,9 @@ struct ReceiverConfig {
     /// the cell's relay (see midas/cell.h).
     std::string cell;
     Duration max_extension_lease = seconds(5);  ///< grants clamped to this
+    /// Group-commit / chunked-snapshot knobs for the receiver's journal
+    /// (docs/storage.md); all-zero keeps the seed per-record behavior.
+    db::JournalConfig journal;
     /// Bounds for the install-path compile/pointcut caches: one entry per
     /// *distinct* script or pointcut source, evicted least-recently-used.
     /// A long-lived node visited by many halls would otherwise grow these
@@ -137,6 +140,14 @@ public:
     /// them in-process). `origin` is where owner.post will reach back to.
     rt::Value install_from(NodeId origin, const Bytes& sealed, std::int64_t lease_ms) {
         return do_install(origin, sealed, lease_ms, /*epoch=*/0);
+    }
+    /// Epoch-carrying variant for transports that relay a base's durable
+    /// state (the streaming catch-up client): the lease binds to the
+    /// base's life, so the base's own keep-alives — same epoch — renew it
+    /// instead of tearing it down as stale.
+    rt::Value install_from(NodeId origin, const Bytes& sealed, std::int64_t lease_ms,
+                           std::uint64_t epoch) {
+        return do_install(origin, sealed, lease_ms, epoch);
     }
     bool keepalive_local(std::uint64_t ext, std::int64_t lease_ms) {
         return do_keepalive(ext, lease_ms, /*epoch=*/0);

@@ -193,6 +193,15 @@ struct CrashChaosWorld {
                                 [this]() {
                                     BaseConfig bc;
                                     bc.issuer = "hallA";
+                                    // Group commit + chunked snapshots ON:
+                                    // the PR 3 invariants below must hold
+                                    // unchanged. batch_ms of 20 ms keeps
+                                    // any record older than a tick flushed
+                                    // well before a scheduled power cut.
+                                    bc.journal = db::JournalConfig{
+                                        .batch_bytes = 1024,
+                                        .batch_ms = milliseconds(20),
+                                        .snapshot_chunk_bytes = 256};
                                     hall_a = std::make_unique<BaseStation>(
                                         net, "hallA", net::Position{0, 0}, 120.0, bc,
                                         disco::RegistrarConfig{}, disk_a);

@@ -199,6 +199,81 @@ TEST_P(FuzzSweep, JournalRestoreIsTotal) {
     }
 }
 
+TEST_P(FuzzSweep, JournalBatchAndChunkRestoreIsTotal) {
+    // Group-commit batches and chunked snapshot chains widen the on-disk
+    // grammar; restore() must stay total over all of it. Damage is
+    // reported through the typed Restored fields, never thrown.
+    Rng rng(GetParam());
+
+    auto build = [&](bool interleave) {
+        auto disk = std::make_shared<db::JournalStorage>();
+        {
+            db::Journal j(disk, db::JournalConfig{.batch_bytes = 96,
+                                                  .snapshot_chunk_bytes = 48});
+            j.compact(rt::Value{std::string(200, 's')});
+            j.compact(rt::Value{std::string(200, 't')});  // prev chain armed
+            for (std::int64_t n = 0; n < 6; ++n) j.append(rt::Value{n});
+            j.flush();
+        }
+        if (interleave) {
+            db::Journal legacy(disk);  // single-record frames between batches
+            legacy.append(rt::Value{std::int64_t{100}});
+            db::Journal batched(disk, db::JournalConfig{.batch_bytes = 96});
+            for (std::int64_t n = 0; n < 4; ++n) batched.append(rt::Value{n});
+            batched.flush();
+        }
+        return disk;
+    };
+
+    // Torn mid-batch: truncate the WAL at a random point.
+    for (int i = 0; i < 100; ++i) {
+        auto disk = build(rng.next_below(2) == 0);
+        disk->wal.resize(rng.next_below(disk->wal.size() + 1));
+        auto restored = db::Journal(disk).restore();
+        for (const rt::Value& r : restored.wal) (void)r.encode();
+        EXPECT_TRUE(restored.snapshot.has_value());  // snapshot untouched
+    }
+
+    // Bit-flipped chunk chains: damage lands somewhere in the manifest or
+    // a chunk frame; restore falls back to the previous chain or reports
+    // snapshot_corrupt — and still replays the clean WAL prefix.
+    for (int i = 0; i < 100; ++i) {
+        auto disk = build(rng.next_below(2) == 0);
+        disk->snapshot[rng.next_below(disk->snapshot.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+        auto restored = db::Journal(disk).restore();
+        if (!restored.snapshot.has_value()) {
+            EXPECT_TRUE(restored.snapshot_corrupt);
+        }
+        for (const rt::Value& r : restored.wal) (void)r.encode();
+    }
+
+    // Truncated manifests: cut the snapshot region short.
+    for (int i = 0; i < 100; ++i) {
+        auto disk = build(false);
+        disk->snapshot.resize(rng.next_below(disk->snapshot.size() + 1));
+        (void)db::Journal(disk).restore();
+    }
+
+    // Random flips across both regions and the fallback chain at once.
+    for (int i = 0; i < 100; ++i) {
+        auto disk = build(true);
+        for (int f = 0; f < 4; ++f) {
+            Bytes* target = nullptr;
+            switch (rng.next_below(3)) {
+                case 0: target = &disk->snapshot; break;
+                case 1: target = &disk->snapshot_prev; break;
+                default: target = &disk->wal; break;
+            }
+            if (target->empty()) continue;
+            (*target)[rng.next_below(target->size())] ^=
+                static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        auto restored = db::Journal(disk).restore();
+        for (const rt::Value& r : restored.wal) (void)r.encode();
+    }
+}
+
 TEST_P(FuzzSweep, EventStoreRestoreThrowsOnlyTypedErrors) {
     Rng rng(GetParam());
     for (int i = 0; i < 200; ++i) {

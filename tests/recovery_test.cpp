@@ -117,6 +117,177 @@ TEST(Journal, PowerOffLosesSubsequentWrites) {
 }
 
 // ---------------------------------------------------------------------------
+// Group commit: size/time-bounded batches, torn-group semantics, and
+// transparent interleaving with legacy per-record frames (docs/storage.md).
+
+TEST(JournalGroupCommit, SizeBoundedBatchFlushesAsOneFrame) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    db::Journal j(disk, db::JournalConfig{.batch_bytes = 64});
+    j.append(rec(1));
+    j.append(rec(2));
+    EXPECT_GT(j.pending_records(), 0u);  // under the size bound: buffered
+    std::size_t before = disk->wal.size();
+    while (j.pending_records() > 0) j.append(rec(99));  // cross the bound
+    EXPECT_GT(disk->wal.size(), before);
+    auto restored = db::Journal(disk).restore();
+    ASSERT_GE(restored.wal.size(), 3u);
+    EXPECT_EQ(restored.wal[0].as_dict().at("n").as_int(), 1);
+    EXPECT_EQ(restored.wal[1].as_dict().at("n").as_int(), 2);
+    EXPECT_FALSE(restored.tail_corrupt);
+}
+
+TEST(JournalGroupCommit, TimerFlushUsesVirtualTime) {
+    sim::Simulator sim;
+    auto disk = std::make_shared<db::JournalStorage>();
+    db::Journal j(disk, db::JournalConfig{.batch_bytes = 1 << 20,
+                                          .batch_ms = milliseconds(10)},
+                  &sim);
+    j.append(rec(1));
+    EXPECT_EQ(j.pending_records(), 1u);
+    EXPECT_TRUE(disk->wal.empty());
+    sim.run_for(milliseconds(11));
+    EXPECT_EQ(j.pending_records(), 0u);
+    auto restored = db::Journal(disk).restore();
+    ASSERT_EQ(restored.wal.size(), 1u);
+    EXPECT_EQ(restored.wal[0].as_dict().at("n").as_int(), 1);
+}
+
+TEST(JournalGroupCommit, PowerOffTearsOnlyTheUnflushedGroup) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    db::Journal j(disk, db::JournalConfig{.batch_bytes = 1 << 20});
+    j.append(rec(1));
+    j.append(rec(2));
+    j.flush();  // group 1 durable
+    j.append(rec(3));
+    j.append(rec(4));  // group 2 buffered
+    j.power_off();
+    auto restored = db::Journal(disk).restore();
+    ASSERT_EQ(restored.wal.size(), 2u);
+    EXPECT_EQ(restored.wal[0].as_dict().at("n").as_int(), 1);
+    EXPECT_EQ(restored.wal[1].as_dict().at("n").as_int(), 2);
+    EXPECT_FALSE(restored.tail_corrupt);  // the tear never reached the disk
+}
+
+TEST(JournalGroupCommit, TornBatchFrameNeverDamagesEarlierGroups) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    db::Journal j(disk, db::JournalConfig{.batch_bytes = 1 << 20});
+    j.append(rec(1));
+    j.flush();
+    std::size_t first_group_end = disk->wal.size();
+    j.append(rec(2));
+    j.append(rec(3));
+    j.flush();
+    // Tear the second batch frame mid-payload (crash during the write).
+    disk->wal.resize(first_group_end + (disk->wal.size() - first_group_end) / 2);
+    auto restored = db::Journal(disk).restore();
+    ASSERT_EQ(restored.wal.size(), 1u);
+    EXPECT_EQ(restored.wal[0].as_dict().at("n").as_int(), 1);
+    EXPECT_TRUE(restored.tail_corrupt);
+    EXPECT_EQ(restored.dropped_bytes, disk->wal.size() - first_group_end);
+}
+
+TEST(JournalGroupCommit, CleanDestructionFlushesPending) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    {
+        db::Journal j(disk, db::JournalConfig{.batch_bytes = 1 << 20});
+        j.append(rec(5));
+    }  // clean shutdown is not a crash: the group is flushed
+    auto restored = db::Journal(disk).restore();
+    ASSERT_EQ(restored.wal.size(), 1u);
+    EXPECT_EQ(restored.wal[0].as_dict().at("n").as_int(), 5);
+}
+
+TEST(JournalGroupCommit, BatchAndLegacyFramesInterleave) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    {
+        db::Journal batched(disk, db::JournalConfig{.batch_bytes = 1 << 20});
+        batched.append(rec(1));
+        batched.append(rec(2));
+        batched.flush();
+    }
+    {
+        db::Journal legacy(disk);  // per-record frames onto the same medium
+        legacy.append(rec(3));
+    }
+    {
+        db::Journal batched(disk, db::JournalConfig{.batch_bytes = 1 << 20});
+        batched.append(rec(4));
+        batched.flush();
+    }
+    auto restored = db::Journal(disk).restore();
+    ASSERT_EQ(restored.wal.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(restored.wal[static_cast<std::size_t>(i)].as_dict().at("n").as_int(),
+                  i + 1);
+    }
+    EXPECT_FALSE(restored.tail_corrupt);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental snapshots: manifest + chunk chains, previous-chain fallback.
+
+TEST(JournalChunkedSnapshot, RoundTripsAcrossChunks) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    std::string big(1000, 'x');
+    {
+        db::Journal j(disk, db::JournalConfig{.snapshot_chunk_bytes = 128});
+        j.compact(Value{big});
+        j.append(rec(1));
+    }
+    auto restored = db::Journal(disk).restore();
+    ASSERT_TRUE(restored.snapshot.has_value());
+    EXPECT_EQ(restored.snapshot->as_str(), big);
+    EXPECT_FALSE(restored.snapshot_fallback);
+    ASSERT_EQ(restored.wal.size(), 1u);
+}
+
+TEST(JournalChunkedSnapshot, CorruptChunkFallsBackToPreviousChain) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    db::Journal j(disk, db::JournalConfig{.snapshot_chunk_bytes = 64});
+    j.compact(Value{std::string(300, 'a')});
+    j.compact(Value{std::string(300, 'b')});
+    // Bit rot inside the current chain's chunk frames.
+    disk->snapshot[disk->snapshot.size() / 2] ^= 0x20;
+    auto restored = db::Journal(disk).restore();
+    ASSERT_TRUE(restored.snapshot.has_value());
+    EXPECT_EQ(restored.snapshot->as_str(), std::string(300, 'a'));
+    EXPECT_TRUE(restored.snapshot_fallback);
+    EXPECT_FALSE(restored.snapshot_corrupt);
+}
+
+TEST(JournalChunkedSnapshot, CorruptChunkWithoutFallbackReportsCorrupt) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    db::Journal j(disk, db::JournalConfig{.snapshot_chunk_bytes = 64});
+    j.compact(Value{std::string(300, 'c')});
+    j.append(rec(9));
+    disk->snapshot[disk->snapshot.size() / 2] ^= 0x20;
+    auto restored = db::Journal(disk).restore();
+    EXPECT_FALSE(restored.snapshot.has_value());
+    EXPECT_TRUE(restored.snapshot_corrupt);
+    ASSERT_EQ(restored.wal.size(), 1u);  // WAL replay survives regardless
+}
+
+TEST(JournalChunkedSnapshot, LegacyCompactClearsStaleFallback) {
+    auto disk = std::make_shared<db::JournalStorage>();
+    {
+        db::Journal chunked(disk, db::JournalConfig{.snapshot_chunk_bytes = 64});
+        chunked.compact(Value{std::string(300, 'a')});
+        chunked.compact(Value{std::string(300, 'b')});
+    }
+    {
+        db::Journal legacy(disk);
+        legacy.compact(Value{std::string("c")});
+    }
+    // A later corruption of the legacy snapshot must NOT resurrect the
+    // retired chunked state 'b' — it predates the legacy compact.
+    disk->snapshot[disk->snapshot.size() / 2] ^= 0x01;
+    auto restored = db::Journal(disk).restore();
+    EXPECT_FALSE(restored.snapshot.has_value());
+    EXPECT_TRUE(restored.snapshot_corrupt);
+    EXPECT_FALSE(restored.snapshot_fallback);
+}
+
+// ---------------------------------------------------------------------------
 // EventStore::restore rejects malformed input with typed errors.
 
 TEST(EventStoreRestore, MalformedInputsRaiseTypedErrors) {
