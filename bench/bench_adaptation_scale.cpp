@@ -13,6 +13,10 @@
 //       nodes, modeled to 10^6 from the measured per-cell constants
 //   (e) the base's per-tick adoption scan: the old allocating lookup()
 //       vs the in-place for_each() it was replaced with (wall time)
+//   (f) staged canary rollout at fleet scale (midas/rollout.h): time for
+//       a healthy canary to walk the 1%/10%/50%/100% ladder, and — for a
+//       poisoned canary — the rollback blast radius (nodes that ever ran
+//       the canary vs fleet size) and time-to-rollback
 #include <benchmark/benchmark.h>
 
 #include "smoke.h"
@@ -264,6 +268,137 @@ FleetNumbers run_fleet(int n, int cell_size) {
     return out;
 }
 
+// ------------------------------------------------- rollout at scale (f) ----
+
+struct RolloutNumbers {
+    bool converged = false;  ///< incumbent reached every node
+    bool completed = false;  ///< healthy arm: canary graduated
+    bool aborted = false;    ///< poison arm: rollout aborted
+    double adapt_s = 0;      ///< incumbent convergence time
+    double rollout_s = 0;    ///< begin_rollout -> complete (healthy arm)
+    double rollback_s = 0;   ///< abort -> whole fleet back on incumbent
+    std::size_t cohort = 0;  ///< stage-0 cohort size
+    std::size_t blast = 0;   ///< nodes that ever held the canary
+    std::size_t escapes = 0; ///< canary sightings outside the cohort
+};
+
+/// One direct-wired fleet, one canary incident. poison == false walks a
+/// healthy canary through the full ladder; poison == true ships a canary
+/// whose advice throws, drives motor traffic on the cohort until the
+/// quarantine gate aborts, then times the fleet-wide rollback.
+RolloutNumbers run_rollout_fleet(int n, bool poison) {
+    sim::Simulator sim;
+    net::Network net{sim, net::NetworkConfig{}, 4242};
+    disco::DiscoveryConfig quiet;
+    quiet.probe_period = seconds(3600);
+
+    BaseConfig bc;
+    bc.issuer = "hall";
+    bc.rollout.stages = {0.01, 0.10, 0.50, 1.0};
+    bc.rollout.stage_window = seconds(1);
+    bc.rollout.tick_period = milliseconds(200);
+    auto hub = std::make_unique<BaseStation>(net, "hall", net::Position{0, -5000}, 1.0,
+                                             bc, disco::RegistrarConfig{}, nullptr, quiet);
+    hub->keys().add_key("hall", to_bytes("k"));
+    // Same wide-open admission gate as (d), for the same reason.
+    net::AdmissionConfig wide;
+    wide.rate_per_sec = 1e6;
+    wide.burst = 65536;
+    wide.queue_cap = {65536, 65536, 65536};
+    hub->router().admission().set_config(wide);
+    hub->base().add_extension(noop_package("hall/policy"));
+
+    std::vector<std::unique_ptr<MobileNode>> nodes;
+    std::vector<std::shared_ptr<rt::ServiceObject>> motors;
+    nodes.reserve(static_cast<std::size_t>(n));
+    SimTime start = sim.now();
+    for (int i = 0; i < n; ++i) {
+        auto node = std::make_unique<MobileNode>(
+            net, "n" + std::to_string(i),
+            net::Position{10.0 * (i % 100), 1000.0 + 10.0 * (i / 100)}, 1.0,
+            midas::ReceiverConfig{}, nullptr, quiet);
+        node->trust().trust("hall", to_bytes("k"));
+        motors.push_back(robot::make_motor(node->runtime(), "motor:" + std::to_string(i)));
+        net.add_wire(hub->id(), node->id());
+        nodes.push_back(std::move(node));
+        if (i % 200 == 199) sim.run_until(sim.now() + milliseconds(20));
+    }
+
+    auto count_on = [&](std::uint32_t version) {
+        std::size_t c = 0;
+        for (const auto& node : nodes) {
+            for (const auto& info : node->receiver().installed()) {
+                if (info.name == "hall/policy" && info.version == version) ++c;
+            }
+        }
+        return c;
+    };
+    RolloutNumbers out;
+    SimTime deadline = sim.now() + seconds(300);
+    while (sim.now() < deadline && count_on(1) < static_cast<std::size_t>(n)) {
+        sim.run_until(sim.now() + milliseconds(50));
+    }
+    out.converged = count_on(1) == static_cast<std::size_t>(n);
+    out.adapt_s = static_cast<double>((sim.now() - start).count()) / 1e9;
+    if (!out.converged) return out;
+
+    const char* body = poison ? "fun onEntry() { throw \"poison\"; }"
+                              : "fun onEntry() { let x = 1; }";
+    ExtensionPackage canary = noop_package("hall/policy");
+    canary.script = body;
+    SimTime begin = sim.now();
+    std::uint32_t v2 = hub->base().begin_rollout(canary);
+    const midas::RolloutController& rc = hub->base().rollout();
+    std::vector<std::size_t> cohort;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (rc.selects_canary("hall/policy", nodes[i]->label())) cohort.push_back(i);
+    }
+    out.cohort = cohort.size();
+
+    std::vector<bool> saw_v2(nodes.size(), false);
+    deadline = sim.now() + seconds(120);
+    while (sim.now() < deadline) {
+        auto v = rc.view("hall/policy");
+        if (!v || v->status != midas::RolloutController::Status::kActive) break;
+        if (poison) {
+            // Only the cohort holds the canary; its advice throws on every
+            // motor call and the quarantine gate does the rest.
+            for (std::size_t i : cohort) {
+                try {
+                    motors[i]->call("rotate", {rt::Value{1.0}});
+                } catch (const std::exception&) {
+                }
+            }
+        }
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            for (const auto& info : nodes[i]->receiver().installed()) {
+                if (info.name == "hall/policy" && info.version == v2) saw_v2[i] = true;
+            }
+        }
+        sim.run_until(sim.now() + milliseconds(100));
+    }
+    auto v = rc.view("hall/policy");
+    out.completed = v && v->status == midas::RolloutController::Status::kComplete;
+    out.aborted = v && v->status == midas::RolloutController::Status::kAborted;
+    out.rollout_s = static_cast<double>((sim.now() - begin).count()) / 1e9;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!saw_v2[i]) continue;
+        ++out.blast;
+        bool in_cohort = false;
+        for (std::size_t c : cohort) in_cohort |= (c == i);
+        if (!in_cohort) ++out.escapes;
+    }
+    if (out.aborted) {
+        SimTime rb = sim.now();
+        deadline = sim.now() + seconds(120);
+        while (sim.now() < deadline && count_on(1) < static_cast<std::size_t>(n)) {
+            sim.run_until(sim.now() + milliseconds(100));
+        }
+        out.rollback_s = static_cast<double>((sim.now() - rb).count()) / 1e9;
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -377,11 +512,44 @@ int main(int argc, char** argv) {
                row.direct.scan_new_us);
     }
 
+    printf("\n(f) staged canary rollout at fleet scale (stages 1%%/10%%/50%%/100%%,\n"
+           "    window 1 s; poison arm aborts on the first cohort quarantine):\n");
+    printf("%8s %8s %12s %14s %18s %12s\n", "nodes", "arm", "adapted in",
+           "rollout done", "blast radius", "rollback");
+    for (int n : smoke ? std::vector<int>{100} : std::vector<int>{1'000, 10'000}) {
+        RolloutNumbers healthy = run_rollout_fleet(n, false);
+        if (healthy.converged && healthy.completed) {
+            printf("%8d %8s %10.1f s %12.1f s %11zu/%zu %12s\n", n, "healthy",
+                   healthy.adapt_s, healthy.rollout_s, healthy.blast,
+                   static_cast<std::size_t>(n), "-");
+        } else {
+            printf("%8d %8s %12s\n", n, "healthy",
+                   healthy.converged ? "DID NOT COMPLETE" : "DID NOT CONVERGE");
+        }
+        RolloutNumbers bad = run_rollout_fleet(n, true);
+        if (bad.converged && bad.aborted) {
+            printf("%8d %8s %10.1f s %12s %8zu/%zu (%zu) %10.1f s\n", n, "poison",
+                   bad.adapt_s, "aborted", bad.blast, static_cast<std::size_t>(n),
+                   bad.cohort, bad.rollback_s);
+            if (bad.escapes > 0) {
+                printf("    WARNING: %zu canary sighting(s) OUTSIDE the cohort\n",
+                       bad.escapes);
+            }
+        } else {
+            printf("%8d %8s %12s\n", n, "poison",
+                   bad.converged ? "DID NOT ABORT" : "DID NOT CONVERGE");
+        }
+    }
+
     printf("\nshape to check: (a) per-node cost stays roughly flat (the base\n"
            "pipelines installs); (b) per-extension cost is roughly constant;\n"
            "(c) latency grows with package size once serialization dominates\n"
            "the fixed discovery+rpc cost; (d) batched backhaul frames per node\n"
            "per period sit >=10x below direct and stay flat as cells are added;\n"
-           "(e) for_each stays well under the allocating lookup() scan.\n");
+           "(e) for_each stays well under the allocating lookup() scan;\n"
+           "(f) healthy rollout time is dominated by the 4 stage windows, not\n"
+           "fleet size; poison blast radius stays ~1%% of the fleet (the stage-0\n"
+           "cohort) with zero escapes, and rollback is a couple of keep-alive\n"
+           "periods.\n");
     return 0;
 }

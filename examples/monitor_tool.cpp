@@ -26,6 +26,10 @@ int main() {
 
     BaseConfig bc;
     bc.issuer = "hall";
+    // Demo-speed canary ladder for the rollout section below.
+    bc.rollout.stages = {0.5, 1.0};
+    bc.rollout.stage_window = seconds(1);
+    bc.rollout.tick_period = milliseconds(200);
     BaseStation hall(net, "hall", {0, 0}, 200.0, bc);
     hall.keys().add_key("hall", to_bytes("k"));
 
@@ -110,6 +114,22 @@ int main() {
     printf("(replayed movements were themselves monitored: the DB now holds %zu "
            "records)\n",
            hall.store().size());
+
+    // --- staged rollout: ship monitoring v2 through the canary ladder
+    // (docs/rollout.md) and watch stage, cohort and health verdicts from
+    // the operator's seat — the dashboard panel an ops team would keep
+    // next to the Fig 6 action list.
+    printf("\n[monitor] staged rollout of hall/monitoring v2 (live status):\n");
+    ExtensionPackage monitoring_v2 = monitoring;
+    hall.base().begin_rollout(monitoring_v2);
+    const midas::RolloutController& rollouts = hall.base().rollout();
+    for (int i = 0; i < 30 && rollouts.active("hall/monitoring"); ++i) {
+        printf("  [%6.2fs] %s\n", sim.now().seconds_since_zero(),
+               rollouts.status_value().to_string().c_str());
+        sim.run_for(milliseconds(500));
+    }
+    printf("  [%6.2fs] %s\n", sim.now().seconds_since_zero(),
+           rollouts.status_value().to_string().c_str());
 
     // --- the platform watching itself: the tool also pulls the live obs
     // snapshot — weaving activity, radio traffic, lease churn — exactly what

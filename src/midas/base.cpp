@@ -38,6 +38,9 @@ ExtensionBase::ExtensionBase(rt::RpcEndpoint& rpc, disco::Registrar& registrar,
       breaker_(rpc.router().simulator(), config_.issuer,
                rt::BreakerConfig{config_.breaker_threshold, config_.breaker_open_period,
                                  config_.breaker_open_max}) {
+    // Before recover(): a journal holding a half-finished rollout hands it
+    // straight to the controller to resume at the journaled stage.
+    rollout_ = std::make_unique<RolloutController>(*this, config_.rollout);
     if (journal_) {
         recover();
         // Journal hall records as they arrive — installed only after the
@@ -115,6 +118,7 @@ void ExtensionBase::recover() {
     if (hall_store_) {
         for (const auto& ev : st.events) hall_store_->append(ev.source, ev.at, ev.data);
     }
+    for (const auto& [_, entry] : st.rollouts) rollout_->adopt(entry);
 
     if (had_life) {
         record("recover", "", "");
@@ -154,6 +158,7 @@ void ExtensionBase::compact_journal() {
             st.events.push_back(BaseDurableState::Event{rec.source, rec.at, rec.data});
         }
     }
+    if (rollout_) rollout_->snapshot_into(st);
     journal_->compact(st.to_snapshot());
 }
 
@@ -164,6 +169,13 @@ void ExtensionBase::record(const std::string& event, const std::string& node_lab
 }
 
 void ExtensionBase::add_extension(ExtensionPackage pkg) {
+    if (rollout_ && rollout_->active(pkg.name)) {
+        // A blind replace would auto-bump past the canary version the
+        // rollout pinned and strand the fleet on two unreconciled versions.
+        throw RolloutInFlight("add_extension('" + pkg.name +
+                              "'): a staged rollout of this extension is in "
+                              "flight — wait for it to complete or abort");
+    }
     // Bump past any version receivers may already hold so the push is a
     // replacement, not a refresh.
     auto& last = last_version_[pkg.name];
@@ -200,6 +212,33 @@ void ExtensionBase::add_extension(ExtensionPackage pkg) {
         std::set<std::string> visiting;
         install_on(node, pkg.name, visiting);
     }
+}
+
+std::uint32_t ExtensionBase::begin_rollout(ExtensionPackage pkg) {
+    auto pit = policy_.find(pkg.name);
+    if (pit == policy_.end()) {
+        throw Error("begin_rollout('" + pkg.name +
+                    "'): no incumbent policy to stage against — first installs "
+                    "go through add_extension");
+    }
+    if (rollout_->active(pkg.name)) {
+        throw RolloutInFlight("begin_rollout('" + pkg.name +
+                              "'): a rollout of this extension is already in flight");
+    }
+    // Same version discipline as add_extension: the canary must supersede
+    // everything any receiver may hold, and last_version_ moves with it so
+    // a post-abort add_extension can never re-issue the canary's number.
+    auto& last = last_version_[pkg.name];
+    if (pkg.version <= last) pkg.version = last + 1;
+    last = pkg.version;
+    std::uint32_t version = pkg.version;
+    std::uint32_t incumbent = pit->second.pkg.version;
+    Bytes sealed = pkg.seal(keys_, config_.issuer);
+    std::string hash = crypto::to_hex(
+        crypto::Sha256::hash(std::span<const std::uint8_t>(sealed)));
+    record("rollout-begin", "", pkg.name);
+    rollout_->begin(std::move(pkg), std::move(sealed), std::move(hash), incumbent);
+    return version;
 }
 
 void ExtensionBase::remove_extension(const std::string& name) {
@@ -364,8 +403,20 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
         return;
     }
     installs_sent_c_.inc();
+    std::string label;
     if (auto pre = adapted_.find(node); pre != adapted_.end()) {
         pre->second.retry[name].in_flight = true;
+        label = pre->second.label;
+    }
+    // Version selection: cohort members of an active rollout get the canary
+    // package, everyone else the incumbent from the policy set.
+    const Bytes* payload = &policy_it->second.sealed;
+    bool canary_sent = false;
+    if (rollout_ && rollout_->selects_canary(name, label)) {
+        if (const Bytes* canary = rollout_->canary_sealed(name)) {
+            payload = canary;
+            canary_sent = true;
+        }
     }
     std::uint64_t push_span = obs::TraceBuffer::global().begin_span(
         "midas.base", "pkg.push", {{"issuer", config_.issuer}, {"pkg", name}});
@@ -383,11 +434,11 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
     // The default 2s-one-shot call would eat the whole lease first.
     rpc_.call_async(
         node, "adaptation", "install",
-        {Value{policy_it->second.sealed}, Value{lease_ms},
+        {Value{*payload}, Value{lease_ms},
          Value{static_cast<std::int64_t>(epoch_)}},
         rt::CallOptions{.timeout = config_.keepalive_period, .retries = 2},
-        [this, node, name, push_span](Value result, std::exception_ptr error,
-                                      bool transport) {
+        [this, node, name, push_span, label, canary_sent](
+            Value result, std::exception_ptr error, bool transport) {
             obs::TraceBuffer::global().end_span(push_span, {{"ok", error ? "false" : "true"}});
             auto adapted_it = adapted_.find(node);
             if (adapted_it == adapted_.end()) return;
@@ -398,6 +449,7 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
                 ++rs.attempts;
                 Duration backoff = install_backoff_for(rs.attempts);
                 bool overloaded = false;
+                bool quarantine_refusal = false;
                 try {
                     std::rethrow_exception(error);
                 } catch (const Overloaded& e) {
@@ -409,18 +461,39 @@ void ExtensionBase::install_on(NodeId node, const std::string& name,
                              "install of '", name, "' on ", adapted_it->second.label,
                              " shed: ", e.what());
                 } catch (const std::exception& e) {
+                    quarantine_refusal =
+                        std::string_view{e.what()}.find("quarantined") !=
+                        std::string_view::npos;
                     log_warn(rpc_.router().simulator().now(), "base@" + config_.issuer,
                              "install of '", name, "' on ", adapted_it->second.label,
                              " failed: ", e.what());
                 }
                 rs.next_at = rpc_.router().simulator().now() + backoff;
                 breaker_.on_failure(node, transport || overloaded);
+                if (canary_sent && rollout_) {
+                    // Health feed: only non-transport verdicts count — a
+                    // radio fault says nothing about the canary.
+                    rollout_->note_install_error(name, label, transport || overloaded,
+                                                 quarantine_refusal);
+                }
                 return;
             }
             breaker_.on_success(node);
             adapted_it->second.retry.erase(name);
             std::uint64_t ext =
                 static_cast<std::uint64_t>(result.as_dict().at("ext").as_int());
+            if (rollout_) {
+                bool wants = rollout_->selects_canary(name, label);
+                if (canary_sent != wants) {
+                    // The assignment flipped while the install was on the
+                    // air (promotion widened the cohort, or an abort shrank
+                    // it to nothing). Leave the name uninstalled: the retry
+                    // loop re-pushes the now-correct version and the
+                    // receiver replaces on version difference.
+                    return;
+                }
+                if (canary_sent) rollout_->note_install_ok(name, label);
+            }
             adapted_it->second.installed[name] = ext;
             record("install", adapted_it->second.label, name);
             journal(BaseDurableState::rec_install(node.value, adapted_it->second.label,
@@ -597,12 +670,20 @@ void ExtensionBase::cell_tick(const std::string& cell, CellState& cs) {
             pause.push_back(Value{static_cast<std::int64_t>(node.value)});
         }
         for (const auto& [name, policy] : policy_) {
+            // Version selection mirrors the direct path: cohort members of
+            // an active rollout are rostered on the canary's content hash.
+            const std::string* hash = &policy.hash;
+            if (rollout_ && rollout_->selects_canary(name, a.label)) {
+                if (const std::string* canary = rollout_->canary_hash(name)) {
+                    hash = canary;
+                }
+            }
             auto iit = a.installed.find(name);
             if (iit != a.installed.end()) {
-                desired[{node.value, name}] = RosterEntry{iit->second, policy.hash};
+                desired[{node.value, name}] = RosterEntry{iit->second, *hash};
                 keepalives_sent_c_.inc();
             } else {
-                desired[{node.value, name}] = RosterEntry{0, policy.hash};
+                desired[{node.value, name}] = RosterEntry{0, *hash};
             }
         }
     }
@@ -621,11 +702,18 @@ void ExtensionBase::cell_tick(const std::string& cell, CellState& cs) {
                                  {"hash", Value{entry.hash}}}});
         if (entry.ext == 0 && !cs.relay_has.contains(entry.hash) &&
             !blobs.contains(entry.hash)) {
+            const Bytes* blob = nullptr;
             for (const auto& [_, policy] : policy_) {
                 if (policy.hash != entry.hash) continue;
-                blobs.set(entry.hash, Value{policy.sealed});
-                blob_hashes.push_back(entry.hash);
+                blob = &policy.sealed;
                 break;
+            }
+            // Canary blobs live in the rollout controller, not the policy
+            // set, until the rollout completes.
+            if (!blob && rollout_) blob = rollout_->sealed_for_hash(entry.hash);
+            if (blob) {
+                blobs.set(entry.hash, Value{*blob});
+                blob_hashes.push_back(entry.hash);
             }
         }
     }
@@ -645,6 +733,16 @@ void ExtensionBase::cell_tick(const std::string& cell, CellState& cs) {
                {"pause", Value{std::move(pause)}},
                {"ops", Value{std::move(ops)}},
                {"blobs", Value{std::move(blobs)}}};
+    // Rollback amnesties ride every frame until one carrying them is acked
+    // (the key is optional: relays without rollout support ignore it).
+    if (!cs.unq_outbox.empty()) {
+        List unq;
+        for (CellUnq& u : cs.unq_outbox) {
+            u.seq = seq;
+            unq.push_back(u.rec);
+        }
+        frame.set("unq", Value{std::move(unq)});
+    }
     cs.pending = std::move(desired);
     cs.pending_blobs = std::move(blob_hashes);
     cs.in_flight = true;
@@ -738,9 +836,33 @@ void ExtensionBase::process_cell_reply(const std::string& cell, std::uint64_t se
         switch (code) {
             case cellproto::kInstalled: {
                 std::uint64_t ext = static_cast<std::uint64_t>(s.at("ext").as_int());
-                a.installed[name] = ext;
                 a.failures = 0;
                 breaker_.on_success(node);
+                // Statuses carry no hash, but the roster line we sent does:
+                // compare what rode the frame against what the node should
+                // run *now* — a rollout promote/abort may have raced it.
+                const RosterEntry* sent = nullptr;
+                if (auto pit = cs.pending.find({node.value, name});
+                    pit != cs.pending.end()) {
+                    sent = &pit->second;
+                } else if (auto syit = cs.synced.find({node.value, name});
+                           syit != cs.synced.end()) {
+                    sent = &syit->second;
+                }
+                if (rollout_ && sent) {
+                    bool wants = rollout_->selects_canary(name, a.label);
+                    const std::string* canary =
+                        wants ? rollout_->canary_hash(name) : nullptr;
+                    std::string want = canary ? *canary : policy_hash(name);
+                    if (!want.empty() && sent->hash != want) {
+                        // Wrong version landed: leave the name uninstalled
+                        // so the next frame re-puts the right hash and the
+                        // relay replaces the package on the node.
+                        break;
+                    }
+                    if (wants) rollout_->note_install_ok(name, a.label);
+                }
+                a.installed[name] = ext;
                 installs_sent_c_.inc();
                 record("install", a.label, name);
                 journal(BaseDurableState::rec_install(node.value, a.label, name, ext));
@@ -760,6 +882,12 @@ void ExtensionBase::process_cell_reply(const std::string& cell, std::uint64_t se
             case cellproto::kError:
                 keepalive_failures_c_.inc();
                 breaker_.on_failure(node, code != cellproto::kError);
+                // kError is the relay relaying a non-transport install
+                // verdict — the only cell status that judges the package.
+                if (code == cellproto::kError && rollout_ &&
+                    rollout_->selects_canary(name, a.label)) {
+                    rollout_->note_install_error(name, a.label, false, false);
+                }
                 if (++a.failures > config_.max_keepalive_failures) drop_node(node);
                 break;
             default:
@@ -803,6 +931,11 @@ void ExtensionBase::process_cell_reply(const std::string& cell, std::uint64_t se
         cs2.stats.blobs_sent += cs2.pending_blobs.size();
         for (std::string& h : cs2.pending_blobs) cs2.relay_has.insert(std::move(h));
         cs2.pending_blobs.clear();
+        // Amnesties delivered by the acked frame are done; entries queued
+        // after it went out (seq 0 or newer) ride the next one.
+        std::erase_if(cs2.unq_outbox, [sent_seq](const CellUnq& u) {
+            return u.seq != 0 && u.seq <= sent_seq;
+        });
     }
 }
 

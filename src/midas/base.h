@@ -22,6 +22,7 @@
 #include "disco/registrar.h"
 #include "midas/durable.h"
 #include "midas/package.h"
+#include "midas/rollout.h"
 #include "obs/metrics.h"
 #include "rt/breaker.h"
 
@@ -67,6 +68,9 @@ struct BaseConfig {
     int breaker_threshold = 4;
     Duration breaker_open_period = seconds(1);
     Duration breaker_open_max = seconds(8);
+    /// Staged canary rollout knobs (begin_rollout; see midas/rollout.h and
+    /// docs/rollout.md).
+    RolloutConfig rollout;
 };
 
 class ExtensionBase {
@@ -96,6 +100,21 @@ public:
 
     /// Drop a policy extension and revoke it from all adapted nodes.
     void remove_extension(const std::string& name);
+
+    /// Stage a new version of an existing policy extension through cohort
+    /// rollout instead of pushing it fleet-wide (docs/rollout.md). The
+    /// incumbent stays pinned in the policy set (and the catch-up image)
+    /// until the final stage confirms; a health-gate breach rolls every
+    /// upgraded node back automatically. Returns the (auto-bumped) canary
+    /// version. Throws Error if `pkg.name` has no incumbent policy, and
+    /// RolloutInFlight if a rollout of that name is already active —
+    /// add_extension is rejected the same way while one is in flight.
+    std::uint32_t begin_rollout(ExtensionPackage pkg);
+
+    /// The staged-rollout controller (stage/health views, blast-radius
+    /// queries for tests, monitor snapshots).
+    RolloutController& rollout() { return *rollout_; }
+    const RolloutController& rollout() const { return *rollout_; }
 
     std::vector<std::string> policy_names() const;
 
@@ -213,6 +232,8 @@ public:
     std::uint64_t catchup_chain() const { return catchup_chain_; }
 
 private:
+    friend class RolloutController;
+
     struct Policy {
         ExtensionPackage pkg;
         Bytes sealed;      // cached signed bytes
@@ -227,6 +248,13 @@ private:
         bool operator==(const RosterEntry&) const = default;
     };
     using RosterKey = std::pair<std::uint64_t, std::string>;
+    /// A queued unquarantine directive riding the next cell frame (rollout
+    /// rollback amnesty). `seq` is the frame that last carried it; 0 until
+    /// sent. Entries retransmit until a frame carrying them is acked.
+    struct CellUnq {
+        std::uint64_t seq = 0;
+        rt::Value rec;
+    };
     struct CellState {
         NodeId relay;
         std::set<NodeId> members;
@@ -239,6 +267,7 @@ private:
         std::uint64_t record_seen = 0;  ///< status/join id high-water mark
         bool in_flight = false;
         int failures = 0;  ///< consecutive batch-call failures (relay link)
+        std::vector<CellUnq> unq_outbox;  ///< rollback amnesties to fan out
         CellStats stats;
     };
 
@@ -296,6 +325,7 @@ private:
     obs::OwnedGauge adapted_nodes_g_;
     obs::OwnedGauge epoch_g_;
 
+    std::unique_ptr<RolloutController> rollout_;
     Rng backoff_rng_;
     rt::CircuitBreaker breaker_;
     std::uint64_t watch_token_ = 0;

@@ -179,6 +179,26 @@ Value CellRelay::do_batch(const Value& frame_v) {
         for (const Value& pv : frame.at("pause").as_list()) {
             paused_.insert(static_cast<std::uint64_t>(pv.as_int()));
         }
+        // Optional key (older bases never send it): rollback amnesties to
+        // fan out fire-and-forget. Idempotent at the receiver, and the
+        // base retransmits them until a frame carrying them is acked, so
+        // losing an individual call here only delays the amnesty by a
+        // frame; accepted-frames-only keeps stale frames from replaying
+        // directives the base already retired.
+        if (const Value* uv = frame.find("unq")) {
+            for (const Value& ev : uv->as_list()) {
+                const Dict& u = ev.as_dict();
+                NodeId member{static_cast<std::uint64_t>(u.at("node").as_int())};
+                ++stats_.fanout_calls;
+                fanout_c_.inc();
+                rpc_.call_async(
+                    member, "adaptation", "unquarantine",
+                    {Value{u.at("name").as_str()}, u.at("version"),
+                     Value{static_cast<std::int64_t>(epoch_)}},
+                    rt::CallOptions{.timeout = config_.call_timeout},
+                    [](Value, std::exception_ptr, bool) {});
+            }
+        }
         fan_out();
     }
 

@@ -65,6 +65,62 @@ Value BaseDurableState::rec_event(const std::string& source, SimTime at,
                       {"data", data}}};
 }
 
+namespace {
+
+Value encode_rollout(const BaseDurableState::RolloutEntry& r) {
+    List stages;
+    for (std::uint32_t bp : r.stages_bp) stages.push_back(Value{i64(bp)});
+    return Value{Dict{{"name", Value{r.name}},
+                      {"version", Value{i64(r.version)}},
+                      {"sealed", Value{r.sealed}},
+                      {"incumbent", Value{i64(r.incumbent_version)}},
+                      {"stages_bp", Value{std::move(stages)}},
+                      {"stage", Value{i64(r.stage)}},
+                      {"status", Value{static_cast<std::int64_t>(r.status)}},
+                      {"cause", Value{r.abort_cause}}}};
+}
+
+BaseDurableState::RolloutEntry decode_rollout(const Dict& d) {
+    BaseDurableState::RolloutEntry r;
+    r.name = str_at(d, "name");
+    r.version = static_cast<std::uint32_t>(d.at("version").as_int());
+    r.sealed = d.at("sealed").as_blob();
+    r.incumbent_version = static_cast<std::uint32_t>(d.at("incumbent").as_int());
+    for (const Value& s : d.at("stages_bp").as_list()) {
+        r.stages_bp.push_back(static_cast<std::uint32_t>(s.as_int()));
+    }
+    r.stage = static_cast<std::uint32_t>(d.at("stage").as_int());
+    r.status = static_cast<int>(d.at("status").as_int());
+    r.abort_cause = str_at(d, "cause");
+    return r;
+}
+
+}  // namespace
+
+Value BaseDurableState::rec_rollout_begin(const RolloutEntry& entry) {
+    Value v = encode_rollout(entry);
+    Dict d = v.as_dict();
+    d.set("op", Value{"rollout-begin"});
+    return Value{std::move(d)};
+}
+
+Value BaseDurableState::rec_rollout_stage(const std::string& name, std::uint32_t stage) {
+    return Value{Dict{{"op", Value{"rollout-stage"}},
+                      {"name", Value{name}},
+                      {"stage", Value{i64(stage)}}}};
+}
+
+Value BaseDurableState::rec_rollout_abort(const std::string& name,
+                                          const std::string& cause) {
+    return Value{Dict{{"op", Value{"rollout-abort"}},
+                      {"name", Value{name}},
+                      {"cause", Value{cause}}}};
+}
+
+Value BaseDurableState::rec_rollout_complete(const std::string& name) {
+    return Value{Dict{{"op", Value{"rollout-complete"}}, {"name", Value{name}}}};
+}
+
 rt::Value BaseDurableState::to_snapshot() const {
     Dict versions;
     for (const auto& [name, v] : last_version) versions.set(name, Value{i64(v)});
@@ -91,11 +147,18 @@ rt::Value BaseDurableState::to_snapshot() const {
                                         {"data", ev.data}}});
     }
 
+    List rollout_list;
+    for (const auto& [_, r] : rollouts) rollout_list.push_back(encode_rollout(r));
+
+    // "rollouts" is a new optional key: pre-rollout replay logic only at()s
+    // the keys it knows, so it reads this snapshot unchanged, and the
+    // loader below find()s it so old snapshots without the key still load.
     return Value{Dict{{"epoch", Value{i64(epoch)}},
                       {"versions", Value{std::move(versions)}},
                       {"policies", Value{std::move(policy_list)}},
                       {"book", Value{std::move(book_list)}},
-                      {"events", Value{std::move(event_list)}}}};
+                      {"events", Value{std::move(event_list)}},
+                      {"rollouts", Value{std::move(rollout_list)}}}};
 }
 
 namespace {
@@ -125,6 +188,14 @@ void base_load_snapshot(BaseDurableState& st, const Value& snap) {
         const Dict& ed = e.as_dict();
         st.events.push_back(BaseDurableState::Event{
             str_at(ed, "source"), SimTime{ed.at("at_ns").as_int()}, ed.at("data")});
+    }
+    // Optional: snapshots written before the rollout controller existed
+    // carry no "rollouts" key.
+    if (const Value* rl = d.find("rollouts")) {
+        for (const Value& r : rl->as_list()) {
+            BaseDurableState::RolloutEntry entry = decode_rollout(r.as_dict());
+            st.rollouts[entry.name] = std::move(entry);
+        }
     }
 }
 
@@ -165,6 +236,27 @@ void base_apply(BaseDurableState& st, const Value& rec) {
     } else if (op == "event") {
         st.events.push_back(BaseDurableState::Event{
             str_at(d, "source"), SimTime{d.at("at_ns").as_int()}, d.at("data")});
+    } else if (op == "rollout-begin") {
+        BaseDurableState::RolloutEntry entry = decode_rollout(d);
+        // The canary's version is claimed the moment the rollout begins, so
+        // an add_extension after a crash-recovery can never reuse it.
+        auto& last = st.last_version[entry.name];
+        if (entry.version > last) last = entry.version;
+        st.rollouts[entry.name] = std::move(entry);
+    } else if (op == "rollout-stage") {
+        auto it = st.rollouts.find(str_at(d, "name"));
+        if (it != st.rollouts.end()) {
+            it->second.stage = static_cast<std::uint32_t>(d.at("stage").as_int());
+        }
+    } else if (op == "rollout-abort") {
+        auto it = st.rollouts.find(str_at(d, "name"));
+        if (it != st.rollouts.end()) {
+            it->second.status = 1;
+            it->second.abort_cause = str_at(d, "cause");
+        }
+    } else if (op == "rollout-complete") {
+        auto it = st.rollouts.find(str_at(d, "name"));
+        if (it != st.rollouts.end()) it->second.status = 2;
     } else {
         ++st.skipped_records;
     }
@@ -210,6 +302,13 @@ Value ReceiverDurableState::rec_withdraw(const std::string& name) {
 
 Value ReceiverDurableState::rec_quarantine(const std::string& name, std::uint32_t version) {
     return Value{Dict{{"op", Value{"quarantine"}},
+                      {"name", Value{name}},
+                      {"version", Value{i64(version)}}}};
+}
+
+Value ReceiverDurableState::rec_unquarantine(const std::string& name,
+                                             std::uint32_t version) {
+    return Value{Dict{{"op", Value{"unquarantine"}},
                       {"name", Value{name}},
                       {"version", Value{i64(version)}}}};
 }
@@ -322,6 +421,10 @@ void receiver_apply(ReceiverDurableState& st, const Value& rec) {
             st.quarantined.end()) {
             st.quarantined.push_back(std::move(key));
         }
+    } else if (op == "unquarantine") {
+        std::pair<std::string, std::uint32_t> key{
+            str_at(d, "name"), static_cast<std::uint32_t>(d.at("version").as_int())};
+        std::erase(st.quarantined, key);
     } else if (op == "flight") {
         receiver_apply_flight(st, d);
     } else {

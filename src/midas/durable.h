@@ -15,11 +15,18 @@
 //   install       {node, label, name, ext}      — remote ext id recorded
 //   node-gone     {label}                       — dropped or handed off
 //   event         {source, at_ns, data}         — hall EventStore record
+//   rollout-begin {name, version, sealed, incumbent, stages_bp}
+//                                               — staged canary opened
+//   rollout-stage {name, stage}                 — promoted to stage index
+//   rollout-abort {name, cause}                 — health gate breached
+//   rollout-complete {name}                     — final stage confirmed
 //
 // Receiver journal ops:
 //   install       {name, version, issuer}       — manifest entry
 //   withdraw      {name}
 //   quarantine    {name, version}               — survives restarts
+//   unquarantine  {name, version}               — rollback amnesty / newer
+//                                                 version lifted the entry
 //   flight        {reason, at_ns, events}       — flight-recorder dump
 //                                                 (black box at quarantine)
 #pragma once
@@ -58,6 +65,25 @@ struct BaseDurableState {
     };
     std::vector<Event> events;
 
+    /// A staged canary rollout (see midas/rollout.h and docs/rollout.md).
+    /// The journaled facts are exactly what a restarted base needs to
+    /// resume at the right stage: the canary package, which version it
+    /// replaces, the stage ladder (basis points of the fleet) and the last
+    /// promoted stage. Health-window baselines are deliberately volatile —
+    /// a new life re-measures from scratch rather than trusting counters
+    /// from before the crash.
+    struct RolloutEntry {
+        std::string name;
+        std::uint32_t version = 0;            ///< canary version
+        Bytes sealed;                         ///< canary sealed package
+        std::uint32_t incumbent_version = 0;  ///< version rolled back to
+        std::vector<std::uint32_t> stages_bp; ///< cohort sizes, basis points
+        std::uint32_t stage = 0;              ///< current stage index
+        int status = 0;                       ///< 0 active, 1 aborted, 2 complete
+        std::string abort_cause;
+    };
+    std::map<std::string, RolloutEntry> rollouts;
+
     std::size_t skipped_records = 0;  ///< malformed/unknown records ignored
 
     /// Fold snapshot + WAL into state. Total: never throws.
@@ -76,6 +102,10 @@ struct BaseDurableState {
                                  const std::string& name, std::uint64_t ext);
     static rt::Value rec_node_gone(const std::string& label);
     static rt::Value rec_event(const std::string& source, SimTime at, const rt::Value& data);
+    static rt::Value rec_rollout_begin(const RolloutEntry& entry);
+    static rt::Value rec_rollout_stage(const std::string& name, std::uint32_t stage);
+    static rt::Value rec_rollout_abort(const std::string& name, const std::string& cause);
+    static rt::Value rec_rollout_complete(const std::string& name);
 };
 
 /// The adaptation service's durable state: the installed-extension
@@ -111,6 +141,7 @@ struct ReceiverDurableState {
                                  const std::string& issuer);
     static rt::Value rec_withdraw(const std::string& name);
     static rt::Value rec_quarantine(const std::string& name, std::uint32_t version);
+    static rt::Value rec_unquarantine(const std::string& name, std::uint32_t version);
     static rt::Value rec_flight(const std::string& reason, SimTime at,
                                 const std::vector<obs::TraceEvent>& events);
 };

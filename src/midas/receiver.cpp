@@ -38,6 +38,7 @@ AdaptationService::AdaptationService(rt::RpcEndpoint& rpc, prose::Weaver& weaver
       renewals_c_("midas.lease.renewals", config_.node_label),
       revocations_c_("midas.revocations", config_.node_label),
       quarantined_c_("midas.receiver.quarantined", config_.node_label),
+      unquarantines_c_("midas.receiver.unquarantined", config_.node_label),
       governor_throttles_c_("recv.governor.throttles", config_.node_label),
       governor_suspends_c_("recv.governor.suspends", config_.node_label),
       governor_skipped_c_("recv.governor.skipped", config_.node_label),
@@ -314,6 +315,20 @@ void AdaptationService::quarantine(ExtensionId id) {
     emit("quarantine", info);
 }
 
+bool AdaptationService::unquarantine(const std::string& name, std::uint32_t version) {
+    if (quarantined_.erase({name, version}) == 0) return false;
+    unquarantines_c_.inc();
+    obs::TraceBuffer::global().instant(
+        "midas.receiver", "pkg.unquarantine",
+        {{"node", config_.node_label},
+         {"pkg", name},
+         {"version", std::to_string(version)}});
+    log_info(rpc_.router().simulator().now(), "midas@" + config_.node_label,
+             "quarantine lifted for '", name, "' v", version);
+    journal(ReceiverDurableState::rec_unquarantine(name, version));
+    return true;
+}
+
 void AdaptationService::register_at(NodeId registrar) {
     Dict attrs{{"node", Value{config_.node_label}}};
     if (!config_.cell.empty()) attrs.set("cell", Value{config_.cell});
@@ -393,6 +408,17 @@ void AdaptationService::build_service_object() {
                         })
                 .method("list", TypeKind::kList, {},
                         [this](rt::ServiceObject&, List&) -> Value { return do_list(); })
+                .method("unquarantine", TypeKind::kBool,
+                        {{"name", TypeKind::kStr},
+                         {"version", TypeKind::kInt},
+                         {"epoch", TypeKind::kInt}},
+                        [this](rt::ServiceObject&, List& args) -> Value {
+                            // `epoch` rides for uniformity with the other
+                            // base calls; the amnesty itself is idempotent.
+                            return Value{unquarantine(
+                                args[0].as_str(),
+                                static_cast<std::uint32_t>(args[1].as_int()))};
+                        })
                 .build();
         runtime.register_type(type);
     }
@@ -475,7 +501,7 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     // Same name already installed?
     if (auto it = by_name_.find(pkg.name); it != by_name_.end()) {
         Entry& existing = installed_.at(it->second);
-        if (pkg.version <= existing.info.version) {
+        if (pkg.version == existing.info.version) {
             // Idempotent re-install: refresh the lease only. The epoch
             // moves too — a restarted base that re-pushes the same
             // version has re-adopted the lease under its new life.
@@ -488,7 +514,13 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
                      {"lease_ms", Value{lease.count() / 1'000'000}}};
             return Value{std::move(out)};
         }
-        // Newer version: withdraw the old one first (shutdown runs).
+        // A *different* version — newer or older — replaces (shutdown runs
+        // first). The base is the policy authority: a push of an older
+        // version is a deliberate rollback (a staged rollout re-installing
+        // the incumbent), not a stale duplicate — duplicates carry the
+        // version the node already runs and land in the refresh branch
+        // above, and a flip lost to a race heals because the base's retry
+        // loop keeps pushing its current choice until the node matches.
         replacements_c_.inc();
         withdraw(it->second, prose::WithdrawReason::kReplaced);
     }
@@ -606,6 +638,19 @@ rt::Value AdaptationService::do_install(NodeId base, const Bytes& sealed,
     arm_expiry(id, lease);
     installs_c_.inc();
     extensions_g_->set(static_cast<std::int64_t>(installed_.size()));
+    // The documented contract: a newer version arriving lifts quarantine
+    // entries for *older* versions of the same name — the broken build is
+    // superseded, so refusing it forever serves nothing and would block a
+    // later rollback to it as a proven-good incumbent.
+    for (auto qit = quarantined_.begin(); qit != quarantined_.end();) {
+        if (qit->first == pkg.name && qit->second < pkg.version) {
+            journal(ReceiverDurableState::rec_unquarantine(qit->first, qit->second));
+            unquarantines_c_.inc();
+            qit = quarantined_.erase(qit);
+        } else {
+            ++qit;
+        }
+    }
     journal(ReceiverDurableState::rec_install(pkg.name, pkg.version, sig.issuer));
     // Crash-point: the extension is woven and journaled, the reply not yet
     // on the air — the installing base will see a timeout for a success.

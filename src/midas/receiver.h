@@ -21,6 +21,7 @@
 //   keepalive(ext int, lease_ms int, epoch int) -> bool
 //   revoke(ext int) -> bool
 //   list() -> [ {ext, name, version, issuer} ]
+//   unquarantine(name str, version int, epoch int) -> bool
 //
 // `epoch` identifies the base's life (0 = epochless transports such as the
 // tuple-space puller). A keep-alive whose epoch differs from the one the
@@ -70,7 +71,10 @@ struct ReceiverConfig {
     /// broken or runaway code; AccessDenied is the node's own policy
     /// saying no and never counts). The extension is withdrawn and
     /// re-installs of the same (name, version) are refused until a newer
-    /// version arrives.
+    /// version arrives (installing one lifts the older entries), or until
+    /// the base explicitly lifts the entry via unquarantine — the scoped
+    /// amnesty a staged-rollout rollback uses to re-install an incumbent
+    /// version this node once quarantined (docs/rollout.md).
     int quarantine_after = 3;
 
     /// --- Resource governor (all off by default — seed behavior) ---
@@ -158,6 +162,11 @@ public:
     bool is_quarantined(const std::string& name, std::uint32_t version) const {
         return quarantined_.contains({name, version});
     }
+    /// Lift one quarantine entry (journaled). Returns whether it existed.
+    /// This is the rollback amnesty: a base aborting a staged rollout must
+    /// be able to re-install the exact incumbent version this node may once
+    /// have quarantined — also exposed remotely as "unquarantine".
+    bool unquarantine(const std::string& name, std::uint32_t version);
     /// Manifest recovered from the journal at construction — what was
     /// installed when the previous life ended (empty without a journal).
     const std::vector<ReceiverDurableState::ManifestEntry>& recovered_manifest() const {
@@ -335,6 +344,7 @@ private:
     obs::OwnedCounter renewals_c_;
     obs::OwnedCounter revocations_c_;
     obs::OwnedCounter quarantined_c_;
+    obs::OwnedCounter unquarantines_c_;
     obs::OwnedCounter governor_throttles_c_;
     obs::OwnedCounter governor_suspends_c_;
     obs::OwnedCounter governor_skipped_c_;
