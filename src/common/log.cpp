@@ -2,6 +2,7 @@
 
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "obs/component.h"
@@ -26,6 +27,14 @@ std::map<std::pair<std::string, int>, StormSlot>& storm_slots() {
     return slots;
 }
 
+// One lock for sink configuration, storm accounting, and emission order:
+// log volume is low (storm-guarded by design), so a single mutex keeps
+// interleaved shard workers from tearing lines or slots.
+std::mutex& log_mu() {
+    static std::mutex mu;
+    return mu;
+}
+
 }  // namespace
 
 Log& Log::instance() {
@@ -33,9 +42,13 @@ Log& Log::instance() {
     return log;
 }
 
-void Log::set_sink(Sink sink) { instance().sink_ = std::move(sink); }
+void Log::set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(log_mu());
+    instance().sink_ = std::move(sink);
+}
 
 void Log::set_storm_guard(std::size_t max_lines, Duration window) {
+    std::lock_guard<std::mutex> lock(log_mu());
     auto& log = instance();
     log.storm_max_lines_ = max_lines;
     log.storm_window_ = window.count() > 0 ? window : seconds(1);
@@ -55,6 +68,7 @@ void Log::write(LogLevel level, SimTime when, const std::string& component,
     components.id(family);
     obs::Registry::global().counter("log.lines", family).inc();
 
+    std::lock_guard<std::mutex> lock(log_mu());
     auto emit = [&](const std::string& text) {
         std::string line = "[" + to_string(when) + "] " +
                            kNames[static_cast<int>(level)] + " " + canonical + ": " + text;

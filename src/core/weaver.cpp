@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "rt/epoch.h"
 
 namespace pmp::prose {
 
@@ -43,19 +44,21 @@ void Weaver::weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven) {
     // escaping exception, which is then rethrown unchanged. The observer
     // runs regardless of obs::enabled(): it is protocol machinery, not
     // telemetry.
-    // `wp` is stable: woven_ is a node-based map and withdraw removes the
-    // hooks before erasing the entry, so no hook outlives its Woven.
+    // `wp` is stable: each Woven is heap-pinned (unique_ptr in woven_),
+    // and withdraw retires it through the epoch domain after unhooking, so
+    // no hook — including a superseded snapshot still being walked on
+    // another shard — outlives its Woven.
     auto timed = [this, id, calls, latency, wp = &woven](
                      const obs::Profiler::Site& site, const auto& fn,
                      auto&&... args) -> decltype(auto) {
         const bool instrument = obs::enabled();
         if (instrument) {
             calls->inc();
-            if (!wp->first_dispatched) {
+            if (!wp->first_dispatched.load(std::memory_order_relaxed) &&
+                !wp->first_dispatched.exchange(true, std::memory_order_relaxed)) {
                 // First advice execution ever for this weave: mark it on
                 // the weave's own trace (install → weave → first dispatch
                 // is the chain the paper's Fig 2 walks through).
-                wp->first_dispatched = true;
                 auto& tb = obs::TraceBuffer::global();
                 obs::TraceBuffer::ContextScope scope(tb, wp->weave_ctx);
                 tb.instant("prose.weaver", "advice.first_dispatch",
@@ -179,18 +182,19 @@ AspectId Weaver::weave(std::shared_ptr<Aspect> aspect) {
 
     plan_.note_weave();
     AspectId id = ids_.next();
-    auto [it, _] = woven_.emplace(id, Woven{std::move(aspect), WeaveReport{}, {}, {}});
-    it->second.weave_ctx = obs::TraceBuffer::global().context_of(span);
+    auto [it, _] = woven_.emplace(id, std::make_unique<Woven>());
+    it->second->aspect = std::move(aspect);
+    it->second->weave_ctx = obs::TraceBuffer::global().context_of(span);
     for (const auto& type : runtime_.types()) {
-        weave_into_type(*type, id, it->second);
+        weave_into_type(*type, id, *it->second);
     }
 
     reg.histogram("weaver.weave_ns").observe(elapsed_ns(t0));
     reg.counter("weaver.weaves").inc();
     reg.gauge("weaver.woven").set(static_cast<std::int64_t>(woven_.size()));
     obs::TraceBuffer::global().end_span(
-        span, {{"methods", std::to_string(it->second.report.methods_matched)},
-               {"fields", std::to_string(it->second.report.fields_matched)}});
+        span, {{"methods", std::to_string(it->second->report.methods_matched)},
+               {"fields", std::to_string(it->second->report.fields_matched)}});
     return id;
 }
 
@@ -200,7 +204,7 @@ bool Weaver::withdraw(AspectId id, WithdrawReason reason) {
     auto& reg = obs::Registry::global();
     std::uint64_t span = obs::TraceBuffer::global().begin_span(
         "prose.weaver", "withdraw",
-        {{"aspect", it->second.aspect->name()}, {"reason", withdraw_reason_name(reason)}});
+        {{"aspect", it->second->aspect->name()}, {"reason", withdraw_reason_name(reason)}});
     Clock::time_point t0 = Clock::now();
 
     // Shutdown procedure first (paper: the extension is notified before
@@ -209,9 +213,13 @@ bool Weaver::withdraw(AspectId id, WithdrawReason reason) {
     // those are touched (a member may appear once per matching binding —
     // remove_hooks clears all of an owner's hooks, later visits no-op).
     plan_.note_withdraw();
-    it->second.aspect->notify_withdraw(reason);
-    for (rt::Method* method : it->second.hooked_methods) method->remove_hooks(id.value);
-    for (rt::Field* field : it->second.hooked_fields) field->remove_hooks(id.value);
+    it->second->aspect->notify_withdraw(reason);
+    for (rt::Method* method : it->second->hooked_methods) method->remove_hooks(id.value);
+    for (rt::Field* field : it->second->hooked_fields) field->remove_hooks(id.value);
+    // The superseded hook-table snapshots retired by remove_hooks capture
+    // a pointer to this Woven; it must survive the same grace period, and
+    // it was retired *after* the tables, so it is reclaimed no earlier.
+    rt::EpochDomain::global().retire([w = it->second.release()] { delete w; });
     woven_.erase(it);
 
     reg.histogram("weaver.withdraw_ns").observe(elapsed_ns(t0));
@@ -229,18 +237,18 @@ void Weaver::withdraw_all(WithdrawReason reason) {
 
 std::shared_ptr<Aspect> Weaver::find(AspectId id) const {
     auto it = woven_.find(id);
-    return it == woven_.end() ? nullptr : it->second.aspect;
+    return it == woven_.end() ? nullptr : it->second->aspect;
 }
 
 const WeaveReport* Weaver::report(AspectId id) const {
     auto it = woven_.find(id);
-    return it == woven_.end() ? nullptr : &it->second.report;
+    return it == woven_.end() ? nullptr : &it->second->report;
 }
 
 void Weaver::on_type_registered(rt::TypeInfo& type) {
     plan_.note_type_registered();
     for (auto& [id, woven] : woven_) {
-        weave_into_type(type, id, woven);
+        weave_into_type(type, id, *woven);
     }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <atomic>
 #include <memory>
 
 #include "common/ids.h"
@@ -88,7 +89,9 @@ private:
         /// install → verify → weave → first dispatch reads as one tree even
         /// though the dispatch happens on an unrelated application call.
         obs::TraceContext weave_ctx;
-        bool first_dispatched = false;
+        /// Dispatch may run on many shard workers at once; exactly one of
+        /// them wins the right to record the first-dispatch instant.
+        std::atomic<bool> first_dispatched{false};
     };
 
     void weave_into_type(rt::TypeInfo& type, AspectId id, Woven& woven);
@@ -99,7 +102,12 @@ private:
     rt::Runtime::ObserverId observer_;
     MatchPlan plan_;
     IdGenerator<AspectId> ids_;
-    std::map<AspectId, Woven> woven_;
+    /// Woven entries are heap-pinned: installed hooks capture a raw
+    /// pointer to their Woven, and a withdrawn entry is *retired* through
+    /// rt::EpochDomain rather than deleted — a reader on another shard may
+    /// still be walking a superseded hook-table snapshot whose closures
+    /// dereference it until the grace period passes.
+    std::map<AspectId, std::unique_ptr<Woven>> woven_;
     AdviceObserver advice_observer_;
     DispatchGate dispatch_gate_;
 };

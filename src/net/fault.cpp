@@ -76,7 +76,9 @@ FaultInjector::LinkState& FaultInjector::link(NodeId from, NodeId to) {
     auto key = std::pair{from, to};
     auto it = links_.find(key);
     if (it == links_.end()) {
-        std::uint64_t stream = mix(seed_ ^ mix(from.value) ^ mix(mix(to.value)));
+        std::uint64_t fk = key_fn_ ? key_fn_(from) : from.value;
+        std::uint64_t tk = key_fn_ ? key_fn_(to) : to.value;
+        std::uint64_t stream = mix(seed_ ^ mix(fk) ^ mix(mix(tk)));
         it = links_.emplace(key, LinkState{Rng(stream), false}).first;
     }
     return it->second;

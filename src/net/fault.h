@@ -15,6 +15,7 @@
 // property the chaos soak's replay check relies on.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -133,6 +134,17 @@ public:
     /// messages in flight when a window opens.
     bool partitioned(NodeId from, NodeId to, SimTime now) const;
 
+    /// Override the per-link stream key. By default streams derive from
+    /// NodeId values, which are allocation-ordered: the same logical world
+    /// built across a different shard layout assigns different ids and so
+    /// draws different fault patterns. Installing a resolver that returns
+    /// a *stable* key (the Network installs the FNV-1a hash of the node's
+    /// name) makes each directed link's stream a pure function of
+    /// (seed, names) — identical at any shard or worker count. Affects
+    /// links on first use, so install before traffic flows; direct users
+    /// of the id-derived default are unchanged.
+    void set_key_fn(std::function<std::uint64_t(NodeId)> fn) { key_fn_ = std::move(fn); }
+
     const FaultPlan& plan() const { return plan_; }
 
 private:
@@ -144,6 +156,7 @@ private:
 
     FaultPlan plan_;
     std::uint64_t seed_;
+    std::function<std::uint64_t(NodeId)> key_fn_;
     std::map<std::pair<NodeId, NodeId>, LinkState> links_;
 };
 

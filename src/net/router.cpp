@@ -29,6 +29,13 @@ std::size_t MessageRouter::broadcast(const std::string& kind, Bytes payload) {
     return network_.broadcast(self_, kind, std::move(payload));
 }
 
+bool MessageRouter::send_remote(std::size_t dst_shard, const std::string& to_name,
+                                const std::string& kind, Bytes payload) {
+    if (mesh_ == nullptr) return false;
+    return mesh_->send(my_shard_, dst_shard, network_.name_of(self_), to_name, kind,
+                       std::move(payload));
+}
+
 void MessageRouter::dispatch(const Message& msg) {
     auto it = handlers_.find(msg.kind);
     if (it == handlers_.end()) {

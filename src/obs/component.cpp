@@ -27,6 +27,7 @@ ComponentRegistry::ComponentRegistry() {
 }
 
 void ComponentRegistry::alias(std::string_view tag, std::string_view canonical_name) {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [t, c] : aliases_) {
         if (t == tag) {
             c = std::string(canonical_name);
@@ -37,6 +38,7 @@ void ComponentRegistry::alias(std::string_view tag, std::string_view canonical_n
 }
 
 std::string ComponentRegistry::canonical(std::string_view tag) const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string_view base = tag;
     std::string_view instance;
     if (auto at = tag.find('@'); at != std::string_view::npos) {
@@ -65,6 +67,7 @@ std::string ComponentRegistry::family(std::string_view tag) const {
 }
 
 std::uint32_t ComponentRegistry::id(std::string_view canonical_name) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = std::find(names_.begin(), names_.end(), canonical_name);
     if (it != names_.end()) return static_cast<std::uint32_t>(it - names_.begin());
     names_.emplace_back(canonical_name);
@@ -73,6 +76,7 @@ std::uint32_t ComponentRegistry::id(std::string_view canonical_name) {
 
 const std::string& ComponentRegistry::name(std::uint32_t id) const {
     static const std::string kUnknown = "?";
+    std::lock_guard<std::mutex> lock(mu_);
     return id < names_.size() ? names_[id] : kUnknown;
 }
 

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,13 +43,20 @@ public:
     /// overwrite earlier ones; the built-in table covers the seed tree.
     void alias(std::string_view tag, std::string_view canonical_name);
 
-    std::size_t interned() const { return names_.size(); }
+    std::size_t interned() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return names_.size();
+    }
 
 private:
     ComponentRegistry();
 
+    /// Guards both tables: log lines arrive from every shard worker.
+    mutable std::mutex mu_;
     std::vector<std::pair<std::string, std::string>> aliases_;  // tag -> canonical
-    std::vector<std::string> names_;                            // id -> canonical
+    /// deque, not vector: name() hands out references that must survive
+    /// a concurrent intern.
+    std::deque<std::string> names_;  // id -> canonical
 };
 
 }  // namespace pmp::obs

@@ -12,12 +12,18 @@ FlightRecorder& FlightRecorder::global() {
 }
 
 void FlightRecorder::observe(const TraceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (size_ < ring_.size()) ++size_;
     ring_[head_] = ev;
     head_ = (head_ + 1) % ring_.size();
 }
 
 std::vector<TraceEvent> FlightRecorder::tail() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tail_locked();
+}
+
+std::vector<TraceEvent> FlightRecorder::tail_locked() const {
     std::vector<TraceEvent> out;
     out.reserve(size_);
     std::size_t start = size_ == ring_.size() ? head_ : 0;
@@ -29,18 +35,21 @@ std::vector<TraceEvent> FlightRecorder::tail() const {
 
 const FlightRecorder::Dump& FlightRecorder::dump(std::string node, std::string reason,
                                                  SimTime at) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (dumps_.size() >= kMaxDumps) dumps_.erase(dumps_.begin());
-    dumps_.push_back(Dump{std::move(node), std::move(reason), at, tail()});
+    dumps_.push_back(Dump{std::move(node), std::move(reason), at, tail_locked()});
     return dumps_.back();
 }
 
 void FlightRecorder::set_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
     ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
     head_ = 0;
     size_ = 0;
 }
 
 void FlightRecorder::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     head_ = 0;
     size_ = 0;
     dumps_.clear();

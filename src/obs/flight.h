@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@ public:
     /// Retained tail, oldest first.
     std::vector<TraceEvent> tail() const;
 
+private:
+    std::vector<TraceEvent> tail_locked() const;
+
+public:
+
     /// One frozen post-mortem: who died, why, when, and the event tail
     /// leading up to it.
     struct Dump {
@@ -53,8 +59,14 @@ public:
 
     const std::vector<Dump>& dumps() const { return dumps_; }
 
-    std::size_t size() const { return size_; }
-    std::size_t capacity() const { return ring_.size(); }
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return size_;
+    }
+    std::size_t capacity() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return ring_.size();
+    }
     /// Resize the ring (drops retained events; dumps are untouched).
     void set_capacity(std::size_t capacity);
 
@@ -64,6 +76,9 @@ public:
     static constexpr std::size_t kMaxDumps = 32;
 
 private:
+    /// Crashes and quarantines can fire from any shard worker; the black
+    /// box is one shared ring, so it locks (it is never on a hot path).
+    mutable std::mutex mu_;
     std::vector<TraceEvent> ring_;
     std::size_t head_ = 0;
     std::size_t size_ = 0;

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace pmp::obs {
 
@@ -13,6 +14,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 
 void Histogram::observe(double v) {
     if (!detail::g_enabled) return;
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
     ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
     ++count_;
@@ -20,6 +22,7 @@ void Histogram::observe(double v) {
 }
 
 double Histogram::quantile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (count_ == 0) return 0.0;
     q = std::clamp(q, 0.0, 1.0);
     double rank = q * static_cast<double>(count_);
@@ -39,6 +42,7 @@ double Histogram::quantile(double q) const {
 }
 
 void Histogram::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
     sum_ = 0;
@@ -139,41 +143,49 @@ void Registry::release(std::map<std::string, Family<T>, std::less<>>& families,
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu_);
     return *slot(counters_, name, label, /*pin=*/true).metric;
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu_);
     return *slot(gauges_, name, label, /*pin=*/true).metric;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view label,
                                std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mu_);
     Slot<Histogram>& s = slot(histograms_, name, label, /*pin=*/true);
     if (!s.metric) s.metric = std::make_unique<Histogram>(std::move(bounds));
     return *s.metric;
 }
 
 Counter& Registry::acquire_counter(std::string_view name, std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu_);
     Slot<Counter>& s = slot(counters_, name, label, /*pin=*/false);
     ++s.owners;
     return *s.metric;
 }
 
 void Registry::release_counter(std::string_view name, std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu_);
     release(counters_, name, label);
 }
 
 Gauge& Registry::acquire_gauge(std::string_view name, std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu_);
     Slot<Gauge>& s = slot(gauges_, name, label, /*pin=*/false);
     ++s.owners;
     return *s.metric;
 }
 
 void Registry::release_gauge(std::string_view name, std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu_);
     release(gauges_, name, label);
 }
 
 void Registry::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [_, family] : counters_) {
         for (auto& [__, s] : family) s.metric->reset();
     }
@@ -187,32 +199,51 @@ void Registry::reset() {
     }
 }
 
+// Visitors gather (name, label, metric) under the lock, then run the
+// callback outside it: the metrics are slot-pinned so the pointers stay
+// valid, and a callback that re-enters the registry cannot deadlock.
 void Registry::visit_counters(
     const std::function<void(const std::string&, const std::string&, const Counter&)>& fn)
     const {
-    for (const auto& [name, family] : counters_) {
-        for (const auto& [label, s] : family) fn(name, label, *s.metric);
+    std::vector<std::tuple<const std::string*, const std::string*, const Counter*>> items;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, family] : counters_) {
+            for (const auto& [label, s] : family) items.emplace_back(&name, &label, s.metric.get());
+        }
     }
+    for (const auto& [name, label, c] : items) fn(*name, *label, *c);
 }
 
 void Registry::visit_gauges(
     const std::function<void(const std::string&, const std::string&, const Gauge&)>& fn) const {
-    for (const auto& [name, family] : gauges_) {
-        for (const auto& [label, s] : family) fn(name, label, *s.metric);
+    std::vector<std::tuple<const std::string*, const std::string*, const Gauge*>> items;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, family] : gauges_) {
+            for (const auto& [label, s] : family) items.emplace_back(&name, &label, s.metric.get());
+        }
     }
+    for (const auto& [name, label, g] : items) fn(*name, *label, *g);
 }
 
 void Registry::visit_histograms(
     const std::function<void(const std::string&, const std::string&, const Histogram&)>& fn)
     const {
-    for (const auto& [name, family] : histograms_) {
-        for (const auto& [label, s] : family) {
-            if (s.metric) fn(name, label, *s.metric);
+    std::vector<std::tuple<const std::string*, const std::string*, const Histogram*>> items;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, family] : histograms_) {
+            for (const auto& [label, s] : family) {
+                if (s.metric) items.emplace_back(&name, &label, s.metric.get());
+            }
         }
     }
+    for (const auto& [name, label, h] : items) fn(*name, *label, *h);
 }
 
 std::size_t Registry::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t n = 0;
     for (const auto& [_, family] : counters_) n += family.size();
     for (const auto& [_, family] : gauges_) n += family.size();

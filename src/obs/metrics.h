@@ -4,11 +4,12 @@
 // carrying cost, weaving latency, monitoring traffic — so measurement is a
 // first-class subsystem, not ad-hoc structs scattered through the code.
 // Metrics are keyed by a dotted `component.name` plus an optional label
-// (per-aspect, per-node, per-network). The simulator is single-threaded by
-// design, so recording is a plain `uint64_t` increment behind one global
-// enable flag: cheap enough to live on the interception hot path, and the
-// flag lets benchmarks price the instrumentation itself (enabled vs.
-// compiled-in-but-idle).
+// (per-aspect, per-node, per-network). Recording is one relaxed atomic
+// increment behind one global enable flag: cheap enough to live on the
+// interception hot path even when the sharded simulator records from
+// several worker threads at once (relaxed suffices — counters are summed,
+// never ordered against other memory), and the flag lets benchmarks price
+// the instrumentation itself (enabled vs. compiled-in-but-idle).
 //
 // Lifetime: metrics obtained through `Registry::counter()` (and friends)
 // are pinned — they live as long as the registry. Per-instance metrics
@@ -19,10 +20,12 @@
 // acquire/release pairing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,29 +45,29 @@ inline void set_enabled(bool on) { detail::g_enabled = on; }
 class Counter {
 public:
     void inc(std::uint64_t n = 1) {
-        if (detail::g_enabled) value_ += n;
+        if (detail::g_enabled) value_.fetch_add(n, std::memory_order_relaxed);
     }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
 private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time level (extensions active, tuples stored, ...).
 class Gauge {
 public:
     void set(std::int64_t v) {
-        if (detail::g_enabled) value_ = v;
+        if (detail::g_enabled) value_.store(v, std::memory_order_relaxed);
     }
     void add(std::int64_t d) {
-        if (detail::g_enabled) value_ += d;
+        if (detail::g_enabled) value_.fetch_add(d, std::memory_order_relaxed);
     }
-    std::int64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
 private:
-    std::int64_t value_ = 0;
+    std::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket histogram. `bounds` are inclusive upper edges of the finite
@@ -72,14 +75,24 @@ private:
 /// Quantiles interpolate linearly inside the bucket that crosses the rank,
 /// which is exact enough for latency reporting (p50/p95/p99) without ever
 /// storing samples.
+/// Writes from concurrent shard workers are serialized by a per-histogram
+/// mutex (histograms are off the per-dispatch fast path). The aggregate
+/// read accessors lock too; `bounds()`/`buckets()` return references and
+/// are for quiesced readers (exporters between windows, tests after run).
 class Histogram {
 public:
     explicit Histogram(std::vector<double> bounds);
 
     void observe(double v);
 
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+    std::uint64_t count() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return count_;
+    }
+    double sum() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return sum_;
+    }
     const std::vector<double>& bounds() const { return bounds_; }
     /// Per-bucket counts; size == bounds().size() + 1 (last = overflow).
     const std::vector<std::uint64_t>& buckets() const { return buckets_; }
@@ -88,7 +101,10 @@ public:
     /// for ranks landing in the overflow bucket.
     double quantile(double q) const;
 
-    double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+    double mean() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
 
     void reset();
 
@@ -98,6 +114,7 @@ public:
     static const std::vector<double>& latency_ms_bounds();
 
 private:
+    mutable std::mutex mu_;
     std::vector<double> bounds_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
@@ -171,6 +188,11 @@ private:
     void release(std::map<std::string, Family<T>, std::less<>>& families,
                  std::string_view name, std::string_view label);
 
+    /// Guards the family maps (lookup-or-create, release, visits). The
+    /// metrics themselves are not guarded by this: Counter/Gauge are
+    /// atomic, Histogram carries its own mutex, and handed-out references
+    /// stay valid regardless (slots are unique_ptr-pinned).
+    mutable std::mutex mu_;
     std::map<std::string, Family<Counter>, std::less<>> counters_;
     std::map<std::string, Family<Gauge>, std::less<>> gauges_;
     std::map<std::string, Family<Histogram>, std::less<>> histograms_;

@@ -14,12 +14,25 @@ const char* event_kind_name(EventKind k) {
     return "?";
 }
 
+namespace {
+// Per-thread redirect target (see TraceBuffer::Redirect).
+thread_local TraceBuffer* tl_redirect = nullptr;
+}  // namespace
+
 TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
 
-TraceBuffer& TraceBuffer::global() {
+TraceBuffer& TraceBuffer::root() {
     static TraceBuffer buffer;
     return buffer;
 }
+
+TraceBuffer& TraceBuffer::global() { return tl_redirect != nullptr ? *tl_redirect : root(); }
+
+TraceBuffer::Redirect::Redirect(TraceBuffer& target) : saved_(tl_redirect) {
+    tl_redirect = &target;
+}
+
+TraceBuffer::Redirect::~Redirect() { tl_redirect = saved_; }
 
 void TraceBuffer::push(TraceEvent ev) {
     if (size_ == ring_.size()) {
@@ -36,9 +49,11 @@ void TraceBuffer::push(TraceEvent ev) {
     } else {
         ++size_;
     }
-    // Only the process-wide buffer feeds the flight recorder; scratch
-    // buffers in tests stay out of the black box.
-    if (this == &TraceBuffer::global()) FlightRecorder::global().observe(ev);
+    // Only the process-wide root buffer feeds the flight recorder; scratch
+    // buffers in tests and per-shard buffers stay out of the black box.
+    // (Compared against root(), not global(): a thread-local redirect must
+    // not accidentally feed its shard's events into the black box.)
+    if (this == &TraceBuffer::root()) FlightRecorder::global().observe(ev);
     ring_[head_] = std::move(ev);
     head_ = (head_ + 1) % ring_.size();
     ++recorded_;
@@ -64,20 +79,20 @@ TraceContext TraceBuffer::context_of(std::uint64_t span) const {
 
 TraceContext TraceBuffer::new_root() {
     if (!detail::g_enabled) return TraceContext{};
-    return TraceContext{++next_trace_, 0};
+    return TraceContext{id_base_ + ++next_trace_, 0};
 }
 
 std::uint64_t TraceBuffer::begin_span_at(SimTime at, std::string component, std::string name,
                                          KeyValues kv) {
     if (!detail::g_enabled) return 0;
-    std::uint64_t id = ++next_span_;
+    std::uint64_t id = id_base_ + ++next_span_;
     TraceEvent ev{at,  EventKind::kSpanBegin,    id, 0, 0, std::move(component),
                   std::move(name), std::move(kv)};
     if (current_.valid()) {
         ev.trace = current_.trace_id;
         ev.parent = current_.parent_span;
     } else {
-        ev.trace = ++next_trace_;  // no caller: this span roots a new trace
+        ev.trace = id_base_ + ++next_trace_;  // no caller: this span roots a new trace
     }
     open_spans_.emplace(id, OpenSpan{ev.trace, ev.parent, head_});
     push(std::move(ev));
@@ -135,12 +150,13 @@ void TraceBuffer::clear() {
 }
 
 std::uint64_t TraceBuffer::set_clock(std::function<SimTime()> clock) {
-    clock_ = std::move(clock);
-    return ++clock_token_;
+    std::uint64_t token = ++next_clock_token_;
+    clocks_.push_back(ClockEntry{token, std::move(clock)});
+    return token;
 }
 
 void TraceBuffer::clear_clock(std::uint64_t token) {
-    if (token == clock_token_) clock_ = nullptr;
+    std::erase_if(clocks_, [token](const ClockEntry& e) { return e.token == token; });
 }
 
 }  // namespace pmp::obs

@@ -65,11 +65,39 @@ struct TraceEvent {
     bool operator==(const TraceEvent&) const = default;
 };
 
+/// A TraceBuffer is confined to one thread at a time: the root buffer to
+/// whichever thread runs the sequential world (or the sharded kernel's
+/// coordinator), a shard's buffer to whichever worker is running that
+/// shard's window. The window barrier publishes writes between owners, so
+/// the buffer itself carries no locks.
 class TraceBuffer {
 public:
     explicit TraceBuffer(std::size_t capacity = 1024);
 
+    /// The thread's redirect target when one is installed (sharded
+    /// workers), else the process-wide root buffer.
     static TraceBuffer& global();
+
+    /// While alive, TraceBuffer::global() *on this thread* resolves to
+    /// `target` — how a simulation shard records into its own buffer
+    /// without threading a TraceBuffer& through every subsystem. Nests
+    /// (strictly scoped, per thread).
+    class Redirect {
+    public:
+        explicit Redirect(TraceBuffer& target);
+        ~Redirect();
+        Redirect(const Redirect&) = delete;
+        Redirect& operator=(const Redirect&) = delete;
+
+    private:
+        TraceBuffer* saved_;
+    };
+
+    /// Partition span/trace ids: every id handed out after this call is
+    /// `base + n`. Each shard's buffer gets a disjoint namespace so merged
+    /// causal trees never collide; the base survives clear().
+    void set_id_namespace(std::uint64_t base) { id_base_ = base; }
+    std::uint64_t id_namespace() const { return id_base_; }
 
     /// Begin a span; returns its id for end_span. Timestamps come from the
     /// installed clock (the live simulator); SimTime::zero() without one.
@@ -136,14 +164,21 @@ public:
     bool detail() const { return detail_; }
     void set_detail(bool on) { detail_ = on; }
 
-    /// Install the time source (the live simulator registers itself).
-    /// Returns a token; clear_clock ignores stale tokens so a destroyed
-    /// simulator cannot yank a successor's clock.
+    /// Install a time source (the live simulator registers itself; see
+    /// Simulator's scoped binding). Sources *stack*: the newest wins, and
+    /// clear_clock removes by token from anywhere in the stack — so a
+    /// bench that builds a scratch world inside a live one restores the
+    /// outer simulator's clock instead of leaving a stale or null clock
+    /// ("most recently constructed wins" is gone).
     std::uint64_t set_clock(std::function<SimTime()> clock);
     void clear_clock(std::uint64_t token);
-    SimTime now() const { return clock_ ? clock_() : SimTime::zero(); }
+    SimTime now() const { return clocks_.empty() ? SimTime::zero() : clocks_.back().fn(); }
 
 private:
+    /// The process-wide buffer (redirects resolve here by default). Only
+    /// this one feeds the flight recorder.
+    static TraceBuffer& root();
+
     void push(TraceEvent ev);
 
     /// Book-keeping for spans whose begin is still in the ring: lets
@@ -162,11 +197,16 @@ private:
     std::uint64_t orphan_ends_ = 0;
     std::uint64_t next_span_ = 0;
     std::uint64_t next_trace_ = 0;
+    std::uint64_t id_base_ = 0;  ///< namespace offset; survives clear()
     TraceContext current_;
     std::map<std::uint64_t, OpenSpan> open_spans_;  ///< bounded by ring capacity
     bool detail_ = false;
-    std::function<SimTime()> clock_;
-    std::uint64_t clock_token_ = 0;
+    struct ClockEntry {
+        std::uint64_t token;
+        std::function<SimTime()> fn;
+    };
+    std::vector<ClockEntry> clocks_;  ///< stack: back() is live
+    std::uint64_t next_clock_token_ = 0;
 };
 
 }  // namespace pmp::obs

@@ -1,0 +1,11 @@
+// Alias header: the epoch-reclamation domain the runtime retires hook
+// tables into lives in common/ (the simulation kernel's worker pool
+// participates in it, and pmp_sim cannot depend back on pmp_rt). The
+// runtime-facing name rt::EpochDomain is preserved here.
+#pragma once
+
+#include "common/epoch.h"
+
+namespace pmp::rt {
+using pmp::EpochDomain;
+}  // namespace pmp::rt

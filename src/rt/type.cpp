@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "rt/epoch.h"
 #include "rt/object.h"
 
 namespace pmp::rt {
@@ -19,6 +20,19 @@ struct DispatchMetrics {
 DispatchMetrics& dispatch_metrics() {
     static DispatchMetrics m;
     return m;
+}
+
+// SmallVec is move-only (dispatch never copies); building an RCU snapshot
+// aside is the one place a deep copy is needed.
+template <typename Fn>
+void copy_table(const HookTable<Fn>& from, HookTable<Fn>& to) {
+    for (const auto& slot : from) to.push_back(HookSlot<Fn>{slot.owner, slot.priority, slot.fn});
+}
+
+// Shared empty snapshot for invoke_debugger_style on an un-woven method.
+const AdviceTables& no_advice() {
+    static const AdviceTables empty;
+    return empty;
 }
 }  // namespace
 
@@ -99,17 +113,26 @@ void Method::validate(const List& args) const {
     }
 }
 
+Method::~Method() { publish(nullptr); }
+
 Value Method::invoke(ServiceObject& self, List args) {
     validate(args);
     // The minimal hook. When the method carries no advice this is the whole
-    // cost of carrying the adaptation platform: one well-predicted branch
-    // (plus one more for the join-point counter).
-    if (!armed_) [[likely]] {
+    // cost of carrying the adaptation platform: one well-predicted load +
+    // branch (plus one more branch for the join-point counter).
+    const AdviceTables* tables = advice_.load(std::memory_order_acquire);
+    if (tables == nullptr) [[likely]] {
         dispatch_metrics().unwoven.inc();
         return handler_(self, args);
     }
     dispatch_metrics().advised.inc();
-    return invoke_hooked(self, args);
+    // Woven slow path: pin reclamation (no-op on epoch-covered worker
+    // threads), then re-load — the snapshot read *under* the guard is one
+    // whose retirement cannot have been reaped yet.
+    EpochDomain::ReadGuard guard;
+    tables = advice_.load(std::memory_order_seq_cst);
+    if (tables == nullptr) return handler_(self, args);  // raced with withdraw
+    return invoke_hooked(*tables, self, args);
 }
 
 Value Method::invoke_unhooked(ServiceObject& self, List args) {
@@ -119,35 +142,41 @@ Value Method::invoke_unhooked(ServiceObject& self, List args) {
 
 Value Method::invoke_no_obs(ServiceObject& self, List args) {
     validate(args);
-    if (!armed_) [[likely]] {
+    const AdviceTables* tables = advice_.load(std::memory_order_acquire);
+    if (tables == nullptr) [[likely]] {
         return handler_(self, args);
     }
-    return invoke_hooked(self, args);
+    EpochDomain::ReadGuard guard;
+    tables = advice_.load(std::memory_order_seq_cst);
+    if (tables == nullptr) return handler_(self, args);
+    return invoke_hooked(*tables, self, args);
 }
 
 Value Method::invoke_debugger_style(ServiceObject& self, List args) {
     validate(args);
-    return invoke_hooked(self, args);  // no armed_ short-circuit
+    EpochDomain::ReadGuard guard;
+    const AdviceTables* tables = advice_.load(std::memory_order_seq_cst);
+    return invoke_hooked(tables ? *tables : no_advice(), self, args);  // no short-circuit
 }
 
-Value Method::invoke_hooked(ServiceObject& self, List& args) {
+Value Method::invoke_hooked(const AdviceTables& tables, ServiceObject& self, List& args) {
     CallFrame frame{self, *this, args, Value{}, Dict{}};
-    frame.result = run_advice_chain(0, frame, self, args);
+    frame.result = run_advice_chain(tables, 0, frame, self, args);
     return frame.result;
 }
 
-Value Method::run_advice_chain(std::size_t index, CallFrame& frame, ServiceObject& self,
-                               List& args) {
-    if (index == around_hooks_.size()) {
+Value Method::run_advice_chain(const AdviceTables& tables, std::size_t index, CallFrame& frame,
+                               ServiceObject& self, List& args) {
+    if (index == tables.around.size()) {
         // The innermost stage: entry advice, the original handler, exit
         // advice; error advice fires if any of those throw.
         try {
-            for (auto& slot : entry_hooks_) slot.fn(frame);
+            for (const auto& slot : tables.entry) slot.fn(frame);
             frame.result = handler_(self, args);
-            for (auto& slot : exit_hooks_) slot.fn(frame);
+            for (const auto& slot : tables.exit) slot.fn(frame);
         } catch (...) {
             auto error = std::current_exception();
-            for (auto& slot : error_hooks_) slot.fn(frame, error);
+            for (const auto& slot : tables.error) slot.fn(frame, error);
             throw;
         }
         return frame.result;
@@ -163,78 +192,132 @@ Value Method::run_advice_chain(std::size_t index, CallFrame& frame, ServiceObjec
     // before: proceed must not be stashed past the join point).
     struct Continuation {
         Method* method;
+        const AdviceTables* tables;
         CallFrame* frame;
         ServiceObject* self;
         List* args;
         std::size_t next_index;
-    } cont{this, &frame, &self, &args, index + 1};
+    } cont{this, &tables, &frame, &self, &args, index + 1};
     Continuation* ctx = &cont;
     const std::function<Value()> proceed = [ctx]() -> Value {
-        return ctx->method->run_advice_chain(ctx->next_index, *ctx->frame, *ctx->self,
-                                             *ctx->args);
+        return ctx->method->run_advice_chain(*ctx->tables, ctx->next_index, *ctx->frame,
+                                             *ctx->self, *ctx->args);
     };
-    return around_hooks_[index].fn(frame, proceed);
+    return tables.around[index].fn(frame, proceed);
 }
 
-void Method::refresh_armed() {
-    armed_ = !(entry_hooks_.empty() && exit_hooks_.empty() && error_hooks_.empty() &&
-               around_hooks_.empty());
+std::unique_ptr<AdviceTables> Method::copy_tables() const {
+    auto next = std::make_unique<AdviceTables>();
+    // The single-mutator contract makes this load the mutator's own last
+    // publish — no torn or stale snapshot is possible.
+    if (const AdviceTables* cur = advice_.load(std::memory_order_acquire)) {
+        copy_table(cur->entry, next->entry);
+        copy_table(cur->exit, next->exit);
+        copy_table(cur->error, next->error);
+        copy_table(cur->around, next->around);
+    }
+    return next;
+}
+
+void Method::publish(std::unique_ptr<AdviceTables> next) {
+    const AdviceTables* fresh = (next != nullptr && !next->empty()) ? next.release() : nullptr;
+    const AdviceTables* old = advice_.exchange(fresh, std::memory_order_seq_cst);
+    if (old != nullptr) EpochDomain::global().retire([old] { delete old; });
 }
 
 void Method::add_entry_hook(HookOwner owner, int priority, EntryHook fn) {
-    detail::insert_by_priority(entry_hooks_, {owner, priority, std::move(fn)});
-    refresh_armed();
+    auto next = copy_tables();
+    detail::insert_by_priority(next->entry, {owner, priority, std::move(fn)});
+    publish(std::move(next));
 }
 
 void Method::add_exit_hook(HookOwner owner, int priority, ExitHook fn) {
-    detail::insert_by_priority(exit_hooks_, {owner, priority, std::move(fn)});
-    refresh_armed();
+    auto next = copy_tables();
+    detail::insert_by_priority(next->exit, {owner, priority, std::move(fn)});
+    publish(std::move(next));
 }
 
 void Method::add_error_hook(HookOwner owner, int priority, ErrorHook fn) {
-    detail::insert_by_priority(error_hooks_, {owner, priority, std::move(fn)});
-    refresh_armed();
+    auto next = copy_tables();
+    detail::insert_by_priority(next->error, {owner, priority, std::move(fn)});
+    publish(std::move(next));
 }
 
 void Method::add_around_hook(HookOwner owner, int priority, AroundHook fn) {
-    detail::insert_by_priority(around_hooks_, {owner, priority, std::move(fn)});
-    refresh_armed();
+    auto next = copy_tables();
+    detail::insert_by_priority(next->around, {owner, priority, std::move(fn)});
+    publish(std::move(next));
 }
 
 bool Method::remove_hooks(HookOwner owner) {
-    bool removed = detail::remove_owner(entry_hooks_, owner);
-    removed |= detail::remove_owner(exit_hooks_, owner);
-    removed |= detail::remove_owner(error_hooks_, owner);
-    removed |= detail::remove_owner(around_hooks_, owner);
-    refresh_armed();
-    return removed;
+    if (advice_.load(std::memory_order_acquire) == nullptr) return false;
+    auto next = copy_tables();
+    bool removed = detail::remove_owner(next->entry, owner);
+    removed |= detail::remove_owner(next->exit, owner);
+    removed |= detail::remove_owner(next->error, owner);
+    removed |= detail::remove_owner(next->around, owner);
+    if (!removed) return false;  // nothing of `owner`'s here; keep the snapshot
+    publish(std::move(next));
+    return true;
 }
 
 // --------------------------------------------------------------- Field ----
 
+Field::~Field() { publish(nullptr); }
+
+std::unique_ptr<FieldHookTables> Field::copy_tables() const {
+    auto next = std::make_unique<FieldHookTables>();
+    if (const FieldHookTables* cur = hooks_.load(std::memory_order_acquire)) {
+        copy_table(cur->set, next->set);
+        copy_table(cur->get, next->get);
+    }
+    return next;
+}
+
+void Field::publish(std::unique_ptr<FieldHookTables> next) {
+    const FieldHookTables* fresh = (next != nullptr && !next->empty()) ? next.release() : nullptr;
+    const FieldHookTables* old = hooks_.exchange(fresh, std::memory_order_seq_cst);
+    if (old != nullptr) EpochDomain::global().retire([old] { delete old; });
+}
+
 void Field::add_set_hook(HookOwner owner, int priority, FieldSetHook fn) {
-    detail::insert_by_priority(set_hooks_, {owner, priority, std::move(fn)});
-    armed_ = true;
+    auto next = copy_tables();
+    detail::insert_by_priority(next->set, {owner, priority, std::move(fn)});
+    publish(std::move(next));
 }
 
 void Field::add_get_hook(HookOwner owner, int priority, FieldGetHook fn) {
-    detail::insert_by_priority(get_hooks_, {owner, priority, std::move(fn)});
-    armed_ = true;
+    auto next = copy_tables();
+    detail::insert_by_priority(next->get, {owner, priority, std::move(fn)});
+    publish(std::move(next));
 }
 
 bool Field::remove_hooks(HookOwner owner) {
-    bool removed = detail::remove_owner(set_hooks_, owner);
-    removed |= detail::remove_owner(get_hooks_, owner);
-    armed_ = !(set_hooks_.empty() && get_hooks_.empty());
-    return removed;
+    if (hooks_.load(std::memory_order_acquire) == nullptr) return false;
+    auto next = copy_tables();
+    bool removed = detail::remove_owner(next->set, owner);
+    removed |= detail::remove_owner(next->get, owner);
+    if (!removed) return false;
+    publish(std::move(next));
+    return true;
 }
 
 void Field::on_set(ServiceObject& self, const Value& old_value, Value& new_value) {
-    for (auto& slot : set_hooks_) slot.fn(self, decl_, old_value, new_value);
+    const FieldHookTables* tables = hooks_.load(std::memory_order_acquire);
+    if (tables == nullptr) [[likely]] return;
+    EpochDomain::ReadGuard guard;
+    tables = hooks_.load(std::memory_order_seq_cst);
+    if (tables == nullptr) return;
+    for (const auto& slot : tables->set) slot.fn(self, decl_, old_value, new_value);
 }
 
 void Field::on_get(ServiceObject& self, Value& value) {
-    for (auto& slot : get_hooks_) slot.fn(self, decl_, value);
+    const FieldHookTables* tables = hooks_.load(std::memory_order_acquire);
+    if (tables == nullptr) [[likely]] return;
+    EpochDomain::ReadGuard guard;
+    tables = hooks_.load(std::memory_order_seq_cst);
+    if (tables == nullptr) return;
+    for (const auto& slot : tables->get) slot.fn(self, decl_, value);
 }
 
 // ------------------------------------------------------------ TypeInfo ----

@@ -10,6 +10,7 @@
 // aspects.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -129,11 +130,39 @@ bool remove_owner(HookTable<Fn>& slots, HookOwner owner) {
 }
 }  // namespace detail
 
+/// The complete advice state of one Method, published behind a single
+/// atomic pointer (RCU). Snapshots are immutable once published: the
+/// weaver copies the current snapshot, edits the copy, swaps the pointer,
+/// and retires the old snapshot through rt::EpochDomain — so dispatch on
+/// another shard can keep walking the old table through the grace period
+/// while weave/withdraw proceed. nullptr stands for "no advice" and keeps
+/// the un-woven minimal hook a single load + branch.
+struct AdviceTables {
+    HookTable<EntryHook> entry;
+    HookTable<ExitHook> exit;
+    HookTable<ErrorHook> error;
+    HookTable<AroundHook> around;
+    bool empty() const {
+        return entry.empty() && exit.empty() && error.empty() && around.empty();
+    }
+};
+
+/// Same discipline for Field hooks.
+struct FieldHookTables {
+    HookTable<FieldSetHook> set;
+    HookTable<FieldGetHook> get;
+    bool empty() const { return set.empty() && get.empty(); }
+};
+
 /// A callable method with its hook slot.
 class Method {
 public:
     Method(MethodDecl decl, MethodHandler handler)
         : decl_(std::move(decl)), handler_(std::move(handler)) {}
+    ~Method();
+
+    Method(const Method&) = delete;
+    Method& operator=(const Method&) = delete;
 
     const MethodDecl& decl() const { return decl_; }
 
@@ -165,9 +194,13 @@ public:
     Value invoke_debugger_style(ServiceObject& self, List args);
 
     /// True if any advice is attached.
-    bool woven() const { return armed_; }
+    bool woven() const { return advice_.load(std::memory_order_acquire) != nullptr; }
 
     // --- hook management (used by pmp::prose::Weaver) ---
+    // Mutations follow the RCU discipline (copy, edit, publish, retire).
+    // Contract: a single mutator per Method at a time — the weaver that
+    // owns the node's runtime, running on that node's shard. Concurrent
+    // *dispatch* from any thread is safe.
     void add_entry_hook(HookOwner owner, int priority, EntryHook fn);
     void add_exit_hook(HookOwner owner, int priority, ExitHook fn);
     void add_error_hook(HookOwner owner, int priority, ErrorHook fn);
@@ -177,20 +210,22 @@ public:
 
 private:
     void validate(const List& args) const;
-    Value invoke_hooked(ServiceObject& self, List& args);
-    /// Runs around_hooks_[index..] then the core (entry advice, handler,
+    Value invoke_hooked(const AdviceTables& tables, ServiceObject& self, List& args);
+    /// Runs tables.around[index..] then the core (entry advice, handler,
     /// exit advice; error advice on throw). proceed() continuations advance
     /// `index` instead of building a per-call closure chain.
-    Value run_advice_chain(std::size_t index, CallFrame& frame, ServiceObject& self, List& args);
-    void refresh_armed();
+    Value run_advice_chain(const AdviceTables& tables, std::size_t index, CallFrame& frame,
+                           ServiceObject& self, List& args);
+    /// Copy of the current snapshot (or a fresh empty one) for editing.
+    std::unique_ptr<AdviceTables> copy_tables() const;
+    /// Swap in `next` (normalized: empty -> nullptr), retire the old
+    /// snapshot into the global epoch domain.
+    void publish(std::unique_ptr<AdviceTables> next);
 
     MethodDecl decl_;
     MethodHandler handler_;
-    bool armed_ = false;  ///< the minimal hook: tested on every call
-    HookTable<EntryHook> entry_hooks_;
-    HookTable<ExitHook> exit_hooks_;
-    HookTable<ErrorHook> error_hooks_;
-    HookTable<AroundHook> around_hooks_;
+    /// The minimal hook: one acquire load, nullptr <=> un-woven.
+    std::atomic<const AdviceTables*> advice_{nullptr};
 };
 
 /// A field with its hook slot. Values live per-instance in ServiceObject;
@@ -198,10 +233,21 @@ private:
 class Field {
 public:
     explicit Field(FieldDecl decl) : decl_(std::move(decl)) {}
+    ~Field();
+
+    /// Moves happen only during single-threaded TypeInfo construction
+    /// (fields live in a std::vector); woven Fields are never moved.
+    Field(Field&& other) noexcept
+        : decl_(std::move(other.decl_)),
+          hooks_(other.hooks_.exchange(nullptr, std::memory_order_relaxed)) {}
+    Field& operator=(Field&&) = delete;
+    Field(const Field&) = delete;
+    Field& operator=(const Field&) = delete;
 
     const FieldDecl& decl() const { return decl_; }
-    bool woven() const { return armed_; }
+    bool woven() const { return hooks_.load(std::memory_order_acquire) != nullptr; }
 
+    // Same RCU discipline and single-mutator contract as Method.
     void add_set_hook(HookOwner owner, int priority, FieldSetHook fn);
     void add_get_hook(HookOwner owner, int priority, FieldGetHook fn);
     bool remove_hooks(HookOwner owner);
@@ -212,10 +258,11 @@ public:
     void on_get(ServiceObject& self, Value& value);
 
 private:
+    std::unique_ptr<FieldHookTables> copy_tables() const;
+    void publish(std::unique_ptr<FieldHookTables> next);
+
     FieldDecl decl_;
-    bool armed_ = false;
-    HookTable<FieldSetHook> set_hooks_;
-    HookTable<FieldGetHook> get_hooks_;
+    std::atomic<const FieldHookTables*> hooks_{nullptr};
 };
 
 /// Class metadata: name, methods, fields. Shared by all instances of the

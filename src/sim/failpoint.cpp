@@ -8,30 +8,43 @@ FailPoints& FailPoints::global() {
 }
 
 std::uint64_t FailPoints::arm(std::string node, std::string point, int hit, Action action) {
+    std::lock_guard<std::mutex> lock(mu_);
     std::uint64_t token = ++next_token_;
     armed_.push_back(
         Armed{token, std::move(node), std::move(point), hit < 1 ? 1 : hit, std::move(action)});
+    armed_count_.store(armed_.size(), std::memory_order_relaxed);
     return token;
 }
 
 void FailPoints::disarm(std::uint64_t token) {
+    std::lock_guard<std::mutex> lock(mu_);
     std::erase_if(armed_, [token](const Armed& a) { return a.token == token; });
+    armed_count_.store(armed_.size(), std::memory_order_relaxed);
 }
 
-void FailPoints::clear() { armed_.clear(); }
+void FailPoints::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.clear();
+    armed_count_.store(0, std::memory_order_relaxed);
+}
 
 void FailPoints::fire(const std::string& node, const std::string& point) {
-    for (auto it = armed_.begin(); it != armed_.end(); ++it) {
-        if (it->node != node || it->point != point) continue;
-        if (--it->remaining > 0) return;
-        // Detach before running: the action may crash the node, tearing
-        // down the very code path we are being called from, and may arm
-        // new points of its own.
-        Action action = std::move(it->action);
-        armed_.erase(it);
-        action();
-        return;
+    Action action;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+            if (it->node != node || it->point != point) continue;
+            if (--it->remaining > 0) return;
+            // Detach before running (outside the lock): the action may
+            // crash the node, tearing down the very code path we are being
+            // called from, and may arm new points of its own.
+            action = std::move(it->action);
+            armed_.erase(it);
+            armed_count_.store(armed_.size(), std::memory_order_relaxed);
+            break;
+        }
     }
+    if (action) action();
 }
 
 }  // namespace pmp::sim

@@ -8,8 +8,10 @@
 // markers stay in production code paths permanently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,13 +30,14 @@ public:
     void disarm(std::uint64_t token);
     void clear();
 
-    /// Marker call sites use this; near-free while nothing is armed.
+    /// Marker call sites use this; near-free while nothing is armed (one
+    /// relaxed atomic load — markers run on every shard worker).
     static void hit(const std::string& node, const std::string& point) {
         FailPoints& fp = global();
-        if (!fp.armed_.empty()) fp.fire(node, point);
+        if (fp.armed_count_.load(std::memory_order_relaxed) != 0) fp.fire(node, point);
     }
 
-    std::size_t armed_count() const { return armed_.size(); }
+    std::size_t armed_count() const { return armed_count_.load(std::memory_order_relaxed); }
 
 private:
     void fire(const std::string& node, const std::string& point);
@@ -46,7 +49,9 @@ private:
         int remaining;
         Action action;
     };
+    mutable std::mutex mu_;
     std::vector<Armed> armed_;
+    std::atomic<std::size_t> armed_count_{0};  ///< mirrors armed_.size()
     std::uint64_t next_token_ = 0;
 };
 

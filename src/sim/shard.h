@@ -1,0 +1,161 @@
+// Deterministic parallel simulation: shards under conservative windows.
+//
+// A ShardedSimulator partitions a world into N independent Simulators
+// ("shards" — typically one per hall or cell, assigned by stable name
+// hash) and advances them in lock-step *time windows* on a worker pool:
+//
+//   1. Drain cross-shard mailboxes into the destination shards' queues,
+//      in fixed (destination, source, FIFO) order.
+//   2. Compute T_min = min over shards of next_event_time().
+//   3. horizon = min(T_min + lookahead, deadline⁺) — the conservative
+//      bound: no cross-shard message sent during this window can demand
+//      delivery before `horizon`, because every send is clamped to at
+//      least sender-now + lookahead.
+//   4. Run every shard to the horizon in parallel (strictly-before edge:
+//      events at exactly `horizon` wait for the next window so they order
+//      after the mailbox drain).
+//   5. Barrier; advance every shard's clock to the window edge; repeat.
+//
+// Determinism contract: for a fixed seed and world construction order, the
+// event order *within* each shard, the per-shard trace buffers, and the
+// merged trace are byte-identical regardless of worker count — windows and
+// drain order depend only on virtual time, never on which OS thread ran
+// which shard or how fast. Worker threads participate in rt::EpochDomain
+// and announce quiescence at every barrier, so hook-table snapshots
+// retired by a concurrent weave are reclaimed promptly without fencing
+// any dispatch fast path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace pmp::obs {
+class TraceBuffer;
+struct TraceEvent;
+}
+
+namespace pmp::sim {
+
+struct ShardOptions {
+    std::size_t shards = 1;
+    std::size_t workers = 1;
+    /// Minimum cross-shard latency: every post() is delivered no earlier
+    /// than sender-now + lookahead. Larger values mean wider windows
+    /// (fewer barriers, more parallelism); must be at least 1ns.
+    Duration lookahead = milliseconds(1);
+    /// Per-shard trace ring capacity.
+    std::size_t trace_capacity = 4096;
+    /// World seed; shard_seed() derives per-shard, per-stream sub-seeds.
+    std::uint64_t seed = 1;
+};
+
+class ShardedSimulator {
+public:
+    explicit ShardedSimulator(ShardOptions opts);
+    ~ShardedSimulator();
+    ShardedSimulator(const ShardedSimulator&) = delete;
+    ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+    std::size_t shard_count() const { return sims_.size(); }
+
+    /// Deterministic shard placement by stable name (hall/cell id): the
+    /// same name lands on the same shard for any process, any run.
+    std::size_t shard_of(std::string_view name) const;
+
+    /// The shard's own event loop (single-threaded; only touch it from
+    /// the coordinator between windows or from events running on it).
+    Simulator& shard(std::size_t i) { return *sims_[i]; }
+    /// The shard's private trace ring (ids namespaced per shard).
+    obs::TraceBuffer& trace(std::size_t i) { return *buffers_[i]; }
+
+    /// Sub-seed for a (shard, stream) pair — stable under re-sharding of
+    /// *other* streams, so per-shard RNG draws replay identically at any
+    /// worker count.
+    std::uint64_t shard_seed(std::size_t shard, std::string_view stream) const;
+
+    /// Cross-shard send: run `fn` on shard `dst`'s timeline at
+    /// max(when, shard(src).now() + lookahead). Call either from the
+    /// coordinator between windows or from an event currently executing
+    /// on shard `src` (the sender's clock is read, so src must be the
+    /// shard the calling event runs on). Delivery order is deterministic:
+    /// mailboxes drain at the next window edge in (dst, src, FIFO) order.
+    void post(std::size_t src, std::size_t dst, SimTime when, Simulator::Callback fn);
+
+    /// Run all shards to `deadline` under conservative windows; afterwards
+    /// every shard's now() == deadline and no event at time <= deadline is
+    /// pending anywhere (mailboxes included).
+    void run_until(SimTime deadline);
+    void run_for(Duration d) { run_until(now() + d); }
+
+    /// The last committed barrier time (all shard clocks aligned here
+    /// between windows).
+    SimTime now() const { return barrier_now_; }
+
+    /// Synchronization windows executed so far.
+    std::uint64_t windows() const { return windows_; }
+    /// Events executed across all shards.
+    std::uint64_t executed() const;
+    /// Cross-shard messages posted so far.
+    std::uint64_t posts() const;
+
+    /// All shard events merged into one timeline, ordered by
+    /// (time, shard, in-shard order) — the deterministic merge rule; two
+    /// runs of the same world at different worker counts produce
+    /// byte-identical merged vectors.
+    std::vector<obs::TraceEvent> merged_trace() const;
+
+private:
+    struct Pending {
+        SimTime when;
+        Simulator::Callback fn;
+    };
+    /// One mailbox lane per (src, dst) pair. Only the src shard's worker
+    /// posts into a lane during a window, but src events may also fan out
+    /// from the coordinator during setup — hence the per-lane mutex.
+    struct Lane {
+        std::mutex mu;
+        std::vector<Pending> msgs;
+    };
+
+    void worker_main();
+    void drain_lanes();
+    void run_window_parallel(SimTime horizon);
+    Lane& lane(std::size_t src, std::size_t dst) {
+        return *lanes_[src * sims_.size() + dst];
+    }
+
+    ShardOptions opts_;
+    std::vector<std::unique_ptr<obs::TraceBuffer>> buffers_;
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+
+    SimTime barrier_now_ = SimTime::zero();
+    std::uint64_t windows_ = 0;
+    std::vector<std::uint64_t> executed_;  ///< per shard, coordinator-read
+    std::atomic<std::uint64_t> posts_{0};
+
+    // Worker pool: coordinator publishes (generation, horizon), workers
+    // claim shard indices until none remain, then quiesce their epoch
+    // participation and report done. The mutex orders every cross-thread
+    // access to shard state between windows.
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t gen_ = 0;
+    SimTime win_horizon_ = SimTime::zero();
+    std::size_t next_shard_ = 0;
+    std::size_t done_shards_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace pmp::sim

@@ -3,16 +3,19 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace pmp::sim {
 
 Simulator::Simulator() {
-    trace_clock_token_ =
-        obs::TraceBuffer::global().set_clock([this]() { return now_; });
+    // Bind to the thread's current buffer, not root(): a shard simulator
+    // constructed under a TraceBuffer::Redirect clocks its own shard buffer.
+    trace_buffer_ = &obs::TraceBuffer::global();
+    trace_clock_token_ = trace_buffer_->set_clock([this]() { return now_; });
 }
 
-Simulator::~Simulator() { obs::TraceBuffer::global().clear_clock(trace_clock_token_); }
+Simulator::~Simulator() { trace_buffer_->clear_clock(trace_clock_token_); }
 
 TimerId Simulator::schedule_at(SimTime when, Callback fn) {
     if (when < now_) when = now_;
@@ -60,7 +63,28 @@ TimerId Simulator::schedule_every(Duration period, Callback fn) {
 bool Simulator::cancel(TimerId id) {
     if (!id.valid() || !live_.erase(id.value)) return false;
     cancelled_.insert(id.value);
+    maybe_compact();
     return true;
+}
+
+void Simulator::maybe_compact() {
+    // Rebuild the queue once tombstones exceed half the live set: a
+    // workload that arms and cancels many timers (lease renewals across
+    // handoffs) would otherwise drag a heap full of dead entries through
+    // every push/pop. Each rebuild removes at least a third of the queue,
+    // so the cost is amortized against the cancels that forced it.
+    if (cancelled_.size() * 2 <= pending()) return;
+    std::vector<Event> keep;
+    keep.reserve(queue_.size() - cancelled_.size());
+    while (!queue_.empty()) {
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        if (!cancelled_.contains(ev.id)) keep.push_back(std::move(ev));
+    }
+    cancelled_.clear();
+    for (auto& ev : keep) queue_.push(std::move(ev));
+    ++compactions_;
+    obs::Registry::global().counter("sim.compactions").inc();
 }
 
 bool Simulator::fire_next() {
@@ -88,12 +112,44 @@ std::size_t Simulator::run(std::size_t limit) {
 }
 
 void Simulator::run_until(SimTime deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) {
+    // next_event_time() skips tombstones, so a cancelled entry at the top
+    // of the heap can never trick the loop into firing a live event that
+    // lies beyond the deadline.
+    while (next_event_time() <= deadline) {
         fire_next();
     }
     if (now_ < deadline) now_ = deadline;
 }
 
 void Simulator::run_for(Duration d) { run_until(now_ + d); }
+
+SimTime Simulator::next_event_time() {
+    while (!queue_.empty()) {
+        const Event& top = queue_.top();
+        if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            queue_.pop();
+            continue;
+        }
+        return top.when;
+    }
+    return SimTime::max();
+}
+
+std::size_t Simulator::run_window(SimTime horizon) {
+    // Strictly-before: an event at exactly `horizon` belongs to the next
+    // window, after the barrier has drained cross-shard mailboxes whose
+    // messages may land at that same instant (and must keep the global
+    // (time, seq) FIFO order with it).
+    std::size_t executed = 0;
+    while (next_event_time() < horizon) {
+        if (fire_next()) ++executed;
+    }
+    return executed;
+}
+
+void Simulator::advance_to(SimTime t) {
+    if (now_ < t) now_ = t;
+}
 
 }  // namespace pmp::sim

@@ -5,6 +5,12 @@
 // this single virtual timeline. Events scheduled for the same instant fire
 // in scheduling order (FIFO), which makes whole-system runs deterministic
 // for a fixed seed.
+//
+// A Simulator is single-threaded by design; wall-clock parallelism comes
+// from running *several* simulators as shards under sim::ShardedSimulator
+// (see shard.h), which drives each one through bounded time windows via
+// run_window()/advance_to() and never touches two from different threads
+// without a barrier in between.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,10 @@
 #include <vector>
 
 #include "common/time.h"
+
+namespace pmp::obs {
+class TraceBuffer;
+}
 
 namespace pmp::sim {
 
@@ -31,9 +41,14 @@ class Simulator {
 public:
     using Callback = std::function<void()>;
 
-    /// Registers this simulator as the trace clock (obs::TraceBuffer), so
-    /// trace events recorded anywhere in the process carry virtual time.
-    /// With several live simulators the most recently constructed one wins.
+    /// Binds this simulator as a trace clock on the TraceBuffer that is
+    /// current *on the constructing thread* (the thread's redirect target,
+    /// else the root buffer) and remembers that buffer, so the destructor
+    /// unbinds from the same one even if the thread's redirect has since
+    /// changed. Clocks stack per buffer: nesting a scratch simulator inside
+    /// a live one restores the outer clock on destruction instead of
+    /// leaving the buffer clockless ("most recently constructed wins" is
+    /// gone — binding is scoped to this object's lifetime).
     Simulator();
     ~Simulator();
     Simulator(const Simulator&) = delete;
@@ -71,8 +86,33 @@ public:
     /// Convenience: run_until(now() + d).
     void run_for(Duration d);
 
+    /// Time of the earliest live (non-cancelled) pending event, or
+    /// SimTime::max() when the queue is empty. The sharded kernel's
+    /// conservative synchronizer computes each window edge from the minimum
+    /// of this across shards. Pops tombstones encountered at the top, so
+    /// amortized cost stays with the cancels that created them.
+    SimTime next_event_time();
+
+    /// Run every event with `when` strictly before `horizon`, leaving
+    /// events at exactly `horizon` queued for the next window. Does NOT
+    /// advance now() past the last fired event — the caller advances the
+    /// clock explicitly (advance_to) once the window barrier commits, which
+    /// keeps "events < horizon fired, now() <= horizon" an invariant the
+    /// sharded kernel can assert. Returns the number of events executed.
+    std::size_t run_window(SimTime horizon);
+
+    /// Move the clock forward to `t` without running anything (no-op if
+    /// now() >= t already). Window barriers use this to line every shard
+    /// up on the same instant before the next window's sends clamp against
+    /// now() + lookahead.
+    void advance_to(SimTime t);
+
     /// Number of events currently pending.
     std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+    /// Times the tombstone sweep has rebuilt the queue (metric
+    /// `sim.compactions` counts the same thing process-wide).
+    std::uint64_t compactions() const { return compactions_; }
 
 private:
     struct Event {
@@ -90,6 +130,7 @@ private:
     };
 
     bool fire_next();
+    void maybe_compact();
 
     SimTime now_ = SimTime::zero();
     std::uint64_t next_seq_ = 0;
@@ -97,7 +138,9 @@ private:
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     std::unordered_set<std::uint64_t> live_;       // ids that can still fire
     std::unordered_set<std::uint64_t> cancelled_;  // tombstones for queued events
-    std::uint64_t trace_clock_token_ = 0;          // obs trace-clock registration
+    std::uint64_t compactions_ = 0;
+    obs::TraceBuffer* trace_buffer_ = nullptr;  // buffer the clock is bound to
+    std::uint64_t trace_clock_token_ = 0;       // obs trace-clock registration
 };
 
 }  // namespace pmp::sim
